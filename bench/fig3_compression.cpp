@@ -1,0 +1,39 @@
+// Figure 3: error (100 - F1) across all / torso / tail / unseen entities as
+// entity embeddings are compressed: only the top-k% of entities by training
+// popularity keep their learned embedding, all others share one unseen
+// entity's embedding. The paper finds top-5% costs only 0.8 F1 overall and
+// *improves* the tail by ~2 F1.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  auto bootleg = harness::TrainBootleg(
+      &env, {"bootleg_full", harness::DefaultBootlegConfig(),
+             harness::DefaultTrainOptions(), 7});
+
+  const double kKeepPercent[] = {100.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.1};
+
+  std::printf("\n=== Figure 3: error vs entity-embedding compression ===\n");
+  std::printf("%-8s %-12s %8s %8s %8s %8s\n", "keep %", "compression",
+              "all", "torso", "tail", "unseen");
+  for (double keep : kKeepPercent) {
+    if (keep < 100.0) {
+      bootleg->CompressEntityEmbeddings(keep / 100.0, env.counts);
+    }
+    harness::BucketResult r =
+        harness::EvaluateBuckets(bootleg.get(), env, env.corpus.dev);
+    std::printf("%-8.1f %-12.1f %8.1f %8.1f %8.1f %8.1f\n", keep, 100.0 - keep,
+                100.0 - r.all.f1(), 100.0 - r.torso.f1(), 100.0 - r.tail.f1(),
+                100.0 - r.unseen.f1());
+    if (keep < 100.0) bootleg->RestoreEntityEmbeddings();
+  }
+  std::printf(
+      "\nShape check (paper): error stays near-flat down to keep=5%%; only "
+      "at 1%% and\nbelow does overall error climb, and tail error can "
+      "*decrease* under compression.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Figure 4: error rate as a function of the proportion of rare (tail +
+// unseen) entities among all entities carrying a given type (right panel) or
+// relation (left panel), for Bootleg, NED-Base, and Ent-only. The paper
+// finds Bootleg's error stays low and flat as categories get rarer, while
+// the baseline and Ent-only degrade.
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+/// Rare-proportion of a category's member entities.
+std::vector<double> CategoryRareProportion(
+    const harness::Environment& env, bool relations) {
+  const kb::KnowledgeBase& kb = env.world.kb;
+  const int64_t n = relations ? kb.num_relations() : kb.num_types();
+  std::vector<int64_t> members(static_cast<size_t>(n), 0);
+  std::vector<int64_t> rare(static_cast<size_t>(n), 0);
+  for (kb::EntityId e = 0; e < kb.num_entities(); ++e) {
+    const bool is_rare = env.counts.Count(e) <= 10;
+    const auto& cats = relations ? kb.entity(e).relations : kb.entity(e).types;
+    for (int64_t c : cats) {
+      ++members[static_cast<size_t>(c)];
+      if (is_rare) ++rare[static_cast<size_t>(c)];
+    }
+  }
+  std::vector<double> proportion(static_cast<size_t>(n), 0.0);
+  for (int64_t c = 0; c < n; ++c) {
+    if (members[static_cast<size_t>(c)] > 0) {
+      proportion[static_cast<size_t>(c)] =
+          static_cast<double>(rare[static_cast<size_t>(c)]) /
+          static_cast<double>(members[static_cast<size_t>(c)]);
+    }
+  }
+  return proportion;
+}
+
+/// Rare proportion of the gold's *most head-y* category — the best signal
+/// the model could lean on.
+double RecordRareProportion(const kb::KnowledgeBase& kb,
+                            const std::vector<double>& proportion,
+                            const eval::PredictionRecord& r, bool relations) {
+  const auto& cats =
+      relations ? kb.entity(r.gold).relations : kb.entity(r.gold).types;
+  if (cats.empty()) return -1.0;
+  double mn = 1.0;
+  for (int64_t c : cats) {
+    mn = std::min(mn, proportion[static_cast<size_t>(c)]);
+  }
+  return mn;
+}
+
+void Panel(const harness::Environment& env,
+           const std::vector<std::pair<const char*, const eval::ResultSet*>>&
+               models,
+           bool relations) {
+  const std::vector<double> proportion = CategoryRareProportion(env, relations);
+  const kb::KnowledgeBase& kb = env.world.kb;
+  std::printf("\n--- %s panel: error rate vs rare-entity proportion of the "
+              "gold's %s ---\n",
+              relations ? "Relation" : "Type", relations ? "relations" : "types");
+  std::printf("%-22s", "rare-prop bin");
+  for (const auto& [name, rs] : models) std::printf(" %12s", name);
+  std::printf(" %8s\n", "n");
+
+  // Quantile bin edges over the observed distribution (most synthetic
+  // entities are "rare" by the paper's ≤10 definition, so fixed 0.25-wide
+  // bins would all collapse into the top one).
+  std::vector<double> values;
+  for (const eval::PredictionRecord& r : models.front().second->records()) {
+    if (!r.Eligible()) continue;
+    const double v = RecordRareProportion(kb, proportion, r, relations);
+    if (v >= 0.0) values.push_back(v);
+  }
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  double edges[5];
+  for (int q = 0; q <= 4; ++q) {
+    const size_t idx = std::min(values.size() - 1, values.size() * q / 4);
+    edges[q] = values[idx];
+  }
+  edges[4] += 1e-9;
+
+  for (int b = 0; b < 4; ++b) {
+    const double lo = edges[b], hi = edges[b + 1];
+    if (hi <= lo) continue;
+    std::printf("[%.3f, %.3f)        ", lo, hi);
+    int64_t count = 0;
+    for (const auto& [name, rs] : models) {
+      (void)name;
+      auto in_bin = [&](const eval::PredictionRecord& r) {
+        const double v = RecordRareProportion(kb, proportion, r, relations);
+        return v >= lo && v < hi;
+      };
+      const eval::Prf p = rs->Filtered(in_bin);
+      std::printf(" %12.1f", 100.0 - p.f1());
+      count = p.total;
+    }
+    std::printf(" %8lld\n", static_cast<long long>(count));
+  }
+}
+
+}  // namespace
+
+int main() {
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  const core::TrainOptions train = harness::DefaultTrainOptions();
+  const core::BootlegConfig base = harness::DefaultBootlegConfig();
+  auto ned_base = harness::TrainNedBase(&env, "ned_base", train);
+  auto bootleg = harness::TrainBootleg(&env, {"bootleg_full", base, train, 7});
+  auto ent_only = harness::TrainBootleg(
+      &env, {"ent_only", core::BootlegConfig::EntOnly(base), train, 7});
+
+  harness::BucketResult rb =
+      harness::EvaluateBuckets(bootleg.get(), env, env.corpus.dev);
+  harness::BucketResult rn =
+      harness::EvaluateBuckets(ned_base.get(), env, env.corpus.dev);
+  harness::BucketResult re =
+      harness::EvaluateBuckets(ent_only.get(), env, env.corpus.dev);
+
+  std::printf("\n=== Figure 4: error rate vs rare-proportion of the gold's "
+              "categories ===\n");
+  const std::vector<std::pair<const char*, const eval::ResultSet*>> models = {
+      {"NED-Base", &rn.results},
+      {"Ent-only", &re.results},
+      {"Bootleg", &rb.results},
+  };
+  Panel(env, models, /*relations=*/true);
+  Panel(env, models, /*relations=*/false);
+  std::printf(
+      "\nShape check (paper): Bootleg has the lowest error in every bin and "
+      "stays\nflat as the rare proportion grows; NED-Base and Ent-only slope "
+      "upward.\n");
+  return 0;
+}

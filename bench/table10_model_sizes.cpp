@@ -1,0 +1,54 @@
+// Table 10 (Appendix B): model sizes of the five ablation models, split into
+// embedding size (entity/type/relation tables) and network size (dense
+// parameters; the word encoder is excluded as the paper excludes BERT).
+//
+// Paper reference (MB): NED-Base 5186+4, Bootleg 5201+39, Ent-only 5186+35,
+// Type-only 13+38, KG-only 1+34 — the key shape is that Type-only and
+// KG-only are orders of magnitude smaller because the entity table dominates.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  // Sizes are a static property: models are constructed, not trained.
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  const core::BootlegConfig base = harness::DefaultBootlegConfig();
+
+  auto print_row = [](const char* name, double emb_kb, double net_kb) {
+    std::printf("%-22s %16.1f %16.1f %16.1f\n", name, emb_kb, net_kb,
+                emb_kb + net_kb);
+  };
+  std::printf("\n=== Table 10: model sizes (KB) ===\n");
+  std::printf("%-22s %16s %16s %16s\n", "Model", "Embedding", "Network", "Total");
+
+  {
+    baseline::NedBaseConfig config;
+    config.encoder.max_len = 32;
+    baseline::NedBaseModel m(env.world.kb.num_entities(),
+                             env.world.vocab.size(), config, 1);
+    print_row("NED-Base", m.EmbeddingBytes() / 1024.0, m.NetworkBytes() / 1024.0);
+  }
+  struct Arm {
+    const char* name;
+    core::BootlegConfig config;
+  };
+  const Arm arms[] = {
+      {"Bootleg", base},
+      {"Ent-only", core::BootlegConfig::EntOnly(base)},
+      {"Type-only", core::BootlegConfig::TypeOnly(base)},
+      {"KG-only", core::BootlegConfig::KgOnly(base)},
+  };
+  for (const Arm& arm : arms) {
+    core::BootlegModel m(&env.world.kb, env.world.vocab.size(), arm.config, 1);
+    const core::BootlegModel::SizeReport size = m.Size();
+    print_row(arm.name, size.embedding_bytes / 1024.0,
+              size.network_bytes / 1024.0);
+  }
+  std::printf(
+      "\nShape check (paper): the entity table dominates NED-Base / Bootleg "
+      "/ Ent-only;\nType-only and KG-only achieve tail quality at a tiny "
+      "fraction of the space\n(the paper's 3.3x-at-1%%-space result).\n");
+  return 0;
+}

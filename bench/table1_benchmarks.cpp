@@ -1,0 +1,97 @@
+// Table 1: precision / recall / F1 on the three NED benchmark suites —
+// KORE50-like (hard, ambiguity-maximal sentences), RSS500-like (news-style
+// single mentions), and AIDA-like (documents, encoded as "title [SEP]
+// sentence" with benchmark-model fine-tuning on the suite's train split).
+//
+// The Bootleg row uses the paper's benchmark model: fixed 80% regularization,
+// the sentence co-occurrence KG2Ent module, and the title-embedding entity
+// feature (Appendix B). The alias-prior model stands in for earlier
+// published systems; NED-Base is the neural baseline.
+#include <cstdio>
+
+#include "baseline/prior_model.h"
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+void PrintPrf(const char* model, const eval::Prf& prf) {
+  std::printf("    %-22s %10.1f %10.1f %10.1f\n", model, prf.precision(),
+              prf.recall(), prf.f1());
+}
+
+eval::Prf Bench(eval::NedScorer* model, const harness::Environment& env,
+                const std::vector<data::Sentence>& suite, bool prepend_title) {
+  data::ExampleOptions options;
+  options.prepend_title = prepend_title;
+  eval::ResultSet results =
+      eval::RunEvaluation(model, suite, *env.builder, options, env.counts);
+  return results.Benchmark();
+}
+
+}  // namespace
+
+int main() {
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  const core::TrainOptions train = harness::DefaultTrainOptions();
+
+  // The benchmark-model extras of Appendix B. The paper's benchmark model
+  // uses a fixed 80% mask because it "did not hurt benchmark performance"
+  // at Wikipedia scale; at this scale it does, so the benchmark model keeps
+  // the inverse-popularity scheme (deviation noted in EXPERIMENTS.md).
+  core::BootlegConfig bench_config = harness::DefaultBootlegConfig();
+  bench_config.use_cooccurrence_kg = true;
+  bench_config.use_title_feature = true;
+
+  auto prior = std::make_unique<baseline::PriorModel>();
+  auto ned_base = harness::TrainNedBase(&env, "ned_base", train);
+  auto bootleg = harness::TrainBootleg(&env, {"bootleg_bench", bench_config,
+                                              train, 7});
+
+  data::CorpusGenerator generator(&env.world);
+  const std::vector<data::Sentence> kore = generator.GenerateKoreLike(150);
+  const std::vector<data::Sentence> rss = generator.GenerateRssLike(500);
+  const std::vector<data::Sentence> aida_train =
+      generator.GenerateAidaLike(/*num_docs=*/120, /*sentences_per_doc=*/4);
+  const std::vector<data::Sentence> aida_test =
+      generator.GenerateAidaLike(/*num_docs=*/80, /*sentences_per_doc=*/4);
+
+  std::printf("\n=== Table 1: benchmark P / R / F1 ===\n");
+
+  std::printf("  KORE50-like (%zu mentions)\n", kore.size());
+  PrintPrf("Alias prior", Bench(prior.get(), env, kore, false));
+  PrintPrf("NED-Base", Bench(ned_base.get(), env, kore, false));
+  PrintPrf("Bootleg", Bench(bootleg.get(), env, kore, false));
+
+  std::printf("  RSS500-like (%zu sentences)\n", rss.size());
+  PrintPrf("Alias prior", Bench(prior.get(), env, rss, false));
+  PrintPrf("NED-Base", Bench(ned_base.get(), env, rss, false));
+  PrintPrf("Bootleg", Bench(bootleg.get(), env, rss, false));
+
+  // AIDA: fine-tune the benchmark model on the suite's train split with the
+  // document encoding (title [SEP] sentence), as the paper fine-tunes on
+  // AIDA CoNLL-YAGO.
+  std::printf("  AIDA-like (%zu test sentences, fine-tuned, title+[SEP])\n",
+              aida_test.size());
+  PrintPrf("Alias prior", Bench(prior.get(), env, aida_test, true));
+  PrintPrf("NED-Base", Bench(ned_base.get(), env, aida_test, true));
+  {
+    data::ExampleOptions ft_options;
+    ft_options.prepend_title = true;
+    const std::vector<data::SentenceExample> ft_examples =
+        env.builder->BuildAll(aida_train, ft_options);
+    core::TrainOptions ft = train;
+    ft.epochs = 2;
+    ft.lr = 3e-4f;  // scaled analogue of the paper's 7e-5 fine-tuning rate
+    core::Trainable<core::BootlegModel> trainable(bootleg.get());
+    core::Train(&trainable, ft_examples, ft);
+    PrintPrf("Bootleg (fine-tuned)", Bench(bootleg.get(), env, aida_test, true));
+  }
+
+  std::printf(
+      "\nShape check (paper): Bootleg leads all three suites; the margin is "
+      "largest on\nKORE50 (hard sentences) and smallest on AIDA, where all "
+      "systems are strong.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 2: Bootleg vs NED-Base and the Ent-only / Type-only / KG-only
+// ablations on the Wikipedia-style validation set, bucketed by entity
+// popularity (All / Torso / Tail / Unseen).
+//
+// Paper reference values (F1): NED-Base 85.9/79.3/27.8/18.5,
+// Bootleg 91.3/87.3/69.0/68.5, Ent-only 85.8/79.0/37.9/14.9,
+// Type-only 88.0/81.6/62.9/61.6, KG-only 87.1/79.4/64.0/64.7.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  std::printf("table2: %lld train sentences, weak-label multiplier %.2fx\n",
+              static_cast<long long>(env.corpus.train.size()),
+              env.wl_stats.Multiplier());
+
+  const core::TrainOptions train = harness::DefaultTrainOptions();
+  const core::BootlegConfig base = harness::DefaultBootlegConfig();
+
+  auto ned_base = harness::TrainNedBase(&env, "ned_base", train);
+  auto bootleg = harness::TrainBootleg(&env, {"bootleg_full", base, train, 7});
+  auto ent_only = harness::TrainBootleg(
+      &env, {"ent_only", core::BootlegConfig::EntOnly(base), train, 7});
+  auto type_only = harness::TrainBootleg(
+      &env, {"type_only", core::BootlegConfig::TypeOnly(base), train, 7});
+  auto kg_only = harness::TrainBootleg(
+      &env, {"kg_only", core::BootlegConfig::KgOnly(base), train, 7});
+
+  harness::PrintTableHeader(
+      "Table 2: F1 on Wikipedia-style validation",
+      {"All", "Torso", "Tail", "Unseen"});
+
+  harness::BucketResult last{};
+  auto report = [&](const char* name, eval::NedScorer* model) {
+    harness::BucketResult r = harness::EvaluateBuckets(model, env, env.corpus.dev);
+    harness::PrintTableRow(
+        name, {r.all.f1(), r.torso.f1(), r.tail.f1(), r.unseen.f1()});
+    last = std::move(r);
+  };
+  report("NED-Base", ned_base.get());
+  report("Bootleg", bootleg.get());
+  report("Bootleg (Ent-only)", ent_only.get());
+  report("Bootleg (Type-only)", type_only.get());
+  report("Bootleg (KG-only)", kg_only.get());
+
+  harness::PrintTableRow("# Mentions",
+                         {static_cast<double>(last.all.total),
+                          static_cast<double>(last.torso.total),
+                          static_cast<double>(last.tail.total),
+                          static_cast<double>(last.unseen.total)});
+  return 0;
+}

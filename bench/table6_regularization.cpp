@@ -1,0 +1,52 @@
+// Table 6: micro-F1 over unseen entities on the micro Wikipedia sample as
+// the entity-embedding regularization scheme p(e) varies: fixed 0/20/50/80%,
+// Pop (more popular → more masked) and InvPop (less popular → more masked).
+//
+// Paper reference (unseen F1): 0% 48.6, 20% 52.5, 50% 57.7, 80% 59.9,
+// Pop 52.4, InvPop 62.2 — the ordering InvPop > 80% > 50% > 20% > Pop ≈ 20%
+// is the reproduction target.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  harness::Environment env =
+      harness::BuildEnvironment(data::SynthConfig::MicroScale());
+  core::TrainOptions train = harness::DefaultTrainOptions();
+  train.epochs = 8;  // paper: 8 epochs on the micro dataset
+
+  struct Arm {
+    const char* label;
+    core::RegConfig reg;
+  };
+  const Arm arms[] = {
+      {"0%", {core::RegScheme::kNone, 0.0f}},
+      {"20%", {core::RegScheme::kFixed, 0.2f}},
+      {"50%", {core::RegScheme::kFixed, 0.5f}},
+      {"80%", {core::RegScheme::kFixed, 0.8f}},
+      {"Pop", {core::RegScheme::kPopPow, 0.0f}},
+      {"InvPop", {core::RegScheme::kInvPopPow, 0.0f}},
+  };
+
+  std::printf("\n=== Table 6: unseen-entity F1 vs regularization p(e) "
+              "(micro dataset) ===\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "p(e)", "all", "torso", "tail",
+              "unseen");
+  for (const Arm& arm : arms) {
+    core::BootlegConfig config = harness::DefaultBootlegConfig();
+    config.regularization = arm.reg;
+    const std::string name = std::string("reg_") + arm.label;
+    auto model = harness::TrainBootleg(&env, {name, config, train, 7});
+    harness::BucketResult r =
+        harness::EvaluateBuckets(model.get(), env, harness::DevPlusTest(env));
+    std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", arm.label, r.all.f1(),
+                r.torso.f1(), r.tail.f1(), r.unseen.f1());
+  }
+  std::printf(
+      "\nShape check (paper): unseen F1 rises with fixed masking strength, "
+      "InvPop is\nbest overall, and Pop (masking popular entities) is "
+      "clearly worse than InvPop.\n");
+  return 0;
+}

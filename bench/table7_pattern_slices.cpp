@@ -1,0 +1,102 @@
+// Table 7: Overall/Tail F1 for each ablation model over the four reasoning-
+// pattern slices — Entity (gold has no type/relation signals), Type
+// Consistency (≥3 sequential golds sharing a type), KG Relation (golds
+// connected in the KG), and Type Affordance (sentence contains a TF-IDF
+// affordance keyword of the gold's type). Also reports slice coverage.
+#include <cstdio>
+
+#include "data/slices.h"
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  harness::Environment env = harness::BuildEnvironment(harness::MainScale());
+  const core::TrainOptions train = harness::DefaultTrainOptions();
+  const core::BootlegConfig base = harness::DefaultBootlegConfig();
+
+  auto ned_base = harness::TrainNedBase(&env, "ned_base", train);
+  auto bootleg = harness::TrainBootleg(&env, {"bootleg_full", base, train, 7});
+  auto ent_only = harness::TrainBootleg(
+      &env, {"ent_only", core::BootlegConfig::EntOnly(base), train, 7});
+  auto type_only = harness::TrainBootleg(
+      &env, {"type_only", core::BootlegConfig::TypeOnly(base), train, 7});
+  auto kg_only = harness::TrainBootleg(
+      &env, {"kg_only", core::BootlegConfig::KgOnly(base), train, 7});
+
+  // Affordance keywords are mined from training data by TF-IDF, per Sec. 5.
+  const data::AffordanceKeywords affordance =
+      data::AffordanceKeywords::MineTfIdf(env.world.kb, env.corpus.train);
+  std::printf("affordance keyword coverage over dev: %.0f%% (paper: 88%%)\n",
+              100.0 * affordance.Coverage(env.world.kb, env.corpus.dev));
+
+  struct Row {
+    const char* name;
+    eval::NedScorer* model;
+  };
+  const Row rows[] = {
+      {"NED-Base", ned_base.get()},      {"Bootleg", bootleg.get()},
+      {"Bootleg (Ent-only)", ent_only.get()},
+      {"Bootleg (Type-only)", type_only.get()},
+      {"Bootleg (KG-only)", kg_only.get()},
+  };
+  const data::PatternSlice slices[] = {
+      data::PatternSlice::kEntity, data::PatternSlice::kConsistency,
+      data::PatternSlice::kKgRelation, data::PatternSlice::kAffordance};
+
+  std::printf("\n=== Table 7: Overall/Tail F1 per reasoning-pattern slice ===\n");
+  std::printf("%-24s", "Model");
+  for (data::PatternSlice s : slices) {
+    std::printf(" %19s", data::PatternSliceName(s));
+  }
+  std::printf("\n");
+
+  for (const Row& row : rows) {
+    harness::BucketResult r =
+        harness::EvaluateBuckets(row.model, env, env.corpus.dev);
+    std::printf("%-24s", row.name);
+    for (data::PatternSlice s : slices) {
+      auto in_slice = [&](const eval::PredictionRecord& rec) {
+        return data::InSlice(env.world.kb, *rec.sentence, rec.mention_idx, s,
+                             &affordance);
+      };
+      const eval::Prf overall = r.results.Filtered(in_slice);
+      const eval::Prf tail = r.results.Filtered([&](const auto& rec) {
+        return (rec.bucket == data::PopularityBucket::kTail ||
+                rec.bucket == data::PopularityBucket::kUnseen) &&
+               in_slice(rec);
+      });
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.0f/%.0f", overall.f1(), tail.f1());
+      std::printf(" %19s", cell);
+    }
+    std::printf("\n");
+  }
+
+  // Slice sizes, mirroring the paper's slice-count note.
+  std::printf("%-24s", "# eligible (all/tail)");
+  harness::BucketResult sizing =
+      harness::EvaluateBuckets(ned_base.get(), env, env.corpus.dev);
+  for (data::PatternSlice s : slices) {
+    auto in_slice = [&](const eval::PredictionRecord& rec) {
+      return data::InSlice(env.world.kb, *rec.sentence, rec.mention_idx, s,
+                           &affordance);
+    };
+    const eval::Prf overall = sizing.results.Filtered(in_slice);
+    const eval::Prf tail = sizing.results.Filtered([&](const auto& rec) {
+      return (rec.bucket == data::PopularityBucket::kTail ||
+              rec.bucket == data::PopularityBucket::kUnseen) &&
+             in_slice(rec);
+    });
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "%lld/%lld",
+                  static_cast<long long>(overall.total),
+                  static_cast<long long>(tail.total));
+    std::printf(" %19s", cell);
+  }
+  std::printf(
+      "\n\nShape check (paper): Bootleg leads every slice (KG-only is close "
+      "on KG Relation);\nthe tail lift over NED-Base is largest on the "
+      "pattern slices.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 9 (Appendix B): the full micro-dataset ablation — NED-Base, the
+// Ent/Type/KG-only models, the fixed-p(e) sweep, and the three inverse-
+// popularity curves plus the popularity mirror, over All / Torso / Tail /
+// Unseen.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  harness::Environment env =
+      harness::BuildEnvironment(data::SynthConfig::MicroScale());
+  core::TrainOptions train = harness::DefaultTrainOptions();
+  train.epochs = 8;  // paper: 8 epochs on the micro dataset
+  const core::BootlegConfig base = harness::DefaultBootlegConfig();
+
+  harness::PrintTableHeader("Table 9: micro-dataset ablation (F1)",
+                            {"All", "Torso", "Tail", "Unseen"});
+
+  harness::BucketResult last{};
+  auto run = [&](const char* label, eval::NedScorer* model) {
+    last = harness::EvaluateBuckets(model, env, harness::DevPlusTest(env));
+    harness::PrintTableRow(label, {last.all.f1(), last.torso.f1(),
+                                   last.tail.f1(), last.unseen.f1()});
+  };
+
+  {
+    auto m = harness::TrainNedBase(&env, "ned_base", train);
+    run("NED-Base", m.get());
+  }
+  {
+    auto m = harness::TrainBootleg(
+        &env, {"ent_only", core::BootlegConfig::EntOnly(base), train, 7});
+    run("Bootleg (Ent-only)", m.get());
+  }
+  {
+    auto m = harness::TrainBootleg(
+        &env, {"type_only", core::BootlegConfig::TypeOnly(base), train, 7});
+    run("Bootleg (Type-only)", m.get());
+  }
+  {
+    auto m = harness::TrainBootleg(
+        &env, {"kg_only", core::BootlegConfig::KgOnly(base), train, 7});
+    run("Bootleg (KG-only)", m.get());
+  }
+
+  struct RegArm {
+    const char* label;
+    const char* name;
+    core::RegConfig reg;
+  };
+  const RegArm arms[] = {
+      {"Bootleg (p(e) = 0%)", "reg_0%", {core::RegScheme::kNone, 0.0f}},
+      {"Bootleg (p(e) = 20%)", "reg_20%", {core::RegScheme::kFixed, 0.2f}},
+      {"Bootleg (p(e) = 50%)", "reg_50%", {core::RegScheme::kFixed, 0.5f}},
+      {"Bootleg (p(e) = 80%)", "reg_80%", {core::RegScheme::kFixed, 0.8f}},
+      {"Bootleg (InvPopLog)", "reg_invlog", {core::RegScheme::kInvPopLog, 0.0f}},
+      {"Bootleg (InvPopPow)", "reg_InvPop", {core::RegScheme::kInvPopPow, 0.0f}},
+      {"Bootleg (InvPopLin)", "reg_invlin", {core::RegScheme::kInvPopLin, 0.0f}},
+      {"Bootleg (PopPow)", "reg_Pop", {core::RegScheme::kPopPow, 0.0f}},
+  };
+  for (const RegArm& arm : arms) {
+    core::BootlegConfig config = base;
+    config.regularization = arm.reg;
+    auto m = harness::TrainBootleg(&env, {arm.name, config, train, 7});
+    run(arm.label, m.get());
+  }
+
+  harness::PrintTableRow("# Mentions",
+                         {static_cast<double>(last.all.total),
+                          static_cast<double>(last.torso.total),
+                          static_cast<double>(last.tail.total),
+                          static_cast<double>(last.unseen.total)});
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Downstream transfer (paper Sec. 4.3): train a Bootleg model, extract its
+// contextual entity embeddings, and feed them to a relation-extraction model
+// — comparing text-only, static-entity, and contextual-Bootleg features on
+// the TACRED-sim task.
+#include <cstdio>
+
+#include "downstream/relation_extraction.h"
+#include "harness/experiment.h"
+
+using namespace bootleg;  // NOLINT
+
+int main() {
+  // A small world keeps this example under a minute.
+  data::SynthConfig config = data::SynthConfig::MicroScale();
+  config.num_pages = 500;
+  harness::Environment env = harness::BuildEnvironment(config);
+
+  // 1. Pretrain Bootleg (self-supervised NED on the synthetic Wikipedia).
+  harness::BootlegSpec spec{"example_re_bootleg",
+                            harness::DefaultBootlegConfig(),
+                            harness::DefaultTrainOptions(), 7};
+  spec.train.epochs = 4;
+  auto bootleg = harness::TrainBootleg(&env, spec);
+
+  // 2. Generate the relation-extraction task and attach knowledge features.
+  downstream::ReDataset ds =
+      downstream::GenerateReDataset(env.world, 600, 200, /*seed=*/12);
+  downstream::PrepareBootlegFeatures(bootleg.get(), env.world, &ds.train);
+  downstream::PrepareBootlegFeatures(bootleg.get(), env.world, &ds.test);
+  const tensor::Tensor& table =
+      bootleg->store().GetEmbedding("entity_emb")->table();
+  downstream::PrepareStaticFeatures(table, &ds.train);
+  downstream::PrepareStaticFeatures(table, &ds.test);
+
+  // 3. Train the three downstream models and compare.
+  std::printf("\n=== Relation extraction with Bootleg embeddings ===\n");
+  std::printf("%-34s %8s\n", "model", "test F1");
+  const struct {
+    downstream::ReMode mode;
+    int64_t dim;
+  } arms[] = {
+      {downstream::ReMode::kText, 0},
+      {downstream::ReMode::kStatic, table.size(1)},
+      {downstream::ReMode::kBootleg, table.size(1)},
+  };
+  for (const auto& arm : arms) {
+    downstream::ReModel model(env.world.vocab.size(), ds.num_labels, arm.mode,
+                              arm.dim, /*seed=*/21);
+    downstream::ReTrainOptions options;
+    options.epochs = 4;
+    downstream::TrainRe(&model, ds.train, options);
+    const downstream::ReMetrics metrics =
+        downstream::EvaluateRe(&model, ds.test, ds.num_labels - 1);
+    std::printf("%-34s %8.1f\n", downstream::ReModeName(arm.mode), metrics.f1());
+  }
+  std::printf("\nContextual Bootleg embeddings carry the disambiguated\n"
+              "entity pair and its KG relation, which the text-only model\n"
+              "has to infer from surface cues alone.\n");
+  return 0;
+}

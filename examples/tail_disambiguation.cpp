@@ -1,0 +1,176 @@
+// The paper's motivating scenario, hand-built: three entities share the
+// alias "lincoln" — Abraham Lincoln (person), Lincoln NE (popular city) and
+// Lincoln IL (tail city, capital of Logan County). A Bootleg model trained
+// on a small corpus resolves "where is lincoln in logan_county ?" to the
+// tail city through the KG-relation pattern, and "how tall is lincoln ?" to
+// the person through the type-affordance pattern, even though the prior
+// favors Lincoln NE.
+//
+// This example exercises the public KB / candidate-map / model APIs directly
+// rather than the synthetic-world generator.
+#include <cstdio>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/example.h"
+#include "kb/candidate_map.h"
+#include "kb/kb.h"
+#include "text/vocabulary.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+struct World {
+  kb::KnowledgeBase kb;
+  kb::CandidateMap candidates;
+  text::Vocabulary vocab;
+  kb::EntityId abe, ne, il, logan;
+};
+
+World BuildWorld() {
+  World w;
+  const kb::TypeId person = w.kb.AddType("person", kb::CoarseType::kPerson);
+  const kb::TypeId city = w.kb.AddType("city", kb::CoarseType::kLocation);
+  const kb::TypeId county = w.kb.AddType("county", kb::CoarseType::kLocation);
+  const kb::RelationId capital_of = w.kb.AddRelation("capital_of");
+
+  kb::Entity abe;
+  abe.title = "abraham_lincoln";
+  abe.aliases = {"lincoln"};
+  abe.types = {person};
+  abe.coarse_type = kb::CoarseType::kPerson;
+  abe.gender = 'm';
+  w.abe = w.kb.AddEntity(abe);
+
+  kb::Entity ne;
+  ne.title = "lincoln_nebraska";
+  ne.aliases = {"lincoln"};
+  ne.types = {city};
+  ne.coarse_type = kb::CoarseType::kLocation;
+  w.ne = w.kb.AddEntity(ne);
+
+  kb::Entity il;
+  il.title = "lincoln_illinois";
+  il.aliases = {"lincoln"};
+  il.types = {city};
+  il.coarse_type = kb::CoarseType::kLocation;
+  w.il = w.kb.AddEntity(il);
+
+  kb::Entity logan;
+  logan.title = "logan_county";
+  logan.aliases = {"logan_county"};
+  logan.types = {county};
+  logan.coarse_type = kb::CoarseType::kLocation;
+  w.logan = w.kb.AddEntity(logan);
+
+  w.kb.AddTriple(w.il, capital_of, w.logan);
+
+  // Anchor-count priors: Lincoln NE is the popular reading, IL the tail.
+  w.candidates.AddAlias("lincoln", w.abe, 30.0f);
+  w.candidates.AddAlias("lincoln", w.ne, 60.0f);
+  w.candidates.AddAlias("lincoln", w.il, 3.0f);
+  w.candidates.AddAlias("logan_county", w.logan, 5.0f);
+  w.candidates.Finalize(5);
+
+  for (const char* tok :
+       {"where", "is", "in", "how", "tall", "the", "he", "was", "born",
+        "city", "visited", "president", "streets", "of", "?", "."}) {
+    w.vocab.AddToken(tok);
+  }
+  w.vocab.AddToken("lincoln");
+  w.vocab.AddToken("logan_county");
+  return w;
+}
+
+/// Builds a SentenceExample from raw text, marking each alias occurrence.
+data::SentenceExample MakeExample(const World& w, const std::string& text,
+                                  const std::vector<kb::EntityId>& golds) {
+  data::SentenceExample ex;
+  const auto tokens = text::Tokenize(text);
+  ex.token_ids = text::Encode(w.vocab, tokens);
+  size_t gold_idx = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const auto* cands = w.candidates.Lookup(tokens[i]);
+    if (cands == nullptr) continue;
+    data::MentionExample m;
+    m.span_start = m.span_end = static_cast<int64_t>(i);
+    m.gold = gold_idx < golds.size() ? golds[gold_idx++] : kb::kInvalidId;
+    for (size_t k = 0; k < cands->size(); ++k) {
+      m.candidates.push_back((*cands)[k].entity);
+      m.priors.push_back((*cands)[k].prior);
+      if ((*cands)[k].entity == m.gold) m.gold_index = static_cast<int64_t>(k);
+    }
+    ex.mentions.push_back(std::move(m));
+  }
+  return ex;
+}
+
+}  // namespace
+
+int main() {
+  World w = BuildWorld();
+
+  // A small training corpus exercising the reasoning patterns. Popularity is
+  // skewed: Lincoln NE and Abe appear often, Lincoln IL only twice (tail).
+  struct Item {
+    const char* text;
+    std::vector<kb::EntityId> golds;
+  };
+  std::vector<Item> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back({"how tall is lincoln ?", {w.abe}});       // affordance: person
+    corpus.push_back({"he visited lincoln city .", {w.ne}});    // affordance: city
+    corpus.push_back({"the president lincoln was born .", {w.abe}});
+  }
+  for (int i = 0; i < 2; ++i) {  // the tail pattern: KG relation
+    corpus.push_back({"where is lincoln in logan_county ?", {w.il, w.logan}});
+  }
+
+  std::vector<data::SentenceExample> train;
+  for (const Item& item : corpus) train.push_back(MakeExample(w, item.text, item.golds));
+
+  data::EntityCounts counts;  // derive counts from the tiny corpus by hand
+  core::BootlegConfig config;
+  config.hidden = 32;
+  config.entity_dim = 16;
+  config.type_dim = 16;
+  config.coarse_dim = 8;
+  config.rel_dim = 16;
+  config.ff_inner = 64;
+  config.encoder.hidden = 32;
+  config.encoder.ff_inner = 64;
+  config.encoder.max_len = 16;
+  core::BootlegModel model(&w.kb, w.vocab.size(), config, /*seed=*/3);
+  model.SetEntityCounts(&counts);
+
+  core::Trainable<core::BootlegModel> trainable(&model);
+  core::TrainOptions options;
+  options.epochs = 30;
+  options.batch_size = 4;
+  core::Train(&trainable, train, options);
+
+  auto show = [&](const std::string& text, const std::vector<kb::EntityId>& golds) {
+    const data::SentenceExample ex = MakeExample(w, text, golds);
+    const auto preds = model.Predict(ex);
+    std::printf("\n\"%s\"\n", text.c_str());
+    for (size_t m = 0; m < ex.mentions.size(); ++m) {
+      const auto& me = ex.mentions[m];
+      const kb::EntityId top_prior = me.candidates.front();
+      const kb::EntityId predicted =
+          preds[m] >= 0 ? me.candidates[static_cast<size_t>(preds[m])]
+                        : kb::kInvalidId;
+      std::printf("  mention @%lld  prior says %-18s bootleg says %-18s (gold %s)\n",
+                  static_cast<long long>(me.span_start),
+                  w.kb.entity(top_prior).title.c_str(),
+                  predicted == kb::kInvalidId ? "?" : w.kb.entity(predicted).title.c_str(),
+                  me.gold == kb::kInvalidId ? "?" : w.kb.entity(me.gold).title.c_str());
+    }
+  };
+
+  std::printf("=== Chasing the tail: the paper's Lincoln scenario ===\n");
+  show("where is lincoln in logan_county ?", {w.il, w.logan});  // KG relation
+  show("how tall is lincoln ?", {w.abe});                       // type affordance
+  show("he visited lincoln city .", {w.ne});                    // entity/affordance
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "baseline/ned_base.h"
+
+namespace bootleg::baseline {
+
+using tensor::Tensor;
+using tensor::Var;
+
+NedBaseModel::NedBaseModel(int64_t num_entities, int64_t vocab_size,
+                           NedBaseConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  BOOTLEG_CHECK_EQ(config_.entity_dim, config_.encoder.hidden);
+  encoder_ = std::make_unique<text::WordEncoder>(&store_, "encoder", vocab_size,
+                                                 config_.encoder, &rng_);
+  entity_emb_ = store_.CreateEmbedding("entity_emb", num_entities,
+                                       config_.entity_dim, &rng_);
+  mention_proj_ = std::make_unique<nn::Linear>(
+      &store_, "mention_proj", config_.encoder.hidden, config_.entity_dim, &rng_);
+}
+
+Var NedBaseModel::MentionLogits(const Var& w,
+                                const data::MentionExample& mention,
+                                bool train) {
+  (void)train;
+  if (mention.candidates.empty()) return Var();
+  const int64_t n = w.value().size(0);
+  const int64_t first = std::max<int64_t>(0, std::min(mention.span_start, n - 1));
+  const int64_t last = std::max<int64_t>(0, std::min(mention.span_end, n - 1));
+  Var m = text::WordEncoder::MentionEmbedding(w, first, last);  // [1, hidden]
+  Var proj = mention_proj_->Forward(m);                         // [1, dim]
+  Var u = entity_emb_->Lookup(mention.candidates);              // [K, dim]
+  return tensor::MatMul(proj, tensor::Transpose(u));            // [1, K]
+}
+
+Var NedBaseModel::Loss(const data::SentenceExample& example, bool train) {
+  if (example.token_ids.empty()) return Var();
+  Var w = encoder_->Encode(example.token_ids, &rng_, train);
+  std::vector<Var> losses;
+  for (const data::MentionExample& mention : example.mentions) {
+    if (mention.gold_index < 0) continue;
+    Var logits = MentionLogits(w, mention, train);
+    if (!logits.defined()) continue;
+    losses.push_back(tensor::CrossEntropy(logits, {mention.gold_index}));
+  }
+  if (losses.empty()) return Var();
+  Var loss = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) loss = tensor::Add(loss, losses[i]);
+  return tensor::Scale(loss, 1.0f / static_cast<float>(losses.size()));
+}
+
+std::vector<int64_t> NedBaseModel::Predict(const data::SentenceExample& example) {
+  std::vector<int64_t> preds(example.mentions.size(), -1);
+  if (example.token_ids.empty()) return preds;
+  Var w = encoder_->Encode(example.token_ids, &rng_, /*train=*/false);
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    Var logits = MentionLogits(w, example.mentions[mi], /*train=*/false);
+    if (!logits.defined()) continue;
+    const Tensor& s = logits.value();
+    int64_t best = 0;
+    for (int64_t k = 1; k < s.size(1); ++k) {
+      if (s.at(0, k) > s.at(0, best)) best = k;
+    }
+    preds[mi] = best;
+  }
+  return preds;
+}
+
+int64_t NedBaseModel::EmbeddingBytes() const {
+  return entity_emb_->table().numel() * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t NedBaseModel::NetworkBytes() const {
+  int64_t bytes = 0;
+  for (const std::string& name : store_.param_names()) {
+    if (name.rfind("encoder", 0) == 0) continue;
+    bytes += store_.GetParam(name).value().numel() *
+             static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace bootleg::baseline

@@ -1,0 +1,61 @@
+#ifndef BOOTLEG_BASELINE_NED_BASE_H_
+#define BOOTLEG_BASELINE_NED_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/example.h"
+#include "eval/evaluator.h"
+#include "nn/layers.h"
+#include "nn/param_store.h"
+#include "text/word_encoder.h"
+#include "util/rng.h"
+
+namespace bootleg::baseline {
+
+/// Configuration for the Févry et al. style baseline.
+struct NedBaseConfig {
+  text::WordEncoderConfig encoder;
+  int64_t entity_dim = 64;  // must equal encoder.hidden (dot-product scoring)
+};
+
+/// NED-Base (Févry et al. [16]): the prior-SotA baseline the paper compares
+/// against on the tail. Learns entity embeddings by maximizing the dot
+/// product between each candidate embedding and the fine-tuned contextual
+/// representation of the mention. Text-only: no type, relation, or KG
+/// signals, which is exactly why it collapses on tail entities.
+class NedBaseModel : public eval::NedScorer {
+ public:
+  NedBaseModel(int64_t num_entities, int64_t vocab_size, NedBaseConfig config,
+               uint64_t seed);
+
+  /// Mean cross-entropy over the sentence's trainable mentions; undefined Var
+  /// when none exist.
+  tensor::Var Loss(const data::SentenceExample& example, bool train);
+
+  std::vector<int64_t> Predict(const data::SentenceExample& example) override;
+
+  nn::ParameterStore& store() { return store_; }
+  const NedBaseConfig& config() const { return config_; }
+
+  /// Table 10 accounting (entity table vs the rest; encoder excluded as the
+  /// paper excludes BERT).
+  int64_t EmbeddingBytes() const;
+  int64_t NetworkBytes() const;
+
+ private:
+  /// Per-mention candidate logits [1, K]; undefined when no candidates.
+  tensor::Var MentionLogits(const tensor::Var& w,
+                            const data::MentionExample& mention, bool train);
+
+  NedBaseConfig config_;
+  util::Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<text::WordEncoder> encoder_;
+  nn::Embedding* entity_emb_ = nullptr;
+  std::unique_ptr<nn::Linear> mention_proj_;
+};
+
+}  // namespace bootleg::baseline
+
+#endif  // BOOTLEG_BASELINE_NED_BASE_H_

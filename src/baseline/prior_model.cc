@@ -1,0 +1,19 @@
+#include "baseline/prior_model.h"
+
+namespace bootleg::baseline {
+
+std::vector<int64_t> PriorModel::Predict(const data::SentenceExample& example) {
+  std::vector<int64_t> preds(example.mentions.size(), -1);
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const data::MentionExample& m = example.mentions[mi];
+    if (m.candidates.empty()) continue;
+    size_t best = 0;
+    for (size_t k = 1; k < m.priors.size(); ++k) {
+      if (m.priors[k] > m.priors[best]) best = k;
+    }
+    preds[mi] = static_cast<int64_t>(best);
+  }
+  return preds;
+}
+
+}  // namespace bootleg::baseline

@@ -1,0 +1,23 @@
+#ifndef BOOTLEG_BASELINE_PRIOR_MODEL_H_
+#define BOOTLEG_BASELINE_PRIOR_MODEL_H_
+
+#include <vector>
+
+#include "data/example.h"
+#include "eval/evaluator.h"
+
+namespace bootleg::baseline {
+
+/// Static alias-prior baseline: always predicts the candidate with the
+/// highest anchor-link prior. This is the classical pre-neural NED strategy
+/// (link counts, Cucerzan [12]) and the floor every neural model must beat;
+/// Table 1 uses it as the conservative stand-in for earlier published
+/// systems.
+class PriorModel : public eval::NedScorer {
+ public:
+  std::vector<int64_t> Predict(const data::SentenceExample& example) override;
+};
+
+}  // namespace bootleg::baseline
+
+#endif  // BOOTLEG_BASELINE_PRIOR_MODEL_H_

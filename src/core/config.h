@@ -1,0 +1,84 @@
+#ifndef BOOTLEG_CORE_CONFIG_H_
+#define BOOTLEG_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "core/regularization.h"
+#include "text/word_encoder.h"
+
+namespace bootleg::core {
+
+/// Full configuration of a Bootleg model (Sec. 3 plus the benchmark-model
+/// extras of Appendix B). The use_* switches implement the paper's ablation
+/// models: Ent-only, Type-only, KG-only.
+struct BootlegConfig {
+  // Dimensions. The entity dim is deliberately *equal to* (not twice) the
+  // type/relation dims at this data scale: a wider u_e lets the
+  // discriminative entity channel swamp the general channels long before the
+  // regularizer can rebalance them (the paper's 256-vs-128 ratio assumes
+  // Wikipedia-scale data).
+  int64_t hidden = 64;        // H
+  int64_t entity_dim = 32;    // dim of u_e
+  int64_t type_dim = 32;      // dim of assigned-type embedding
+  int64_t coarse_dim = 16;    // dim of predicted coarse-type embedding
+  int64_t rel_dim = 32;       // dim of relation embedding
+  int64_t attn_pool_dim = 32; // additive-attention projection dim
+  int64_t max_types_per_entity = 3;      // T (paper: 3)
+  int64_t max_relations_per_entity = 8;  // R (paper: 50; scaled with the KB)
+  int64_t num_heads = 4;
+  int64_t ff_inner = 128;
+  int64_t num_layers = 1;
+
+  text::WordEncoderConfig encoder;
+
+  // Signal switches (ablations).
+  bool use_entity = true;           // entity embedding u_e
+  bool use_type = true;             // assigned type embeddings + AddAttn
+  bool use_kg = true;               // relation embeddings + KG2Ent modules
+  bool use_type_prediction = true;  // coarse mention type prediction head
+  bool use_position_encoding = true;
+
+  // Benchmark-model extras (Appendix B).
+  bool use_cooccurrence_kg = false;  // second KG2Ent: sentence co-occurrence
+  bool use_title_feature = false;    // title-token embedding entity feature
+
+  /// Ensemble scoring S = max(E_k vᵀ, E' vᵀ) (Sec. 3.2). When disabled the
+  /// model scores from the last module output only — the ablation arm for
+  /// this design choice.
+  bool ensemble_scoring = true;
+
+  /// Extension (the paper's multi-hop future work, Sec. 5): an additional
+  /// KG2Ent adjacency connecting candidates that are 2-hop linked through a
+  /// shared KG neighbor, addressing the multi-hop error bucket.
+  bool use_two_hop_kg = false;
+
+  /// Freeze the word-encoder stack (the paper freezes BERT for Bootleg).
+  /// Defaults to false here because the stand-in encoder has no pretrained
+  /// weights to preserve (DESIGN.md substitution note).
+  bool freeze_encoder = false;
+
+  RegConfig regularization;
+
+  /// Makes the three ablation configs of Table 2 from a base config.
+  static BootlegConfig EntOnly(BootlegConfig base) {
+    base.use_type = false;
+    base.use_kg = false;
+    base.use_type_prediction = false;
+    return base;
+  }
+  static BootlegConfig TypeOnly(BootlegConfig base) {
+    base.use_entity = false;
+    base.use_kg = false;
+    return base;
+  }
+  static BootlegConfig KgOnly(BootlegConfig base) {
+    base.use_entity = false;
+    base.use_type = false;
+    base.use_type_prediction = false;
+    return base;
+  }
+};
+
+}  // namespace bootleg::core
+
+#endif  // BOOTLEG_CORE_CONFIG_H_

@@ -1,0 +1,514 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/string_util.h"
+
+namespace bootleg::core {
+
+using tensor::Tensor;
+using tensor::Var;
+
+BootlegModel::BootlegModel(const kb::KnowledgeBase* kb, int64_t vocab_size,
+                           BootlegConfig config, uint64_t seed)
+    : kb_(kb), config_(config), rng_(seed) {
+  BOOTLEG_CHECK_MSG(config_.use_entity || config_.use_type || config_.use_kg,
+                    "at least one signal source must be enabled");
+  encoder_ = std::make_unique<text::WordEncoder>(&store_, "encoder", vocab_size,
+                                                 config_.encoder, &rng_);
+  if (config_.freeze_encoder) store_.Freeze("encoder");
+
+  input_dim_ = 0;
+  if (config_.use_entity) {
+    entity_emb_ = store_.CreateEmbedding("entity_emb", kb_->num_entities(),
+                                         config_.entity_dim, &rng_);
+    // All entity embeddings start identical so unseen entities do not differ
+    // by initialization noise (Appendix B).
+    entity_emb_->InitConstantRows(Tensor::Randn({config_.entity_dim}, &rng_, 0.02f));
+    input_dim_ += config_.entity_dim;
+  }
+  if (config_.use_type) {
+    type_emb_ = store_.CreateEmbedding("type_emb", kb_->num_types() + 1,
+                                       config_.type_dim, &rng_);
+    type_pool_ = std::make_unique<nn::AdditiveAttention>(
+        &store_, "type_pool", config_.type_dim, config_.attn_pool_dim, &rng_);
+    input_dim_ += config_.type_dim;
+    if (config_.use_type_prediction) {
+      coarse_table_ = store_.CreateParam(
+          "coarse_table",
+          nn::EmbeddingInit(kb::kNumCoarseTypes, config_.coarse_dim, &rng_));
+      type_pred_head_ = std::make_unique<nn::Mlp>(
+          &store_, "type_pred",
+          std::vector<int64_t>{config_.hidden, config_.hidden,
+                               kb::kNumCoarseTypes},
+          &rng_);
+      input_dim_ += config_.coarse_dim;
+    }
+  }
+  if (config_.use_kg) {
+    rel_emb_ = store_.CreateEmbedding("rel_emb", kb_->num_relations() + 1,
+                                      config_.rel_dim, &rng_);
+    rel_pool_ = std::make_unique<nn::AdditiveAttention>(
+        &store_, "rel_pool", config_.rel_dim, config_.attn_pool_dim, &rng_);
+    input_dim_ += config_.rel_dim;
+  }
+  if (config_.use_title_feature) {
+    title_dim_ = 16;
+    title_proj_ = std::make_unique<nn::Linear>(&store_, "title_proj",
+                                               config_.encoder.hidden,
+                                               title_dim_, &rng_);
+    input_dim_ += title_dim_;
+  }
+  input_mlp_ = std::make_unique<nn::Mlp>(
+      &store_, "input_mlp",
+      std::vector<int64_t>{input_dim_, config_.hidden, config_.hidden}, &rng_);
+
+  if (config_.use_position_encoding) {
+    position_table_ =
+        nn::SinusoidalPositionTable(config_.encoder.max_len, config_.hidden);
+    position_proj_ = std::make_unique<nn::Linear>(
+        &store_, "position_proj", 2 * config_.hidden, config_.hidden, &rng_);
+  }
+
+  const int64_t num_kg = (config_.use_kg ? 1 : 0) +
+                         (config_.use_cooccurrence_kg ? 1 : 0) +
+                         (config_.use_kg && config_.use_two_hop_kg ? 1 : 0);
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Layer layer;
+    const std::string p = "layer" + std::to_string(l);
+    layer.phrase2ent = std::make_unique<nn::AttentionBlock>(
+        &store_, p + ".phrase2ent", config_.hidden, config_.num_heads,
+        config_.ff_inner, &rng_);
+    layer.ent2ent = std::make_unique<nn::AttentionBlock>(
+        &store_, p + ".ent2ent", config_.hidden, config_.num_heads,
+        config_.ff_inner, &rng_);
+    for (int64_t k = 0; k < num_kg; ++k) {
+      layer.kg_weights.push_back(store_.CreateParam(
+          p + ".kg_w" + std::to_string(k), Tensor::Ones({1})));
+    }
+    layers_.push_back(std::move(layer));
+  }
+  score_vec_ = store_.CreateParam("score_vec",
+                                  nn::XavierUniform(config_.hidden, 1, &rng_));
+}
+
+Tensor BootlegModel::BuildAdjacency(const data::SentenceExample& example,
+                                    const std::vector<int64_t>& row_entities,
+                                    const std::vector<int64_t>& row_mention,
+                                    AdjacencyKind kind) const {
+  (void)example;
+  const int64_t rows = static_cast<int64_t>(row_entities.size());
+  Tensor k({rows, rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < rows; ++j) {
+      if (i == j || row_mention[static_cast<size_t>(i)] ==
+                        row_mention[static_cast<size_t>(j)]) {
+        continue;  // candidates of one mention are never KG-linked to
+                   // themselves or to each other
+      }
+      const kb::EntityId a = row_entities[static_cast<size_t>(i)];
+      const kb::EntityId b = row_entities[static_cast<size_t>(j)];
+      switch (kind) {
+        case AdjacencyKind::kWikidata:
+          if (kb_->Connected(a, b)) k.at(i, j) = 1.0f;
+          break;
+        case AdjacencyKind::kCooccurrence:
+          BOOTLEG_CHECK_MSG(cooc_ != nullptr,
+                            "cooccurrence KG requested but stats not set");
+          k.at(i, j) = cooc_->Weight(a, b);
+          break;
+        case AdjacencyKind::kTwoHop:
+          // Down-weighted relative to direct edges: a shared neighbor is
+          // weaker evidence than a direct relation.
+          if (kb_->TwoHopConnected(a, b)) k.at(i, j) = 0.5f;
+          break;
+      }
+    }
+  }
+  return k;
+}
+
+BootlegModel::ForwardResult BootlegModel::RunForward(
+    const data::SentenceExample& example, bool train) {
+  ForwardResult result;
+  const int64_t n_tokens = std::min<int64_t>(
+      static_cast<int64_t>(example.token_ids.size()), config_.encoder.max_len);
+  if (n_tokens == 0 || example.mentions.empty()) return result;
+
+  // Row layout: one row per (mention, candidate).
+  std::vector<int64_t> row_entities;
+  std::vector<int64_t> row_mention;
+  result.row_offset.resize(example.mentions.size());
+  result.row_count.resize(example.mentions.size());
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const data::MentionExample& m = example.mentions[mi];
+    result.row_offset[mi] = static_cast<int64_t>(row_entities.size());
+    result.row_count[mi] = static_cast<int64_t>(m.candidates.size());
+    for (kb::EntityId e : m.candidates) {
+      row_entities.push_back(e);
+      row_mention.push_back(static_cast<int64_t>(mi));
+    }
+  }
+  const int64_t rows = static_cast<int64_t>(row_entities.size());
+  if (rows == 0) return result;
+
+  const bool encoder_train = train && !config_.freeze_encoder;
+  Var w = encoder_->Encode(example.token_ids, &rng_, encoder_train);
+
+  auto clamp_span = [n_tokens](int64_t s) {
+    return std::max<int64_t>(0, std::min<int64_t>(s, n_tokens - 1));
+  };
+
+  // --- Mention-level coarse type prediction (Appendix A). --------------------
+  Var tpred_rows;  // [rows, coarse_dim] (selection-expanded per candidate row)
+  if (config_.use_type && config_.use_type_prediction) {
+    std::vector<Var> mention_vecs;
+    for (const data::MentionExample& m : example.mentions) {
+      mention_vecs.push_back(text::WordEncoder::MentionEmbedding(
+          w, clamp_span(m.span_start), clamp_span(m.span_end)));
+    }
+    Var m_mat = tensor::ConcatRows(mention_vecs);  // [M, hidden]
+    Var logits = type_pred_head_->Forward(m_mat, &rng_, train);  // [M, C]
+    Var t_hat = tensor::MatMul(tensor::SoftmaxRows(logits), coarse_table_);
+
+    // Expand per-mention rows to per-candidate rows via a constant one-hot
+    // selection matrix.
+    Tensor sel({rows, static_cast<int64_t>(example.mentions.size())});
+    for (int64_t r = 0; r < rows; ++r) {
+      sel.at(r, row_mention[static_cast<size_t>(r)]) = 1.0f;
+    }
+    tpred_rows = tensor::MatMul(Var::Constant(std::move(sel)), t_hat);
+
+    // Supervision: the true coarse type of the gold entity, for mentions
+    // whose gold is in the candidate list.
+    std::vector<Var> supervised;
+    for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+      const data::MentionExample& m = example.mentions[mi];
+      if (m.gold_index < 0) continue;
+      supervised.push_back(
+          tensor::SliceRows(logits, static_cast<int64_t>(mi), 1));
+      result.type_targets.push_back(
+          static_cast<int64_t>(kb_->entity(m.gold).coarse_type));
+    }
+    if (!supervised.empty()) {
+      result.type_logits = tensor::ConcatRows(supervised);
+    }
+  }
+
+  // --- Candidate feature assembly (Sec. 3.1). --------------------------------
+  std::vector<Var> feature_parts;
+
+  if (config_.use_entity) {
+    Var u = entity_emb_->Lookup(row_entities);  // [rows, entity_dim]
+    if (train && config_.regularization.scheme != RegScheme::kNone) {
+      Tensor mask({rows, config_.entity_dim});
+      mask.Fill(1.0f);
+      for (int64_t r = 0; r < rows; ++r) {
+        const int64_t count =
+            counts_ == nullptr
+                ? 1
+                : counts_->Count(row_entities[static_cast<size_t>(r)]);
+        const float p = config_.regularization.MaskProbability(count);
+        if (config_.regularization.two_dimensional) {
+          // 2-D regularization: mask the whole embedding row with prob p(e).
+          if (rng_.Bernoulli(p)) {
+            for (int64_t j = 0; j < config_.entity_dim; ++j) {
+              mask.at(r, j) = 0.0f;
+            }
+          }
+        } else {
+          // 1-D baseline: standard inverted dropout at rate p(e).
+          const float keep_scale = p >= 1.0f ? 0.0f : 1.0f / (1.0f - p);
+          for (int64_t j = 0; j < config_.entity_dim; ++j) {
+            mask.at(r, j) = rng_.Bernoulli(p) ? 0.0f : keep_scale;
+          }
+        }
+      }
+      u = tensor::MulConst(u, mask);
+    }
+    feature_parts.push_back(u);
+  }
+
+  if (config_.use_type) {
+    std::vector<Var> pooled;
+    pooled.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      const kb::Entity& e = kb_->entity(row_entities[static_cast<size_t>(r)]);
+      std::vector<int64_t> type_ids;
+      const int64_t max_t = config_.max_types_per_entity;
+      for (kb::TypeId t : e.types) {
+        if (static_cast<int64_t>(type_ids.size()) >= max_t) break;
+        type_ids.push_back(t + 1);  // shift: row 0 = "no type"
+      }
+      if (type_ids.empty()) type_ids.push_back(0);
+      pooled.push_back(type_pool_->Pool(type_emb_->Lookup(type_ids)));
+    }
+    feature_parts.push_back(tensor::ConcatRows(pooled));
+    if (config_.use_type_prediction && tpred_rows.defined()) {
+      feature_parts.push_back(tpred_rows);
+    }
+  }
+
+  if (config_.use_kg) {
+    std::vector<Var> pooled;
+    pooled.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      const kb::Entity& e = kb_->entity(row_entities[static_cast<size_t>(r)]);
+      std::vector<int64_t> rel_ids;
+      const int64_t max_r = config_.max_relations_per_entity;
+      for (kb::RelationId rel : e.relations) {
+        if (static_cast<int64_t>(rel_ids.size()) >= max_r) break;
+        rel_ids.push_back(rel + 1);  // shift: row 0 = "no relation"
+      }
+      if (rel_ids.empty()) rel_ids.push_back(0);
+      pooled.push_back(rel_pool_->Pool(rel_emb_->Lookup(rel_ids)));
+    }
+    feature_parts.push_back(tensor::ConcatRows(pooled));
+  }
+
+  if (config_.use_title_feature) {
+    BOOTLEG_CHECK_MSG(!title_token_ids_.empty(),
+                      "use_title_feature requires SetTitleTokenIds");
+    std::vector<int64_t> title_tokens;
+    title_tokens.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      title_tokens.push_back(
+          title_token_ids_[static_cast<size_t>(row_entities[static_cast<size_t>(r)])]);
+    }
+    // Title embeddings are read as constants (the analogue of averaging
+    // frozen BERT WordPiece embeddings of the title).
+    Tensor titles =
+        encoder_->token_embedding()->LookupValue(title_tokens);
+    feature_parts.push_back(
+        title_proj_->Forward(Var::Constant(std::move(titles))));
+  }
+
+  Var e_mat = input_mlp_->Forward(tensor::ConcatCols(feature_parts), &rng_, train);
+
+  if (config_.use_position_encoding) {
+    Tensor pos({rows, 2 * config_.hidden});
+    for (int64_t r = 0; r < rows; ++r) {
+      const data::MentionExample& m =
+          example.mentions[static_cast<size_t>(row_mention[static_cast<size_t>(r)])];
+      const int64_t first = clamp_span(m.span_start);
+      const int64_t last = clamp_span(m.span_end);
+      for (int64_t j = 0; j < config_.hidden; ++j) {
+        pos.at(r, j) = position_table_.at(first, j);
+        pos.at(r, config_.hidden + j) = position_table_.at(last, j);
+      }
+    }
+    e_mat = tensor::Add(e_mat,
+                        position_proj_->Forward(Var::Constant(std::move(pos))));
+  }
+
+  // --- Stacked Phrase2Ent + Ent2Ent + KG2Ent layers (Sec. 3.2). --------------
+  std::vector<Tensor> adjacencies;
+  if (config_.use_kg) {
+    adjacencies.push_back(BuildAdjacency(example, row_entities, row_mention,
+                                         AdjacencyKind::kWikidata));
+  }
+  if (config_.use_cooccurrence_kg) {
+    adjacencies.push_back(BuildAdjacency(example, row_entities, row_mention,
+                                         AdjacencyKind::kCooccurrence));
+  }
+  if (config_.use_kg && config_.use_two_hop_kg) {
+    adjacencies.push_back(BuildAdjacency(example, row_entities, row_mention,
+                                         AdjacencyKind::kTwoHop));
+  }
+
+  Var e = e_mat;
+  Var e_prime;
+  std::vector<Var> ek_outputs;
+  for (const Layer& layer : layers_) {
+    Var p = layer.phrase2ent->Forward(e, w, &rng_, train);
+    Var c = layer.ent2ent->Forward(e, &rng_, train);
+    e_prime = tensor::Add(p, c);  // E' = MHA(E, W) + MHA(E)
+
+    ek_outputs.clear();
+    for (size_t k = 0; k < adjacencies.size(); ++k) {
+      Var attn = tensor::SoftmaxRows(
+          tensor::AddScaledIdentity(adjacencies[k], layer.kg_weights[k]));
+      ek_outputs.push_back(
+          tensor::Add(tensor::MatMul(attn, e_prime), e_prime));
+    }
+    if (ek_outputs.empty()) {
+      e = e_prime;
+    } else if (ek_outputs.size() == 1) {
+      e = ek_outputs[0];
+    } else {
+      // Multiple KG2Ent modules: average of outputs feeds the next layer.
+      Var sum = ek_outputs[0];
+      for (size_t k = 1; k < ek_outputs.size(); ++k) {
+        sum = tensor::Add(sum, ek_outputs[k]);
+      }
+      e = tensor::Scale(sum, 1.0f / static_cast<float>(ek_outputs.size()));
+    }
+  }
+  result.ek = e;
+
+  // --- Ensemble scoring S = max(E_k vᵀ, E' vᵀ) over all KG outputs. ----------
+  Var scores;
+  if (config_.ensemble_scoring) {
+    scores = tensor::MatMul(e_prime, score_vec_);
+    for (const Var& ek : ek_outputs) {
+      scores = tensor::Max(scores, tensor::MatMul(ek, score_vec_));
+    }
+  } else {
+    // Ablation arm: score only the final module output.
+    scores = tensor::MatMul(e, score_vec_);
+  }
+  result.scores = scores;
+  result.valid = true;
+  return result;
+}
+
+Var BootlegModel::Loss(const data::SentenceExample& example, bool train) {
+  ForwardResult fwd = RunForward(example, train);
+  if (!fwd.valid) return Var();
+
+  std::vector<Var> mention_losses;
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const data::MentionExample& m = example.mentions[mi];
+    if (m.gold_index < 0 || fwd.row_count[mi] == 0) continue;
+    Var logits = tensor::Transpose(
+        tensor::SliceRows(fwd.scores, fwd.row_offset[mi], fwd.row_count[mi]));
+    mention_losses.push_back(tensor::CrossEntropy(logits, {m.gold_index}));
+  }
+  if (mention_losses.empty()) return Var();
+
+  Var loss = mention_losses[0];
+  for (size_t i = 1; i < mention_losses.size(); ++i) {
+    loss = tensor::Add(loss, mention_losses[i]);
+  }
+  loss = tensor::Scale(loss, 1.0f / static_cast<float>(mention_losses.size()));
+
+  if (fwd.type_logits.defined() && !fwd.type_targets.empty()) {
+    loss = tensor::Add(loss,
+                       tensor::CrossEntropy(fwd.type_logits, fwd.type_targets));
+  }
+  return loss;
+}
+
+std::vector<int64_t> BootlegModel::Predict(const data::SentenceExample& example) {
+  std::vector<int64_t> preds(example.mentions.size(), -1);
+  ForwardResult fwd = RunForward(example, /*train=*/false);
+  if (!fwd.valid) return preds;
+  const Tensor& s = fwd.scores.value();
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    if (fwd.row_count[mi] == 0) continue;
+    int64_t best = 0;
+    for (int64_t k = 1; k < fwd.row_count[mi]; ++k) {
+      if (s.at(fwd.row_offset[mi] + k, 0) > s.at(fwd.row_offset[mi] + best, 0)) {
+        best = k;
+      }
+    }
+    preds[mi] = best;
+  }
+  return preds;
+}
+
+std::vector<BootlegModel::ContextualMention> BootlegModel::ContextualEmbeddings(
+    const data::SentenceExample& example) {
+  std::vector<ContextualMention> out;
+  ForwardResult fwd = RunForward(example, /*train=*/false);
+  if (!fwd.valid) {
+    for (const data::MentionExample& m : example.mentions) {
+      ContextualMention cm;
+      cm.span_start = m.span_start;
+      cm.span_end = m.span_end;
+      cm.embedding.assign(static_cast<size_t>(config_.hidden), 0.0f);
+      out.push_back(std::move(cm));
+    }
+    return out;
+  }
+  const Tensor& s = fwd.scores.value();
+  const Tensor& ek = fwd.ek.value();
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    if (fwd.row_count[mi] == 0) {
+      // Keep alignment with example.mentions: emit a zero embedding.
+      ContextualMention cm;
+      cm.span_start = example.mentions[mi].span_start;
+      cm.span_end = example.mentions[mi].span_end;
+      cm.embedding.assign(static_cast<size_t>(config_.hidden), 0.0f);
+      out.push_back(std::move(cm));
+      continue;
+    }
+    int64_t best = 0;
+    for (int64_t k = 1; k < fwd.row_count[mi]; ++k) {
+      if (s.at(fwd.row_offset[mi] + k, 0) > s.at(fwd.row_offset[mi] + best, 0)) {
+        best = k;
+      }
+    }
+    ContextualMention cm;
+    cm.entity = example.mentions[mi].candidates[static_cast<size_t>(best)];
+    cm.span_start = example.mentions[mi].span_start;
+    cm.span_end = example.mentions[mi].span_end;
+    const int64_t row = fwd.row_offset[mi] + best;
+    cm.embedding.assign(ek.data() + row * config_.hidden,
+                        ek.data() + (row + 1) * config_.hidden);
+    out.push_back(std::move(cm));
+  }
+  return out;
+}
+
+void BootlegModel::CompressEntityEmbeddings(double keep_fraction,
+                                            const data::EntityCounts& counts) {
+  BOOTLEG_CHECK_MSG(entity_emb_ != nullptr,
+                    "compression requires the entity embedding table");
+  BOOTLEG_CHECK(!compressed_);
+  entity_emb_backup_ = entity_emb_->table();
+  compressed_ = true;
+
+  const int64_t n = kb_->num_entities();
+  std::vector<kb::EntityId> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&counts](kb::EntityId a, kb::EntityId b) {
+                     return counts.Count(a) > counts.Count(b);
+                   });
+  const auto keep = static_cast<int64_t>(
+      std::round(keep_fraction * static_cast<double>(n)));
+
+  // Replacement row: a fixed unseen entity's embedding (paper: "choose a
+  // random entity embedding for an unseen entity").
+  kb::EntityId unseen = order.back();
+  for (kb::EntityId e : order) {
+    if (counts.Count(e) == 0) {
+      unseen = e;
+      break;
+    }
+  }
+  const int64_t cols = entity_emb_->cols();
+  std::vector<float> replacement(
+      entity_emb_backup_.data() + unseen * cols,
+      entity_emb_backup_.data() + (unseen + 1) * cols);
+  for (int64_t i = keep; i < n; ++i) {
+    float* dst = entity_emb_->table().data() + order[static_cast<size_t>(i)] * cols;
+    for (int64_t j = 0; j < cols; ++j) dst[j] = replacement[static_cast<size_t>(j)];
+  }
+}
+
+void BootlegModel::RestoreEntityEmbeddings() {
+  BOOTLEG_CHECK(compressed_);
+  entity_emb_->table() = entity_emb_backup_;
+  compressed_ = false;
+}
+
+BootlegModel::SizeReport BootlegModel::Size() const {
+  SizeReport report;
+  auto table_bytes = [](const nn::Embedding* e) {
+    return e == nullptr ? 0 : e->table().numel() * static_cast<int64_t>(sizeof(float));
+  };
+  report.embedding_bytes =
+      table_bytes(entity_emb_) + table_bytes(type_emb_) + table_bytes(rel_emb_);
+  for (const std::string& name : store_.param_names()) {
+    if (util::StartsWith(name, "encoder")) continue;  // BERT stand-in excluded
+    report.network_bytes +=
+        store_.GetParam(name).value().numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return report;
+}
+
+}  // namespace bootleg::core

@@ -1,0 +1,163 @@
+#ifndef BOOTLEG_CORE_MODEL_H_
+#define BOOTLEG_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/example.h"
+#include "eval/evaluator.h"
+#include "kb/cooccurrence.h"
+#include "kb/kb.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/param_store.h"
+#include "text/word_encoder.h"
+#include "util/rng.h"
+
+namespace bootleg::core {
+
+/// The Bootleg neural disambiguation model (Sec. 3):
+///   - entity / type / relation embedding inputs with additive-attention
+///     pooling and a coarse mention-type prediction head;
+///   - Phrase2Ent (cross-attention to words), Ent2Ent (candidate
+///     self-attention) and KG2Ent (softmax(K + wI)E + E) modules;
+///   - ensemble scoring S = max(E_k vᵀ, E' vᵀ);
+///   - 2-D inverse-popularity regularization of the entity embedding.
+///
+/// The use_* switches in BootlegConfig give the Ent-only / Type-only /
+/// KG-only ablations of Table 2.
+class BootlegModel : public eval::NedScorer {
+ public:
+  BootlegModel(const kb::KnowledgeBase* kb, int64_t vocab_size,
+               BootlegConfig config, uint64_t seed);
+
+  /// Training popularity counts driving the regularization scheme p(e).
+  /// Must be set before training when the scheme is popularity-based.
+  void SetEntityCounts(const data::EntityCounts* counts) { counts_ = counts; }
+
+  /// Sentence co-occurrence stats for the optional second KG2Ent module.
+  void SetCooccurrence(const kb::CooccurrenceStats* cooc) { cooc_ = cooc; }
+
+  /// Vocabulary token id of each entity's title, required when
+  /// config.use_title_feature is set (benchmark model, Appendix B).
+  void SetTitleTokenIds(std::vector<int64_t> ids) {
+    title_token_ids_ = std::move(ids);
+  }
+
+  /// Total loss L_dis + L_type over a sentence. Returns an undefined Var
+  /// when the sentence has no trainable mention.
+  tensor::Var Loss(const data::SentenceExample& example, bool train);
+
+  /// Predicted candidate index per mention (-1 for empty candidate lists).
+  std::vector<int64_t> Predict(const data::SentenceExample& example) override;
+
+  /// Contextual entity embeddings (final-layer E_k rows of the predicted
+  /// candidate per mention), the representation transferred to downstream
+  /// tasks in Sec. 4.3. Returns exactly one entry per example mention; a
+  /// mention with no candidates gets a zero embedding and an invalid entity.
+  struct ContextualMention {
+    kb::EntityId entity = kb::kInvalidId;
+    int64_t span_start = 0;
+    int64_t span_end = 0;
+    std::vector<float> embedding;  // [hidden]
+  };
+  std::vector<ContextualMention> ContextualEmbeddings(
+      const data::SentenceExample& example);
+
+  /// Figure 3: keeps the learned embedding for the top `keep_fraction` of
+  /// entities by training count and assigns every other entity the embedding
+  /// of one fixed unseen entity. Restore with RestoreEntityEmbeddings().
+  void CompressEntityEmbeddings(double keep_fraction,
+                                const data::EntityCounts& counts);
+  void RestoreEntityEmbeddings();
+
+  /// Table 10 accounting. Embedding bytes cover the entity/type/relation
+  /// tables; network bytes cover dense parameters outside the word encoder
+  /// (the paper excludes BERT from its totals).
+  struct SizeReport {
+    int64_t embedding_bytes = 0;
+    int64_t network_bytes = 0;
+    int64_t total_bytes() const { return embedding_bytes + network_bytes; }
+  };
+  SizeReport Size() const;
+
+  nn::ParameterStore& store() { return store_; }
+  const BootlegConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+
+  enum class AdjacencyKind {
+    kWikidata,      // direct KG connectivity (the paper's base matrix)
+    kCooccurrence,  // log sentence co-occurrence (benchmark model)
+    kTwoHop,        // shared-neighbor 2-hop connectivity (extension)
+  };
+
+  /// Test hook exposing the per-sentence adjacency construction.
+  tensor::Tensor BuildAdjacencyForTest(const data::SentenceExample& example,
+                                       const std::vector<int64_t>& row_entities,
+                                       const std::vector<int64_t>& row_mention,
+                                       AdjacencyKind kind) const {
+    return BuildAdjacency(example, row_entities, row_mention, kind);
+  }
+
+ private:
+  struct ForwardResult {
+    bool valid = false;
+    tensor::Var scores;                 // [rows, 1] ensemble scores
+    tensor::Var ek;                     // [rows, hidden] final KG output
+    std::vector<int64_t> row_offset;    // per mention: first row index
+    std::vector<int64_t> row_count;     // per mention: candidate count
+    tensor::Var type_logits;            // [mentions_with_types, coarse] or undefined
+    std::vector<int64_t> type_targets;  // gold coarse types for those rows
+  };
+
+  ForwardResult RunForward(const data::SentenceExample& example, bool train);
+
+  /// Builds one per-sentence KG adjacency over candidate rows.
+  tensor::Tensor BuildAdjacency(const data::SentenceExample& example,
+                                const std::vector<int64_t>& row_entities,
+                                const std::vector<int64_t>& row_mention,
+                                AdjacencyKind kind) const;
+
+  const kb::KnowledgeBase* kb_;
+  BootlegConfig config_;
+  util::Rng rng_;
+  nn::ParameterStore store_;
+  const data::EntityCounts* counts_ = nullptr;
+  const kb::CooccurrenceStats* cooc_ = nullptr;
+
+  // Input side.
+  std::unique_ptr<text::WordEncoder> encoder_;
+  nn::Embedding* entity_emb_ = nullptr;
+  nn::Embedding* type_emb_ = nullptr;      // row 0 = "no type"
+  nn::Embedding* rel_emb_ = nullptr;       // row 0 = "no relation"
+  tensor::Var coarse_table_;               // [num_coarse, coarse_dim]
+  std::unique_ptr<nn::AdditiveAttention> type_pool_;
+  std::unique_ptr<nn::AdditiveAttention> rel_pool_;
+  std::unique_ptr<nn::Mlp> type_pred_head_;
+  std::unique_ptr<nn::Linear> title_proj_;
+  std::unique_ptr<nn::Mlp> input_mlp_;
+  std::unique_ptr<nn::Linear> position_proj_;
+  tensor::Tensor position_table_;
+
+  // Stacked modules.
+  struct Layer {
+    std::unique_ptr<nn::AttentionBlock> phrase2ent;
+    std::unique_ptr<nn::AttentionBlock> ent2ent;
+    std::vector<tensor::Var> kg_weights;  // learned scalar w per KG matrix
+  };
+  std::vector<Layer> layers_;
+  tensor::Var score_vec_;  // [hidden, 1]
+
+  int64_t input_dim_ = 0;
+  int64_t title_dim_ = 0;
+  std::vector<int64_t> title_token_ids_;
+  tensor::Tensor entity_emb_backup_;  // for compression restore
+  bool compressed_ = false;
+};
+
+}  // namespace bootleg::core
+
+#endif  // BOOTLEG_CORE_MODEL_H_

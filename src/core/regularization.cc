@@ -1,0 +1,51 @@
+#include "core/regularization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bootleg::core {
+
+namespace {
+float Clamp(float p) { return std::min(0.95f, std::max(0.05f, p)); }
+}  // namespace
+
+float RegConfig::MaskProbability(int64_t count) const {
+  const float x = static_cast<float>(std::max<int64_t>(count, 1));
+  switch (scheme) {
+    case RegScheme::kNone:
+      return 0.0f;
+    case RegScheme::kFixed:
+      return fixed_p;
+    case RegScheme::kInvPopPow:
+      // f(1) = 0.95, f(10000) ≈ 0.05 (paper's power law).
+      return Clamp(0.95f * std::pow(x, -0.32f));
+    case RegScheme::kInvPopLin:
+      return Clamp(-0.00009f * x + 0.9501f);
+    case RegScheme::kInvPopLog:
+      return Clamp(-0.097f * std::log(x) + 0.96f);
+    case RegScheme::kPopPow:
+      // Mirror image: f(1) = 0.05, f(10000) = 0.95.
+      return Clamp(0.95f * std::pow(x / 10000.0f, 0.32f));
+  }
+  return 0.0f;
+}
+
+const char* RegSchemeName(RegScheme s) {
+  switch (s) {
+    case RegScheme::kNone:
+      return "none";
+    case RegScheme::kFixed:
+      return "fixed";
+    case RegScheme::kInvPopPow:
+      return "InvPopPow";
+    case RegScheme::kInvPopLin:
+      return "InvPopLin";
+    case RegScheme::kInvPopLog:
+      return "InvPopLog";
+    case RegScheme::kPopPow:
+      return "PopPow";
+  }
+  return "?";
+}
+
+}  // namespace bootleg::core

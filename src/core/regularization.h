@@ -1,0 +1,41 @@
+#ifndef BOOTLEG_CORE_REGULARIZATION_H_
+#define BOOTLEG_CORE_REGULARIZATION_H_
+
+#include <cstdint>
+
+namespace bootleg::core {
+
+/// Entity-embedding 2-D regularization schemes (paper Sec. 3.3.1 and
+/// Appendix B). The scheme gives the probability p(e) of masking the whole
+/// entity embedding u_e to zero during training, as a function of the
+/// entity's training popularity (anchor + weak-label gold count).
+enum class RegScheme {
+  kNone = 0,      // p(e) = 0
+  kFixed,         // p(e) = fixed_p
+  kInvPopPow,     // 0.95 · x^-0.32           (paper's best)
+  kInvPopLin,     // -0.00009x + 0.9501
+  kInvPopLog,     // -0.097 ln(x) + 0.96
+  kPopPow,        // mirror of InvPopPow: more popular → more masked
+};
+
+struct RegConfig {
+  RegScheme scheme = RegScheme::kInvPopPow;
+  float fixed_p = 0.8f;  // used by kFixed
+
+  /// 2-D masking (the paper's contribution) zeroes the *whole* embedding
+  /// with probability p(e); setting this false falls back to standard 1-D
+  /// dropout at rate p(e) on the embedding's elements — the baseline the
+  /// paper contrasts against in Sec. 3.3.1.
+  bool two_dimensional = true;
+
+  /// Masking probability for an entity seen `count` times in training.
+  /// All schemes are clamped to [0.05, 0.95] as in the paper; kNone returns 0
+  /// and kFixed returns fixed_p unclamped.
+  float MaskProbability(int64_t count) const;
+};
+
+const char* RegSchemeName(RegScheme s);
+
+}  // namespace bootleg::core
+
+#endif  // BOOTLEG_CORE_REGULARIZATION_H_

@@ -1,0 +1,60 @@
+#include "core/trainer.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bootleg::core {
+
+TrainStats Train(TrainableModel* model,
+                 const std::vector<data::SentenceExample>& train_examples,
+                 const TrainOptions& options) {
+  util::Rng rng(options.seed);
+  nn::Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  nn::Adam optimizer(&model->store(), adam_options);
+
+  std::vector<size_t> order(train_examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  util::Timer timer;
+  TrainStats stats;
+  double window_loss = 0.0;
+  int64_t window_count = 0;
+
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int64_t in_batch = 0;
+    for (size_t idx : order) {
+      tensor::Var loss = model->Loss(train_examples[idx], /*train=*/true);
+      ++stats.sentences_seen;
+      if (loss.defined()) {
+        tensor::Backward(loss);
+        window_loss += loss.value().at(0);
+        ++window_count;
+        ++in_batch;
+      }
+      if (in_batch >= options.batch_size) {
+        optimizer.Step();
+        ++stats.steps;
+        in_batch = 0;
+      }
+      if (options.verbose && stats.sentences_seen % options.log_every == 0 &&
+          window_count > 0) {
+        BOOTLEG_LOG(Info) << "epoch " << epoch << " sentences "
+                          << stats.sentences_seen << " avg loss "
+                          << window_loss / window_count;
+        window_loss = 0.0;
+        window_count = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      ++stats.steps;
+    }
+  }
+  stats.final_avg_loss = window_count > 0 ? window_loss / window_count : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace bootleg::core

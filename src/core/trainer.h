@@ -1,0 +1,65 @@
+#ifndef BOOTLEG_CORE_TRAINER_H_
+#define BOOTLEG_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/example.h"
+#include "nn/optimizer.h"
+#include "nn/param_store.h"
+#include "tensor/autograd.h"
+#include "util/rng.h"
+
+namespace bootleg::core {
+
+/// Anything trainable with the shared sentence-level loop: Bootleg, its
+/// ablations, and NED-Base all expose a per-sentence loss over a
+/// ParameterStore.
+class TrainableModel {
+ public:
+  virtual ~TrainableModel() = default;
+  /// Scalar loss for one sentence, or an undefined Var if the sentence has
+  /// no trainable mention.
+  virtual tensor::Var Loss(const data::SentenceExample& example, bool train) = 0;
+  virtual nn::ParameterStore& store() = 0;
+};
+
+/// Adapter wrapping any model with a Loss member function.
+template <typename M>
+class Trainable : public TrainableModel {
+ public:
+  explicit Trainable(M* model) : model_(model) {}
+  tensor::Var Loss(const data::SentenceExample& example, bool train) override {
+    return model_->Loss(example, train);
+  }
+  nn::ParameterStore& store() override { return model_->store(); }
+
+ private:
+  M* model_;
+};
+
+struct TrainOptions {
+  int64_t epochs = 2;        // paper: 2 epochs over Wikipedia
+  int64_t batch_size = 8;    // sentences per optimizer step
+  float lr = 1e-3f;
+  uint64_t seed = 99;
+  bool verbose = false;
+  int64_t log_every = 1000;  // sentences
+};
+
+struct TrainStats {
+  double final_avg_loss = 0.0;
+  int64_t sentences_seen = 0;
+  int64_t steps = 0;
+  double seconds = 0.0;
+};
+
+/// Runs the shared training loop: shuffle each epoch, accumulate gradients
+/// over `batch_size` sentences, Adam step.
+TrainStats Train(TrainableModel* model,
+                 const std::vector<data::SentenceExample>& train_examples,
+                 const TrainOptions& options);
+
+}  // namespace bootleg::core
+
+#endif  // BOOTLEG_CORE_TRAINER_H_

@@ -1,0 +1,64 @@
+#ifndef BOOTLEG_DATA_CORPUS_H_
+#define BOOTLEG_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/kb.h"
+
+namespace bootleg::data {
+
+/// How a mention's label entered the data. Anchor mentions mirror Wikipedia
+/// anchor links; pronoun/alt-name mentions start unlabeled (Wikipedia's
+/// missing-anchor problem) and can be recovered by weak labeling.
+enum class MentionKind : int8_t {
+  kAnchor = 0,
+  kPronoun = 1,
+  kAltName = 2,
+};
+
+/// A mention span inside a sentence. Spans are token indices, inclusive.
+struct Mention {
+  int64_t span_start = 0;
+  int64_t span_end = 0;
+  std::string alias;            // surface form (single lower-case token)
+  /// Alias used for candidate generation when it differs from the surface
+  /// form — pronoun weak labels resolve candidates through an alias of the
+  /// page entity ("he" is not in Γ). Empty means "use `alias`".
+  std::string candidate_alias;
+  kb::EntityId gold = kb::kInvalidId;
+  MentionKind kind = MentionKind::kAnchor;
+  bool labeled = false;         // participates in training
+  bool weak_labeled = false;    // label recovered by the weak labeler
+};
+
+/// One training/eval sentence, tied to the "Wikipedia page" it came from.
+struct Sentence {
+  std::vector<std::string> tokens;
+  std::vector<Mention> mentions;
+  kb::EntityId page_entity = kb::kInvalidId;  // entity whose page this is
+  int64_t page_id = -1;                       // page grouping for splits
+  std::string doc_title;                      // document title (AIDA-style)
+};
+
+/// A corpus with page-based train/dev/test splits (sentences of one page
+/// never straddle splits, matching the paper's 80/10/10 page split).
+struct Corpus {
+  std::vector<Sentence> train;
+  std::vector<Sentence> dev;
+  std::vector<Sentence> test;
+
+  int64_t TotalSentences() const {
+    return static_cast<int64_t>(train.size() + dev.size() + test.size());
+  }
+};
+
+/// Number of labeled mentions in a sentence set (weak labels included when
+/// `include_weak` is true).
+int64_t CountLabeledMentions(const std::vector<Sentence>& sentences,
+                             bool include_weak = true);
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_CORPUS_H_

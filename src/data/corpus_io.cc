@@ -1,0 +1,118 @@
+#include "data/corpus_io.h"
+
+#include <sstream>
+
+#include "util/io.h"
+
+namespace bootleg::data {
+
+namespace {
+
+void WriteSentences(util::BinaryWriter* w, const std::vector<Sentence>& sentences) {
+  w->WriteU64(sentences.size());
+  for (const Sentence& s : sentences) {
+    w->WriteU64(s.tokens.size());
+    for (const std::string& t : s.tokens) w->WriteString(t);
+    w->WriteU64(s.mentions.size());
+    for (const Mention& m : s.mentions) {
+      w->WriteI64(m.span_start);
+      w->WriteI64(m.span_end);
+      w->WriteString(m.alias);
+      w->WriteString(m.candidate_alias);
+      w->WriteI64(m.gold);
+      w->WriteI64(static_cast<int64_t>(m.kind));
+      w->WriteU32(static_cast<uint32_t>((m.labeled ? 1 : 0) |
+                                        (m.weak_labeled ? 2 : 0)));
+    }
+    w->WriteI64(s.page_entity);
+    w->WriteI64(s.page_id);
+    w->WriteString(s.doc_title);
+  }
+}
+
+bool ReadSentences(util::BinaryReader* r, std::vector<Sentence>* sentences) {
+  const uint64_t n = r->ReadU64();
+  sentences->clear();
+  sentences->reserve(n);
+  for (uint64_t i = 0; i < n && r->status().ok(); ++i) {
+    Sentence s;
+    const uint64_t nt = r->ReadU64();
+    for (uint64_t j = 0; j < nt && r->status().ok(); ++j) {
+      s.tokens.push_back(r->ReadString());
+    }
+    const uint64_t nm = r->ReadU64();
+    for (uint64_t j = 0; j < nm && r->status().ok(); ++j) {
+      Mention m;
+      m.span_start = r->ReadI64();
+      m.span_end = r->ReadI64();
+      m.alias = r->ReadString();
+      m.candidate_alias = r->ReadString();
+      m.gold = r->ReadI64();
+      m.kind = static_cast<MentionKind>(r->ReadI64());
+      const uint32_t flags = r->ReadU32();
+      m.labeled = (flags & 1u) != 0;
+      m.weak_labeled = (flags & 2u) != 0;
+      s.mentions.push_back(std::move(m));
+    }
+    s.page_entity = r->ReadI64();
+    s.page_id = r->ReadI64();
+    s.doc_title = r->ReadString();
+    sentences->push_back(std::move(s));
+  }
+  return r->status().ok();
+}
+
+}  // namespace
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  util::BinaryWriter w(path);
+  w.WriteU32(0xB0071ED0);
+  WriteSentences(&w, corpus.train);
+  WriteSentences(&w, corpus.dev);
+  WriteSentences(&w, corpus.test);
+  return w.Finish();
+}
+
+util::Status LoadCorpus(const std::string& path, Corpus* corpus) {
+  util::BinaryReader r(path);
+  if (r.ReadU32() != 0xB0071ED0) {
+    return util::Status::Corruption("bad corpus magic: " + path);
+  }
+  if (!ReadSentences(&r, &corpus->train) || !ReadSentences(&r, &corpus->dev) ||
+      !ReadSentences(&r, &corpus->test)) {
+    return r.status();
+  }
+  return r.status();
+}
+
+std::string RenderSentence(const Sentence& sentence,
+                           const kb::KnowledgeBase* kb) {
+  std::ostringstream out;
+  for (size_t i = 0; i < sentence.tokens.size(); ++i) {
+    if (i > 0) out << ' ';
+    const Mention* mention = nullptr;
+    for (const Mention& m : sentence.mentions) {
+      if (m.span_start == static_cast<int64_t>(i)) mention = &m;
+    }
+    if (mention == nullptr) {
+      out << sentence.tokens[i];
+      continue;
+    }
+    out << "[" << sentence.tokens[i] << "->";
+    if (kb != nullptr && mention->gold >= 0 &&
+        mention->gold < kb->num_entities()) {
+      out << kb->entity(mention->gold).title;
+    } else {
+      out << mention->gold;
+    }
+    if (!mention->labeled) {
+      out << "|UNLABELED";
+    } else if (mention->weak_labeled) {
+      out << "|WL";
+    }
+    out << ']';
+  }
+  return out.str();
+}
+
+}  // namespace bootleg::data

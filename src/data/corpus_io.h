@@ -1,0 +1,23 @@
+#ifndef BOOTLEG_DATA_CORPUS_IO_H_
+#define BOOTLEG_DATA_CORPUS_IO_H_
+
+#include <string>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace bootleg::data {
+
+/// Binary corpus snapshot (all three splits, mention annotations included).
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+util::Status LoadCorpus(const std::string& path, Corpus* corpus);
+
+/// Human-readable one-line rendering: tokens with inline [alias→gold]
+/// annotations, e.g. "the [ak_3→ttl_e41|WL] was t2kw0 f7 ."
+/// Requires the KB only for entity titles; pass nullptr to print raw ids.
+std::string RenderSentence(const Sentence& sentence,
+                           const kb::KnowledgeBase* kb = nullptr);
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_CORPUS_IO_H_

@@ -1,0 +1,94 @@
+#include "data/example.h"
+
+#include "text/vocabulary.h"
+#include "util/logging.h"
+
+namespace bootleg::data {
+
+SentenceExample ExampleBuilder::Build(const Sentence& sentence,
+                                      const ExampleOptions& options) const {
+  SentenceExample ex;
+  int64_t offset = 0;
+  if (options.prepend_title && !sentence.doc_title.empty()) {
+    ex.token_ids.push_back(vocab_->Id(sentence.doc_title));
+    ex.token_ids.push_back(text::kSepId);
+    offset = 2;
+  }
+  for (const std::string& tok : sentence.tokens) {
+    ex.token_ids.push_back(vocab_->Id(tok));
+  }
+  for (size_t mi = 0; mi < sentence.mentions.size(); ++mi) {
+    const Mention& m = sentence.mentions[mi];
+    if (!m.labeled) continue;
+    if (m.weak_labeled && !options.include_weak_labels) continue;
+    MentionExample me;
+    me.sentence_mention_index = static_cast<int64_t>(mi);
+    me.span_start = m.span_start + offset;
+    me.span_end = m.span_end + offset;
+    me.gold = m.gold;
+    me.weak_labeled = m.weak_labeled;
+    const auto* cands = candidates_->Lookup(
+        m.candidate_alias.empty() ? m.alias : m.candidate_alias);
+    if (cands != nullptr) {
+      for (size_t i = 0; i < cands->size(); ++i) {
+        me.candidates.push_back((*cands)[i].entity);
+        me.priors.push_back((*cands)[i].prior);
+        if ((*cands)[i].entity == m.gold) {
+          me.gold_index = static_cast<int64_t>(i);
+        }
+      }
+    }
+    ex.mentions.push_back(std::move(me));
+  }
+  return ex;
+}
+
+std::vector<SentenceExample> ExampleBuilder::BuildAll(
+    const std::vector<Sentence>& sentences, const ExampleOptions& options) const {
+  std::vector<SentenceExample> out;
+  out.reserve(sentences.size());
+  for (const Sentence& s : sentences) out.push_back(Build(s, options));
+  return out;
+}
+
+const char* PopularityBucketName(PopularityBucket b) {
+  switch (b) {
+    case PopularityBucket::kUnseen:
+      return "unseen";
+    case PopularityBucket::kTail:
+      return "tail";
+    case PopularityBucket::kTorso:
+      return "torso";
+    case PopularityBucket::kHead:
+      return "head";
+  }
+  return "?";
+}
+
+EntityCounts EntityCounts::FromTraining(const std::vector<Sentence>& train,
+                                        bool include_weak) {
+  EntityCounts counts;
+  for (const Sentence& s : train) {
+    for (const Mention& m : s.mentions) {
+      if (!m.labeled) continue;
+      if (m.weak_labeled && !include_weak) continue;
+      ++counts.counts_[m.gold];
+    }
+  }
+  return counts;
+}
+
+int64_t EntityCounts::Count(kb::EntityId e) const {
+  auto it = counts_.find(e);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+PopularityBucket EntityCounts::BucketOf(kb::EntityId e) const {
+  const int64_t c = Count(e);
+  if (c == 0) return PopularityBucket::kUnseen;
+  if (c <= 10) return PopularityBucket::kTail;
+  if (c <= 1000) return PopularityBucket::kTorso;
+  return PopularityBucket::kHead;
+}
+
+}  // namespace bootleg::data

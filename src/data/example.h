@@ -1,0 +1,92 @@
+#ifndef BOOTLEG_DATA_EXAMPLE_H_
+#define BOOTLEG_DATA_EXAMPLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/corpus.h"
+#include "kb/candidate_map.h"
+#include "text/vocabulary.h"
+
+namespace bootleg::data {
+
+/// A model-ready mention: the span, the candidate set Γ(m) with priors, and
+/// the gold index within the candidates (-1 when candidate generation missed
+/// the gold — such mentions are filtered from eval, per the paper).
+struct MentionExample {
+  int64_t span_start = 0;
+  int64_t span_end = 0;
+  std::vector<kb::EntityId> candidates;
+  std::vector<float> priors;
+  int64_t gold_index = -1;
+  kb::EntityId gold = kb::kInvalidId;
+  bool weak_labeled = false;
+  /// Index of this mention in the source Sentence::mentions (for slice and
+  /// error analyses that need the raw sentence).
+  int64_t sentence_mention_index = -1;
+
+  bool GoldInCandidates() const { return gold_index >= 0; }
+  bool HasMultipleCandidates() const { return candidates.size() > 1; }
+};
+
+/// A model-ready sentence: token ids plus its mentions.
+struct SentenceExample {
+  std::vector<int64_t> token_ids;
+  std::vector<MentionExample> mentions;
+};
+
+/// Options controlling example construction.
+struct ExampleOptions {
+  /// Include weak-labeled mentions (training uses them; evaluation is over
+  /// true anchors only, per the paper's metrics section).
+  bool include_weak_labels = true;
+  /// Prepend "<doc title> [SEP]" to the tokens — the paper's document
+  /// encoding for AIDA.
+  bool prepend_title = false;
+};
+
+/// Converts corpus sentences into model-ready examples by tokenizing against
+/// a vocabulary and running candidate generation through Γ.
+class ExampleBuilder {
+ public:
+  ExampleBuilder(const kb::CandidateMap* candidates, const text::Vocabulary* vocab)
+      : candidates_(candidates), vocab_(vocab) {}
+
+  SentenceExample Build(const Sentence& sentence, const ExampleOptions& options) const;
+
+  std::vector<SentenceExample> BuildAll(const std::vector<Sentence>& sentences,
+                                        const ExampleOptions& options) const;
+
+ private:
+  const kb::CandidateMap* candidates_;
+  const text::Vocabulary* vocab_;
+};
+
+/// Popularity bucket by training-time gold occurrence count. Thresholds are
+/// the paper's: tail ≤ 10, torso 11–1000, head > 1000; unseen = 0.
+enum class PopularityBucket { kUnseen = 0, kTail = 1, kTorso = 2, kHead = 3 };
+
+const char* PopularityBucketName(PopularityBucket b);
+
+/// Counts how often each entity is a (labeled) gold in training, Wikipedia
+/// anchors plus weak labels — "the number of times an entity is seen by
+/// Bootleg".
+class EntityCounts {
+ public:
+  static EntityCounts FromTraining(const std::vector<Sentence>& train,
+                                   bool include_weak = true);
+
+  int64_t Count(kb::EntityId e) const;
+  PopularityBucket BucketOf(kb::EntityId e) const;
+
+  const std::unordered_map<kb::EntityId, int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<kb::EntityId, int64_t> counts_;
+};
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_EXAMPLE_H_

@@ -1,0 +1,396 @@
+#include "data/generator.h"
+
+#include <algorithm>
+
+namespace bootleg::data {
+
+using kb::EntityId;
+using kb::RelationId;
+using kb::TypeId;
+
+namespace {
+
+int64_t CountLabeled(const Sentence& s, bool include_weak) {
+  int64_t n = 0;
+  for (const Mention& m : s.mentions) {
+    if (m.labeled && (include_weak || !m.weak_labeled)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int64_t CountLabeledMentions(const std::vector<Sentence>& sentences,
+                             bool include_weak) {
+  int64_t n = 0;
+  for (const Sentence& s : sentences) n += CountLabeled(s, include_weak);
+  return n;
+}
+
+CorpusGenerator::CorpusGenerator(const SynthWorld* world)
+    : world_(world), rng_(world->config.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+void CorpusGenerator::AddMention(Sentence* s, EntityId gold,
+                                 const std::string& alias, MentionKind kind,
+                                 bool labeled) {
+  Mention m;
+  m.span_start = static_cast<int64_t>(s->tokens.size());
+  m.span_end = m.span_start;
+  m.alias = alias;
+  m.gold = gold;
+  m.kind = kind;
+  m.labeled = labeled;
+  s->tokens.push_back(alias);
+  s->mentions.push_back(std::move(m));
+}
+
+void CorpusGenerator::AppendFiller(Sentence* s, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    s->tokens.push_back(rng_.Choice(world_->filler_words));
+  }
+}
+
+void CorpusGenerator::MaybeAddCue(Sentence* s, EntityId gold) {
+  if (rng_.Uniform() < world_->config.extra_cue_prob) {
+    const auto& cues = world_->entity_cues[static_cast<size_t>(gold)];
+    if (!cues.empty()) s->tokens.push_back(rng_.Choice(cues));
+  }
+}
+
+kb::TypeId CorpusGenerator::DiscriminativeType(EntityId gold,
+                                               const std::string& alias) {
+  const auto& types = world_->kb.entity(gold).types;
+  BOOTLEG_CHECK(!types.empty());
+  const auto* cands = world_->candidates.Lookup(alias);
+  if (cands == nullptr || cands->size() < 2) return rng_.Choice(types);
+  TypeId best = types.front();
+  int64_t best_collisions = std::numeric_limits<int64_t>::max();
+  for (TypeId t : types) {
+    int64_t collisions = 0;
+    for (const kb::Candidate& c : *cands) {
+      if (c.entity == gold) continue;
+      const auto& other_types = world_->kb.entity(c.entity).types;
+      if (std::find(other_types.begin(), other_types.end(), t) !=
+          other_types.end()) {
+        ++collisions;
+      }
+    }
+    if (collisions < best_collisions) {
+      best_collisions = collisions;
+      best = t;
+    }
+  }
+  return best;
+}
+
+void CorpusGenerator::MaybeAddTypeKeyword(Sentence* s, EntityId gold,
+                                          const std::string& alias) {
+  if (rng_.Uniform() >= world_->config.extra_affordance_prob) return;
+  const auto& types = world_->kb.entity(gold).types;
+  if (types.empty()) return;
+  const TypeId t = DiscriminativeType(gold, alias);
+  s->tokens.push_back(rng_.Choice(world_->type_keywords[static_cast<size_t>(t)]));
+}
+
+void CorpusGenerator::FinishSentence(Sentence* s) { s->tokens.push_back("."); }
+
+CorpusGenerator::Template CorpusGenerator::SampleTemplate() {
+  const SynthConfig& c = world_->config;
+  const double u = rng_.Uniform();
+  if (u < c.relation_sentence_prob) return Template::kRelation;
+  if (u < c.relation_sentence_prob + c.consistency_sentence_prob) {
+    return Template::kConsistency;
+  }
+  if (u < c.relation_sentence_prob + c.consistency_sentence_prob +
+              c.memorization_sentence_prob) {
+    return Template::kMemorization;
+  }
+  return Template::kAffordance;
+}
+
+Sentence CorpusGenerator::MakeAffordance(EntityId gold) {
+  const kb::Entity& e = world_->kb.entity(gold);
+  if (e.types.empty()) return MakeMemorization(gold);
+  Sentence s;
+  const std::string alias = world_->SampleAlias(gold, &rng_);
+  // The affordance keyword evokes the *discriminative* type of the gold, as
+  // the textual context around a real anchor does ("ordered a Manhattan").
+  const TypeId t = DiscriminativeType(gold, alias);
+  const auto& kws = world_->type_keywords[static_cast<size_t>(t)];
+  const bool keyword_first = rng_.Bernoulli(0.35);
+  if (keyword_first) {
+    s.tokens.push_back(rng_.Choice(kws));
+    s.tokens.push_back("the");
+    AddMention(&s, gold, alias, MentionKind::kAnchor, /*labeled=*/true);
+    s.tokens.push_back("was");
+  } else {
+    s.tokens.push_back("the");
+    AddMention(&s, gold, alias, MentionKind::kAnchor, /*labeled=*/true);
+    s.tokens.push_back("was");
+    s.tokens.push_back(rng_.Choice(kws));
+    if (rng_.Bernoulli(0.4)) s.tokens.push_back(rng_.Choice(kws));
+  }
+  MaybeAddCue(&s, gold);
+  AppendFiller(&s, rng_.UniformInt(1, 3));
+  FinishSentence(&s);
+  return s;
+}
+
+Sentence CorpusGenerator::MakeRelation(EntityId gold, bool allow_holdout) {
+  const auto& neighbors = world_->kb.Neighbors(gold);
+  // Pick a neighbor respecting the holdout constraint.
+  std::vector<std::pair<EntityId, RelationId>> eligible;
+  for (const auto& [other, rel] : neighbors) {
+    if (allow_holdout || !world_->is_unseen_holdout[static_cast<size_t>(other)]) {
+      eligible.emplace_back(other, rel);
+    }
+  }
+  if (eligible.empty()) return MakeAffordance(gold);
+  const auto [other, rel] = rng_.Choice(eligible);
+  Sentence s;
+  const std::string gold_alias = world_->SampleAlias(gold, &rng_);
+  s.tokens.push_back("the");
+  AddMention(&s, gold, gold_alias, MentionKind::kAnchor, /*labeled=*/true);
+  s.tokens.push_back(
+      rng_.Choice(world_->relation_keywords[static_cast<size_t>(rel)]));
+  s.tokens.push_back("the");
+  const std::string other_alias = world_->SampleAlias(other, &rng_);
+  AddMention(&s, other, other_alias, MentionKind::kAnchor, /*labeled=*/true);
+  MaybeAddTypeKeyword(&s, gold, gold_alias);
+  MaybeAddTypeKeyword(&s, other, other_alias);
+  MaybeAddCue(&s, gold);
+  AppendFiller(&s, rng_.UniformInt(0, 2));
+  FinishSentence(&s);
+  return s;
+}
+
+Sentence CorpusGenerator::MakeConsistency(EntityId gold, bool allow_holdout) {
+  const kb::Entity& e = world_->kb.entity(gold);
+  if (e.types.empty()) return MakeMemorization(gold);
+  // Find a type of `gold` with at least three member entities.
+  for (TypeId t : e.types) {
+    const auto& members = world_->entities_by_type[static_cast<size_t>(t)];
+    if (members.size() < 3) continue;
+    std::vector<EntityId> others;
+    for (int attempt = 0; attempt < 40 && others.size() < 2; ++attempt) {
+      const EntityId cand = rng_.Choice(members);
+      if (cand == gold) continue;
+      if (!allow_holdout && world_->is_unseen_holdout[static_cast<size_t>(cand)]) {
+        continue;
+      }
+      if (std::find(others.begin(), others.end(), cand) != others.end()) continue;
+      others.push_back(cand);
+    }
+    if (others.size() < 2) continue;
+    Sentence s;
+    AddMention(&s, gold, world_->SampleAlias(gold, &rng_), MentionKind::kAnchor,
+               /*labeled=*/true);
+    s.tokens.push_back(",");
+    AddMention(&s, others[0], world_->SampleAlias(others[0], &rng_),
+               MentionKind::kAnchor, /*labeled=*/true);
+    s.tokens.push_back(rng_.Bernoulli(0.5) ? "or" : "and");
+    AddMention(&s, others[1], world_->SampleAlias(others[1], &rng_),
+               MentionKind::kAnchor, /*labeled=*/true);
+    s.tokens.push_back("are");
+    // The optional keyword evokes the *shared* type — the consistency cue.
+    if (rng_.Uniform() < world_->config.extra_affordance_prob) {
+      s.tokens.push_back(
+          rng_.Choice(world_->type_keywords[static_cast<size_t>(t)]));
+    }
+    AppendFiller(&s, rng_.UniformInt(0, 2));
+    FinishSentence(&s);
+    return s;
+  }
+  return MakeAffordance(gold);
+}
+
+Sentence CorpusGenerator::MakeMemorization(EntityId gold) {
+  Sentence s;
+  const std::string alias = world_->SampleAlias(gold, &rng_);
+  s.tokens.push_back("the");
+  AddMention(&s, gold, alias, MentionKind::kAnchor, /*labeled=*/true);
+  const auto& cues = world_->entity_cues[static_cast<size_t>(gold)];
+  for (const std::string& cue : cues) s.tokens.push_back(cue);
+  MaybeAddTypeKeyword(&s, gold, alias);
+  AppendFiller(&s, rng_.UniformInt(1, 3));
+  FinishSentence(&s);
+  return s;
+}
+
+Sentence CorpusGenerator::MakePageRef(EntityId page_entity) {
+  const kb::Entity& e = world_->kb.entity(page_entity);
+  Sentence s;
+  const bool use_pronoun = e.IsPerson() && rng_.Bernoulli(0.6);
+  std::string candidate_alias;
+  if (use_pronoun) {
+    const std::string pron = e.gender == 'f' ? "she" : "he";
+    AddMention(&s, page_entity, pron, MentionKind::kPronoun, /*labeled=*/false);
+    candidate_alias = e.aliases.front();
+  } else {
+    // Alternative name on the entity's own page: unlabeled until the weak
+    // labeler recovers it.
+    candidate_alias = world_->SampleAlias(page_entity, &rng_);
+    AddMention(&s, page_entity, candidate_alias, MentionKind::kAltName,
+               /*labeled=*/false);
+  }
+  s.tokens.push_back("was");
+  if (!e.types.empty()) {
+    const TypeId t = DiscriminativeType(page_entity, candidate_alias);
+    s.tokens.push_back(
+        rng_.Choice(world_->type_keywords[static_cast<size_t>(t)]));
+  }
+  MaybeAddCue(&s, page_entity);
+  AppendFiller(&s, rng_.UniformInt(1, 2));
+  FinishSentence(&s);
+  return s;
+}
+
+Sentence CorpusGenerator::MakeSentence(EntityId gold, bool allow_holdout,
+                                       Template tmpl) {
+  switch (tmpl) {
+    case Template::kAffordance:
+      return MakeAffordance(gold);
+    case Template::kRelation:
+      return MakeRelation(gold, allow_holdout);
+    case Template::kConsistency:
+      return MakeConsistency(gold, allow_holdout);
+    case Template::kMemorization:
+      return MakeMemorization(gold);
+  }
+  return MakeAffordance(gold);
+}
+
+std::vector<Sentence> CorpusGenerator::GeneratePages(int64_t num_pages,
+                                                     bool allow_holdout,
+                                                     double holdout_boost,
+                                                     int64_t* next_page_id) {
+  const SynthConfig& c = world_->config;
+  std::vector<EntityId> holdout_pool;
+  if (allow_holdout) {
+    for (EntityId e = 0; e < c.num_entities; ++e) {
+      if (world_->is_unseen_holdout[static_cast<size_t>(e)]) holdout_pool.push_back(e);
+    }
+  }
+  auto sample_gold = [&]() -> EntityId {
+    if (allow_holdout && !holdout_pool.empty() && rng_.Uniform() < holdout_boost) {
+      return rng_.Choice(holdout_pool);
+    }
+    return world_->SampleEntity(&rng_, allow_holdout);
+  };
+
+  std::vector<Sentence> out;
+  for (int64_t p = 0; p < num_pages; ++p) {
+    const int64_t page_id = (*next_page_id)++;
+    const EntityId page_entity = sample_gold();
+    const kb::Entity& pe = world_->kb.entity(page_entity);
+    const int64_t num_sents =
+        rng_.UniformInt(c.min_sentences_per_page, c.max_sentences_per_page);
+    for (int64_t i = 0; i < num_sents; ++i) {
+      const EntityId gold = (i == 0 || rng_.Bernoulli(0.4)) ? page_entity
+                                                            : sample_gold();
+      Sentence s = MakeSentence(gold, allow_holdout, SampleTemplate());
+      // Anchor label dropout: Wikipedia misses most labels; some anchors stay
+      // unlabeled (they remain in the text and in eval-side truth, but carry
+      // no training signal).
+      for (Mention& m : s.mentions) {
+        if (m.kind == MentionKind::kAnchor && !rng_.Bernoulli(c.anchor_label_prob)) {
+          m.labeled = false;
+        }
+      }
+      s.page_entity = page_entity;
+      s.page_id = page_id;
+      s.doc_title = pe.title;
+      out.push_back(std::move(s));
+      // Page-reference sentence (pronoun/alt-name), fodder for weak labeling.
+      if (rng_.Uniform() < c.pageref_sentence_prob) {
+        Sentence ref = MakePageRef(page_entity);
+        ref.page_entity = page_entity;
+        ref.page_id = page_id;
+        ref.doc_title = pe.title;
+        out.push_back(std::move(ref));
+      }
+    }
+  }
+  return out;
+}
+
+Corpus CorpusGenerator::Generate() {
+  const SynthConfig& c = world_->config;
+  const auto train_pages = static_cast<int64_t>(c.num_pages * c.train_fraction);
+  const auto dev_pages = static_cast<int64_t>(c.num_pages * c.dev_fraction);
+  const int64_t test_pages = c.num_pages - train_pages - dev_pages;
+  int64_t next_page_id = 0;
+  Corpus corpus;
+  corpus.train = GeneratePages(train_pages, /*allow_holdout=*/false,
+                               /*holdout_boost=*/0.0, &next_page_id);
+  corpus.dev = GeneratePages(dev_pages, /*allow_holdout=*/true,
+                             /*holdout_boost=*/0.12, &next_page_id);
+  corpus.test = GeneratePages(test_pages, /*allow_holdout=*/true,
+                              /*holdout_boost=*/0.12, &next_page_id);
+  return corpus;
+}
+
+std::vector<Sentence> CorpusGenerator::GenerateKoreLike(int64_t num_sentences) {
+  std::vector<Sentence> out;
+  while (static_cast<int64_t>(out.size()) < num_sentences) {
+    // Hard case: gold is the *least* popular candidate of a shared alias.
+    const EntityId probe = world_->SampleEntity(&rng_, /*allow_holdout=*/true);
+    const kb::Entity& pe = world_->kb.entity(probe);
+    if (pe.aliases.size() < 2) continue;
+    const std::string& alias = pe.aliases.front();
+    const auto* cands = world_->candidates.Lookup(alias);
+    if (cands == nullptr || cands->size() < 2) continue;
+    const EntityId gold = cands->back().entity;  // lowest prior
+    Sentence s = MakeSentence(gold, /*allow_holdout=*/true, SampleTemplate());
+    // The templates sample their own alias for the gold; keep only sentences
+    // where that alias still makes the gold a non-top-prior candidate, so
+    // the suite stays hard for prior-based systems (KORE50's character).
+    bool hard = true;
+    for (const Mention& m : s.mentions) {
+      if (m.gold != gold) continue;
+      const auto* mc = world_->candidates.Lookup(m.alias);
+      if (mc == nullptr || mc->size() < 2 || mc->front().entity == gold) {
+        hard = false;
+      }
+    }
+    if (!hard) continue;
+    s.page_id = static_cast<int64_t>(out.size());
+    s.page_entity = gold;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Sentence> CorpusGenerator::GenerateRssLike(int64_t num_sentences) {
+  std::vector<Sentence> out;
+  for (int64_t i = 0; i < num_sentences; ++i) {
+    const EntityId gold = world_->SampleEntity(&rng_, /*allow_holdout=*/true);
+    Sentence s = rng_.Bernoulli(0.7) ? MakeAffordance(gold) : MakeMemorization(gold);
+    s.page_id = i;
+    s.page_entity = gold;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Sentence> CorpusGenerator::GenerateAidaLike(
+    int64_t num_docs, int64_t sentences_per_doc) {
+  std::vector<Sentence> out;
+  for (int64_t d = 0; d < num_docs; ++d) {
+    const EntityId doc_entity = world_->SampleEntity(&rng_, /*allow_holdout=*/true);
+    const std::string title = world_->kb.entity(doc_entity).title;
+    for (int64_t i = 0; i < sentences_per_doc; ++i) {
+      const EntityId gold = (i == 0 || rng_.Bernoulli(0.5))
+                                ? doc_entity
+                                : world_->SampleEntity(&rng_, true);
+      Sentence s = MakeSentence(gold, /*allow_holdout=*/true, SampleTemplate());
+      s.page_id = d;
+      s.page_entity = doc_entity;
+      s.doc_title = title;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace bootleg::data

@@ -1,0 +1,70 @@
+#ifndef BOOTLEG_DATA_GENERATOR_H_
+#define BOOTLEG_DATA_GENERATOR_H_
+
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/world.h"
+#include "util/rng.h"
+
+namespace bootleg::data {
+
+/// Generates the synthetic Wikipedia corpus from a SynthWorld. Pages are
+/// generated per split (so unseen-holdout entities never become train golds),
+/// sentences instantiate the four reasoning-pattern templates, anchors are
+/// labeled with dropout (Wikipedia's missing links), and pronoun/alt-name
+/// page references are left unlabeled for the weak labeler to recover.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const SynthWorld* world);
+
+  /// Full corpus with page-based 80/10/10 splits.
+  Corpus Generate();
+
+  /// KORE50-like suite: short, difficult sentences whose gold entity is the
+  /// lowest-prior candidate of its alias.
+  std::vector<Sentence> GenerateKoreLike(int64_t num_sentences);
+
+  /// RSS500-like suite: news-style sentences with a single mention sampled
+  /// by natural popularity.
+  std::vector<Sentence> GenerateRssLike(int64_t num_sentences);
+
+  /// AIDA-like suite: documents of several sentences sharing a title entity;
+  /// each sentence carries the document title (encoded as title [SEP]
+  /// sentence downstream, following the paper).
+  std::vector<Sentence> GenerateAidaLike(int64_t num_docs,
+                                         int64_t sentences_per_doc);
+
+ private:
+  enum class Template { kAffordance, kRelation, kConsistency, kMemorization };
+
+  Template SampleTemplate();
+  Sentence MakeSentence(kb::EntityId gold, bool allow_holdout, Template tmpl);
+  Sentence MakeAffordance(kb::EntityId gold);
+  Sentence MakeRelation(kb::EntityId gold, bool allow_holdout);
+  Sentence MakeConsistency(kb::EntityId gold, bool allow_holdout);
+  Sentence MakeMemorization(kb::EntityId gold);
+  Sentence MakePageRef(kb::EntityId page_entity);
+
+  void AddMention(Sentence* s, kb::EntityId gold, const std::string& alias,
+                  MentionKind kind, bool labeled);
+  void AppendFiller(Sentence* s, int64_t count);
+  void MaybeAddCue(Sentence* s, kb::EntityId gold);
+  void MaybeAddTypeKeyword(Sentence* s, kb::EntityId gold,
+                           const std::string& alias);
+
+  /// Picks the type of `gold` that the fewest other candidates of `alias`
+  /// share — the discriminative type a Wikipedia sentence would evoke.
+  kb::TypeId DiscriminativeType(kb::EntityId gold, const std::string& alias);
+  void FinishSentence(Sentence* s);
+
+  std::vector<Sentence> GeneratePages(int64_t num_pages, bool allow_holdout,
+                                      double holdout_boost, int64_t* next_page_id);
+
+  const SynthWorld* world_;
+  util::Rng rng_;
+};
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_GENERATOR_H_

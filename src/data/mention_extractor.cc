@@ -1,0 +1,39 @@
+#include "data/mention_extractor.h"
+
+namespace bootleg::data {
+
+std::vector<Mention> MentionExtractor::Extract(
+    const std::vector<std::string>& tokens) const {
+  std::vector<Mention> mentions;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const auto* cands = candidates_->Lookup(tokens[i]);
+    if (cands == nullptr || cands->empty()) continue;
+    Mention m;
+    m.span_start = static_cast<int64_t>(i);
+    m.span_end = m.span_start;
+    m.alias = tokens[i];
+    mentions.push_back(std::move(m));
+  }
+  return mentions;
+}
+
+SentenceExample MentionExtractor::BuildExample(const text::Vocabulary& vocab,
+                                               const std::string& text) const {
+  const std::vector<std::string> tokens = text::Tokenize(text);
+  SentenceExample ex;
+  ex.token_ids = text::Encode(vocab, tokens);
+  for (const Mention& m : Extract(tokens)) {
+    MentionExample me;
+    me.span_start = m.span_start;
+    me.span_end = m.span_end;
+    const auto* cands = candidates_->Lookup(m.alias);
+    for (size_t k = 0; k < cands->size(); ++k) {
+      me.candidates.push_back((*cands)[k].entity);
+      me.priors.push_back((*cands)[k].prior);
+    }
+    ex.mentions.push_back(std::move(me));
+  }
+  return ex;
+}
+
+}  // namespace bootleg::data

@@ -1,0 +1,38 @@
+#ifndef BOOTLEG_DATA_MENTION_EXTRACTOR_H_
+#define BOOTLEG_DATA_MENTION_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/example.h"
+#include "kb/candidate_map.h"
+#include "text/vocabulary.h"
+
+namespace bootleg::data {
+
+/// Mention extraction for raw text: every token whose surface form is a
+/// known alias in Γ becomes a mention. The paper's Bootleg is a pure
+/// disambiguation system (mention boundaries given); this extractor supplies
+/// the boundaries for end-to-end use (the TACRED pipeline of Appendix C does
+/// the same n-gram-over-candidate-maps scan).
+class MentionExtractor {
+ public:
+  explicit MentionExtractor(const kb::CandidateMap* candidates)
+      : candidates_(candidates) {}
+
+  /// Marks every alias-matching token as an unlabeled mention.
+  std::vector<Mention> Extract(const std::vector<std::string>& tokens) const;
+
+  /// Tokenizes raw text, extracts mentions, and assembles a model-ready
+  /// example (golds unknown: gold_index = -1, usable with Predict only).
+  SentenceExample BuildExample(const text::Vocabulary& vocab,
+                               const std::string& text) const;
+
+ private:
+  const kb::CandidateMap* candidates_;
+};
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_MENTION_EXTRACTOR_H_

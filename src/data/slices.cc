@@ -1,0 +1,168 @@
+#include "data/slices.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bootleg::data {
+
+const char* PatternSliceName(PatternSlice s) {
+  switch (s) {
+    case PatternSlice::kEntity:
+      return "Entity";
+    case PatternSlice::kConsistency:
+      return "Type Consistency";
+    case PatternSlice::kKgRelation:
+      return "KG Relation";
+    case PatternSlice::kAffordance:
+      return "Type Affordance";
+  }
+  return "?";
+}
+
+AffordanceKeywords AffordanceKeywords::MineTfIdf(
+    const kb::KnowledgeBase& kb, const std::vector<Sentence>& train, int top_k) {
+  const auto num_types = static_cast<size_t>(kb.num_types());
+  // Term frequency per type and document frequency across types.
+  std::vector<std::unordered_map<std::string, int64_t>> tf(num_types);
+  std::unordered_map<std::string, int64_t> df;
+
+  for (const Sentence& s : train) {
+    // The "document" for type t is the union of sentences whose (labeled)
+    // gold entity carries type t.
+    std::unordered_set<kb::TypeId> sentence_types;
+    for (const Mention& m : s.mentions) {
+      if (!m.labeled) continue;
+      for (kb::TypeId t : kb.entity(m.gold).types) sentence_types.insert(t);
+    }
+    if (sentence_types.empty()) continue;
+    for (kb::TypeId t : sentence_types) {
+      for (const std::string& tok : s.tokens) {
+        if (tok == "." || tok == ",") continue;
+        ++tf[static_cast<size_t>(t)][tok];
+      }
+    }
+  }
+  for (size_t t = 0; t < num_types; ++t) {
+    for (const auto& [tok, count] : tf[t]) {
+      (void)count;
+      ++df[tok];
+    }
+  }
+
+  AffordanceKeywords out;
+  out.keywords_.resize(num_types);
+  out.keyword_sets_.resize(num_types);
+  const double nt = static_cast<double>(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    std::vector<std::pair<double, std::string>> scored;
+    scored.reserve(tf[t].size());
+    for (const auto& [tok, count] : tf[t]) {
+      const double idf = std::log(nt / (1.0 + static_cast<double>(df[tok])));
+      scored.emplace_back(static_cast<double>(count) * idf, tok);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const size_t k = std::min<size_t>(static_cast<size_t>(top_k), scored.size());
+    for (size_t i = 0; i < k; ++i) {
+      out.keywords_[t].push_back(scored[i].second);
+      out.keyword_sets_[t].insert(scored[i].second);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& AffordanceKeywords::KeywordsFor(
+    kb::TypeId t) const {
+  if (t < 0 || static_cast<size_t>(t) >= keywords_.size()) return empty_;
+  return keywords_[static_cast<size_t>(t)];
+}
+
+bool AffordanceKeywords::IsKeyword(kb::TypeId t, const std::string& token) const {
+  if (t < 0 || static_cast<size_t>(t) >= keyword_sets_.size()) return false;
+  return keyword_sets_[static_cast<size_t>(t)].count(token) > 0;
+}
+
+double AffordanceKeywords::Coverage(const kb::KnowledgeBase& kb,
+                                    const std::vector<Sentence>& sentences) const {
+  int64_t with_type = 0;
+  int64_t covered = 0;
+  for (const Sentence& s : sentences) {
+    for (size_t mi = 0; mi < s.mentions.size(); ++mi) {
+      const Mention& m = s.mentions[mi];
+      if (kb.entity(m.gold).types.empty()) continue;
+      ++with_type;
+      if (InSlice(kb, s, mi, PatternSlice::kAffordance, this)) ++covered;
+    }
+  }
+  return with_type == 0 ? 0.0
+                        : static_cast<double>(covered) / static_cast<double>(with_type);
+}
+
+namespace {
+
+/// True if the mentions at [start, start+2] (by sentence order) are distinct
+/// golds all sharing at least one type.
+bool IsConsistencyRun(const kb::KnowledgeBase& kb, const Sentence& s,
+                      size_t start) {
+  if (start + 2 >= s.mentions.size()) return false;
+  const kb::EntityId a = s.mentions[start].gold;
+  const kb::EntityId b = s.mentions[start + 1].gold;
+  const kb::EntityId c = s.mentions[start + 2].gold;
+  if (a == b || b == c || a == c) return false;
+  // All three must share one common type.
+  for (kb::TypeId t : kb.entity(a).types) {
+    const auto& tb = kb.entity(b).types;
+    const auto& tc = kb.entity(c).types;
+    if (std::find(tb.begin(), tb.end(), t) != tb.end() &&
+        std::find(tc.begin(), tc.end(), t) != tc.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InSlice(const kb::KnowledgeBase& kb, const Sentence& sentence,
+             size_t mention_idx, PatternSlice slice,
+             const AffordanceKeywords* affordance) {
+  BOOTLEG_CHECK(mention_idx < sentence.mentions.size());
+  const Mention& m = sentence.mentions[mention_idx];
+  const kb::Entity& gold = kb.entity(m.gold);
+  switch (slice) {
+    case PatternSlice::kEntity:
+      return gold.types.empty() && gold.relations.empty();
+    case PatternSlice::kConsistency: {
+      for (size_t start = 0; start + 2 < sentence.mentions.size(); ++start) {
+        if (mention_idx >= start && mention_idx <= start + 2 &&
+            IsConsistencyRun(kb, sentence, start)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case PatternSlice::kKgRelation: {
+      for (size_t i = 0; i < sentence.mentions.size(); ++i) {
+        if (i == mention_idx) continue;
+        if (kb.Connected(m.gold, sentence.mentions[i].gold)) return true;
+      }
+      return false;
+    }
+    case PatternSlice::kAffordance: {
+      BOOTLEG_CHECK(affordance != nullptr);
+      for (kb::TypeId t : gold.types) {
+        for (const std::string& tok : sentence.tokens) {
+          if (affordance->IsKeyword(t, tok)) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace bootleg::data

@@ -1,0 +1,56 @@
+#ifndef BOOTLEG_DATA_SLICES_H_
+#define BOOTLEG_DATA_SLICES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/corpus.h"
+#include "kb/kb.h"
+
+namespace bootleg::data {
+
+/// The four reasoning-pattern slices of Section 5.
+enum class PatternSlice {
+  kEntity = 0,       // gold has no relation or type signals
+  kConsistency = 1,  // ≥3 sequential distinct golds sharing a type
+  kKgRelation = 2,   // golds connected by a known KG relation
+  kAffordance = 3,   // sentence contains a TF-IDF affordance keyword of the
+                     // gold's type
+};
+
+const char* PatternSliceName(PatternSlice s);
+
+/// TF-IDF-mined affordance keywords per type (top `top_k` tokens by TF-IDF
+/// over training sentences whose gold entity carries that type), mirroring
+/// the paper's affordance-slice construction.
+class AffordanceKeywords {
+ public:
+  static AffordanceKeywords MineTfIdf(const kb::KnowledgeBase& kb,
+                                      const std::vector<Sentence>& train,
+                                      int top_k = 15);
+
+  const std::vector<std::string>& KeywordsFor(kb::TypeId t) const;
+  bool IsKeyword(kb::TypeId t, const std::string& token) const;
+
+  /// Fraction of eval mentions whose gold type's keywords appear in the
+  /// sentence (coverage statistic from Appendix D).
+  double Coverage(const kb::KnowledgeBase& kb,
+                  const std::vector<Sentence>& sentences) const;
+
+ private:
+  std::vector<std::vector<std::string>> keywords_;
+  std::vector<std::unordered_set<std::string>> keyword_sets_;
+  std::vector<std::string> empty_;
+};
+
+/// True if mention `mention_idx` of `sentence` belongs to `slice`.
+/// `affordance` is required only for kAffordance.
+bool InSlice(const kb::KnowledgeBase& kb, const Sentence& sentence,
+             size_t mention_idx, PatternSlice slice,
+             const AffordanceKeywords* affordance);
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_SLICES_H_

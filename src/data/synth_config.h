@@ -1,0 +1,76 @@
+#ifndef BOOTLEG_DATA_SYNTH_CONFIG_H_
+#define BOOTLEG_DATA_SYNTH_CONFIG_H_
+
+#include <cstdint>
+
+namespace bootleg::data {
+
+/// Parameters of the synthetic Wikipedia+Wikidata world. The defaults are the
+/// "main" scale used by the Table 2 family of experiments; MicroScale() is
+/// the regularization/weak-labeling ablation scale (paper Appendix B uses a
+/// KORE50-derived Wikipedia subset the same way).
+struct SynthConfig {
+  uint64_t seed = 1234;
+
+  // Knowledge-base shape.
+  int64_t num_entities = 4000;
+  int64_t num_types = 80;
+  int64_t num_relations = 30;
+  int64_t num_coarse_per_type = 1;   // each fine type maps to one coarse type
+  double type_zipf_s = 0.9;          // type popularity skew (distinct type tail)
+  double relation_zipf_s = 1.05;     // relation popularity skew
+  double entity_zipf_s = 0.95;       // entity popularity skew (the entity tail)
+  int64_t triples_per_entity = 2;    // average KG degree
+  double no_type_fraction = 0.08;    // entities with no fine types at all
+  double no_relation_fraction = 0.10;  // entities excluded from triples
+  /// Entities with *neither* types nor relations — only textual cues can
+  /// resolve them (the Entity reasoning-pattern slice of Sec. 5).
+  double no_signal_fraction = 0.05;
+  double person_fraction = 0.25;     // persons get gendered pronouns + name aliases
+
+  // Alias ambiguity.
+  int64_t min_alias_ambiguity = 2;   // entities sharing one alias
+  int64_t max_alias_ambiguity = 6;
+  int64_t max_candidates = 5;        // K (paper uses 30 at Wikipedia scale)
+
+  // Language model of the templates. Small lexicons keep each keyword token
+  // frequent enough to learn at this corpus scale (Wikipedia-scale corpora
+  // see each affordance keyword thousands of times; see DESIGN.md).
+  int64_t keywords_per_type = 2;
+  int64_t keywords_per_relation = 2;
+  int64_t cue_words_per_entity = 2;
+  int64_t num_filler_words = 80;
+
+  // Corpus shape.
+  int64_t num_pages = 2400;
+  int64_t min_sentences_per_page = 2;
+  int64_t max_sentences_per_page = 5;
+  double relation_sentence_prob = 0.25;   // KG-relation template share
+  double consistency_sentence_prob = 0.10;  // type-consistency template share
+  double memorization_sentence_prob = 0.15;  // entity-cue template share
+  double extra_cue_prob = 0.35;       // add entity cue words to other templates
+  double extra_affordance_prob = 0.7;  // add type keywords to non-affordance templates
+  double anchor_label_prob = 0.85;    // anchors that actually carry labels
+  double pageref_sentence_prob = 0.55;  // sentences that carry an unlabeled
+                                        // pronoun/alt-name page reference
+  double unseen_holdout_fraction = 0.06;  // entities never gold in train pages
+
+  // Split fractions by page.
+  double train_fraction = 0.8;
+  double dev_fraction = 0.1;
+
+  /// The micro-ablation scale (fast enough for 12-model sweeps).
+  static SynthConfig MicroScale() {
+    SynthConfig c;
+    c.seed = 777;
+    c.num_entities = 1200;
+    c.num_types = 40;
+    c.num_relations = 18;
+    c.num_pages = 1000;
+    return c;
+  }
+};
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_SYNTH_CONFIG_H_

@@ -1,0 +1,40 @@
+#ifndef BOOTLEG_DATA_WEAK_LABEL_H_
+#define BOOTLEG_DATA_WEAK_LABEL_H_
+
+#include <vector>
+
+#include "data/corpus.h"
+#include "kb/kb.h"
+
+namespace bootleg::data {
+
+/// Outcome of a weak-labeling pass.
+struct WeakLabelStats {
+  int64_t anchor_labels = 0;      // labels present before the pass
+  int64_t pronoun_labels = 0;     // added by the pronoun heuristic
+  int64_t altname_labels = 0;     // added by the alternative-name heuristic
+  int64_t total_labels_after = 0;
+
+  double Multiplier() const {
+    return anchor_labels == 0
+               ? 1.0
+               : static_cast<double>(total_labels_after) /
+                     static_cast<double>(anchor_labels);
+  }
+};
+
+/// Applies the paper's two weak-labeling heuristics (Sec. 3.3.2) in place:
+///   1. pronouns matching the gender of a person's page are labeled as that
+///      person;
+///   2. known alternative names of the page entity appearing in sentences of
+///      its page are labeled as the page entity.
+/// The second heuristic is deliberately noisy: an unlabeled mention whose
+/// surface form is an alias of the page entity is labeled as the page entity
+/// even when the true referent differs — matching the noise the paper
+/// discusses for torso entities.
+WeakLabelStats ApplyWeakLabeling(const kb::KnowledgeBase& kb,
+                                 std::vector<Sentence>* sentences);
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_WEAK_LABEL_H_

@@ -1,0 +1,61 @@
+#ifndef BOOTLEG_DATA_WORLD_H_
+#define BOOTLEG_DATA_WORLD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synth_config.h"
+#include "kb/candidate_map.h"
+#include "kb/kb.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace bootleg::data {
+
+/// The generated world: a knowledge base with long-tailed entity, type, and
+/// relation distributions; an ambiguous alias → candidate map Γ; and the
+/// lexicons (type affordance keywords, relation keywords, entity cue words)
+/// that the sentence templates draw from. Stands in for Wikipedia + Wikidata
+/// + YAGO (see DESIGN.md substitution table).
+struct SynthWorld {
+  SynthConfig config;
+  kb::KnowledgeBase kb;
+  kb::CandidateMap candidates;
+  text::Vocabulary vocab;
+
+  /// Per-entity sampling weight (Zipfian; entity 0 is most popular).
+  std::vector<double> popularity;
+
+  /// Affordance keywords per fine type ("people have heights").
+  std::vector<std::vector<std::string>> type_keywords;
+
+  /// Relation keywords per relation ("in" for "capital of").
+  std::vector<std::vector<std::string>> relation_keywords;
+
+  /// Entity-specific cue words (the memorization pattern); for year-titled
+  /// event entities the first cue is the year token.
+  std::vector<std::vector<std::string>> entity_cues;
+
+  std::vector<std::string> filler_words;
+
+  /// Entities never used as gold in training pages, guaranteeing a
+  /// non-trivial unseen-entity bucket.
+  std::vector<char> is_unseen_holdout;
+
+  std::vector<std::vector<kb::EntityId>> entities_by_type;
+
+  /// Samples an entity by popularity; skips holdout entities when
+  /// `allow_holdout` is false.
+  kb::EntityId SampleEntity(util::Rng* rng, bool allow_holdout) const;
+
+  /// Uniformly picks one of the entity's shared aliases (prefers ambiguous
+  /// aliases over the unique title when possible).
+  const std::string& SampleAlias(kb::EntityId e, util::Rng* rng) const;
+};
+
+/// Builds the world deterministically from `config.seed`.
+SynthWorld BuildWorld(const SynthConfig& config);
+
+}  // namespace bootleg::data
+
+#endif  // BOOTLEG_DATA_WORLD_H_

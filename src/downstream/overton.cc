@@ -1,0 +1,97 @@
+#include "downstream/overton.h"
+
+namespace bootleg::downstream {
+
+using tensor::Tensor;
+using tensor::Var;
+
+OvertonModel::OvertonModel(int64_t num_entities, int64_t vocab_size,
+                           core::BootlegModel* bootleg, uint64_t seed)
+    : bootleg_(bootleg), rng_(seed) {
+  text::WordEncoderConfig enc;
+  enc.hidden = 64;
+  enc.num_layers = 1;
+  enc.max_len = 32;
+  encoder_ = std::make_unique<text::WordEncoder>(&store_, "encoder", vocab_size,
+                                                 enc, &rng_);
+  entity_emb_ = store_.CreateEmbedding("entity_emb", num_entities, 64, &rng_);
+  query_proj_ =
+      std::make_unique<nn::Linear>(&store_, "query_proj", enc.hidden, 64, &rng_);
+  if (bootleg_ != nullptr) {
+    // Score-level fusion: Bootleg's per-candidate vote enters the logits
+    // through a learned gate, the way a production system consumes an
+    // auxiliary disambiguation signal. The gate starts closed (0) so the
+    // vote is adopted only where training shows it helps.
+    bootleg_gate_ = store_.CreateParam("bootleg_gate", Tensor({1, 1}));
+  }
+}
+
+Var OvertonModel::MentionLogits(const Var& w,
+                                const data::MentionExample& mention,
+                                kb::EntityId bootleg_pick) {
+  if (mention.candidates.empty()) return Var();
+  const int64_t n = w.value().size(0);
+  const int64_t first =
+      std::max<int64_t>(0, std::min(mention.span_start, n - 1));
+  const int64_t last = std::max<int64_t>(0, std::min(mention.span_end, n - 1));
+  Var m = text::WordEncoder::MentionEmbedding(w, first, last);
+  Var q = query_proj_->Forward(m);
+  Var u = entity_emb_->Lookup(mention.candidates);
+  Var logits = tensor::MatMul(q, tensor::Transpose(u));  // [1, K]
+  if (bootleg_ != nullptr && bootleg_pick != kb::kInvalidId) {
+    Tensor indicator({1, static_cast<int64_t>(mention.candidates.size())});
+    for (size_t k = 0; k < mention.candidates.size(); ++k) {
+      if (mention.candidates[k] == bootleg_pick) indicator.at(0, k) = 1.0f;
+    }
+    // logits += gate · indicator: MatMul of the [1,1] gate with the [1,K]
+    // indicator scales the vote by the learned gate.
+    logits = tensor::Add(
+        logits,
+        tensor::MatMul(bootleg_gate_, Var::Constant(std::move(indicator))));
+  }
+  return logits;
+}
+
+Var OvertonModel::Loss(const data::SentenceExample& example, bool train) {
+  if (example.token_ids.empty()) return Var();
+  std::vector<core::BootlegModel::ContextualMention> ctx;
+  if (bootleg_ != nullptr) ctx = bootleg_->ContextualEmbeddings(example);
+  Var w = encoder_->Encode(example.token_ids, &rng_, train);
+  std::vector<Var> losses;
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const data::MentionExample& mention = example.mentions[mi];
+    if (mention.gold_index < 0) continue;
+    const kb::EntityId pick =
+        bootleg_ == nullptr ? kb::kInvalidId : ctx[mi].entity;
+    Var logits = MentionLogits(w, mention, pick);
+    if (!logits.defined()) continue;
+    losses.push_back(tensor::CrossEntropy(logits, {mention.gold_index}));
+  }
+  if (losses.empty()) return Var();
+  Var loss = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) loss = tensor::Add(loss, losses[i]);
+  return tensor::Scale(loss, 1.0f / static_cast<float>(losses.size()));
+}
+
+std::vector<int64_t> OvertonModel::Predict(const data::SentenceExample& example) {
+  std::vector<int64_t> preds(example.mentions.size(), -1);
+  if (example.token_ids.empty()) return preds;
+  std::vector<core::BootlegModel::ContextualMention> ctx;
+  if (bootleg_ != nullptr) ctx = bootleg_->ContextualEmbeddings(example);
+  Var w = encoder_->Encode(example.token_ids, &rng_, /*train=*/false);
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const kb::EntityId pick =
+        bootleg_ == nullptr ? kb::kInvalidId : ctx[mi].entity;
+    Var logits = MentionLogits(w, example.mentions[mi], pick);
+    if (!logits.defined()) continue;
+    const Tensor& s = logits.value();
+    int64_t best = 0;
+    for (int64_t k = 1; k < s.size(1); ++k) {
+      if (s.at(0, k) > s.at(0, best)) best = k;
+    }
+    preds[mi] = best;
+  }
+  return preds;
+}
+
+}  // namespace bootleg::downstream

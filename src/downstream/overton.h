@@ -1,0 +1,53 @@
+#ifndef BOOTLEG_DOWNSTREAM_OVERTON_H_
+#define BOOTLEG_DOWNSTREAM_OVERTON_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "data/example.h"
+#include "eval/evaluator.h"
+#include "nn/layers.h"
+#include "text/word_encoder.h"
+
+namespace bootleg::downstream {
+
+/// The industry use case of Sec. 4.3: an Overton-style factoid system whose
+/// in-house disambiguation model optionally consumes Bootleg's output. The
+/// baseline scores candidates from text alone; the subject model additionally
+/// receives the frozen Bootleg model's contextual disambiguation as a
+/// per-candidate vote through a learned gate (score-level signal fusion, the
+/// way Overton composes auxiliary model signals). Table 5 reports the
+/// subject's F1 relative to the baseline's, overall and on the tail, across
+/// languages.
+class OvertonModel : public eval::NedScorer {
+ public:
+  /// `bootleg` may be null (the baseline system). When set, it is used as a
+  /// frozen feature extractor.
+  OvertonModel(int64_t num_entities, int64_t vocab_size,
+               core::BootlegModel* bootleg, uint64_t seed);
+
+  tensor::Var Loss(const data::SentenceExample& example, bool train);
+  std::vector<int64_t> Predict(const data::SentenceExample& example) override;
+
+  nn::ParameterStore& store() { return store_; }
+
+ private:
+  /// Candidate logits: proj(text_rep) · u_c plus a learned-gate bonus on the
+  /// candidate Bootleg's contextual disambiguation picked.
+  tensor::Var MentionLogits(const tensor::Var& w,
+                            const data::MentionExample& mention,
+                            kb::EntityId bootleg_pick);
+
+  core::BootlegModel* bootleg_;
+  util::Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<text::WordEncoder> encoder_;
+  nn::Embedding* entity_emb_ = nullptr;
+  std::unique_ptr<nn::Linear> query_proj_;
+  tensor::Var bootleg_gate_;  // [1,1], defined only with a bootleg model
+};
+
+}  // namespace bootleg::downstream
+
+#endif  // BOOTLEG_DOWNSTREAM_OVERTON_H_

@@ -1,0 +1,147 @@
+#ifndef BOOTLEG_DOWNSTREAM_RELATION_EXTRACTION_H_
+#define BOOTLEG_DOWNSTREAM_RELATION_EXTRACTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/example.h"
+#include "data/world.h"
+#include "nn/layers.h"
+#include "nn/param_store.h"
+#include "text/word_encoder.h"
+
+namespace bootleg::downstream {
+
+/// One TACRED-sim relation-extraction example: a sentence, subject/object
+/// spans, and the gold relation (the KG relation between the gold subject
+/// and object entities, or no_relation). Labels are derivable only through
+/// correct disambiguation when the relation keyword is absent from the text —
+/// the mechanism the paper's Sec. 4.3 exercises.
+struct ReExample {
+  std::vector<int64_t> token_ids;
+  int64_t subj_start = 0, subj_end = 0;
+  int64_t obj_start = 0, obj_end = 0;
+  int64_t label = 0;  // relation id, or num_relations for "no_relation"
+  bool has_relation_keyword = false;
+
+  /// NED view of the same sentence (subject mention first, object second).
+  data::SentenceExample ned;
+
+  /// Features filled by PrepareBootlegFeatures / PrepareStaticFeatures.
+  std::vector<float> subj_ctx;  // contextual Bootleg embedding (may be empty)
+  std::vector<float> obj_ctx;
+  std::vector<float> subj_static;  // static entity embedding of the prior
+  std::vector<float> obj_static;   // candidate (KnowBERT stand-in)
+
+  /// Signal statistics for the Table 12/13 slice analyses: fractions of
+  /// words where Bootleg disambiguates an entity / leverages Wikidata-style
+  /// relations / leverages types for the embedding.
+  double entity_signal_fraction = 0.0;
+  double relation_signal_fraction = 0.0;
+  double type_signal_fraction = 0.0;
+  bool subj_obj_have_relation_signal = false;
+  bool subj_obj_have_type_signal = false;
+};
+
+struct ReDataset {
+  std::vector<ReExample> train;
+  std::vector<ReExample> test;
+  int64_t num_labels = 0;  // num_relations + 1 (no_relation)
+};
+
+/// Generates a TACRED-sim dataset from the world. `keyword_prob` controls how
+/// often the relation keyword appears in positive sentences (lower = harder
+/// for text-only models).
+ReDataset GenerateReDataset(const data::SynthWorld& world, int64_t num_train,
+                            int64_t num_test, uint64_t seed,
+                            double keyword_prob = 0.5);
+
+/// Fills subj_ctx/obj_ctx with contextual Bootleg embeddings and the signal
+/// statistics, by running `bootleg` inference over every example.
+void PrepareBootlegFeatures(core::BootlegModel* bootleg,
+                            const data::SynthWorld& world,
+                            std::vector<ReExample>* examples);
+
+/// Fills subj_static/obj_static with static entity embeddings of each span's
+/// top-prior candidate (the KnowBERT stand-in: entity knowledge without
+/// contextual disambiguation). `entity_table` is [num_entities, dim].
+void PrepareStaticFeatures(const tensor::Tensor& entity_table,
+                           std::vector<ReExample>* examples);
+
+/// Which knowledge the downstream model consumes.
+enum class ReMode {
+  kText = 0,     // SpanBERT stand-in: text only
+  kStatic = 1,   // KnowBERT stand-in: text + static entity embeddings
+  kBootleg = 2,  // text + contextual Bootleg embeddings
+};
+
+const char* ReModeName(ReMode mode);
+
+/// The downstream relation-extraction model: a text encoder over the
+/// sentence, span representations for subject and object, optional knowledge
+/// features concatenated, then an MLP over relation labels.
+class ReModel {
+ public:
+  ReModel(int64_t vocab_size, int64_t num_labels, ReMode mode,
+          int64_t knowledge_dim, uint64_t seed);
+
+  tensor::Var Loss(const ReExample& example, bool train);
+  int64_t Predict(const ReExample& example);
+
+  nn::ParameterStore& store() { return store_; }
+  ReMode mode() const { return mode_; }
+
+ private:
+  tensor::Var Features(const ReExample& example, bool train);
+
+  ReMode mode_;
+  int64_t num_labels_;
+  int64_t knowledge_dim_;
+  util::Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<text::WordEncoder> encoder_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+struct ReTrainOptions {
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  float lr = 1e-3f;
+  uint64_t seed = 5;
+};
+
+void TrainRe(ReModel* model, const std::vector<ReExample>& train,
+             const ReTrainOptions& options);
+
+/// TACRED micro-F1: precision/recall computed over non-"no_relation"
+/// predictions and golds, the benchmark's standard metric.
+struct ReMetrics {
+  int64_t correct_positive = 0;
+  int64_t predicted_positive = 0;
+  int64_t gold_positive = 0;
+  std::vector<int64_t> predictions;  // aligned with the eval set
+
+  double precision() const {
+    return predicted_positive == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(correct_positive) / predicted_positive;
+  }
+  double recall() const {
+    return gold_positive == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(correct_positive) / gold_positive;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+ReMetrics EvaluateRe(ReModel* model, const std::vector<ReExample>& test,
+                     int64_t no_relation_label);
+
+}  // namespace bootleg::downstream
+
+#endif  // BOOTLEG_DOWNSTREAM_RELATION_EXTRACTION_H_

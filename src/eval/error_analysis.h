@@ -1,0 +1,55 @@
+#ifndef BOOTLEG_EVAL_ERROR_ANALYSIS_H_
+#define BOOTLEG_EVAL_ERROR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "kb/kb.h"
+
+namespace bootleg::eval {
+
+/// The four error buckets of Section 5 (Table 8).
+enum class ErrorBucket {
+  kGranularity = 0,  // predicted is a subclass of gold or vice versa
+  kNumerical = 1,    // gold title contains a year
+  kMultiHop = 2,     // gold 2-hop (but not 1-hop) connected to a co-mention
+  kExactMatch = 3,   // the mention surface form is exactly the gold title
+};
+
+const char* ErrorBucketName(ErrorBucket b);
+
+/// Per-bucket error shares plus illustrative examples.
+struct ErrorBucketReport {
+  ErrorBucket bucket;
+  int64_t overall_errors_in_bucket = 0;
+  int64_t overall_errors = 0;
+  int64_t tail_errors_in_bucket = 0;
+  int64_t tail_errors = 0;
+  std::vector<std::string> examples;  // rendered sentences with gold/pred
+
+  double OverallShare() const {
+    return overall_errors == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(overall_errors_in_bucket) / overall_errors;
+  }
+  double TailShare() const {
+    return tail_errors == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(tail_errors_in_bucket) / tail_errors;
+  }
+};
+
+/// True if an erroneous record belongs to `bucket`.
+bool InErrorBucket(const kb::KnowledgeBase& kb, const PredictionRecord& record,
+                   ErrorBucket bucket);
+
+/// Computes Table 8-style reports over all four buckets from a model's
+/// errors. `max_examples` caps the rendered examples per bucket.
+std::vector<ErrorBucketReport> AnalyzeErrors(const kb::KnowledgeBase& kb,
+                                             const ResultSet& results,
+                                             int max_examples = 2);
+
+}  // namespace bootleg::eval
+
+#endif  // BOOTLEG_EVAL_ERROR_ANALYSIS_H_

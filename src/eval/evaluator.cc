@@ -1,0 +1,77 @@
+#include "eval/evaluator.h"
+
+namespace bootleg::eval {
+
+Prf ResultSet::Filtered(
+    const std::function<bool(const PredictionRecord&)>& keep) const {
+  Prf prf;
+  for (const PredictionRecord& r : records_) {
+    if (!r.Eligible() || !keep(r)) continue;
+    ++prf.total;
+    if (r.HasPrediction()) ++prf.predicted;
+    if (r.Correct()) ++prf.correct;
+  }
+  return prf;
+}
+
+Prf ResultSet::Overall() const {
+  return Filtered([](const PredictionRecord&) { return true; });
+}
+
+Prf ResultSet::ByBucket(data::PopularityBucket bucket) const {
+  return Filtered(
+      [bucket](const PredictionRecord& r) { return r.bucket == bucket; });
+}
+
+Prf ResultSet::Benchmark() const {
+  Prf prf;
+  for (const PredictionRecord& r : records_) {
+    ++prf.total;
+    if (r.HasPrediction()) ++prf.predicted;
+    if (r.Correct()) ++prf.correct;
+  }
+  return prf;
+}
+
+int64_t ResultSet::NumEligible() const {
+  int64_t n = 0;
+  for (const PredictionRecord& r : records_) {
+    if (r.Eligible()) ++n;
+  }
+  return n;
+}
+
+ResultSet RunEvaluation(NedScorer* model,
+                        const std::vector<data::Sentence>& sentences,
+                        const data::ExampleBuilder& builder,
+                        const data::ExampleOptions& options,
+                        const data::EntityCounts& counts) {
+  data::ExampleOptions eval_options = options;
+  eval_options.include_weak_labels = false;  // evaluate true anchors only
+  ResultSet results;
+  for (const data::Sentence& sentence : sentences) {
+    const data::SentenceExample example = builder.Build(sentence, eval_options);
+    if (example.mentions.empty()) continue;
+    const std::vector<int64_t> preds = model->Predict(example);
+    BOOTLEG_CHECK_EQ(preds.size(), example.mentions.size());
+    for (size_t k = 0; k < example.mentions.size(); ++k) {
+      const data::MentionExample& me = example.mentions[k];
+      PredictionRecord rec;
+      rec.sentence = &sentence;
+      rec.mention_idx = static_cast<size_t>(me.sentence_mention_index);
+      rec.gold = me.gold;
+      rec.alias = sentence.mentions[rec.mention_idx].alias;
+      rec.gold_in_candidates = me.GoldInCandidates();
+      rec.num_candidates = static_cast<int64_t>(me.candidates.size());
+      rec.bucket = counts.BucketOf(me.gold);
+      if (preds[k] >= 0 &&
+          preds[k] < static_cast<int64_t>(me.candidates.size())) {
+        rec.predicted = me.candidates[static_cast<size_t>(preds[k])];
+      }
+      results.Add(std::move(rec));
+    }
+  }
+  return results;
+}
+
+}  // namespace bootleg::eval

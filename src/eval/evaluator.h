@@ -1,0 +1,98 @@
+#ifndef BOOTLEG_EVAL_EVALUATOR_H_
+#define BOOTLEG_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/example.h"
+#include "kb/kb.h"
+
+namespace bootleg::eval {
+
+/// Interface every NED model in this repo implements (Bootleg, its
+/// ablations, NED-Base, the alias-prior baseline). Predict returns, for each
+/// mention of the example, the index of the chosen candidate (or -1 when the
+/// candidate list is empty).
+class NedScorer {
+ public:
+  virtual ~NedScorer() = default;
+  virtual std::vector<int64_t> Predict(const data::SentenceExample& example) = 0;
+};
+
+/// Micro-averaged precision / recall / F1. With fixed gold mentions and one
+/// prediction per mention these coincide with accuracy; they diverge when
+/// candidate generation misses (no prediction possible), matching the paper's
+/// benchmark protocol.
+struct Prf {
+  int64_t correct = 0;
+  int64_t predicted = 0;  // mentions where the model produced a prediction
+  int64_t total = 0;      // mentions in the denominator of recall
+
+  double precision() const {
+    return predicted == 0 ? 0.0 : 100.0 * static_cast<double>(correct) / predicted;
+  }
+  double recall() const {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(correct) / total;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// One evaluated mention with everything the slice analyses need.
+struct PredictionRecord {
+  const data::Sentence* sentence = nullptr;
+  size_t mention_idx = 0;  // index into sentence->mentions
+  kb::EntityId gold = kb::kInvalidId;
+  kb::EntityId predicted = kb::kInvalidId;
+  std::string alias;
+  bool gold_in_candidates = false;
+  int64_t num_candidates = 0;
+  data::PopularityBucket bucket = data::PopularityBucket::kUnseen;
+
+  bool HasPrediction() const { return predicted != kb::kInvalidId; }
+  bool Correct() const { return HasPrediction() && predicted == gold; }
+  /// The paper's eval filter: gold must be generatable and the mention must
+  /// be genuinely ambiguous.
+  bool Eligible() const { return gold_in_candidates && num_candidates > 1; }
+};
+
+/// The outcome of evaluating one model over one sentence set.
+class ResultSet {
+ public:
+  void Add(PredictionRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<PredictionRecord>& records() const { return records_; }
+
+  /// F1 over records passing the paper's filter and the caller's predicate.
+  Prf Filtered(const std::function<bool(const PredictionRecord&)>& keep) const;
+
+  /// F1 over all eligible mentions.
+  Prf Overall() const;
+
+  /// F1 over eligible mentions in one popularity bucket.
+  Prf ByBucket(data::PopularityBucket bucket) const;
+
+  /// Unfiltered benchmark-style metrics (candidate misses hurt recall).
+  Prf Benchmark() const;
+
+  int64_t NumEligible() const;
+
+ private:
+  std::vector<PredictionRecord> records_;
+};
+
+/// Runs `model` over `sentences` (evaluating true anchors only, never weak
+/// labels) and assembles the ResultSet. Bucket membership uses `counts`
+/// (training-time anchor+weak-label occurrence counts).
+ResultSet RunEvaluation(NedScorer* model,
+                        const std::vector<data::Sentence>& sentences,
+                        const data::ExampleBuilder& builder,
+                        const data::ExampleOptions& options,
+                        const data::EntityCounts& counts);
+
+}  // namespace bootleg::eval
+
+#endif  // BOOTLEG_EVAL_EVALUATOR_H_

@@ -1,0 +1,98 @@
+#ifndef BOOTLEG_HARNESS_EXPERIMENT_H_
+#define BOOTLEG_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/ned_base.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/weak_label.h"
+#include "data/world.h"
+#include "eval/evaluator.h"
+#include "kb/cooccurrence.h"
+
+namespace bootleg::harness {
+
+/// A fully prepared experiment environment: world + corpus + weak labels +
+/// counts + co-occurrence stats + model-ready training examples. Every bench
+/// binary starts by building one of these (deterministic given the config).
+struct Environment {
+  data::SynthConfig synth_config;
+  data::SynthWorld world;
+  data::Corpus corpus;  // train split already weak-labeled when requested
+  data::WeakLabelStats wl_stats;
+  data::EntityCounts counts;              // anchors + weak labels
+  data::EntityCounts counts_anchor_only;  // pre-weak-label counts (Table 11)
+  kb::CooccurrenceStats cooc{/*min_count=*/3};
+  std::unique_ptr<data::ExampleBuilder> builder;
+  std::vector<data::SentenceExample> train_examples;
+
+  std::vector<int64_t> TitleTokenIds() const;
+};
+
+/// Builds the environment. When `apply_weak_labels` is false the corpus keeps
+/// only anchor labels (the Table 11 "No WL" arm).
+Environment BuildEnvironment(const data::SynthConfig& config,
+                             bool apply_weak_labels = true);
+
+/// The main experiment scale (Table 2 family).
+data::SynthConfig MainScale();
+
+/// One named, trainable model configuration. The name keys the disk cache:
+/// a second binary requesting the same spec on the same environment loads
+/// the checkpoint instead of retraining (disable with BOOTLEG_CACHE=0).
+struct BootlegSpec {
+  std::string name;
+  core::BootlegConfig config;
+  core::TrainOptions train;
+  uint64_t model_seed = 7;
+};
+
+/// Default Bootleg configuration at this repo's scale.
+core::BootlegConfig DefaultBootlegConfig();
+core::TrainOptions DefaultTrainOptions();
+
+/// Trains (or cache-loads) a Bootleg model on the environment.
+std::unique_ptr<core::BootlegModel> TrainBootleg(Environment* env,
+                                                 const BootlegSpec& spec);
+
+/// Trains (or cache-loads) the NED-Base baseline.
+std::unique_ptr<baseline::NedBaseModel> TrainNedBase(
+    Environment* env, const std::string& name,
+    const core::TrainOptions& train_options, uint64_t model_seed = 13);
+
+/// Evaluation over the paper's popularity buckets.
+struct BucketResult {
+  eval::Prf all, torso, tail, unseen;
+  eval::ResultSet results;  // kept for slice / error analyses
+};
+
+/// `bucket_counts` overrides the counts used for bucket membership (Table 11
+/// buckets by pre-weak-label counts); defaults to env.counts.
+BucketResult EvaluateBuckets(eval::NedScorer* model, const Environment& env,
+                             const std::vector<data::Sentence>& sentences,
+                             bool prepend_title = false,
+                             const data::EntityCounts* bucket_counts = nullptr);
+
+/// dev + test concatenated — used by the micro ablations to shrink the
+/// per-bucket noise (the micro unseen bucket is small).
+std::vector<data::Sentence> DevPlusTest(const Environment& env);
+
+/// Pretty-printing helpers shared by the bench binaries.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::string& name, const std::vector<double>& values);
+void PrintTableRowText(const std::string& name,
+                       const std::vector<std::string>& values);
+
+/// Cache directory (BOOTLEG_CACHE_DIR, default "bootleg_cache"); empty string
+/// when caching is disabled via BOOTLEG_CACHE=0.
+std::string CacheDir();
+
+}  // namespace bootleg::harness
+
+#endif  // BOOTLEG_HARNESS_EXPERIMENT_H_

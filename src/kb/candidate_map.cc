@@ -1,0 +1,93 @@
+#include "kb/candidate_map.h"
+
+#include <algorithm>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace bootleg::kb {
+
+void CandidateMap::AddAlias(const std::string& alias, EntityId entity,
+                            float weight) {
+  BOOTLEG_CHECK_MSG(!finalized_, "CandidateMap already finalized");
+  auto& cands = map_[alias];
+  for (Candidate& c : cands) {
+    if (c.entity == entity) {
+      c.prior += weight;
+      return;
+    }
+  }
+  cands.push_back({entity, weight});
+}
+
+void CandidateMap::Finalize(int max_candidates) {
+  BOOTLEG_CHECK_MSG(!finalized_, "CandidateMap already finalized");
+  BOOTLEG_CHECK_GT(max_candidates, 0);
+  max_candidates_ = max_candidates;
+  for (auto& [alias, cands] : map_) {
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.prior != b.prior) return a.prior > b.prior;
+                       return a.entity < b.entity;
+                     });
+    if (static_cast<int>(cands.size()) > max_candidates) {
+      cands.resize(static_cast<size_t>(max_candidates));
+    }
+    float total = 0.0f;
+    for (const Candidate& c : cands) total += c.prior;
+    if (total > 0.0f) {
+      for (Candidate& c : cands) c.prior /= total;
+    }
+  }
+  finalized_ = true;
+}
+
+const std::vector<Candidate>* CandidateMap::Lookup(const std::string& alias) const {
+  BOOTLEG_CHECK_MSG(finalized_, "CandidateMap not finalized");
+  auto it = map_.find(alias);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+util::Status CandidateMap::Save(const std::string& path) const {
+  BOOTLEG_CHECK(finalized_);
+  util::BinaryWriter w(path);
+  w.WriteU32(0xB0071EC0);
+  w.WriteU32(static_cast<uint32_t>(max_candidates_));
+  w.WriteU64(map_.size());
+  for (const auto& [alias, cands] : map_) {
+    w.WriteString(alias);
+    w.WriteU64(cands.size());
+    for (const Candidate& c : cands) {
+      w.WriteI64(c.entity);
+      w.WriteF32(c.prior);
+    }
+  }
+  return w.Finish();
+}
+
+util::Status CandidateMap::Load(const std::string& path) {
+  util::BinaryReader r(path);
+  if (r.ReadU32() != 0xB0071EC0) {
+    return util::Status::Corruption("bad candidate map magic: " + path);
+  }
+  map_.clear();
+  max_candidates_ = static_cast<int>(r.ReadU32());
+  const uint64_t n = r.ReadU64();
+  for (uint64_t i = 0; i < n && r.status().ok(); ++i) {
+    const std::string alias = r.ReadString();
+    const uint64_t nc = r.ReadU64();
+    std::vector<Candidate> cands;
+    cands.reserve(nc);
+    for (uint64_t j = 0; j < nc && r.status().ok(); ++j) {
+      Candidate c;
+      c.entity = r.ReadI64();
+      c.prior = r.ReadF32();
+      cands.push_back(c);
+    }
+    map_.emplace(alias, std::move(cands));
+  }
+  finalized_ = true;
+  return r.status();
+}
+
+}  // namespace bootleg::kb

@@ -1,0 +1,61 @@
+#ifndef BOOTLEG_KB_CANDIDATE_MAP_H_
+#define BOOTLEG_KB_CANDIDATE_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/kb.h"
+#include "util/status.h"
+
+namespace bootleg::kb {
+
+/// One candidate entity for an alias, with its prior probability (mined from
+/// anchor-link statistics, as the paper mines Γ from Wikipedia anchors and
+/// Wikidata "also known as").
+struct Candidate {
+  EntityId entity = kInvalidId;
+  float prior = 0.0f;
+};
+
+/// The candidate map Γ: alias string → top-K candidate entities ranked by
+/// prior. Build by accumulating (alias, entity, weight) observations, then
+/// Finalize(K) to sort, truncate, and normalize.
+class CandidateMap {
+ public:
+  CandidateMap() = default;
+
+  /// Accumulates weight for (alias → entity). Aliases are matched exactly
+  /// (the corpus is pre-lowercased by the tokenizer).
+  void AddAlias(const std::string& alias, EntityId entity, float weight = 1.0f);
+
+  /// Sorts candidates by accumulated weight, truncates to `max_candidates`,
+  /// and normalizes priors to sum to 1 per alias. Must be called once after
+  /// all AddAlias calls and before Lookup.
+  void Finalize(int max_candidates);
+
+  /// Candidate list for an alias, or nullptr if the alias is unknown.
+  const std::vector<Candidate>* Lookup(const std::string& alias) const;
+
+  bool finalized() const { return finalized_; }
+  int64_t num_aliases() const { return static_cast<int64_t>(map_.size()); }
+  int max_candidates() const { return max_candidates_; }
+
+  /// Iteration support (tests, stats).
+  const std::unordered_map<std::string, std::vector<Candidate>>& map() const {
+    BOOTLEG_CHECK(finalized_);
+    return map_;
+  }
+
+  util::Status Save(const std::string& path) const;
+  util::Status Load(const std::string& path);
+
+ private:
+  bool finalized_ = false;
+  int max_candidates_ = 0;
+  std::unordered_map<std::string, std::vector<Candidate>> map_;
+};
+
+}  // namespace bootleg::kb
+
+#endif  // BOOTLEG_KB_CANDIDATE_MAP_H_

@@ -1,0 +1,23 @@
+#include "kb/cooccurrence.h"
+
+#include <cmath>
+
+namespace bootleg::kb {
+
+void CooccurrenceStats::AddPair(EntityId a, EntityId b) {
+  if (a == b) return;
+  ++counts_[Key(a, b)];
+}
+
+int64_t CooccurrenceStats::Count(EntityId a, EntityId b) const {
+  auto it = counts_.find(Key(a, b));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+float CooccurrenceStats::Weight(EntityId a, EntityId b) const {
+  const int64_t c = Count(a, b);
+  if (c < min_count_) return 0.0f;
+  return std::log(static_cast<float>(c));
+}
+
+}  // namespace bootleg::kb

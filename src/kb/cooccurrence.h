@@ -1,0 +1,43 @@
+#ifndef BOOTLEG_KB_COOCCURRENCE_H_
+#define BOOTLEG_KB_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kb/kb.h"
+
+namespace bootleg::kb {
+
+/// Sentence co-occurrence statistics between entity pairs, mined from the
+/// training corpus. The benchmark Bootleg model uses log(count) of sentence
+/// co-occurrence as an additional KG2Ent adjacency matrix (Appendix B), with
+/// pairs co-occurring fewer than `min_count` times weighted 0.
+class CooccurrenceStats {
+ public:
+  explicit CooccurrenceStats(int64_t min_count = 3) : min_count_(min_count) {}
+
+  /// Records that `a` and `b` were gold entities in the same sentence.
+  void AddPair(EntityId a, EntityId b);
+
+  /// Raw co-occurrence count.
+  int64_t Count(EntityId a, EntityId b) const;
+
+  /// Adjacency weight: log(count) if count ≥ min_count, else 0.
+  float Weight(EntityId a, EntityId b) const;
+
+  int64_t num_pairs() const { return static_cast<int64_t>(counts_.size()); }
+  int64_t min_count() const { return min_count_; }
+
+ private:
+  static uint64_t Key(EntityId a, EntityId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+
+  int64_t min_count_;
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace bootleg::kb
+
+#endif  // BOOTLEG_KB_COOCCURRENCE_H_

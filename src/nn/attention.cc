@@ -1,0 +1,81 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace bootleg::nn {
+
+using tensor::Tensor;
+using tensor::Var;
+
+MultiHeadAttention::MultiHeadAttention(ParameterStore* store,
+                                       const std::string& prefix, int64_t hidden,
+                                       int64_t num_heads, util::Rng* rng)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads),
+      wq_(store, prefix + ".wq", hidden, hidden, rng),
+      wk_(store, prefix + ".wk", hidden, hidden, rng),
+      wv_(store, prefix + ".wv", hidden, hidden, rng),
+      wo_(store, prefix + ".wo", hidden, hidden, rng) {
+  BOOTLEG_CHECK_MSG(hidden % num_heads == 0,
+                    "hidden dim must be divisible by head count");
+}
+
+Var MultiHeadAttention::Attend(const Var& queries, const Var& keys) const {
+  BOOTLEG_CHECK_EQ(queries.value().size(1), hidden_);
+  BOOTLEG_CHECK_EQ(keys.value().size(1), hidden_);
+  const Var q = wq_.Forward(queries);
+  const Var k = wk_.Forward(keys);
+  const Var v = wv_.Forward(keys);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Var> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t off = h * head_dim_;
+    Var qh = tensor::SliceCols(q, off, head_dim_);
+    Var kh = tensor::SliceCols(k, off, head_dim_);
+    Var vh = tensor::SliceCols(v, off, head_dim_);
+    Var scores = tensor::Scale(tensor::MatMul(qh, tensor::Transpose(kh)), inv_sqrt);
+    Var attn = tensor::SoftmaxRows(scores);
+    heads.push_back(tensor::MatMul(attn, vh));
+  }
+  return wo_.Forward(tensor::ConcatCols(heads));
+}
+
+AttentionBlock::AttentionBlock(ParameterStore* store, const std::string& prefix,
+                               int64_t hidden, int64_t num_heads,
+                               int64_t ff_inner, util::Rng* rng)
+    : mha_(store, prefix + ".mha", hidden, num_heads, rng),
+      ln1_(store, prefix + ".ln1", hidden),
+      ff_(store, prefix + ".ff", hidden, ff_inner, rng),
+      ln2_(store, prefix + ".ln2", hidden),
+      dropout_(0.1f) {}
+
+Var AttentionBlock::Forward(const Var& queries, const Var& keys, util::Rng* rng,
+                            bool train) const {
+  Var attended = dropout_.Apply(mha_.Attend(queries, keys), rng, train);
+  Var h = ln1_.Forward(tensor::Add(queries, attended));
+  Var ff_out = dropout_.Apply(ff_.Forward(h, rng, train), rng, train);
+  return ln2_.Forward(tensor::Add(h, ff_out));
+}
+
+AdditiveAttention::AdditiveAttention(ParameterStore* store,
+                                     const std::string& prefix, int64_t dim,
+                                     int64_t attn_dim, util::Rng* rng)
+    : proj_(store, prefix + ".proj", dim, attn_dim, rng),
+      score_vec_(store->CreateParam(prefix + ".score_vec",
+                                    XavierUniform(attn_dim, 1, rng))) {}
+
+Var AdditiveAttention::Pool(const Var& items) const {
+  BOOTLEG_CHECK_EQ(items.value().dim(), 2);
+  // scores_i = vᵀ tanh(W x_i + b); weights = softmax(scores); out = Σ w_i x_i.
+  Var hidden = tensor::TanhV(proj_.Forward(items));
+  Var scores = tensor::MatMul(hidden, score_vec_);           // [t, 1]
+  Var weights = tensor::SoftmaxRows(tensor::Transpose(scores));  // [1, t]
+  return tensor::MatMul(weights, items);                     // [1, dim]
+}
+
+}  // namespace bootleg::nn

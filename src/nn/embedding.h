@@ -1,0 +1,59 @@
+#ifndef BOOTLEG_NN_EMBEDDING_H_
+#define BOOTLEG_NN_EMBEDDING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "util/rng.h"
+
+namespace bootleg::nn {
+
+/// Embedding table with sparse gradient accumulation. Lookups build autograd
+/// ops whose backward scatters row gradients into `sparse_grads()` instead of
+/// materializing a dense table gradient — essential for the (entity-count ×
+/// dim) tables the paper trains (1.36B of its 1.37B parameters live in
+/// embeddings; ours are smaller but the asymmetry is the same).
+///
+/// The Embedding must outlive every tape node produced by Lookup().
+class Embedding {
+ public:
+  Embedding(std::string name, int64_t rows, int64_t cols, util::Rng* rng,
+            float stddev = 0.02f);
+
+  /// Differentiable row gather; ids index the table.
+  tensor::Var Lookup(const std::vector<int64_t>& ids);
+
+  /// Non-differentiable gather (inference paths).
+  tensor::Tensor LookupValue(const std::vector<int64_t>& ids) const {
+    return tensor::GatherRows(table_, ids);
+  }
+
+  /// Re-initializes every row to the same vector. The paper initializes all
+  /// entity embeddings identically so unseen entities do not differ by
+  /// initialization noise (Appendix B).
+  void InitConstantRows(const tensor::Tensor& row);
+
+  const std::string& name() const { return name_; }
+  int64_t rows() const { return table_.size(0); }
+  int64_t cols() const { return table_.size(1); }
+  tensor::Tensor& table() { return table_; }
+  const tensor::Tensor& table() const { return table_; }
+
+  /// Row-id → accumulated gradient row, cleared by ZeroGrad().
+  std::unordered_map<int64_t, std::vector<float>>& sparse_grads() {
+    return sparse_grads_;
+  }
+
+  void ZeroGrad() { sparse_grads_.clear(); }
+
+ private:
+  std::string name_;
+  tensor::Tensor table_;
+  std::unordered_map<int64_t, std::vector<float>> sparse_grads_;
+};
+
+}  // namespace bootleg::nn
+
+#endif  // BOOTLEG_NN_EMBEDDING_H_

@@ -1,0 +1,26 @@
+#ifndef BOOTLEG_NN_INIT_H_
+#define BOOTLEG_NN_INIT_H_
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace bootleg::nn {
+
+/// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight.
+inline tensor::Tensor XavierUniform(int64_t fan_in, int64_t fan_out,
+                                    util::Rng* rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::RandUniform({fan_in, fan_out}, rng, limit);
+}
+
+/// Scaled normal initialization for embedding tables.
+inline tensor::Tensor EmbeddingInit(int64_t rows, int64_t cols, util::Rng* rng,
+                                    float stddev = 0.02f) {
+  return tensor::Tensor::Randn({rows, cols}, rng, stddev);
+}
+
+}  // namespace bootleg::nn
+
+#endif  // BOOTLEG_NN_INIT_H_

@@ -1,0 +1,110 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace bootleg::nn {
+
+using tensor::Tensor;
+using tensor::Var;
+
+Adam::Adam(ParameterStore* store, Options options)
+    : store_(store), options_(options) {
+  for (const std::string& name : store->param_names()) {
+    if (store->IsFrozen(name)) continue;
+    Var p = store->GetParam(name);
+    dense_.push_back({p, Tensor(p.value().shape()), Tensor(p.value().shape())});
+  }
+  for (const std::string& name : store->embedding_names()) {
+    if (store->IsFrozen(name)) continue;
+    Embedding* e = store->GetEmbedding(name);
+    sparse_.push_back({e, Tensor({e->rows(), e->cols()}), Tensor({e->rows(), e->cols()})});
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  const float lr = options_.lr;
+
+  // Global-norm gradient clipping over dense parameters. Embedding gradients
+  // are left unclipped (each row receives few contributions per step).
+  float scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (const DenseSlot& slot : dense_) {
+      const Tensor& g = slot.param.grad();
+      if (g.empty()) continue;
+      for (float x : g.vec()) sq += static_cast<double>(x) * x;
+    }
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+
+  for (DenseSlot& slot : dense_) {
+    Var p = slot.param;
+    const Tensor& g = p.grad();
+    if (g.empty()) continue;
+    Tensor& value = p.mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float gi = g.at(i) * scale;
+      float& m = slot.m.at(i);
+      float& v = slot.v.at(i);
+      m = options_.beta1 * m + (1.0f - options_.beta1) * gi;
+      v = options_.beta2 * v + (1.0f - options_.beta2) * gi * gi;
+      const float mhat = m / bc1;
+      const float vhat = v / bc2;
+      value.at(i) -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+    p.ZeroGrad();
+  }
+
+  for (SparseSlot& slot : sparse_) {
+    Embedding* e = slot.embedding;
+    const int64_t cols = e->cols();
+    for (auto& [row, grad] : e->sparse_grads()) {
+      float* value = e->table().data() + row * cols;
+      float* m = slot.m.data() + row * cols;
+      float* v = slot.v.data() + row * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        const float gj = grad[static_cast<size_t>(j)];
+        m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * gj;
+        v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * gj * gj;
+        const float mhat = m[j] / bc1;
+        const float vhat = v[j] / bc2;
+        value[j] -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+      }
+    }
+    e->ZeroGrad();
+  }
+}
+
+Sgd::Sgd(ParameterStore* store, float lr) : store_(store), lr_(lr) {
+  for (const std::string& name : store->param_names()) {
+    if (!store->IsFrozen(name)) dense_.push_back(store->GetParam(name));
+  }
+  for (const std::string& name : store->embedding_names()) {
+    if (!store->IsFrozen(name)) sparse_.push_back(store->GetEmbedding(name));
+  }
+}
+
+void Sgd::Step() {
+  for (Var& p : dense_) {
+    const Tensor& g = p.grad();
+    if (g.empty()) continue;
+    p.mutable_value().Axpy(-lr_, g);
+    p.ZeroGrad();
+  }
+  for (Embedding* e : sparse_) {
+    const int64_t cols = e->cols();
+    for (auto& [row, grad] : e->sparse_grads()) {
+      float* value = e->table().data() + row * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        value[j] -= lr_ * grad[static_cast<size_t>(j)];
+      }
+    }
+    e->ZeroGrad();
+  }
+}
+
+}  // namespace bootleg::nn

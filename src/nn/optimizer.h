@@ -1,0 +1,75 @@
+#ifndef BOOTLEG_NN_OPTIMIZER_H_
+#define BOOTLEG_NN_OPTIMIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param_store.h"
+#include "tensor/autograd.h"
+
+namespace bootleg::nn {
+
+/// Adam optimizer (Kingma & Ba) over a ParameterStore. Dense parameters get
+/// standard Adam; embedding tables get lazy/sparse Adam that only updates
+/// rows touched this step — the same treatment the paper needs for its
+/// 1.36B-parameter entity tables.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    /// Gradient clipping by global norm over dense parameters; 0 disables.
+    float clip_norm = 5.0f;
+  };
+
+  Adam(ParameterStore* store, Options options);
+
+  /// Applies one update from the gradients currently accumulated in the
+  /// store, then clears them.
+  void Step();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  struct DenseSlot {
+    tensor::Var param;
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+  struct SparseSlot {
+    Embedding* embedding;
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+
+  ParameterStore* store_;
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<DenseSlot> dense_;
+  std::vector<SparseSlot> sparse_;
+};
+
+/// Plain SGD, used in tests as a reference optimizer.
+class Sgd {
+ public:
+  Sgd(ParameterStore* store, float lr);
+
+  void Step();
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  ParameterStore* store_;
+  float lr_;
+  std::vector<tensor::Var> dense_;
+  std::vector<Embedding*> sparse_;
+};
+
+}  // namespace bootleg::nn
+
+#endif  // BOOTLEG_NN_OPTIMIZER_H_

@@ -1,0 +1,136 @@
+#include "nn/param_store.h"
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace bootleg::nn {
+
+using tensor::Tensor;
+using tensor::Var;
+
+Var ParameterStore::CreateParam(const std::string& name, Tensor init) {
+  BOOTLEG_CHECK_MSG(params_.find(name) == params_.end(),
+                    "duplicate parameter name: " + name);
+  Var v = Var::Leaf(std::move(init), /*requires_grad=*/true);
+  params_.emplace(name, v);
+  param_order_.push_back(name);
+  return v;
+}
+
+Embedding* ParameterStore::CreateEmbedding(const std::string& name, int64_t rows,
+                                           int64_t cols, util::Rng* rng,
+                                           float stddev) {
+  BOOTLEG_CHECK_MSG(embeddings_.find(name) == embeddings_.end(),
+                    "duplicate embedding name: " + name);
+  auto emb = std::make_unique<Embedding>(name, rows, cols, rng, stddev);
+  Embedding* ptr = emb.get();
+  embeddings_.emplace(name, std::move(emb));
+  embedding_order_.push_back(name);
+  return ptr;
+}
+
+void ParameterStore::Freeze(const std::string& prefix) {
+  frozen_prefixes_.push_back(prefix);
+}
+
+bool ParameterStore::IsFrozen(const std::string& name) const {
+  for (const std::string& p : frozen_prefixes_) {
+    if (util::StartsWith(name, p)) return true;
+  }
+  return false;
+}
+
+Var ParameterStore::GetParam(const std::string& name) const {
+  auto it = params_.find(name);
+  BOOTLEG_CHECK_MSG(it != params_.end(), "no such parameter: " + name);
+  return it->second;
+}
+
+Embedding* ParameterStore::GetEmbedding(const std::string& name) const {
+  auto it = embeddings_.find(name);
+  BOOTLEG_CHECK_MSG(it != embeddings_.end(), "no such embedding: " + name);
+  return it->second.get();
+}
+
+void ParameterStore::ZeroGrad() {
+  for (auto& [name, v] : params_) {
+    Var copy = v;
+    copy.ZeroGrad();
+  }
+  for (auto& [name, e] : embeddings_) e->ZeroGrad();
+}
+
+int64_t ParameterStore::DenseParamCount() const {
+  int64_t n = 0;
+  for (const auto& [name, v] : params_) n += v.value().numel();
+  return n;
+}
+
+int64_t ParameterStore::EmbeddingParamCount() const {
+  int64_t n = 0;
+  for (const auto& [name, e] : embeddings_) n += e->table().numel();
+  return n;
+}
+
+util::Status ParameterStore::Save(const std::string& path) const {
+  util::BinaryWriter w(path);
+  w.WriteU32(0xB0071E60);  // magic
+  w.WriteU64(param_order_.size());
+  for (const std::string& name : param_order_) {
+    const Var& v = params_.at(name);
+    w.WriteString(name);
+    std::vector<int64_t> shape = v.value().shape();
+    w.WriteI64Vector(shape);
+    w.WriteFloatVector(v.value().vec());
+  }
+  w.WriteU64(embedding_order_.size());
+  for (const std::string& name : embedding_order_) {
+    const Embedding* e = embeddings_.at(name).get();
+    w.WriteString(name);
+    w.WriteI64(e->rows());
+    w.WriteI64(e->cols());
+    w.WriteFloatVector(e->table().vec());
+  }
+  return w.Finish();
+}
+
+util::Status ParameterStore::Load(const std::string& path) {
+  util::BinaryReader r(path);
+  if (r.ReadU32() != 0xB0071E60) {
+    return util::Status::Corruption("bad checkpoint magic: " + path);
+  }
+  const uint64_t np = r.ReadU64();
+  for (uint64_t i = 0; i < np && r.status().ok(); ++i) {
+    const std::string name = r.ReadString();
+    std::vector<int64_t> shape = r.ReadI64Vector();
+    std::vector<float> data = r.ReadFloatVector();
+    auto it = params_.find(name);
+    if (it == params_.end()) {
+      return util::Status::Corruption("checkpoint has unknown parameter: " + name);
+    }
+    Tensor t(std::move(shape), std::move(data));
+    if (!t.SameShape(it->second.value())) {
+      return util::Status::Corruption("shape mismatch for parameter: " + name);
+    }
+    it->second.mutable_value() = std::move(t);
+  }
+  const uint64_t ne = r.ReadU64();
+  for (uint64_t i = 0; i < ne && r.status().ok(); ++i) {
+    const std::string name = r.ReadString();
+    const int64_t rows = r.ReadI64();
+    const int64_t cols = r.ReadI64();
+    std::vector<float> data = r.ReadFloatVector();
+    auto it = embeddings_.find(name);
+    if (it == embeddings_.end()) {
+      return util::Status::Corruption("checkpoint has unknown embedding: " + name);
+    }
+    Embedding* e = it->second.get();
+    if (rows != e->rows() || cols != e->cols()) {
+      return util::Status::Corruption("shape mismatch for embedding: " + name);
+    }
+    e->table() = Tensor({rows, cols}, std::move(data));
+  }
+  return r.status();
+}
+
+}  // namespace bootleg::nn

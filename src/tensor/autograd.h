@@ -1,0 +1,122 @@
+#ifndef BOOTLEG_TENSOR_AUTOGRAD_H_
+#define BOOTLEG_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace bootleg::tensor {
+
+namespace internal_autograd {
+
+/// One node of the dynamically-built computation tape.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily by EnsureGrad()
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  /// Accumulates input gradients from this node's grad. Set only when
+  /// requires_grad is true and the op is differentiable.
+  std::function<void(Node&)> backward;
+
+  void EnsureGrad() {
+    if (grad.empty() && value.numel() > 0) grad = Tensor(value.shape());
+  }
+};
+
+}  // namespace internal_autograd
+
+/// Handle to a tape node. Vars are cheap shared references; the tape is the
+/// graph of Vars reachable from a loss. Reverse-mode differentiation runs
+/// with Backward(loss).
+class Var {
+ public:
+  using Node = internal_autograd::Node;
+
+  Var() = default;
+
+  /// A leaf holding `value`. Leaves with requires_grad=true are parameters.
+  static Var Leaf(Tensor value, bool requires_grad = false);
+
+  /// A constant (no gradient ever flows into it).
+  static Var Constant(Tensor value) { return Leaf(std::move(value), false); }
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const {
+    BOOTLEG_CHECK(defined());
+    return node_->value;
+  }
+  Tensor& mutable_value() {
+    BOOTLEG_CHECK(defined());
+    return node_->value;
+  }
+  const Tensor& grad() const {
+    BOOTLEG_CHECK(defined());
+    return node_->grad;
+  }
+  Tensor& mutable_grad() {
+    BOOTLEG_CHECK(defined());
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+  bool requires_grad() const { return defined() && node_->requires_grad; }
+
+  void ZeroGrad() {
+    if (defined() && !node_->grad.empty()) node_->grad.Fill(0.0f);
+  }
+
+  /// Internal: tape access for op implementations.
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  /// Internal: constructs from an existing node.
+  static Var FromNode(std::shared_ptr<Node> node);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode autodiff from scalar `loss` (numel()==1), accumulating
+/// into the .grad of every reachable node with requires_grad.
+void Backward(const Var& loss);
+
+// --- Differentiable ops -----------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b);
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+/// Elementwise multiply by a constant tensor (dropout / regularization masks).
+Var MulConst(const Var& a, const Tensor& mask);
+Var Scale(const Var& a, float alpha);
+/// a [n,d] + bias [d].
+Var AddRowBroadcast(const Var& a, const Var& bias);
+Var Relu(const Var& a);
+Var TanhV(const Var& a);
+Var Gelu(const Var& a);
+Var SoftmaxRows(const Var& a);
+Var LogSoftmaxRows(const Var& a);
+Var Transpose(const Var& a);
+Var ConcatCols(const std::vector<Var>& parts);
+Var ConcatRows(const std::vector<Var>& parts);
+Var SliceCols(const Var& a, int64_t start, int64_t len);
+Var SliceRows(const Var& a, int64_t start, int64_t len);
+/// Differentiable row gather from a parameter table (dense scatter-add grad).
+Var GatherRows(const Var& table, const std::vector<int64_t>& ids);
+Var Sum(const Var& a);
+Var Mean(const Var& a);
+/// Elementwise max; gradient follows the winning element (ties go to `a`).
+Var Max(const Var& a, const Var& b);
+/// Row-wise layer normalization with learned gain/bias (both shape [d]).
+Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps = 1e-5f);
+/// Mean negative log-likelihood of `targets` under row-wise softmax(logits).
+Var CrossEntropy(const Var& logits, const std::vector<int64_t>& targets);
+/// K + w·I for constant square K and learned scalar w (shape [1]).
+Var AddScaledIdentity(const Tensor& k, const Var& w);
+/// Mean of the rows of a 2-D input → [1, d]. Used by additive attention.
+Var MeanRows(const Var& a);
+
+}  // namespace bootleg::tensor
+
+#endif  // BOOTLEG_TENSOR_AUTOGRAD_H_

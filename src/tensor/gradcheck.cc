@@ -1,0 +1,50 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+namespace bootleg::tensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& loss_fn,
+    std::vector<Var>* leaves, float epsilon, float tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Var& leaf : *leaves) leaf.ZeroGrad();
+  Var loss = loss_fn(*leaves);
+  Backward(loss);
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves->size());
+  for (Var& leaf : *leaves) {
+    analytic.push_back(leaf.grad().empty() ? Tensor(leaf.value().shape())
+                                           : leaf.grad());
+  }
+
+  // Numeric pass: central differences on every element of every leaf.
+  for (size_t li = 0; li < leaves->size(); ++li) {
+    Var& leaf = (*leaves)[li];
+    if (!leaf.requires_grad()) continue;
+    Tensor& v = leaf.mutable_value();
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      const float orig = v.at(i);
+      v.at(i) = orig + epsilon;
+      const float up = loss_fn(*leaves).value().at(0);
+      v.at(i) = orig - epsilon;
+      const float down = loss_fn(*leaves).value().at(0);
+      v.at(i) = orig;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float a = analytic[li].at(i);
+      const float abs_err = std::abs(a - numeric);
+      const float denom = std::max({std::abs(a), std::abs(numeric), 1.0f});
+      const float rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    }
+  }
+
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace bootleg::tensor

@@ -1,0 +1,29 @@
+#ifndef BOOTLEG_TENSOR_GRADCHECK_H_
+#define BOOTLEG_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace bootleg::tensor {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = false;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+};
+
+/// Compares the analytic gradient of `loss_fn` w.r.t. each leaf in `leaves`
+/// against central finite differences. `loss_fn` must rebuild the graph from
+/// the leaves' current values on every call and return a scalar Var.
+///
+/// Used by the property-based tests to certify every autograd op.
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& loss_fn,
+    std::vector<Var>* leaves, float epsilon = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace bootleg::tensor
+
+#endif  // BOOTLEG_TENSOR_GRADCHECK_H_

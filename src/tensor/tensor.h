@@ -1,0 +1,179 @@
+#ifndef BOOTLEG_TENSOR_TENSOR_H_
+#define BOOTLEG_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace bootleg::tensor {
+
+/// Dense row-major float tensor. This is the value type of the training
+/// substrate: all model math runs on 1-D and 2-D instances (per-sentence
+/// batching keeps higher ranks unnecessary). Copyable and movable; copies
+/// are deep.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Builds a tensor from explicit shape and data; sizes must agree.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor Ones(std::vector<int64_t> shape) { return Full(std::move(shape), 1.0f); }
+
+  /// Gaussian initialization with the given standard deviation.
+  static Tensor Randn(std::vector<int64_t> shape, util::Rng* rng, float stddev = 1.0f);
+
+  /// Uniform initialization in [-limit, limit].
+  static Tensor RandUniform(std::vector<int64_t> shape, util::Rng* rng, float limit);
+
+  /// Identity matrix of size n×n.
+  static Tensor Eye(int64_t n);
+
+  /// 1-D tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t axis) const {
+    BOOTLEG_CHECK(axis >= 0 && axis < dim());
+    return shape_[static_cast<size_t>(axis)];
+  }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// 1-D element access.
+  float& at(int64_t i) {
+    BOOTLEG_CHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float at(int64_t i) const {
+    BOOTLEG_CHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// 2-D element access; tensor must be rank 2.
+  float& at(int64_t r, int64_t c) {
+    BOOTLEG_CHECK_EQ(dim(), 2);
+    BOOTLEG_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    BOOTLEG_CHECK_EQ(dim(), 2);
+    BOOTLEG_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Returns a copy reshaped to `shape` (numel must be preserved).
+  Tensor Reshape(std::vector<int64_t> shape) const;
+
+  /// In-place fill.
+  void Fill(float value);
+
+  /// In-place accumulate: this += other (same shape).
+  void Add(const Tensor& other);
+
+  /// In-place axpy: this += alpha * other (same shape).
+  void Axpy(float alpha, const Tensor& other);
+
+  /// In-place scale.
+  void Scale(float alpha);
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Debug rendering, e.g. "[2,3] {1.0, 2.0, ...}".
+  std::string ToString(int64_t max_elems = 8) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+// ---------------------------------------------------------------------------
+// Free-function kernels over plain tensors. These carry no autograd; the
+// autograd layer (autograd.h) composes them and supplies backward rules.
+// ---------------------------------------------------------------------------
+
+/// C = A·B for 2-D A [m,k] and B [k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A·Bᵀ for 2-D A [m,k] and B [n,k]. Fused to avoid materializing Bᵀ.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ·B for 2-D A [k,m] and B [k,n].
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise sum of same-shape tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise difference of same-shape tensors.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise product of same-shape tensors.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// alpha * A.
+Tensor Scale(const Tensor& a, float alpha);
+
+/// A [n,d] + bias [d] broadcast over rows.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Row-wise log-softmax of a 2-D tensor.
+Tensor LogSoftmaxRows(const Tensor& a);
+
+/// Elementwise max.
+Tensor Max(const Tensor& a, const Tensor& b);
+
+/// Elementwise ReLU / tanh / GELU (tanh approximation).
+Tensor Relu(const Tensor& a);
+Tensor TanhT(const Tensor& a);
+Tensor Gelu(const Tensor& a);
+
+/// Concatenates 2-D tensors with equal row counts along columns.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Concatenates 2-D tensors with equal column counts along rows.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Copies `len` columns starting at `start` from a 2-D tensor.
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len);
+
+/// Copies `len` rows starting at `start` from a 2-D tensor.
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len);
+
+/// Gathers rows of a 2-D table by index.
+Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& ids);
+
+/// Row index of the maximum in a 1-D tensor.
+int64_t ArgMax(const Tensor& a);
+
+/// Frobenius / L2 norm.
+float Norm(const Tensor& a);
+
+/// True if all finite.
+bool AllFinite(const Tensor& a);
+
+}  // namespace bootleg::tensor
+
+#endif  // BOOTLEG_TENSOR_TENSOR_H_

@@ -1,0 +1,89 @@
+#include "text/vocabulary.h"
+
+#include <cctype>
+
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bootleg::text {
+
+Vocabulary::Vocabulary() {
+  AddToken("[PAD]");
+  AddToken("[UNK]");
+  AddToken("[SEP]");
+  AddToken("[CLS]");
+  BOOTLEG_CHECK_EQ(Id("[PAD]"), kPadId);
+  BOOTLEG_CHECK_EQ(Id("[UNK]"), kUnkId);
+  BOOTLEG_CHECK_EQ(Id("[SEP]"), kSepId);
+  BOOTLEG_CHECK_EQ(Id("[CLS]"), kClsId);
+}
+
+int64_t Vocabulary::AddToken(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  const int64_t id = size();
+  index_.emplace(token, id);
+  tokens_.push_back(token);
+  return id;
+}
+
+int64_t Vocabulary::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::Token(int64_t id) const {
+  BOOTLEG_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+util::Status Vocabulary::Save(const std::string& path) const {
+  util::BinaryWriter w(path);
+  w.WriteU32(0xB0071EF0);
+  w.WriteU64(tokens_.size());
+  for (const std::string& t : tokens_) w.WriteString(t);
+  return w.Finish();
+}
+
+util::Status Vocabulary::Load(const std::string& path) {
+  util::BinaryReader r(path);
+  if (r.ReadU32() != 0xB0071EF0) {
+    return util::Status::Corruption("bad vocabulary magic: " + path);
+  }
+  tokens_.clear();
+  index_.clear();
+  const uint64_t n = r.ReadU64();
+  for (uint64_t i = 0; i < n && r.status().ok(); ++i) AddToken(r.ReadString());
+  return r.status();
+}
+
+std::vector<std::string> Tokenize(const std::string& sentence) {
+  std::vector<std::string> out;
+  for (const std::string& raw : util::Split(sentence, " \t\n")) {
+    std::string word = util::ToLower(raw);
+    // Peel trailing punctuation into separate tokens.
+    size_t end = word.size();
+    while (end > 0) {
+      const char c = word[end - 1];
+      if (c == '.' || c == ',' || c == '?' || c == '!' || c == ';') {
+        --end;
+      } else {
+        break;
+      }
+    }
+    if (end > 0) out.push_back(word.substr(0, end));
+    for (size_t i = end; i < word.size(); ++i) out.push_back(std::string(1, word[i]));
+  }
+  return out;
+}
+
+std::vector<int64_t> Encode(const Vocabulary& vocab,
+                            const std::vector<std::string>& tokens) {
+  std::vector<int64_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(vocab.Id(t));
+  return ids;
+}
+
+}  // namespace bootleg::text

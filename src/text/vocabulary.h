@@ -1,0 +1,57 @@
+#ifndef BOOTLEG_TEXT_VOCABULARY_H_
+#define BOOTLEG_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bootleg::text {
+
+/// Token id constants shared across the project.
+inline constexpr int64_t kPadId = 0;
+inline constexpr int64_t kUnkId = 1;
+inline constexpr int64_t kSepId = 2;
+inline constexpr int64_t kClsId = 3;
+
+/// Word-level vocabulary with reserved special tokens. The synthetic corpus
+/// is whitespace-tokenizable ASCII so no subword machinery is needed.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  /// Adds `token` if absent; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId when unknown.
+  int64_t Id(const std::string& token) const;
+
+  bool Contains(const std::string& token) const {
+    return index_.count(token) > 0;
+  }
+
+  const std::string& Token(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  util::Status Save(const std::string& path) const;
+  util::Status Load(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// Lower-cases and splits `sentence` into word tokens, separating trailing
+/// punctuation (. , ? ! ;) into their own tokens.
+std::vector<std::string> Tokenize(const std::string& sentence);
+
+/// Maps tokens to ids (unknown → kUnkId).
+std::vector<int64_t> Encode(const Vocabulary& vocab,
+                            const std::vector<std::string>& tokens);
+
+}  // namespace bootleg::text
+
+#endif  // BOOTLEG_TEXT_VOCABULARY_H_

@@ -1,0 +1,51 @@
+#include "text/word_encoder.h"
+
+namespace bootleg::text {
+
+using tensor::Tensor;
+using tensor::Var;
+
+WordEncoder::WordEncoder(nn::ParameterStore* store, const std::string& prefix,
+                         int64_t vocab_size, const WordEncoderConfig& config,
+                         util::Rng* rng)
+    : prefix_(prefix),
+      config_(config),
+      token_embedding_(store->CreateEmbedding(prefix + ".tok", vocab_size,
+                                              config.hidden, rng)),
+      position_table_(nn::SinusoidalPositionTable(config.max_len, config.hidden)) {
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers_.emplace_back(store, prefix + ".layer" + std::to_string(l),
+                         config.hidden, config.num_heads, config.ff_inner, rng);
+  }
+}
+
+Var WordEncoder::Encode(const std::vector<int64_t>& token_ids, util::Rng* rng,
+                        bool train) const {
+  std::vector<int64_t> ids = token_ids;
+  if (static_cast<int64_t>(ids.size()) > config_.max_len) {
+    ids.resize(static_cast<size_t>(config_.max_len));
+  }
+  BOOTLEG_CHECK(!ids.empty());
+  Var h = token_embedding_->Lookup(ids);
+  // Add the (constant) sinusoidal position encodings.
+  Tensor pos = tensor::SliceRows(position_table_, 0,
+                                 static_cast<int64_t>(ids.size()));
+  h = tensor::Add(h, Var::Constant(std::move(pos)));
+  for (const nn::AttentionBlock& layer : layers_) {
+    h = layer.Forward(h, rng, train);
+  }
+  return h;
+}
+
+Var WordEncoder::MentionEmbedding(const Var& w, int64_t span_start,
+                                  int64_t span_end) {
+  const int64_t n = w.value().size(0);
+  BOOTLEG_CHECK(span_start >= 0 && span_start < n);
+  BOOTLEG_CHECK(span_end >= span_start);
+  const int64_t last = std::min(span_end, n - 1);
+  Var first_tok = tensor::SliceRows(w, span_start, 1);
+  Var last_tok = tensor::SliceRows(w, last, 1);
+  return tensor::Add(first_tok, last_tok);
+}
+
+}  // namespace bootleg::text

@@ -1,0 +1,134 @@
+#include "util/io.h"
+
+#include <sstream>
+
+namespace bootleg::util {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for write: " + path);
+  }
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_.good()) status_ = Status::IOError("write failure");
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(int64_t));
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = Status::IOError("flush failure");
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IOError("cannot open for read: " + path);
+  }
+}
+
+void BinaryReader::ReadBytes(void* data, size_t n) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n)) {
+    status_ = Status::Corruption("short read");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ull << 32)) {
+    if (status_.ok()) status_ = Status::Corruption("string too long");
+    return {};
+  }
+  std::string s(n, '\0');
+  ReadBytes(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ull << 32)) {
+    if (status_.ok()) status_ = Status::Corruption("vector too long");
+    return {};
+  }
+  std::vector<float> v(n);
+  ReadBytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<int64_t> BinaryReader::ReadI64Vector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ull << 32)) {
+    if (status_.ok()) status_ = Status::Corruption("vector too long");
+    return {};
+  }
+  std::vector<int64_t> v(n);
+  ReadBytes(v.data(), n * sizeof(int64_t));
+  return v;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  out << contents;
+  out.flush();
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace bootleg::util

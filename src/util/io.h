@@ -1,0 +1,68 @@
+#ifndef BOOTLEG_UTIL_IO_H_
+#define BOOTLEG_UTIL_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bootleg::util {
+
+/// Binary writer for model checkpoints and KB snapshots. Little-endian,
+/// length-prefixed strings and vectors. All methods are no-ops after the
+/// first failure; call status() once at the end.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+
+  /// Flushes and returns the accumulated status.
+  Status Finish();
+
+ private:
+  void WriteBytes(const void* data, size_t n);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Binary reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadF32();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+  std::vector<int64_t> ReadI64Vector();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void ReadBytes(void* data, size_t n);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
+/// Reads the entire file at `path`.
+StatusOr<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace bootleg::util
+
+#endif  // BOOTLEG_UTIL_IO_H_

@@ -1,0 +1,64 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace bootleg::util {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= g_min_level.load()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+namespace internal_logging {
+
+void CheckFailure(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  {
+    // Scoped so the destructor emits the message (and aborts, as kFatal).
+    LogMessage m(LogLevel::kFatal, file, line);
+    m.stream() << "Check failed: " << expr;
+    if (!msg.empty()) m.stream() << " — " << msg;
+  }
+  // Unreachable; keeps the [[noreturn]] contract explicit for the compiler.
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace bootleg::util

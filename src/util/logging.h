@@ -1,0 +1,81 @@
+#ifndef BOOTLEG_UTIL_LOGGING_H_
+#define BOOTLEG_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bootleg::util {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Returns the process-wide minimum severity that is emitted.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum severity that is emitted.
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style log message. Emits on destruction; aborts for kFatal.
+///
+/// Usage: `LogMessage(LogLevel::kInfo, __FILE__, __LINE__).stream() << "msg";`
+/// or via the BOOTLEG_LOG / BOOTLEG_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows a log stream when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace bootleg::util
+
+#define BOOTLEG_LOG(level)                                                      \
+  ::bootleg::util::LogMessage(::bootleg::util::LogLevel::k##level, __FILE__,    \
+                              __LINE__)                                         \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Used for programming errors
+/// (shape mismatches, index bounds) in the style of database-kernel asserts;
+/// recoverable errors use bootleg::util::Status instead.
+#define BOOTLEG_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                             \
+         : ::bootleg::util::internal_logging::CheckFailure(#cond, __FILE__,    \
+                                                           __LINE__)
+
+#define BOOTLEG_CHECK_MSG(cond, msg)                                           \
+  (cond) ? (void)0                                                             \
+         : ::bootleg::util::internal_logging::CheckFailure(#cond, __FILE__,    \
+                                                           __LINE__, (msg))
+
+#define BOOTLEG_CHECK_EQ(a, b) BOOTLEG_CHECK((a) == (b))
+#define BOOTLEG_CHECK_NE(a, b) BOOTLEG_CHECK((a) != (b))
+#define BOOTLEG_CHECK_LT(a, b) BOOTLEG_CHECK((a) < (b))
+#define BOOTLEG_CHECK_LE(a, b) BOOTLEG_CHECK((a) <= (b))
+#define BOOTLEG_CHECK_GT(a, b) BOOTLEG_CHECK((a) > (b))
+#define BOOTLEG_CHECK_GE(a, b) BOOTLEG_CHECK((a) >= (b))
+
+namespace bootleg::util::internal_logging {
+
+[[noreturn]] void CheckFailure(const char* expr, const char* file, int line,
+                               const std::string& msg = "");
+
+}  // namespace bootleg::util::internal_logging
+
+#endif  // BOOTLEG_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace bootleg::util {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  BOOTLEG_CHECK_GT(n, 0);
+  // Inverse-CDF sampling over the discrete Zipf pmf. n is small (≤ a few
+  // hundred thousand) in this project, so a linear scan over a cached
+  // normalizer would work, but we avoid per-call O(n) by rejection sampling
+  // from the continuous bounding distribution (Devroye's method).
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = Uniform();
+    const double v = Uniform();
+    // X ~ floor(U^(-1/(s-1))) style sampler; specialize s == 1 via log.
+    double x;
+    if (std::abs(s - 1.0) < 1e-9) {
+      x = std::pow(static_cast<double>(n) + 1.0, u);
+    } else {
+      const double t = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const int64_t k = static_cast<int64_t>(x);
+    if (k < 1 || k > n) continue;
+    // Accept with probability pmf(k)/bound(k); the simple ratio below is a
+    // standard acceptance test adequate for s in (0, 4].
+    const double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (v * b <= ratio * b) {
+      return k - 1;
+    }
+  }
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  BOOTLEG_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BOOTLEG_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  BOOTLEG_CHECK_GT(total, 0.0);
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace bootleg::util

@@ -1,0 +1,80 @@
+#ifndef BOOTLEG_UTIL_RNG_H_
+#define BOOTLEG_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bootleg::util {
+
+/// Deterministic, seedable random number generator used throughout the
+/// project so that corpus generation, initialization, and training are
+/// reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    BOOTLEG_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Samples an index in [0, n) with probability proportional to a Zipfian
+  /// law with exponent `s`: P(i) ∝ 1 / (i + 1)^s. Used to generate the
+  /// long-tailed popularity distributions the paper studies.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Samples an index in [0, weights.size()) proportional to `weights`.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks one element uniformly at random. `v` must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    BOOTLEG_CHECK(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Forks an independent generator seeded from this one (for parallel or
+  /// per-component streams that must not perturb each other).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bootleg::util
+
+#endif  // BOOTLEG_UTIL_RNG_H_

@@ -1,0 +1,102 @@
+#ifndef BOOTLEG_UTIL_STATUS_H_
+#define BOOTLEG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bootleg::util {
+
+/// Error codes for recoverable failures (I/O, parsing, lookup misses).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object in the RocksDB/Arrow style. Library functions
+/// that can fail for data-dependent reasons return Status (or StatusOr);
+/// programming errors use BOOTLEG_CHECK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "NotFound: no such alias".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status. Minimal StatusOr for this project.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                  // NOLINT
+    BOOTLEG_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BOOTLEG_CHECK_MSG(ok(), status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    BOOTLEG_CHECK_MSG(ok(), status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    BOOTLEG_CHECK_MSG(ok(), status_.ToString());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace bootleg::util
+
+/// Propagates a non-OK status to the caller.
+#define BOOTLEG_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::bootleg::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // BOOTLEG_UTIL_STATUS_H_

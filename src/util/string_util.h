@@ -1,0 +1,30 @@
+#ifndef BOOTLEG_UTIL_STRING_UTIL_H_
+#define BOOTLEG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bootleg::util {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims = " \t\n");
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (the synthetic corpus is ASCII-only).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `s` contains any ASCII digit; used by the "numerical" error bucket.
+bool ContainsDigit(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace bootleg::util
+
+#endif  // BOOTLEG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,28 @@
+#ifndef BOOTLEG_UTIL_TIMER_H_
+#define BOOTLEG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace bootleg::util {
+
+/// Wall-clock stopwatch used by the trainer and bench harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bootleg::util
+
+#endif  // BOOTLEG_UTIL_TIMER_H_

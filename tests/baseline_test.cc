@@ -1,0 +1,101 @@
+#include "baseline/ned_base.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/prior_model.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "data/world.h"
+
+namespace bootleg::baseline {
+namespace {
+
+TEST(PriorModelTest, PicksHighestPrior) {
+  data::SentenceExample ex;
+  data::MentionExample m;
+  m.candidates = {10, 20, 30};
+  m.priors = {0.2f, 0.7f, 0.1f};
+  ex.mentions.push_back(m);
+  PriorModel model;
+  const auto preds = model.Predict(ex);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0], 1);
+}
+
+TEST(PriorModelTest, EmptyCandidatesYieldNoPrediction) {
+  data::SentenceExample ex;
+  ex.mentions.push_back(data::MentionExample{});
+  PriorModel model;
+  EXPECT_EQ(model.Predict(ex)[0], -1);
+}
+
+class NedBaseTest : public ::testing::Test {
+ protected:
+  NedBaseTest() {
+    data::SynthConfig config = data::SynthConfig::MicroScale();
+    config.num_entities = 250;
+    config.num_pages = 60;
+    world_ = data::BuildWorld(config);
+    data::CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+    builder_ = std::make_unique<data::ExampleBuilder>(&world_.candidates,
+                                                      &world_.vocab);
+    examples_ = builder_->BuildAll(corpus_.train, data::ExampleOptions());
+    config_.encoder.hidden = 32;
+    config_.encoder.ff_inner = 64;
+    config_.encoder.max_len = 24;
+    config_.entity_dim = 32;
+  }
+  data::SynthWorld world_;
+  data::Corpus corpus_;
+  std::unique_ptr<data::ExampleBuilder> builder_;
+  std::vector<data::SentenceExample> examples_;
+  NedBaseConfig config_;
+};
+
+TEST_F(NedBaseTest, PredictShapes) {
+  NedBaseModel model(world_.kb.num_entities(), world_.vocab.size(), config_, 3);
+  for (size_t i = 0; i < 15 && i < examples_.size(); ++i) {
+    const auto preds = model.Predict(examples_[i]);
+    ASSERT_EQ(preds.size(), examples_[i].mentions.size());
+  }
+}
+
+TEST_F(NedBaseTest, LossFiniteAndTrainingReducesIt) {
+  NedBaseModel model(world_.kb.num_entities(), world_.vocab.size(), config_, 3);
+  std::vector<data::SentenceExample> subset(
+      examples_.begin(),
+      examples_.begin() + std::min<size_t>(50, examples_.size()));
+  auto avg_loss = [&]() {
+    double total = 0.0;
+    int64_t n = 0;
+    for (const auto& ex : subset) {
+      tensor::Var l = model.Loss(ex, /*train=*/false);
+      if (l.defined()) {
+        total += l.value().at(0);
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  const double before = avg_loss();
+  EXPECT_TRUE(std::isfinite(before));
+  core::Trainable<NedBaseModel> trainable(&model);
+  core::TrainOptions options;
+  options.epochs = 3;
+  core::Train(&trainable, subset, options);
+  EXPECT_LT(avg_loss(), before);
+}
+
+TEST_F(NedBaseTest, SizeAccounting) {
+  NedBaseModel model(world_.kb.num_entities(), world_.vocab.size(), config_, 3);
+  EXPECT_EQ(model.EmbeddingBytes(),
+            world_.kb.num_entities() * config_.entity_dim *
+                static_cast<int64_t>(sizeof(float)));
+  EXPECT_GT(model.NetworkBytes(), 0);
+  // The encoder is excluded, so network bytes stay small.
+  EXPECT_LT(model.NetworkBytes(), model.EmbeddingBytes());
+}
+
+}  // namespace
+}  // namespace bootleg::baseline

@@ -1,0 +1,472 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/slices.h"
+#include "data/weak_label.h"
+#include "data/world.h"
+
+namespace bootleg::data {
+namespace {
+
+SynthConfig TinyConfig() {
+  SynthConfig c = SynthConfig::MicroScale();
+  c.num_entities = 400;
+  c.num_types = 20;
+  c.num_relations = 10;
+  c.num_pages = 150;
+  return c;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  WorldTest() : world_(BuildWorld(TinyConfig())) {}
+  SynthWorld world_;
+};
+
+TEST_F(WorldTest, SizesMatchConfig) {
+  EXPECT_EQ(world_.kb.num_entities(), 400);
+  EXPECT_EQ(world_.kb.num_types(), 20);
+  EXPECT_EQ(world_.kb.num_relations(), 10);
+  EXPECT_GT(world_.kb.num_triples(), 0);
+}
+
+TEST_F(WorldTest, Deterministic) {
+  SynthWorld other = BuildWorld(TinyConfig());
+  EXPECT_EQ(other.kb.num_triples(), world_.kb.num_triples());
+  EXPECT_EQ(other.kb.entity(17).title, world_.kb.entity(17).title);
+  EXPECT_EQ(other.kb.entity(17).aliases, world_.kb.entity(17).aliases);
+}
+
+TEST_F(WorldTest, PopularityIsMonotoneInId) {
+  for (size_t i = 1; i < world_.popularity.size(); ++i) {
+    EXPECT_GE(world_.popularity[i - 1], world_.popularity[i]);
+  }
+}
+
+TEST_F(WorldTest, MostAliasesAreAmbiguous) {
+  int64_t ambiguous = 0, total = 0;
+  for (const auto& [alias, cands] : world_.candidates.map()) {
+    ++total;
+    if (cands.size() > 1) ++ambiguous;
+  }
+  EXPECT_GT(total, 0);
+  // Shared "ak_*" aliases exist alongside unique titles.
+  EXPECT_GT(ambiguous, total / 8);
+}
+
+TEST_F(WorldTest, CandidatePriorsSortedDescending) {
+  for (const auto& [alias, cands] : world_.candidates.map()) {
+    for (size_t i = 1; i < cands.size(); ++i) {
+      EXPECT_GE(cands[i - 1].prior, cands[i].prior);
+    }
+  }
+}
+
+TEST_F(WorldTest, DistinctTails) {
+  // The paper's D.1 statistic: most tail entities (by popularity) carry
+  // non-tail types. Approximate popularity by entity id (id = rank).
+  std::vector<int64_t> type_members(static_cast<size_t>(world_.kb.num_types()), 0);
+  for (kb::EntityId e = 0; e < world_.kb.num_entities(); ++e) {
+    for (kb::TypeId t : world_.kb.entity(e).types) {
+      ++type_members[static_cast<size_t>(t)];
+    }
+  }
+  int64_t tail_entities_with_common_type = 0, tail_entities_with_types = 0;
+  for (kb::EntityId e = world_.kb.num_entities() / 2;
+       e < world_.kb.num_entities(); ++e) {
+    const auto& types = world_.kb.entity(e).types;
+    if (types.empty()) continue;
+    ++tail_entities_with_types;
+    for (kb::TypeId t : types) {
+      if (type_members[static_cast<size_t>(t)] > 10) {
+        ++tail_entities_with_common_type;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(tail_entities_with_common_type,
+            (8 * tail_entities_with_types) / 10);  // ≥ 80%, paper: 88%
+}
+
+TEST_F(WorldTest, SomeEntitiesHaveNoTypeSignals) {
+  int64_t no_type = 0;
+  for (kb::EntityId e = 0; e < world_.kb.num_entities(); ++e) {
+    if (world_.kb.entity(e).types.empty()) ++no_type;
+  }
+  EXPECT_GT(no_type, 0);
+  EXPECT_LT(no_type, world_.kb.num_entities() / 4);
+}
+
+TEST_F(WorldTest, PersonsHaveGenderAndNameAliases) {
+  bool found_person = false;
+  for (kb::EntityId e = 0; e < world_.kb.num_entities(); ++e) {
+    const kb::Entity& ent = world_.kb.entity(e);
+    if (!ent.IsPerson()) continue;
+    found_person = true;
+    EXPECT_TRUE(ent.gender == 'm' || ent.gender == 'f');
+    bool has_name_alias = false;
+    for (const std::string& a : ent.aliases) {
+      if (a.rfind("fn_", 0) == 0 || a.rfind("ln_", 0) == 0) has_name_alias = true;
+    }
+    EXPECT_TRUE(has_name_alias);
+  }
+  EXPECT_TRUE(found_person);
+}
+
+TEST_F(WorldTest, SampleEntityRespectsHoldout) {
+  util::Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const kb::EntityId e = world_.SampleEntity(&rng, /*allow_holdout=*/false);
+    EXPECT_FALSE(world_.is_unseen_holdout[static_cast<size_t>(e)]);
+  }
+}
+
+TEST_F(WorldTest, VocabularyCoversLexicons) {
+  for (const auto& kws : world_.type_keywords) {
+    for (const std::string& kw : kws) EXPECT_TRUE(world_.vocab.Contains(kw));
+  }
+  for (kb::EntityId e = 0; e < world_.kb.num_entities(); ++e) {
+    for (const std::string& a : world_.kb.entity(e).aliases) {
+      EXPECT_TRUE(world_.vocab.Contains(a));
+    }
+  }
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : world_(BuildWorld(TinyConfig())), generator_(&world_) {
+    corpus_ = generator_.Generate();
+  }
+  SynthWorld world_;
+  CorpusGenerator generator_;
+  Corpus corpus_;
+};
+
+TEST_F(GeneratorTest, SplitsNonEmpty) {
+  EXPECT_GT(corpus_.train.size(), corpus_.dev.size());
+  EXPECT_FALSE(corpus_.dev.empty());
+  EXPECT_FALSE(corpus_.test.empty());
+}
+
+TEST_F(GeneratorTest, PageIdsDisjointAcrossSplits) {
+  std::set<int64_t> train_pages, dev_pages;
+  for (const Sentence& s : corpus_.train) train_pages.insert(s.page_id);
+  for (const Sentence& s : corpus_.dev) dev_pages.insert(s.page_id);
+  for (int64_t p : dev_pages) EXPECT_EQ(train_pages.count(p), 0u);
+}
+
+TEST_F(GeneratorTest, MentionSpansPointAtAliasTokens) {
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      ASSERT_GE(m.span_start, 0);
+      ASSERT_LT(m.span_start, static_cast<int64_t>(s.tokens.size()));
+      EXPECT_EQ(s.tokens[static_cast<size_t>(m.span_start)], m.alias);
+      EXPECT_GE(m.gold, 0);
+      EXPECT_LT(m.gold, world_.kb.num_entities());
+    }
+  }
+}
+
+TEST_F(GeneratorTest, HoldoutEntitiesNeverGoldInTrain) {
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      EXPECT_FALSE(world_.is_unseen_holdout[static_cast<size_t>(m.gold)])
+          << "holdout entity leaked into training";
+    }
+  }
+}
+
+TEST_F(GeneratorTest, SomeAnchorsAreUnlabeled) {
+  int64_t labeled = 0, unlabeled = 0;
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      if (m.kind != MentionKind::kAnchor) continue;
+      (m.labeled ? labeled : unlabeled) += 1;
+    }
+  }
+  EXPECT_GT(labeled, 0);
+  EXPECT_GT(unlabeled, 0);  // Wikipedia's missing-anchor phenomenon
+}
+
+TEST_F(GeneratorTest, PageRefMentionsStartUnlabeled) {
+  int64_t pagerefs = 0;
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      if (m.kind == MentionKind::kPronoun || m.kind == MentionKind::kAltName) {
+        ++pagerefs;
+        EXPECT_FALSE(m.labeled);
+        EXPECT_EQ(m.gold, s.page_entity);
+      }
+    }
+  }
+  EXPECT_GT(pagerefs, 0);
+}
+
+TEST_F(GeneratorTest, DeterministicAcrossRuns) {
+  SynthWorld world2 = BuildWorld(TinyConfig());
+  CorpusGenerator gen2(&world2);
+  Corpus corpus2 = gen2.Generate();
+  ASSERT_EQ(corpus2.train.size(), corpus_.train.size());
+  for (size_t i = 0; i < 50 && i < corpus_.train.size(); ++i) {
+    EXPECT_EQ(corpus2.train[i].tokens, corpus_.train[i].tokens);
+  }
+}
+
+TEST_F(GeneratorTest, KoreSuiteGoldsAreLowPrior) {
+  const auto suite = generator_.GenerateKoreLike(30);
+  EXPECT_EQ(suite.size(), 30u);
+  int64_t low_prior = 0;
+  for (const Sentence& s : suite) {
+    const Mention& m = s.mentions.front();
+    const auto* cands = world_.candidates.Lookup(m.alias);
+    if (cands != nullptr && !cands->empty() && cands->back().entity == m.gold) {
+      ++low_prior;
+    }
+  }
+  // Most suite golds are the lowest-prior candidate of their alias (the
+  // mention's alias may occasionally differ from the probed one).
+  EXPECT_GT(low_prior, 15);
+}
+
+TEST_F(GeneratorTest, AidaSuiteCarriesDocTitles) {
+  const auto suite = generator_.GenerateAidaLike(5, 3);
+  EXPECT_EQ(suite.size(), 15u);
+  for (const Sentence& s : suite) {
+    EXPECT_FALSE(s.doc_title.empty());
+  }
+  // Sentences of one document share the title.
+  EXPECT_EQ(suite[0].doc_title, suite[1].doc_title);
+}
+
+TEST_F(GeneratorTest, CountLabeledMentions) {
+  const int64_t with_weak = CountLabeledMentions(corpus_.train, true);
+  const int64_t anchors = CountLabeledMentions(corpus_.train, false);
+  EXPECT_EQ(with_weak, anchors);  // no weak labels before the pass
+  EXPECT_GT(anchors, 0);
+}
+
+class WeakLabelTest : public ::testing::Test {
+ protected:
+  WeakLabelTest() : world_(BuildWorld(TinyConfig())) {
+    CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+    stats_ = ApplyWeakLabeling(world_.kb, &corpus_.train);
+  }
+  SynthWorld world_;
+  Corpus corpus_;
+  WeakLabelStats stats_;
+};
+
+TEST_F(WeakLabelTest, IncreasesLabeledMentions) {
+  EXPECT_GT(stats_.Multiplier(), 1.2);
+  EXPECT_GT(stats_.pronoun_labels + stats_.altname_labels, 0);
+  EXPECT_EQ(stats_.total_labels_after,
+            CountLabeledMentions(corpus_.train, true));
+}
+
+TEST_F(WeakLabelTest, PronounLabelsMatchGender) {
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      if (m.kind != MentionKind::kPronoun || !m.labeled) continue;
+      const kb::Entity& e = world_.kb.entity(m.gold);
+      EXPECT_TRUE(e.IsPerson());
+      EXPECT_EQ(m.alias == "she" ? 'f' : 'm', e.gender);
+      EXPECT_FALSE(m.candidate_alias.empty());
+    }
+  }
+}
+
+TEST_F(WeakLabelTest, AltNameLabelsUseKnownAliases) {
+  for (const Sentence& s : corpus_.train) {
+    for (const Mention& m : s.mentions) {
+      if (m.kind != MentionKind::kAltName || !m.labeled) continue;
+      const kb::Entity& page = world_.kb.entity(s.page_entity);
+      EXPECT_NE(std::find(page.aliases.begin(), page.aliases.end(), m.alias),
+                page.aliases.end());
+    }
+  }
+}
+
+TEST_F(WeakLabelTest, IdempotentOnSecondPass) {
+  const int64_t labels_after_first = stats_.total_labels_after;
+  const WeakLabelStats second = ApplyWeakLabeling(world_.kb, &corpus_.train);
+  EXPECT_EQ(second.anchor_labels, labels_after_first);
+  EXPECT_EQ(second.pronoun_labels, 0);
+}
+
+class ExampleTest : public ::testing::Test {
+ protected:
+  ExampleTest()
+      : world_(BuildWorld(TinyConfig())),
+        builder_(&world_.candidates, &world_.vocab) {
+    CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+    ApplyWeakLabeling(world_.kb, &corpus_.train);
+  }
+  SynthWorld world_;
+  Corpus corpus_;
+  ExampleBuilder builder_;
+};
+
+TEST_F(ExampleTest, GoldIndexPointsAtGold) {
+  ExampleOptions options;
+  for (size_t i = 0; i < 100 && i < corpus_.train.size(); ++i) {
+    const SentenceExample ex = builder_.Build(corpus_.train[i], options);
+    for (const MentionExample& m : ex.mentions) {
+      if (m.gold_index >= 0) {
+        EXPECT_EQ(m.candidates[static_cast<size_t>(m.gold_index)], m.gold);
+      }
+      EXPECT_EQ(m.candidates.size(), m.priors.size());
+    }
+  }
+}
+
+TEST_F(ExampleTest, ExcludingWeakLabelsShrinksMentions) {
+  ExampleOptions with, without;
+  without.include_weak_labels = false;
+  int64_t n_with = 0, n_without = 0;
+  for (const Sentence& s : corpus_.train) {
+    n_with += static_cast<int64_t>(builder_.Build(s, with).mentions.size());
+    n_without += static_cast<int64_t>(builder_.Build(s, without).mentions.size());
+  }
+  EXPECT_GT(n_with, n_without);
+}
+
+TEST_F(ExampleTest, PrependTitleShiftsSpans) {
+  ExampleOptions plain, titled;
+  titled.prepend_title = true;
+  const Sentence& s = corpus_.dev.front();
+  const SentenceExample a = builder_.Build(s, plain);
+  const SentenceExample b = builder_.Build(s, titled);
+  ASSERT_EQ(a.mentions.size(), b.mentions.size());
+  EXPECT_EQ(b.token_ids.size(), a.token_ids.size() + 2);
+  EXPECT_EQ(b.token_ids[1], text::kSepId);
+  for (size_t i = 0; i < a.mentions.size(); ++i) {
+    EXPECT_EQ(b.mentions[i].span_start, a.mentions[i].span_start + 2);
+  }
+}
+
+TEST_F(ExampleTest, EntityCountsAndBuckets) {
+  const EntityCounts counts = EntityCounts::FromTraining(corpus_.train);
+  // Entity 0 is the most popular; it must be seen plenty.
+  EXPECT_GT(counts.Count(0), 10);
+  EXPECT_EQ(counts.BucketOf(0),
+            counts.Count(0) > 1000 ? PopularityBucket::kHead
+                                   : PopularityBucket::kTorso);
+  // An entity never seen in training is unseen.
+  kb::EntityId unseen = kb::kInvalidId;
+  for (kb::EntityId e = 0; e < world_.kb.num_entities(); ++e) {
+    if (counts.Count(e) == 0) {
+      unseen = e;
+      break;
+    }
+  }
+  ASSERT_NE(unseen, kb::kInvalidId);
+  EXPECT_EQ(counts.BucketOf(unseen), PopularityBucket::kUnseen);
+}
+
+TEST_F(ExampleTest, AnchorOnlyCountsAreSmaller) {
+  const EntityCounts with_weak = EntityCounts::FromTraining(corpus_.train, true);
+  const EntityCounts anchors = EntityCounts::FromTraining(corpus_.train, false);
+  int64_t total_with = 0, total_anchor = 0;
+  for (const auto& [e, c] : with_weak.counts()) total_with += c;
+  for (const auto& [e, c] : anchors.counts()) total_anchor += c;
+  EXPECT_GT(total_with, total_anchor);
+}
+
+TEST(BucketTest, Thresholds) {
+  EXPECT_STREQ(PopularityBucketName(PopularityBucket::kUnseen), "unseen");
+  EXPECT_STREQ(PopularityBucketName(PopularityBucket::kTail), "tail");
+  Corpus empty;
+  const EntityCounts counts = EntityCounts::FromTraining(empty.train);
+  EXPECT_EQ(counts.BucketOf(0), PopularityBucket::kUnseen);
+}
+
+class SliceTest : public ::testing::Test {
+ protected:
+  SliceTest() : world_(BuildWorld(TinyConfig())) {
+    CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+    affordance_ = std::make_unique<AffordanceKeywords>(
+        AffordanceKeywords::MineTfIdf(world_.kb, corpus_.train));
+  }
+  SynthWorld world_;
+  Corpus corpus_;
+  std::unique_ptr<AffordanceKeywords> affordance_;
+};
+
+TEST_F(SliceTest, EntitySliceRequiresNoSignals) {
+  for (const Sentence& s : corpus_.dev) {
+    for (size_t mi = 0; mi < s.mentions.size(); ++mi) {
+      if (InSlice(world_.kb, s, mi, PatternSlice::kEntity, nullptr)) {
+        const kb::Entity& gold = world_.kb.entity(s.mentions[mi].gold);
+        EXPECT_TRUE(gold.types.empty());
+        EXPECT_TRUE(gold.relations.empty());
+      }
+    }
+  }
+}
+
+TEST_F(SliceTest, ConsistencySliceNeedsThreeSharedTypeGolds) {
+  int64_t members = 0;
+  for (const Sentence& s : corpus_.dev) {
+    for (size_t mi = 0; mi < s.mentions.size(); ++mi) {
+      if (InSlice(world_.kb, s, mi, PatternSlice::kConsistency, nullptr)) {
+        ++members;
+        EXPECT_GE(s.mentions.size(), 3u);
+      }
+    }
+  }
+  EXPECT_GT(members, 0);  // the generator plants consistency sentences
+}
+
+TEST_F(SliceTest, KgSliceGoldsAreConnected) {
+  int64_t members = 0;
+  for (const Sentence& s : corpus_.dev) {
+    for (size_t mi = 0; mi < s.mentions.size(); ++mi) {
+      if (!InSlice(world_.kb, s, mi, PatternSlice::kKgRelation, nullptr)) continue;
+      ++members;
+      bool connected = false;
+      for (size_t j = 0; j < s.mentions.size(); ++j) {
+        if (j != mi && world_.kb.Connected(s.mentions[mi].gold, s.mentions[j].gold)) {
+          connected = true;
+        }
+      }
+      EXPECT_TRUE(connected);
+    }
+  }
+  EXPECT_GT(members, 0);
+}
+
+TEST_F(SliceTest, AffordanceKeywordsRecoverPlantedLexicon) {
+  // TF-IDF mining should surface the planted type keywords for common types.
+  int recovered = 0;
+  for (kb::TypeId t = 0; t < world_.kb.num_types(); ++t) {
+    const auto& mined = affordance_->KeywordsFor(t);
+    for (const std::string& planted :
+         world_.type_keywords[static_cast<size_t>(t)]) {
+      if (std::find(mined.begin(), mined.end(), planted) != mined.end()) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(recovered, world_.kb.num_types() / 2);
+}
+
+TEST_F(SliceTest, AffordanceCoverageIsHigh) {
+  // Paper: affordance keywords cover 88% of examples whose gold has a type.
+  EXPECT_GT(affordance_->Coverage(world_.kb, corpus_.dev), 0.6);
+}
+
+TEST_F(SliceTest, SliceNames) {
+  EXPECT_STREQ(PatternSliceName(PatternSlice::kAffordance), "Type Affordance");
+  EXPECT_STREQ(PatternSliceName(PatternSlice::kEntity), "Entity");
+}
+
+}  // namespace
+}  // namespace bootleg::data

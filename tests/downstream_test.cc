@@ -1,0 +1,170 @@
+#include "downstream/relation_extraction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "downstream/overton.h"
+#include "harness/experiment.h"
+
+namespace bootleg::downstream {
+namespace {
+
+data::SynthConfig TinyConfig() {
+  data::SynthConfig c = data::SynthConfig::MicroScale();
+  c.num_entities = 300;
+  c.num_pages = 80;
+  return c;
+}
+
+class ReDatasetTest : public ::testing::Test {
+ protected:
+  ReDatasetTest() : world_(data::BuildWorld(TinyConfig())) {
+    ds_ = GenerateReDataset(world_, 80, 40, /*seed=*/4);
+  }
+  data::SynthWorld world_;
+  ReDataset ds_;
+};
+
+TEST_F(ReDatasetTest, SplitSizesAndLabels) {
+  EXPECT_EQ(ds_.train.size(), 80u);
+  EXPECT_EQ(ds_.test.size(), 40u);
+  EXPECT_EQ(ds_.num_labels, world_.kb.num_relations() + 1);
+  for (const ReExample& ex : ds_.train) {
+    EXPECT_GE(ex.label, 0);
+    EXPECT_LT(ex.label, ds_.num_labels);
+  }
+}
+
+TEST_F(ReDatasetTest, PositivesHaveKgEdgeNegativesDont) {
+  const int64_t no_rel = ds_.num_labels - 1;
+  for (const ReExample& ex : ds_.train) {
+    ASSERT_EQ(ex.ned.mentions.size(), 2u);
+    const kb::EntityId s = ex.ned.mentions[0].gold;
+    const kb::EntityId o = ex.ned.mentions[1].gold;
+    if (ex.label == no_rel) {
+      EXPECT_FALSE(world_.kb.Connected(s, o));
+    } else {
+      auto rel = world_.kb.RelationBetween(s, o);
+      ASSERT_TRUE(rel.has_value());
+      EXPECT_EQ(*rel, ex.label);
+    }
+  }
+}
+
+TEST_F(ReDatasetTest, SpansPointAtMentions) {
+  for (const ReExample& ex : ds_.test) {
+    EXPECT_EQ(ex.subj_start, ex.ned.mentions[0].span_start);
+    EXPECT_EQ(ex.obj_start, ex.ned.mentions[1].span_start);
+    EXPECT_LT(ex.obj_start, static_cast<int64_t>(ex.token_ids.size()));
+  }
+}
+
+TEST_F(ReDatasetTest, BothClassesPresent) {
+  const int64_t no_rel = ds_.num_labels - 1;
+  int64_t pos = 0, neg = 0;
+  for (const ReExample& ex : ds_.train) {
+    (ex.label == no_rel ? neg : pos) += 1;
+  }
+  EXPECT_GT(pos, 10);
+  EXPECT_GT(neg, 10);
+}
+
+TEST_F(ReDatasetTest, KeywordProbabilityZeroMeansNoKeywords) {
+  ReDataset hard = GenerateReDataset(world_, 40, 10, 5, /*keyword_prob=*/0.0);
+  for (const ReExample& ex : hard.train) {
+    EXPECT_FALSE(ex.has_relation_keyword);
+  }
+}
+
+TEST_F(ReDatasetTest, StaticFeaturesComeFromTopPriorCandidate) {
+  util::Rng rng(7);
+  tensor::Tensor table = tensor::Tensor::Randn(
+      {world_.kb.num_entities(), 8}, &rng);
+  PrepareStaticFeatures(table, &ds_.test);
+  for (const ReExample& ex : ds_.test) {
+    ASSERT_EQ(ex.subj_static.size(), 8u);
+    const data::MentionExample& m = ex.ned.mentions[0];
+    if (m.candidates.empty()) continue;
+    size_t best = 0;
+    for (size_t k = 1; k < m.priors.size(); ++k) {
+      if (m.priors[k] > m.priors[best]) best = k;
+    }
+    EXPECT_EQ(ex.subj_static[0], table.at(m.candidates[best], 0));
+  }
+}
+
+TEST(ReMetricsTest, TacredMicroF1ExcludesNoRelation) {
+  ReMetrics m;
+  m.correct_positive = 3;
+  m.predicted_positive = 4;
+  m.gold_positive = 6;
+  EXPECT_NEAR(m.precision(), 75.0, 1e-9);
+  EXPECT_NEAR(m.recall(), 50.0, 1e-9);
+  EXPECT_NEAR(m.f1(), 60.0, 1e-9);
+}
+
+TEST_F(ReDatasetTest, TextModelLearnsKeywordedRelations) {
+  // With relation keywords always present, the text-only model must beat a
+  // majority-class guesser.
+  ReDataset easy = GenerateReDataset(world_, 800, 150, 6, /*keyword_prob=*/1.0);
+  ReModel model(world_.vocab.size(), easy.num_labels, ReMode::kText, 0, 9);
+  ReTrainOptions options;
+  options.epochs = 10;
+  TrainRe(&model, easy.train, options);
+  const ReMetrics metrics = EvaluateRe(&model, easy.test, easy.num_labels - 1);
+  // Majority-class (all no_relation) scores 0 by the TACRED metric; any
+  // keyword learning clears this bar decisively.
+  EXPECT_GT(metrics.f1(), 20.0);
+}
+
+TEST_F(ReDatasetTest, ModeNames) {
+  EXPECT_STREQ(ReModeName(ReMode::kText), "SpanBERT-sim (text only)");
+  EXPECT_STREQ(ReModeName(ReMode::kBootleg), "Bootleg (contextual entity)");
+}
+
+class OvertonTest : public ::testing::Test {
+ protected:
+  OvertonTest() : env_(harness::BuildEnvironment(TinyConfig())) {}
+  harness::Environment env_;
+};
+
+TEST_F(OvertonTest, BaselinePredictShapes) {
+  OvertonModel model(env_.world.kb.num_entities(), env_.world.vocab.size(),
+                     nullptr, 3);
+  for (size_t i = 0; i < 10 && i < env_.train_examples.size(); ++i) {
+    const auto preds = model.Predict(env_.train_examples[i]);
+    EXPECT_EQ(preds.size(), env_.train_examples[i].mentions.size());
+  }
+}
+
+TEST_F(OvertonTest, WithBootlegFeaturesRunsAndTrains) {
+  core::BootlegConfig config;
+  config.hidden = 32;
+  config.entity_dim = 32;
+  config.type_dim = 16;
+  config.coarse_dim = 8;
+  config.rel_dim = 16;
+  config.ff_inner = 64;
+  config.encoder.hidden = 32;
+  config.encoder.ff_inner = 64;
+  config.encoder.max_len = 24;
+  core::BootlegModel bootleg(&env_.world.kb, env_.world.vocab.size(), config, 1);
+  bootleg.SetEntityCounts(&env_.counts);
+
+  OvertonModel model(env_.world.kb.num_entities(), env_.world.vocab.size(),
+                     &bootleg, 3);
+  std::vector<data::SentenceExample> subset(
+      env_.train_examples.begin(),
+      env_.train_examples.begin() +
+          std::min<size_t>(30, env_.train_examples.size()));
+  core::Trainable<OvertonModel> trainable(&model);
+  core::TrainOptions options;
+  options.epochs = 1;
+  const core::TrainStats stats = core::Train(&trainable, subset, options);
+  EXPECT_GT(stats.steps, 0);
+  const auto preds = model.Predict(subset.front());
+  EXPECT_EQ(preds.size(), subset.front().mentions.size());
+}
+
+}  // namespace
+}  // namespace bootleg::downstream

@@ -1,0 +1,233 @@
+#include "kb/kb.h"
+
+#include <filesystem>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "kb/candidate_map.h"
+#include "kb/cooccurrence.h"
+
+namespace bootleg::kb {
+namespace {
+
+KnowledgeBase MakeSmallKb() {
+  KnowledgeBase kb;
+  const TypeId person = kb.AddType("person", CoarseType::kPerson);
+  const TypeId city = kb.AddType("city", CoarseType::kLocation);
+  const TypeId county = kb.AddType("county", CoarseType::kLocation);
+  const RelationId capital_of = kb.AddRelation("capital of");
+  kb.AddRelation("height");
+
+  Entity lincoln_person;
+  lincoln_person.title = "abraham_lincoln";
+  lincoln_person.aliases = {"lincoln"};
+  lincoln_person.types = {person};
+  lincoln_person.coarse_type = CoarseType::kPerson;
+  lincoln_person.gender = 'm';
+  kb.AddEntity(lincoln_person);  // id 0
+
+  Entity lincoln_il;
+  lincoln_il.title = "lincoln_il";
+  lincoln_il.aliases = {"lincoln"};
+  lincoln_il.types = {city};
+  lincoln_il.coarse_type = CoarseType::kLocation;
+  kb.AddEntity(lincoln_il);  // id 1
+
+  Entity logan_county;
+  logan_county.title = "logan_county";
+  logan_county.aliases = {"logan"};
+  logan_county.types = {county};
+  logan_county.coarse_type = CoarseType::kLocation;
+  kb.AddEntity(logan_county);  // id 2
+
+  kb.AddTriple(1, capital_of, 2);  // lincoln_il capital of logan_county
+  return kb;
+}
+
+TEST(KbTest, BasicCounts) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_EQ(kb.num_entities(), 3);
+  EXPECT_EQ(kb.num_types(), 3);
+  EXPECT_EQ(kb.num_relations(), 2);
+  EXPECT_EQ(kb.num_triples(), 1);
+}
+
+TEST(KbTest, TitleAlwaysAnAlias) {
+  KnowledgeBase kb = MakeSmallKb();
+  const Entity& e = kb.entity(0);
+  EXPECT_NE(std::find(e.aliases.begin(), e.aliases.end(), "abraham_lincoln"),
+            e.aliases.end());
+}
+
+TEST(KbTest, FindByTitle) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_EQ(kb.FindByTitle("lincoln_il"), 1);
+  EXPECT_EQ(kb.FindByTitle("nope"), kInvalidId);
+}
+
+TEST(KbTest, ConnectivityIsSymmetric) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_TRUE(kb.Connected(1, 2));
+  EXPECT_TRUE(kb.Connected(2, 1));
+  EXPECT_FALSE(kb.Connected(0, 2));
+}
+
+TEST(KbTest, RelationBetween) {
+  KnowledgeBase kb = MakeSmallKb();
+  auto rel = kb.RelationBetween(1, 2);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(kb.relation(*rel).name, "capital of");
+  EXPECT_FALSE(kb.RelationBetween(0, 1).has_value());
+}
+
+TEST(KbTest, TriplesPopulateEntityRelations) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_EQ(kb.entity(1).relations.size(), 1u);
+  EXPECT_EQ(kb.entity(2).relations.size(), 1u);
+  EXPECT_TRUE(kb.entity(0).relations.empty());
+}
+
+TEST(KbTest, NeighborsOfIsolatedEntityAreEmpty) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_TRUE(kb.Neighbors(0).empty());
+  EXPECT_EQ(kb.Neighbors(1).size(), 1u);
+}
+
+TEST(KbTest, TwoHopConnected) {
+  KnowledgeBase kb = MakeSmallKb();
+  // Add 0 — r — 2: then 0 and 1 are 2-hop connected via 2.
+  kb.AddTriple(0, 1, 2);
+  EXPECT_TRUE(kb.TwoHopConnected(0, 1));
+  // Directly connected pairs are excluded.
+  EXPECT_FALSE(kb.TwoHopConnected(1, 2));
+}
+
+TEST(KbTest, SubclassRelated) {
+  KnowledgeBase kb = MakeSmallKb();
+  kb.AddSubclass(1, 2);
+  EXPECT_TRUE(kb.SubclassRelated(1, 2));
+  EXPECT_TRUE(kb.SubclassRelated(2, 1));
+  EXPECT_FALSE(kb.SubclassRelated(0, 2));
+  // Transitive within depth limit.
+  kb.AddSubclass(0, 1);
+  EXPECT_TRUE(kb.SubclassRelated(0, 2));
+}
+
+TEST(KbTest, SharesType) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_FALSE(kb.SharesType(0, 1));
+  Entity another_city;
+  another_city.title = "springfield";
+  another_city.types = {1};  // city
+  const EntityId id = kb.AddEntity(another_city);
+  EXPECT_TRUE(kb.SharesType(1, id));
+}
+
+TEST(KbTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kb_test.bin").string();
+  KnowledgeBase kb = MakeSmallKb();
+  kb.AddSubclass(1, 2);
+  ASSERT_TRUE(kb.Save(path).ok());
+  KnowledgeBase loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.num_entities(), kb.num_entities());
+  EXPECT_EQ(loaded.num_triples(), kb.num_triples());
+  EXPECT_EQ(loaded.entity(0).title, "abraham_lincoln");
+  EXPECT_EQ(loaded.entity(0).gender, 'm');
+  EXPECT_TRUE(loaded.Connected(1, 2));
+  EXPECT_TRUE(loaded.SubclassRelated(1, 2));
+  EXPECT_EQ(loaded.type(1).name, "city");
+  std::filesystem::remove(path);
+}
+
+TEST(KbTest, LoadRejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kb_bad.bin").string();
+  {
+    std::ofstream out(path);
+    out << "not a kb";
+  }
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CandidateMapTest, AccumulatesWeights) {
+  CandidateMap map;
+  map.AddAlias("lincoln", 0, 1.0f);
+  map.AddAlias("lincoln", 0, 2.0f);
+  map.AddAlias("lincoln", 1, 6.0f);
+  map.Finalize(5);
+  const auto* cands = map.Lookup("lincoln");
+  ASSERT_NE(cands, nullptr);
+  ASSERT_EQ(cands->size(), 2u);
+  // Sorted by accumulated weight, normalized.
+  EXPECT_EQ((*cands)[0].entity, 1);
+  EXPECT_NEAR((*cands)[0].prior, 6.0f / 9.0f, 1e-6f);
+  EXPECT_NEAR((*cands)[1].prior, 3.0f / 9.0f, 1e-6f);
+}
+
+TEST(CandidateMapTest, TruncatesToMaxCandidates) {
+  CandidateMap map;
+  for (int i = 0; i < 10; ++i) {
+    map.AddAlias("x", i, static_cast<float>(10 - i));
+  }
+  map.Finalize(3);
+  const auto* cands = map.Lookup("x");
+  ASSERT_EQ(cands->size(), 3u);
+  EXPECT_EQ((*cands)[0].entity, 0);
+  float total = 0.0f;
+  for (const Candidate& c : *cands) total += c.prior;
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(CandidateMapTest, UnknownAliasReturnsNull) {
+  CandidateMap map;
+  map.AddAlias("a", 0);
+  map.Finalize(2);
+  EXPECT_EQ(map.Lookup("zzz"), nullptr);
+}
+
+TEST(CandidateMapTest, DeterministicTieBreakByEntityId) {
+  CandidateMap map;
+  map.AddAlias("a", 7, 1.0f);
+  map.AddAlias("a", 3, 1.0f);
+  map.Finalize(2);
+  EXPECT_EQ((*map.Lookup("a"))[0].entity, 3);
+}
+
+TEST(CandidateMapTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cands.bin").string();
+  CandidateMap map;
+  map.AddAlias("a", 1, 2.0f);
+  map.AddAlias("a", 2, 1.0f);
+  map.AddAlias("b", 3, 1.0f);
+  map.Finalize(4);
+  ASSERT_TRUE(map.Save(path).ok());
+  CandidateMap loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.num_aliases(), 2);
+  EXPECT_EQ((*loaded.Lookup("a"))[0].entity, 1);
+  EXPECT_EQ(loaded.max_candidates(), 4);
+  std::filesystem::remove(path);
+}
+
+TEST(CooccurrenceTest, CountsAndWeights) {
+  CooccurrenceStats stats(/*min_count=*/3);
+  EXPECT_EQ(stats.Count(1, 2), 0);
+  for (int i = 0; i < 4; ++i) stats.AddPair(1, 2);
+  EXPECT_EQ(stats.Count(1, 2), 4);
+  EXPECT_EQ(stats.Count(2, 1), 4);  // symmetric
+  EXPECT_NEAR(stats.Weight(1, 2), std::log(4.0f), 1e-6f);
+  stats.AddPair(3, 4);
+  EXPECT_EQ(stats.Weight(3, 4), 0.0f);  // below min_count
+  stats.AddPair(5, 5);                  // self-pairs ignored
+  EXPECT_EQ(stats.Count(5, 5), 0);
+}
+
+}  // namespace
+}  // namespace bootleg::kb

@@ -1,0 +1,215 @@
+// Robustness and contract tests: CHECK-violation death tests, deep autograd
+// graphs (iterative topo-sort), oversize inputs, and data-quality invariants
+// that the generator must maintain for training to be meaningful.
+#include <gtest/gtest.h>
+
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/weak_label.h"
+#include "data/world.h"
+#include "kb/candidate_map.h"
+#include "tensor/autograd.h"
+#include "text/word_encoder.h"
+
+namespace bootleg {
+namespace {
+
+using tensor::Tensor;
+using tensor::Var;
+
+TEST(DeathTest, MatMulShapeMismatchAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_DEATH((void)tensor::MatMul(a, b), "Check failed");
+}
+
+TEST(DeathTest, OutOfRangeAccessAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Tensor t({2, 2});
+  EXPECT_DEATH((void)t.at(5, 0), "Check failed");
+}
+
+TEST(DeathTest, BackwardRequiresScalarLoss) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Var v = Var::Leaf(Tensor({2, 2}), true);
+  EXPECT_DEATH(tensor::Backward(v), "Check failed");
+}
+
+TEST(DeathTest, CandidateMapLookupBeforeFinalizeAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  kb::CandidateMap map;
+  map.AddAlias("a", 0);
+  EXPECT_DEATH((void)map.Lookup("a"), "not finalized");
+}
+
+TEST(DeathTest, ConcatColsRowMismatchAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Tensor a({2, 2});
+  Tensor b({3, 2});
+  EXPECT_DEATH((void)tensor::ConcatCols({a, b}), "Check failed");
+}
+
+TEST(RobustnessTest, DeepGraphBackwardDoesNotOverflowStack) {
+  // 4000 chained ops: a recursive topo-sort would blow the stack.
+  Var x = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Var h = x;
+  for (int i = 0; i < 4000; ++i) {
+    h = tensor::Scale(h, 1.0001f);
+  }
+  tensor::Backward(tensor::Sum(h));
+  EXPECT_GT(x.grad().at(0), 1.0f);
+  EXPECT_LT(x.grad().at(0), 2.0f);
+}
+
+TEST(RobustnessTest, WideFanoutGradientAccumulation) {
+  Var x = Var::Leaf(Tensor::FromVector({2.0f}), true);
+  std::vector<Var> branches;
+  for (int i = 0; i < 64; ++i) branches.push_back(tensor::Scale(x, 1.0f));
+  Var total = branches[0];
+  for (size_t i = 1; i < branches.size(); ++i) {
+    total = tensor::Add(total, branches[i]);
+  }
+  tensor::Backward(tensor::Sum(total));
+  EXPECT_EQ(x.grad().at(0), 64.0f);
+}
+
+TEST(RobustnessTest, EncoderHandlesSingleToken) {
+  util::Rng rng(1);
+  nn::ParameterStore store;
+  text::WordEncoderConfig config;
+  config.hidden = 16;
+  config.ff_inner = 32;
+  config.max_len = 8;
+  text::WordEncoder encoder(&store, "e", 20, config, &rng);
+  Var w = encoder.Encode({5}, &rng, false);
+  EXPECT_EQ(w.value().size(0), 1);
+  EXPECT_TRUE(tensor::AllFinite(w.value()));
+}
+
+TEST(RobustnessTest, ZipfExtremeSkewStaysBounded) {
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.Zipf(1000000, 2.5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000000);
+  }
+}
+
+class DataQualityTest : public ::testing::Test {
+ protected:
+  DataQualityTest() : world_(data::BuildWorld(data::SynthConfig::MicroScale())) {
+    data::CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+    data::ApplyWeakLabeling(world_.kb, &corpus_.train);
+  }
+  data::SynthWorld world_;
+  data::Corpus corpus_;
+};
+
+TEST_F(DataQualityTest, CandidateRecallIsHigh) {
+  // Candidate generation must contain the gold for the vast majority of
+  // labeled mentions (the paper drops only ~1% to this filter).
+  int64_t total = 0, covered = 0;
+  data::ExampleBuilder builder(&world_.candidates, &world_.vocab);
+  for (const data::Sentence& s : corpus_.train) {
+    const data::SentenceExample ex = builder.Build(s, data::ExampleOptions());
+    for (const data::MentionExample& m : ex.mentions) {
+      ++total;
+      if (m.GoldInCandidates()) ++covered;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(covered) / total, 0.85);
+}
+
+TEST_F(DataQualityTest, MostEvalMentionsAreAmbiguous) {
+  int64_t total = 0, ambiguous = 0;
+  data::ExampleBuilder builder(&world_.candidates, &world_.vocab);
+  for (const data::Sentence& s : corpus_.dev) {
+    const data::SentenceExample ex = builder.Build(s, data::ExampleOptions());
+    for (const data::MentionExample& m : ex.mentions) {
+      ++total;
+      if (m.HasMultipleCandidates()) ++ambiguous;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(ambiguous) / total, 0.5);
+}
+
+TEST_F(DataQualityTest, TailBucketsArePopulated) {
+  const data::EntityCounts counts = data::EntityCounts::FromTraining(corpus_.train);
+  int64_t tail = 0, torso = 0, unseen = 0;
+  for (const data::Sentence& s : corpus_.dev) {
+    for (const data::Mention& m : s.mentions) {
+      switch (counts.BucketOf(m.gold)) {
+        case data::PopularityBucket::kTail:
+          ++tail;
+          break;
+        case data::PopularityBucket::kTorso:
+          ++torso;
+          break;
+        case data::PopularityBucket::kUnseen:
+          ++unseen;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // Every bucket the paper evaluates must be non-trivially populated.
+  EXPECT_GT(tail, 30);
+  EXPECT_GT(torso, 30);
+  EXPECT_GT(unseen, 10);
+}
+
+TEST_F(DataQualityTest, PatternCoverageMatchesPaperOrdering) {
+  // The paper: affordance covers most examples, KG relations a quarter,
+  // consistency a tenth. The generator's template mix must respect the
+  // ordering affordance > relation > consistency.
+  int64_t total = 0, with_type_kw = 0, in_relation = 0, in_list = 0;
+  for (const data::Sentence& s : corpus_.dev) {
+    for (size_t mi = 0; mi < s.mentions.size(); ++mi) {
+      ++total;
+      const kb::EntityId gold = s.mentions[mi].gold;
+      for (const std::string& tok : s.tokens) {
+        bool is_type_kw = false;
+        for (kb::TypeId t : world_.kb.entity(gold).types) {
+          for (const std::string& kw :
+               world_.type_keywords[static_cast<size_t>(t)]) {
+            if (tok == kw) is_type_kw = true;
+          }
+        }
+        if (is_type_kw) {
+          ++with_type_kw;
+          break;
+        }
+      }
+      for (size_t j = 0; j < s.mentions.size(); ++j) {
+        if (j != mi && world_.kb.Connected(gold, s.mentions[j].gold)) {
+          ++in_relation;
+          break;
+        }
+      }
+      if (s.mentions.size() >= 3) ++in_list;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(with_type_kw, in_relation);
+  EXPECT_GT(in_relation, in_list / 3);  // lists triple-count their mentions
+}
+
+TEST_F(DataQualityTest, WeakLabelNoiseIsBounded) {
+  // The alt-name heuristic is deliberately noisy but must be right most of
+  // the time (the generator's page references do refer to the page entity).
+  int64_t weak = 0;
+  for (const data::Sentence& s : corpus_.train) {
+    for (const data::Mention& m : s.mentions) {
+      if (m.weak_labeled) ++weak;
+    }
+  }
+  EXPECT_GT(weak, 100);
+}
+
+}  // namespace
+}  // namespace bootleg

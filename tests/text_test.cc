@@ -1,0 +1,157 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "text/vocabulary.h"
+#include "text/word_encoder.h"
+
+namespace bootleg::text {
+namespace {
+
+TEST(VocabularyTest, ReservedTokens) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("[PAD]"), kPadId);
+  EXPECT_EQ(v.Id("[UNK]"), kUnkId);
+  EXPECT_EQ(v.Id("[SEP]"), kSepId);
+  EXPECT_EQ(v.Id("[CLS]"), kClsId);
+  EXPECT_EQ(v.size(), 4);
+}
+
+TEST(VocabularyTest, AddIsIdempotent) {
+  Vocabulary v;
+  const int64_t a = v.AddToken("hello");
+  const int64_t b = v.AddToken("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 5);
+}
+
+TEST(VocabularyTest, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("never-seen"), kUnkId);
+  EXPECT_FALSE(v.Contains("never-seen"));
+}
+
+TEST(VocabularyTest, TokenRoundTrip) {
+  Vocabulary v;
+  const int64_t id = v.AddToken("word");
+  EXPECT_EQ(v.Token(id), "word");
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vocab.bin").string();
+  Vocabulary v;
+  v.AddToken("alpha");
+  v.AddToken("beta");
+  ASSERT_TRUE(v.Save(path).ok());
+  Vocabulary loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), v.size());
+  EXPECT_EQ(loaded.Id("beta"), v.Id("beta"));
+  EXPECT_EQ(loaded.Id("[SEP]"), kSepId);
+  std::filesystem::remove(path);
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = Tokenize("The Lincoln was Tall");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "lincoln");
+}
+
+TEST(TokenizeTest, PeelsTrailingPunctuation) {
+  const auto tokens = Tokenize("where is lincoln?");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2], "lincoln");
+  EXPECT_EQ(tokens[3], "?");
+}
+
+TEST(TokenizeTest, MultiplePunctuation) {
+  const auto tokens = Tokenize("really?!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "really");
+  EXPECT_EQ(tokens[1], "?");
+  EXPECT_EQ(tokens[2], "!");
+}
+
+TEST(TokenizeTest, EncodeMapsUnknowns) {
+  Vocabulary v;
+  v.AddToken("known");
+  const auto ids = Encode(v, {"known", "unknown"});
+  EXPECT_EQ(ids[0], v.Id("known"));
+  EXPECT_EQ(ids[1], kUnkId);
+}
+
+class WordEncoderTest : public ::testing::Test {
+ protected:
+  WordEncoderTest() : rng_(3) {
+    config_.hidden = 16;
+    config_.num_layers = 2;
+    config_.num_heads = 2;
+    config_.ff_inner = 32;
+    config_.max_len = 8;
+    encoder_ = std::make_unique<WordEncoder>(&store_, "enc", 50, config_, &rng_);
+  }
+  util::Rng rng_;
+  nn::ParameterStore store_;
+  WordEncoderConfig config_;
+  std::unique_ptr<WordEncoder> encoder_;
+};
+
+TEST_F(WordEncoderTest, OutputShape) {
+  tensor::Var w = encoder_->Encode({1, 2, 3, 4, 5}, &rng_, /*train=*/false);
+  EXPECT_EQ(w.value().size(0), 5);
+  EXPECT_EQ(w.value().size(1), 16);
+  EXPECT_TRUE(tensor::AllFinite(w.value()));
+}
+
+TEST_F(WordEncoderTest, TruncatesAtMaxLen) {
+  std::vector<int64_t> ids(20, 1);
+  tensor::Var w = encoder_->Encode(ids, &rng_, /*train=*/false);
+  EXPECT_EQ(w.value().size(0), 8);
+}
+
+TEST_F(WordEncoderTest, ContextSensitivity) {
+  // The same token in different contexts gets different representations.
+  tensor::Var w1 = encoder_->Encode({5, 6, 7}, &rng_, false);
+  tensor::Var w2 = encoder_->Encode({5, 9, 10}, &rng_, false);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::abs(w1.value().at(0, j) - w2.value().at(0, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST_F(WordEncoderTest, PositionSensitivity) {
+  // The same token at different positions gets different representations.
+  tensor::Var w = encoder_->Encode({5, 5}, &rng_, false);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::abs(w.value().at(0, j) - w.value().at(1, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST_F(WordEncoderTest, MentionEmbeddingIsFirstPlusLast) {
+  tensor::Var w = encoder_->Encode({1, 2, 3, 4}, &rng_, false);
+  tensor::Var m = WordEncoder::MentionEmbedding(w, 1, 3);
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_NEAR(m.value().at(0, j), w.value().at(1, j) + w.value().at(3, j),
+                1e-6f);
+  }
+}
+
+TEST_F(WordEncoderTest, MentionEmbeddingClampsSpanEnd) {
+  tensor::Var w = encoder_->Encode({1, 2}, &rng_, false);
+  tensor::Var m = WordEncoder::MentionEmbedding(w, 1, 99);
+  EXPECT_EQ(m.value().size(0), 1);
+}
+
+TEST_F(WordEncoderTest, GradientsReachTokenEmbedding) {
+  tensor::Var w = encoder_->Encode({3, 4}, &rng_, /*train=*/false);
+  tensor::Backward(tensor::Sum(w));
+  EXPECT_FALSE(encoder_->token_embedding()->sparse_grads().empty());
+}
+
+}  // namespace
+}  // namespace bootleg::text

@@ -1,0 +1,141 @@
+// Tests for the adoption-surface components: mention extraction from raw
+// text, corpus serialization, and the file-driven dataset pipeline that the
+// CLI uses.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus_io.h"
+
+#include "util/io.h"
+#include "data/generator.h"
+#include "data/mention_extractor.h"
+#include "data/weak_label.h"
+#include "data/world.h"
+
+namespace bootleg::data {
+namespace {
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() {
+    SynthConfig config = SynthConfig::MicroScale();
+    config.num_entities = 300;
+    config.num_pages = 60;
+    world_ = BuildWorld(config);
+    CorpusGenerator generator(&world_);
+    corpus_ = generator.Generate();
+  }
+  SynthWorld world_;
+  Corpus corpus_;
+};
+
+TEST_F(ToolsTest, ExtractorFindsAliasTokens) {
+  MentionExtractor extractor(&world_.candidates);
+  // Build a sentence from a known alias surrounded by filler.
+  const std::string alias = world_.kb.entity(0).aliases.front();
+  const auto mentions = extractor.Extract({"the", alias, "was", "f0"});
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].span_start, 1);
+  EXPECT_EQ(mentions[0].alias, alias);
+}
+
+TEST_F(ToolsTest, ExtractorIgnoresUnknownTokens) {
+  MentionExtractor extractor(&world_.candidates);
+  EXPECT_TRUE(extractor.Extract({"nothing", "known", "here"}).empty());
+}
+
+TEST_F(ToolsTest, BuildExampleIsModelReady) {
+  MentionExtractor extractor(&world_.candidates);
+  const std::string alias = world_.kb.entity(3).aliases.front();
+  const SentenceExample ex =
+      extractor.BuildExample(world_.vocab, "the " + alias + " was f1 .");
+  ASSERT_EQ(ex.mentions.size(), 1u);
+  EXPECT_FALSE(ex.mentions[0].candidates.empty());
+  EXPECT_EQ(ex.mentions[0].gold_index, -1);  // raw text has no gold
+  EXPECT_EQ(ex.token_ids.size(), 5u);
+}
+
+TEST_F(ToolsTest, CorpusRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "corpus_test.bin").string();
+  ApplyWeakLabeling(world_.kb, &corpus_.train);
+  ASSERT_TRUE(SaveCorpus(corpus_, path).ok());
+  Corpus loaded;
+  ASSERT_TRUE(LoadCorpus(path, &loaded).ok());
+  ASSERT_EQ(loaded.train.size(), corpus_.train.size());
+  ASSERT_EQ(loaded.dev.size(), corpus_.dev.size());
+  const Sentence& a = corpus_.train.front();
+  const Sentence& b = loaded.train.front();
+  EXPECT_EQ(a.tokens, b.tokens);
+  ASSERT_EQ(a.mentions.size(), b.mentions.size());
+  for (size_t i = 0; i < a.mentions.size(); ++i) {
+    EXPECT_EQ(a.mentions[i].gold, b.mentions[i].gold);
+    EXPECT_EQ(a.mentions[i].labeled, b.mentions[i].labeled);
+    EXPECT_EQ(a.mentions[i].weak_labeled, b.mentions[i].weak_labeled);
+    EXPECT_EQ(a.mentions[i].candidate_alias, b.mentions[i].candidate_alias);
+    EXPECT_EQ(static_cast<int>(a.mentions[i].kind),
+              static_cast<int>(b.mentions[i].kind));
+  }
+  EXPECT_EQ(a.page_id, b.page_id);
+  EXPECT_EQ(a.doc_title, b.doc_title);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ToolsTest, LoadCorpusRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "corpus_bad.bin").string();
+  ASSERT_TRUE(util::WriteTextFile(path, "not a corpus").ok());
+  Corpus loaded;
+  EXPECT_FALSE(LoadCorpus(path, &loaded).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ToolsTest, RenderSentenceShowsAnnotations) {
+  const Sentence& s = corpus_.train.front();
+  const std::string rendered = RenderSentence(s, &world_.kb);
+  EXPECT_FALSE(rendered.empty());
+  if (!s.mentions.empty()) {
+    EXPECT_NE(rendered.find('['), std::string::npos);
+    EXPECT_NE(rendered.find(world_.kb.entity(s.mentions[0].gold).title),
+              std::string::npos);
+  }
+}
+
+TEST_F(ToolsTest, FileDrivenPipelineMatchesInMemory) {
+  // Save KB + candidates + vocab + corpus; reload; the reloaded artifacts
+  // must produce identical model-ready examples (the CLI's contract).
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bootleg_ds_test").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(world_.kb.Save(dir + "/kb.bin").ok());
+  ASSERT_TRUE(world_.candidates.Save(dir + "/candidates.bin").ok());
+  ASSERT_TRUE(world_.vocab.Save(dir + "/vocab.bin").ok());
+  ASSERT_TRUE(SaveCorpus(corpus_, dir + "/corpus.bin").ok());
+
+  kb::KnowledgeBase kb2;
+  kb::CandidateMap cands2;
+  text::Vocabulary vocab2;
+  Corpus corpus2;
+  ASSERT_TRUE(kb2.Load(dir + "/kb.bin").ok());
+  ASSERT_TRUE(cands2.Load(dir + "/candidates.bin").ok());
+  ASSERT_TRUE(vocab2.Load(dir + "/vocab.bin").ok());
+  ASSERT_TRUE(LoadCorpus(dir + "/corpus.bin", &corpus2).ok());
+
+  ExampleBuilder b1(&world_.candidates, &world_.vocab);
+  ExampleBuilder b2(&cands2, &vocab2);
+  for (size_t i = 0; i < 20 && i < corpus_.dev.size(); ++i) {
+    const SentenceExample e1 = b1.Build(corpus_.dev[i], {});
+    const SentenceExample e2 = b2.Build(corpus2.dev[i], {});
+    EXPECT_EQ(e1.token_ids, e2.token_ids);
+    ASSERT_EQ(e1.mentions.size(), e2.mentions.size());
+    for (size_t m = 0; m < e1.mentions.size(); ++m) {
+      EXPECT_EQ(e1.mentions[m].candidates, e2.mentions[m].candidates);
+      EXPECT_EQ(e1.mentions[m].gold_index, e2.mentions[m].gold_index);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bootleg::data

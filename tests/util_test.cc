@@ -1,0 +1,193 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace bootleg::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> v(42);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusTest, StatusOrHoldsError) {
+  StatusOr<int> v(Status::IOError("disk on fire"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIOError);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfIsMonotoneDecreasing) {
+  Rng rng(3);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[static_cast<size_t>(rng.Zipf(10, 1.1))];
+  }
+  // The head must dominate; counts roughly decrease with rank.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[1], counts[8]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Zipf(17, 0.9);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  int64_t hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Categorical({1.0, 9.0}) == 1) ++hits;
+  }
+  EXPECT_GT(hits, 4200);
+  EXPECT_LT(hits, 4800);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverDrawn) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(rng.Categorical({1.0, 0.0, 1.0}), 1u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(StringTest, SplitDropsEmpty) {
+  const auto parts = Split("  a b  c ", " ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringTest, ToLower) { EXPECT_EQ(ToLower("AbC9!"), "abc9!"); }
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("encoder.w", "encoder"));
+  EXPECT_FALSE(StartsWith("enc", "encoder"));
+  EXPECT_TRUE(EndsWith("model.ckpt", ".ckpt"));
+}
+
+TEST(StringTest, ContainsDigit) {
+  EXPECT_TRUE(ContainsDigit("games_1976"));
+  EXPECT_FALSE(ContainsDigit("games"));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "io_test.bin").string();
+  {
+    BinaryWriter w(path);
+    w.WriteU32(123u);
+    w.WriteI64(-42);
+    w.WriteF32(2.5f);
+    w.WriteString("hello");
+    w.WriteFloatVector({1.0f, 2.0f});
+    w.WriteI64Vector({7, 8, 9});
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 123u);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadF32(), 2.5f);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloatVector(), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(r.ReadI64Vector(), (std::vector<int64_t>{7, 8, 9}));
+  EXPECT_TRUE(r.status().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, ShortReadIsCorruption) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "io_short.bin").string();
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1u);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path);
+  (void)r.ReadU64();  // asks for more bytes than exist
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  BinaryReader r("/nonexistent/path/file.bin");
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(IoTest, TextFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "io_text.txt").string();
+  ASSERT_TRUE(WriteTextFile(path, "line1\nline2").ok());
+  auto contents = ReadTextFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "line1\nline2");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace bootleg::util

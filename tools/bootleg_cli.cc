@@ -1,0 +1,296 @@
+// bootleg_cli — end-to-end command-line driver for the library:
+//
+//   bootleg_cli gen     --out DIR [--scale micro|main] [--seed N] [--pages N]
+//   bootleg_cli inspect --data DIR [--n 10]
+//   bootleg_cli train   --data DIR --model PATH [--epochs N]
+//                       [--ablation full|ent|type|kg] [--no-weak-labels]
+//   bootleg_cli eval    --data DIR --model PATH [--split dev|test]
+//   bootleg_cli predict --data DIR --model PATH --text "..."
+//
+// `gen` writes a self-contained dataset directory (kb.bin, candidates.bin,
+// vocab.bin, corpus.bin); `train`/`eval`/`predict` work purely from those
+// files — no regeneration needed.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/corpus_io.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/mention_extractor.h"
+#include "data/weak_label.h"
+#include "data/world.h"
+#include "eval/evaluator.h"
+#include "util/io.h"
+#include "util/string_util.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+/// Minimal --flag value parser; flags without '--' are positional.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "1";  // boolean flag
+        }
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct Dataset {
+  kb::KnowledgeBase kb;
+  kb::CandidateMap candidates;
+  text::Vocabulary vocab;
+  data::Corpus corpus;
+};
+
+bool LoadDataset(const std::string& dir, Dataset* ds) {
+  const util::Status s1 = ds->kb.Load(dir + "/kb.bin");
+  const util::Status s2 = ds->candidates.Load(dir + "/candidates.bin");
+  const util::Status s3 = ds->vocab.Load(dir + "/vocab.bin");
+  const util::Status s4 = data::LoadCorpus(dir + "/corpus.bin", &ds->corpus);
+  for (const util::Status& s : {s1, s2, s3, s4}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::BootlegConfig ConfigFor(const std::string& ablation) {
+  core::BootlegConfig config;
+  config.encoder.max_len = 32;
+  if (ablation == "ent") return core::BootlegConfig::EntOnly(config);
+  if (ablation == "type") return core::BootlegConfig::TypeOnly(config);
+  if (ablation == "kg") return core::BootlegConfig::KgOnly(config);
+  BOOTLEG_CHECK_MSG(ablation == "full", "unknown --ablation: " + ablation);
+  return config;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen requires --out DIR\n");
+    return 2;
+  }
+  data::SynthConfig config = flags.Get("scale", "micro") == "main"
+                                 ? data::SynthConfig()
+                                 : data::SynthConfig::MicroScale();
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
+  config.num_pages = flags.GetInt("pages", config.num_pages);
+
+  std::filesystem::create_directories(out);
+  const data::SynthWorld world = data::BuildWorld(config);
+  data::CorpusGenerator generator(&world);
+  const data::Corpus corpus = generator.Generate();
+
+  util::Status status = world.kb.Save(out + "/kb.bin");
+  if (status.ok()) status = world.candidates.Save(out + "/candidates.bin");
+  if (status.ok()) status = world.vocab.Save(out + "/vocab.bin");
+  if (status.ok()) status = data::SaveCorpus(corpus, out + "/corpus.bin");
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld entities, %lld types, %lld relations, "
+              "%lld/%lld/%lld train/dev/test sentences\n",
+              out.c_str(), static_cast<long long>(world.kb.num_entities()),
+              static_cast<long long>(world.kb.num_types()),
+              static_cast<long long>(world.kb.num_relations()),
+              static_cast<long long>(corpus.train.size()),
+              static_cast<long long>(corpus.dev.size()),
+              static_cast<long long>(corpus.test.size()));
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  const int64_t n = flags.GetInt("n", 10);
+  std::printf("train sentences: %zu (showing %lld)\n", ds.corpus.train.size(),
+              static_cast<long long>(n));
+  for (int64_t i = 0; i < n && i < static_cast<int64_t>(ds.corpus.train.size());
+       ++i) {
+    std::printf("  %s\n",
+                data::RenderSentence(ds.corpus.train[static_cast<size_t>(i)],
+                                     &ds.kb)
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  const std::string model_path = flags.Get("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "train requires --model PATH\n");
+    return 2;
+  }
+  if (!flags.Has("no-weak-labels")) {
+    const data::WeakLabelStats wl =
+        data::ApplyWeakLabeling(ds.kb, &ds.corpus.train);
+    std::printf("weak labeling: %.2fx labels\n", wl.Multiplier());
+  }
+  const data::EntityCounts counts =
+      data::EntityCounts::FromTraining(ds.corpus.train);
+  const std::string ablation = flags.Get("ablation", "full");
+  core::BootlegModel model(&ds.kb, ds.vocab.size(), ConfigFor(ablation),
+                           static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  model.SetEntityCounts(&counts);
+
+  data::ExampleBuilder builder(&ds.candidates, &ds.vocab);
+  const auto examples = builder.BuildAll(ds.corpus.train, {});
+  core::TrainOptions options;
+  options.epochs = flags.GetInt("epochs", 5);
+  options.verbose = true;
+  core::Trainable<core::BootlegModel> trainable(&model);
+  const core::TrainStats stats = core::Train(&trainable, examples, options);
+  std::printf("trained %lld sentences in %.1fs\n",
+              static_cast<long long>(stats.sentences_seen), stats.seconds);
+
+  util::Status status = model.store().Save(model_path);
+  if (status.ok()) {
+    status = util::WriteTextFile(model_path + ".meta", ablation + "\n");
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s\n", model_path.c_str());
+  return 0;
+}
+
+/// Loads the model (construction config from the .meta sidecar).
+std::unique_ptr<core::BootlegModel> LoadModel(const Dataset& ds,
+                                              const std::string& path) {
+  std::string ablation = "full";
+  auto meta = util::ReadTextFile(path + ".meta");
+  if (meta.ok()) {
+    const auto parts = util::Split(meta.value(), "\n");
+    if (!parts.empty()) ablation = parts[0];
+  }
+  auto model = std::make_unique<core::BootlegModel>(
+      &ds.kb, ds.vocab.size(), ConfigFor(ablation), /*seed=*/7);
+  const util::Status status = model->store().Load(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return nullptr;
+  }
+  return model;
+}
+
+int CmdEval(const Flags& flags) {
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  auto model = LoadModel(ds, flags.Get("model"));
+  if (model == nullptr) return 1;
+  // Counts mirror training: weak labels included.
+  data::ApplyWeakLabeling(ds.kb, &ds.corpus.train);
+  const data::EntityCounts counts =
+      data::EntityCounts::FromTraining(ds.corpus.train);
+  model->SetEntityCounts(&counts);
+
+  const auto& split =
+      flags.Get("split", "dev") == "test" ? ds.corpus.test : ds.corpus.dev;
+  data::ExampleBuilder builder(&ds.candidates, &ds.vocab);
+  const eval::ResultSet results =
+      eval::RunEvaluation(model.get(), split, builder, {}, counts);
+  std::printf("%-10s %8s %8s\n", "bucket", "F1", "n");
+  const eval::Prf overall = results.Overall();
+  std::printf("%-10s %8.1f %8lld\n", "all", overall.f1(),
+              static_cast<long long>(overall.total));
+  for (data::PopularityBucket b :
+       {data::PopularityBucket::kHead, data::PopularityBucket::kTorso,
+        data::PopularityBucket::kTail, data::PopularityBucket::kUnseen}) {
+    const eval::Prf prf = results.ByBucket(b);
+    std::printf("%-10s %8.1f %8lld\n", data::PopularityBucketName(b), prf.f1(),
+                static_cast<long long>(prf.total));
+  }
+  return 0;
+}
+
+int CmdPredict(const Flags& flags) {
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  auto model = LoadModel(ds, flags.Get("model"));
+  if (model == nullptr) return 1;
+  const std::string text = flags.Get("text");
+  if (text.empty()) {
+    std::fprintf(stderr, "predict requires --text \"...\"\n");
+    return 2;
+  }
+  const data::MentionExtractor extractor(&ds.candidates);
+  const data::SentenceExample example = extractor.BuildExample(ds.vocab, text);
+  if (example.mentions.empty()) {
+    std::printf("no mentions found\n");
+    return 0;
+  }
+  const auto preds = model->Predict(example);
+  for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
+    const data::MentionExample& m = example.mentions[mi];
+    std::printf("  mention @%lld", static_cast<long long>(m.span_start));
+    if (preds[mi] >= 0) {
+      const kb::EntityId e = m.candidates[static_cast<size_t>(preds[mi])];
+      std::printf(" -> %s (of %zu candidates)\n", ds.kb.entity(e).title.c_str(),
+                  m.candidates.size());
+    } else {
+      std::printf(" -> ? (no candidates)\n");
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bootleg_cli <gen|inspect|train|eval|predict> [flags]\n"
+      "  gen     --out DIR [--scale micro|main] [--seed N] [--pages N]\n"
+      "  inspect --data DIR [--n N]\n"
+      "  train   --data DIR --model PATH [--epochs N]\n"
+      "          [--ablation full|ent|type|kg] [--no-weak-labels]\n"
+      "  eval    --data DIR --model PATH [--split dev|test]\n"
+      "  predict --data DIR --model PATH --text \"...\"\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Flags flags(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "eval") return CmdEval(flags);
+  if (cmd == "predict") return CmdPredict(flags);
+  return Usage();
+}

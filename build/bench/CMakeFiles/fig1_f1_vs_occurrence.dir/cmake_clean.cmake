@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_f1_vs_occurrence.dir/fig1_f1_vs_occurrence.cpp.o"
+  "CMakeFiles/fig1_f1_vs_occurrence.dir/fig1_f1_vs_occurrence.cpp.o.d"
+  "fig1_f1_vs_occurrence"
+  "fig1_f1_vs_occurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_f1_vs_occurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

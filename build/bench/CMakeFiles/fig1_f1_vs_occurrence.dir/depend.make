@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_f1_vs_occurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_compression.dir/fig3_compression.cpp.o"
+  "CMakeFiles/fig3_compression.dir/fig3_compression.cpp.o.d"
+  "fig3_compression"
+  "fig3_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

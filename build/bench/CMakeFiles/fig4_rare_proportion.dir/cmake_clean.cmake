@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rare_proportion.dir/fig4_rare_proportion.cpp.o"
+  "CMakeFiles/fig4_rare_proportion.dir/fig4_rare_proportion.cpp.o.d"
+  "fig4_rare_proportion"
+  "fig4_rare_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rare_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_model_sizes.dir/table10_model_sizes.cpp.o"
+  "CMakeFiles/table10_model_sizes.dir/table10_model_sizes.cpp.o.d"
+  "table10_model_sizes"
+  "table10_model_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_model_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_weak_labeling.dir/table11_weak_labeling.cpp.o"
+  "CMakeFiles/table11_weak_labeling.dir/table11_weak_labeling.cpp.o.d"
+  "table11_weak_labeling"
+  "table11_weak_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_weak_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_main_ablation.dir/table2_main_ablation.cpp.o"
+  "CMakeFiles/table2_main_ablation.dir/table2_main_ablation.cpp.o.d"
+  "table2_main_ablation"
+  "table2_main_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_main_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

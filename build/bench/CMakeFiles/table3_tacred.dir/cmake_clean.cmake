@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tacred.dir/table3_tacred.cpp.o"
+  "CMakeFiles/table3_tacred.dir/table3_tacred.cpp.o.d"
+  "table3_tacred"
+  "table3_tacred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tacred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

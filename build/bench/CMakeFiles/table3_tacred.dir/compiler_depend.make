@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_tacred.
+# This may be replaced when dependencies are built.

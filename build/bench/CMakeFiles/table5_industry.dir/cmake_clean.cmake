@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_industry.dir/table5_industry.cpp.o"
+  "CMakeFiles/table5_industry.dir/table5_industry.cpp.o.d"
+  "table5_industry"
+  "table5_industry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_industry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_regularization.dir/table6_regularization.cpp.o"
+  "CMakeFiles/table6_regularization.dir/table6_regularization.cpp.o.d"
+  "table6_regularization"
+  "table6_regularization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_pattern_slices.dir/table7_pattern_slices.cpp.o"
+  "CMakeFiles/table7_pattern_slices.dir/table7_pattern_slices.cpp.o.d"
+  "table7_pattern_slices"
+  "table7_pattern_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_pattern_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

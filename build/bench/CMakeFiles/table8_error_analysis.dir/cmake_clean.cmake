@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_error_analysis.dir/table8_error_analysis.cpp.o"
+  "CMakeFiles/table8_error_analysis.dir/table8_error_analysis.cpp.o.d"
+  "table8_error_analysis"
+  "table8_error_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_micro_ablation.dir/table9_micro_ablation.cpp.o"
+  "CMakeFiles/table9_micro_ablation.dir/table9_micro_ablation.cpp.o.d"
+  "table9_micro_ablation"
+  "table9_micro_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_micro_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_compression.dir/embedding_compression.cpp.o"
+  "CMakeFiles/embedding_compression.dir/embedding_compression.cpp.o.d"
+  "embedding_compression"
+  "embedding_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_extraction.dir/relation_extraction.cpp.o"
+  "CMakeFiles/relation_extraction.dir/relation_extraction.cpp.o.d"
+  "relation_extraction"
+  "relation_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_disambiguation.dir/tail_disambiguation.cpp.o"
+  "CMakeFiles/tail_disambiguation.dir/tail_disambiguation.cpp.o.d"
+  "tail_disambiguation"
+  "tail_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

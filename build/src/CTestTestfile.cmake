@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("nn")
+subdirs("text")
+subdirs("kb")
+subdirs("data")
+subdirs("eval")
+subdirs("baseline")
+subdirs("core")
+subdirs("downstream")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_baseline.dir/ned_base.cc.o"
+  "CMakeFiles/bootleg_baseline.dir/ned_base.cc.o.d"
+  "CMakeFiles/bootleg_baseline.dir/prior_model.cc.o"
+  "CMakeFiles/bootleg_baseline.dir/prior_model.cc.o.d"
+  "libbootleg_baseline.a"
+  "libbootleg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_core.dir/model.cc.o"
+  "CMakeFiles/bootleg_core.dir/model.cc.o.d"
+  "CMakeFiles/bootleg_core.dir/regularization.cc.o"
+  "CMakeFiles/bootleg_core.dir/regularization.cc.o.d"
+  "CMakeFiles/bootleg_core.dir/trainer.cc.o"
+  "CMakeFiles/bootleg_core.dir/trainer.cc.o.d"
+  "libbootleg_core.a"
+  "libbootleg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus_io.cc" "src/data/CMakeFiles/bootleg_data.dir/corpus_io.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/corpus_io.cc.o.d"
+  "/root/repo/src/data/example.cc" "src/data/CMakeFiles/bootleg_data.dir/example.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/example.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/bootleg_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/mention_extractor.cc" "src/data/CMakeFiles/bootleg_data.dir/mention_extractor.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/mention_extractor.cc.o.d"
+  "/root/repo/src/data/slices.cc" "src/data/CMakeFiles/bootleg_data.dir/slices.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/slices.cc.o.d"
+  "/root/repo/src/data/weak_label.cc" "src/data/CMakeFiles/bootleg_data.dir/weak_label.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/weak_label.cc.o.d"
+  "/root/repo/src/data/world.cc" "src/data/CMakeFiles/bootleg_data.dir/world.cc.o" "gcc" "src/data/CMakeFiles/bootleg_data.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/bootleg_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bootleg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bootleg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bootleg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bootleg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

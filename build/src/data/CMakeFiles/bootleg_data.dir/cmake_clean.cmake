@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_data.dir/corpus_io.cc.o"
+  "CMakeFiles/bootleg_data.dir/corpus_io.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/example.cc.o"
+  "CMakeFiles/bootleg_data.dir/example.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/generator.cc.o"
+  "CMakeFiles/bootleg_data.dir/generator.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/mention_extractor.cc.o"
+  "CMakeFiles/bootleg_data.dir/mention_extractor.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/slices.cc.o"
+  "CMakeFiles/bootleg_data.dir/slices.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/weak_label.cc.o"
+  "CMakeFiles/bootleg_data.dir/weak_label.cc.o.d"
+  "CMakeFiles/bootleg_data.dir/world.cc.o"
+  "CMakeFiles/bootleg_data.dir/world.cc.o.d"
+  "libbootleg_data.a"
+  "libbootleg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

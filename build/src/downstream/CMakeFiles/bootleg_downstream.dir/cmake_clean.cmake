@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_downstream.dir/overton.cc.o"
+  "CMakeFiles/bootleg_downstream.dir/overton.cc.o.d"
+  "CMakeFiles/bootleg_downstream.dir/relation_extraction.cc.o"
+  "CMakeFiles/bootleg_downstream.dir/relation_extraction.cc.o.d"
+  "libbootleg_downstream.a"
+  "libbootleg_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbootleg_downstream.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/error_analysis.cc" "src/eval/CMakeFiles/bootleg_eval.dir/error_analysis.cc.o" "gcc" "src/eval/CMakeFiles/bootleg_eval.dir/error_analysis.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/bootleg_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/bootleg_eval.dir/evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/bootleg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/bootleg_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bootleg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bootleg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bootleg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bootleg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

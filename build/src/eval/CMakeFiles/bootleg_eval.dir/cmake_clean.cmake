@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_eval.dir/error_analysis.cc.o"
+  "CMakeFiles/bootleg_eval.dir/error_analysis.cc.o.d"
+  "CMakeFiles/bootleg_eval.dir/evaluator.cc.o"
+  "CMakeFiles/bootleg_eval.dir/evaluator.cc.o.d"
+  "libbootleg_eval.a"
+  "libbootleg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

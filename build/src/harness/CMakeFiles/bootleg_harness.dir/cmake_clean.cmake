@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_harness.dir/experiment.cc.o"
+  "CMakeFiles/bootleg_harness.dir/experiment.cc.o.d"
+  "libbootleg_harness.a"
+  "libbootleg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/candidate_map.cc" "src/kb/CMakeFiles/bootleg_kb.dir/candidate_map.cc.o" "gcc" "src/kb/CMakeFiles/bootleg_kb.dir/candidate_map.cc.o.d"
+  "/root/repo/src/kb/cooccurrence.cc" "src/kb/CMakeFiles/bootleg_kb.dir/cooccurrence.cc.o" "gcc" "src/kb/CMakeFiles/bootleg_kb.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/kb/kb.cc" "src/kb/CMakeFiles/bootleg_kb.dir/kb.cc.o" "gcc" "src/kb/CMakeFiles/bootleg_kb.dir/kb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bootleg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

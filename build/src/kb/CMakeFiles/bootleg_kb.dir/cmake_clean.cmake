@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_kb.dir/candidate_map.cc.o"
+  "CMakeFiles/bootleg_kb.dir/candidate_map.cc.o.d"
+  "CMakeFiles/bootleg_kb.dir/cooccurrence.cc.o"
+  "CMakeFiles/bootleg_kb.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/bootleg_kb.dir/kb.cc.o"
+  "CMakeFiles/bootleg_kb.dir/kb.cc.o.d"
+  "libbootleg_kb.a"
+  "libbootleg_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

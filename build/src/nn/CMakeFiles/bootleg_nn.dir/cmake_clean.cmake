@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_nn.dir/attention.cc.o"
+  "CMakeFiles/bootleg_nn.dir/attention.cc.o.d"
+  "CMakeFiles/bootleg_nn.dir/embedding.cc.o"
+  "CMakeFiles/bootleg_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/bootleg_nn.dir/layers.cc.o"
+  "CMakeFiles/bootleg_nn.dir/layers.cc.o.d"
+  "CMakeFiles/bootleg_nn.dir/optimizer.cc.o"
+  "CMakeFiles/bootleg_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/bootleg_nn.dir/param_store.cc.o"
+  "CMakeFiles/bootleg_nn.dir/param_store.cc.o.d"
+  "libbootleg_nn.a"
+  "libbootleg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

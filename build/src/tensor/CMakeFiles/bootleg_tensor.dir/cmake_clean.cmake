@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_tensor.dir/autograd.cc.o"
+  "CMakeFiles/bootleg_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/bootleg_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/bootleg_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/bootleg_tensor.dir/tensor.cc.o"
+  "CMakeFiles/bootleg_tensor.dir/tensor.cc.o.d"
+  "libbootleg_tensor.a"
+  "libbootleg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_text.dir/vocabulary.cc.o"
+  "CMakeFiles/bootleg_text.dir/vocabulary.cc.o.d"
+  "CMakeFiles/bootleg_text.dir/word_encoder.cc.o"
+  "CMakeFiles/bootleg_text.dir/word_encoder.cc.o.d"
+  "libbootleg_text.a"
+  "libbootleg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_util.dir/io.cc.o"
+  "CMakeFiles/bootleg_util.dir/io.cc.o.d"
+  "CMakeFiles/bootleg_util.dir/logging.cc.o"
+  "CMakeFiles/bootleg_util.dir/logging.cc.o.d"
+  "CMakeFiles/bootleg_util.dir/rng.cc.o"
+  "CMakeFiles/bootleg_util.dir/rng.cc.o.d"
+  "CMakeFiles/bootleg_util.dir/status.cc.o"
+  "CMakeFiles/bootleg_util.dir/status.cc.o.d"
+  "CMakeFiles/bootleg_util.dir/string_util.cc.o"
+  "CMakeFiles/bootleg_util.dir/string_util.cc.o.d"
+  "libbootleg_util.a"
+  "libbootleg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

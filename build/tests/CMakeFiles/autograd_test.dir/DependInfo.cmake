@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/autograd_test.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/autograd_test.dir/autograd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bootleg_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bootleg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/downstream/CMakeFiles/bootleg_downstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bootleg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bootleg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/bootleg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/bootleg_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bootleg_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bootleg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bootleg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bootleg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downstream_test.dir/downstream_test.cc.o"
+  "CMakeFiles/downstream_test.dir/downstream_test.cc.o.d"
+  "downstream_test"
+  "downstream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

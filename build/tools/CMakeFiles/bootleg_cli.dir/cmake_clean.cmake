@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootleg_cli.dir/bootleg_cli.cc.o"
+  "CMakeFiles/bootleg_cli.dir/bootleg_cli.cc.o.d"
+  "bootleg_cli"
+  "bootleg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootleg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

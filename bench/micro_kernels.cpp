@@ -5,10 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/model.h"
+#include "core/trainer.h"
 #include "data/generator.h"
+#include "data/weak_label.h"
 #include "data/world.h"
+#include "eval/evaluator.h"
 #include "nn/attention.h"
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 using namespace bootleg;  // NOLINT
 
@@ -25,6 +29,20 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Pre-rewrite naive kernel, kept as the speedup baseline for the blocked
+// production MatMul above.
+void BM_MatMulReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMulReference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulReference)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -100,6 +118,71 @@ void BM_KgAdjacencySoftmax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KgAdjacencySoftmax)->Arg(8)->Arg(32);
+
+// One full training epoch over a micro-scale corpus, serial vs data-parallel
+// (arg = worker count; 1 takes the exact legacy serial loop). The EXPERIMENTS
+// speedup table reads these numbers.
+void BM_TrainEpoch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  data::SynthConfig config = data::SynthConfig::MicroScale();
+  config.num_entities = 300;
+  config.num_pages = 60;
+  const data::SynthWorld world = data::BuildWorld(config);
+  data::CorpusGenerator generator(&world);
+  data::Corpus corpus = generator.Generate();
+  data::ApplyWeakLabeling(world.kb, &corpus.train);
+  const data::EntityCounts counts = data::EntityCounts::FromTraining(corpus.train);
+  data::ExampleBuilder builder(&world.candidates, &world.vocab);
+  std::vector<data::SentenceExample> examples =
+      builder.BuildAll(corpus.train, data::ExampleOptions());
+  examples.resize(std::min<size_t>(examples.size(), 200));
+
+  util::ThreadPool::ResetGlobal(threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::BootlegConfig model_config;
+    model_config.encoder.max_len = 32;
+    core::BootlegModel model(&world.kb, world.vocab.size(), model_config, 7);
+    model.SetEntityCounts(&counts);
+    core::Trainable<core::BootlegModel> trainable(&model);
+    core::TrainOptions options;
+    options.epochs = 1;
+    options.num_threads = threads;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core::Train(&trainable, examples, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(examples.size()));
+  util::ThreadPool::ResetGlobal(1);
+}
+BENCHMARK(BM_TrainEpoch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Parallel inference over a sentence set (arg = worker count).
+void BM_ParallelEval(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  data::SynthConfig config = data::SynthConfig::MicroScale();
+  const data::SynthWorld world = data::BuildWorld(config);
+  data::CorpusGenerator generator(&world);
+  data::Corpus corpus = generator.Generate();
+  data::ApplyWeakLabeling(world.kb, &corpus.train);
+  const data::EntityCounts counts = data::EntityCounts::FromTraining(corpus.train);
+  data::ExampleBuilder builder(&world.candidates, &world.vocab);
+  corpus.dev.resize(std::min<size_t>(corpus.dev.size(), 100));
+  core::BootlegConfig model_config;
+  model_config.encoder.max_len = 32;
+  core::BootlegModel model(&world.kb, world.vocab.size(), model_config, 7);
+  model.SetEntityCounts(&counts);
+
+  util::ThreadPool::ResetGlobal(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::RunEvaluation(
+        &model, corpus.dev, builder, data::ExampleOptions(), counts, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.dev.size()));
+  util::ThreadPool::ResetGlobal(1);
+}
+BENCHMARK(BM_ParallelEval)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

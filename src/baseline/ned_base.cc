@@ -31,9 +31,11 @@ Var NedBaseModel::MentionLogits(const Var& w,
   return tensor::MatMul(proj, tensor::Transpose(u));            // [1, K]
 }
 
-Var NedBaseModel::Loss(const data::SentenceExample& example, bool train) {
+Var NedBaseModel::Loss(const data::SentenceExample& example, bool train,
+                       util::Rng* rng) {
+  if (rng == nullptr) rng = &rng_;
   if (example.token_ids.empty()) return Var();
-  Var w = encoder_->Encode(example.token_ids, &rng_, train);
+  Var w = encoder_->Encode(example.token_ids, rng, train);
   std::vector<Var> losses;
   for (const data::MentionExample& mention : example.mentions) {
     if (mention.gold_index < 0) continue;

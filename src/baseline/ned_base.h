@@ -31,7 +31,10 @@ class NedBaseModel : public eval::NedScorer {
 
   /// Mean cross-entropy over the sentence's trainable mentions; undefined Var
   /// when none exist.
-  tensor::Var Loss(const data::SentenceExample& example, bool train);
+  /// `rng` drives dropout; nullptr uses the internal generator. Concurrent
+  /// calls are safe with distinct rngs.
+  tensor::Var Loss(const data::SentenceExample& example, bool train,
+                   util::Rng* rng = nullptr);
 
   std::vector<int64_t> Predict(const data::SentenceExample& example) override;
 

@@ -131,7 +131,7 @@ Tensor BootlegModel::BuildAdjacency(const data::SentenceExample& example,
 }
 
 BootlegModel::ForwardResult BootlegModel::RunForward(
-    const data::SentenceExample& example, bool train) {
+    const data::SentenceExample& example, bool train, util::Rng* rng) {
   ForwardResult result;
   const int64_t n_tokens = std::min<int64_t>(
       static_cast<int64_t>(example.token_ids.size()), config_.encoder.max_len);
@@ -155,7 +155,7 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
   if (rows == 0) return result;
 
   const bool encoder_train = train && !config_.freeze_encoder;
-  Var w = encoder_->Encode(example.token_ids, &rng_, encoder_train);
+  Var w = encoder_->Encode(example.token_ids, rng, encoder_train);
 
   auto clamp_span = [n_tokens](int64_t s) {
     return std::max<int64_t>(0, std::min<int64_t>(s, n_tokens - 1));
@@ -170,7 +170,7 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
           w, clamp_span(m.span_start), clamp_span(m.span_end)));
     }
     Var m_mat = tensor::ConcatRows(mention_vecs);  // [M, hidden]
-    Var logits = type_pred_head_->Forward(m_mat, &rng_, train);  // [M, C]
+    Var logits = type_pred_head_->Forward(m_mat, rng, train);  // [M, C]
     Var t_hat = tensor::MatMul(tensor::SoftmaxRows(logits), coarse_table_);
 
     // Expand per-mention rows to per-candidate rows via a constant one-hot
@@ -213,7 +213,7 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
         const float p = config_.regularization.MaskProbability(count);
         if (config_.regularization.two_dimensional) {
           // 2-D regularization: mask the whole embedding row with prob p(e).
-          if (rng_.Bernoulli(p)) {
+          if (rng->Bernoulli(p)) {
             for (int64_t j = 0; j < config_.entity_dim; ++j) {
               mask.at(r, j) = 0.0f;
             }
@@ -222,7 +222,7 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
           // 1-D baseline: standard inverted dropout at rate p(e).
           const float keep_scale = p >= 1.0f ? 0.0f : 1.0f / (1.0f - p);
           for (int64_t j = 0; j < config_.entity_dim; ++j) {
-            mask.at(r, j) = rng_.Bernoulli(p) ? 0.0f : keep_scale;
+            mask.at(r, j) = rng->Bernoulli(p) ? 0.0f : keep_scale;
           }
         }
       }
@@ -285,7 +285,7 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
         title_proj_->Forward(Var::Constant(std::move(titles))));
   }
 
-  Var e_mat = input_mlp_->Forward(tensor::ConcatCols(feature_parts), &rng_, train);
+  Var e_mat = input_mlp_->Forward(tensor::ConcatCols(feature_parts), rng, train);
 
   if (config_.use_position_encoding) {
     Tensor pos({rows, 2 * config_.hidden});
@@ -322,8 +322,8 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
   Var e_prime;
   std::vector<Var> ek_outputs;
   for (const Layer& layer : layers_) {
-    Var p = layer.phrase2ent->Forward(e, w, &rng_, train);
-    Var c = layer.ent2ent->Forward(e, &rng_, train);
+    Var p = layer.phrase2ent->Forward(e, w, rng, train);
+    Var c = layer.ent2ent->Forward(e, rng, train);
     e_prime = tensor::Add(p, c);  // E' = MHA(E, W) + MHA(E)
 
     ek_outputs.clear();
@@ -364,8 +364,9 @@ BootlegModel::ForwardResult BootlegModel::RunForward(
   return result;
 }
 
-Var BootlegModel::Loss(const data::SentenceExample& example, bool train) {
-  ForwardResult fwd = RunForward(example, train);
+Var BootlegModel::Loss(const data::SentenceExample& example, bool train,
+                       util::Rng* rng) {
+  ForwardResult fwd = RunForward(example, train, rng != nullptr ? rng : &rng_);
   if (!fwd.valid) return Var();
 
   std::vector<Var> mention_losses;
@@ -393,7 +394,7 @@ Var BootlegModel::Loss(const data::SentenceExample& example, bool train) {
 
 std::vector<int64_t> BootlegModel::Predict(const data::SentenceExample& example) {
   std::vector<int64_t> preds(example.mentions.size(), -1);
-  ForwardResult fwd = RunForward(example, /*train=*/false);
+  ForwardResult fwd = RunForward(example, /*train=*/false, &rng_);
   if (!fwd.valid) return preds;
   const Tensor& s = fwd.scores.value();
   for (size_t mi = 0; mi < example.mentions.size(); ++mi) {
@@ -412,7 +413,7 @@ std::vector<int64_t> BootlegModel::Predict(const data::SentenceExample& example)
 std::vector<BootlegModel::ContextualMention> BootlegModel::ContextualEmbeddings(
     const data::SentenceExample& example) {
   std::vector<ContextualMention> out;
-  ForwardResult fwd = RunForward(example, /*train=*/false);
+  ForwardResult fwd = RunForward(example, /*train=*/false, &rng_);
   if (!fwd.valid) {
     for (const data::MentionExample& m : example.mentions) {
       ContextualMention cm;

@@ -48,8 +48,12 @@ class BootlegModel : public eval::NedScorer {
   }
 
   /// Total loss L_dis + L_type over a sentence. Returns an undefined Var
-  /// when the sentence has no trainable mention.
-  tensor::Var Loss(const data::SentenceExample& example, bool train);
+  /// when the sentence has no trainable mention. `rng` drives every
+  /// stochastic draw (dropout, regularization masks); nullptr uses the
+  /// model's internal generator. Concurrent calls are safe as long as each
+  /// passes a distinct rng.
+  tensor::Var Loss(const data::SentenceExample& example, bool train,
+                   util::Rng* rng = nullptr);
 
   /// Predicted candidate index per mention (-1 for empty candidate lists).
   std::vector<int64_t> Predict(const data::SentenceExample& example) override;
@@ -113,7 +117,8 @@ class BootlegModel : public eval::NedScorer {
     std::vector<int64_t> type_targets;  // gold coarse types for those rows
   };
 
-  ForwardResult RunForward(const data::SentenceExample& example, bool train);
+  ForwardResult RunForward(const data::SentenceExample& example, bool train,
+                           util::Rng* rng);
 
   /// Builds one per-sentence KG adjacency over candidate rows.
   tensor::Tensor BuildAdjacency(const data::SentenceExample& example,

@@ -1,13 +1,20 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace bootleg::core {
 
-TrainStats Train(TrainableModel* model,
-                 const std::vector<data::SentenceExample>& train_examples,
-                 const TrainOptions& options) {
+namespace {
+
+// Serial loop, unchanged from before the parallel execution layer: this is
+// the bit-exact reference trajectory that equivalence tests pin against.
+TrainStats TrainSerial(TrainableModel* model,
+                       const std::vector<data::SentenceExample>& train_examples,
+                       const TrainOptions& options) {
   util::Rng rng(options.seed);
   nn::Adam::Options adam_options;
   adam_options.lr = options.lr;
@@ -18,6 +25,7 @@ TrainStats Train(TrainableModel* model,
 
   util::Timer timer;
   TrainStats stats;
+  stats.threads = 1;
   double window_loss = 0.0;
   int64_t window_count = 0;
 
@@ -55,6 +63,122 @@ TrainStats Train(TrainableModel* model,
   stats.final_avg_loss = window_count > 0 ? window_loss / window_count : 0.0;
   stats.seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+// Data-parallel loop: each minibatch of `batch_size` sentences is sharded
+// contiguously across `nthreads` workers. Workers run Loss+Backward with a
+// private RNG (forked once, up front, from the master generator) and a
+// private GradScope; scopes are reduced in worker order before the step, so
+// the trajectory is deterministic for a fixed thread count. Epoch order and
+// shard boundaries match the serial loop; only the RNG streams driving
+// dropout differ, since workers draw independently.
+TrainStats TrainParallel(TrainableModel* model,
+                         const std::vector<data::SentenceExample>& train_examples,
+                         const TrainOptions& options, int nthreads) {
+  util::Rng rng(options.seed);
+  nn::Adam::Options adam_options;
+  adam_options.lr = options.lr;
+  nn::Adam optimizer(&model->store(), adam_options);
+
+  std::vector<util::Rng> worker_rngs;
+  worker_rngs.reserve(static_cast<size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) worker_rngs.push_back(rng.Fork());
+  std::vector<tensor::GradScope> scopes(static_cast<size_t>(nthreads));
+
+  std::vector<size_t> order(train_examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  util::ThreadPool* pool = util::ThreadPool::Global();
+  util::Timer timer;
+  TrainStats stats;
+  stats.threads = nthreads;
+  double window_loss = 0.0;
+  int64_t window_count = 0;
+
+  std::vector<double> worker_loss(static_cast<size_t>(nthreads));
+  std::vector<int64_t> worker_defined(static_cast<size_t>(nthreads));
+
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int64_t in_batch = 0;
+    for (size_t group_start = 0; group_start < order.size();
+         group_start += static_cast<size_t>(options.batch_size)) {
+      const size_t group =
+          std::min(static_cast<size_t>(options.batch_size),
+                   order.size() - group_start);
+      std::fill(worker_loss.begin(), worker_loss.end(), 0.0);
+      std::fill(worker_defined.begin(), worker_defined.end(), int64_t{0});
+      pool->RunWorkers(nthreads, [&](int w) {
+        const size_t lo = group * static_cast<size_t>(w) /
+                          static_cast<size_t>(nthreads);
+        const size_t hi = group * (static_cast<size_t>(w) + 1) /
+                          static_cast<size_t>(nthreads);
+        if (lo == hi) return;
+        tensor::GradScope::Activation act(&scopes[static_cast<size_t>(w)]);
+        for (size_t i = lo; i < hi; ++i) {
+          tensor::Var loss = model->Loss(train_examples[order[group_start + i]],
+                                         /*train=*/true,
+                                         &worker_rngs[static_cast<size_t>(w)]);
+          if (loss.defined()) {
+            tensor::Backward(loss);
+            worker_loss[static_cast<size_t>(w)] += loss.value().at(0);
+            ++worker_defined[static_cast<size_t>(w)];
+          }
+        }
+      });
+      nn::ParameterStore::ReduceGradScopes(&scopes);
+      stats.sentences_seen += static_cast<int64_t>(group);
+      for (int w = 0; w < nthreads; ++w) {
+        window_loss += worker_loss[static_cast<size_t>(w)];
+        window_count += worker_defined[static_cast<size_t>(w)];
+        in_batch += worker_defined[static_cast<size_t>(w)];
+      }
+      // Same step rule as the serial loop — step once `batch_size` defined
+      // losses have accumulated — evaluated at group granularity.
+      if (in_batch >= options.batch_size) {
+        optimizer.Step();
+        ++stats.steps;
+        in_batch = 0;
+      }
+      if (options.verbose && window_count > 0 &&
+          stats.sentences_seen / options.log_every !=
+              (stats.sentences_seen - static_cast<int64_t>(group)) /
+                  options.log_every) {
+        BOOTLEG_LOG(Info) << "epoch " << epoch << " sentences "
+                          << stats.sentences_seen << " avg loss "
+                          << window_loss / window_count << " (threads "
+                          << nthreads << ")";
+        window_loss = 0.0;
+        window_count = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      ++stats.steps;
+    }
+  }
+  stats.final_avg_loss = window_count > 0 ? window_loss / window_count : 0.0;
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
+
+TrainStats Train(TrainableModel* model,
+                 const std::vector<data::SentenceExample>& train_examples,
+                 const TrainOptions& options) {
+  int nthreads = options.num_threads;
+  if (nthreads <= 0) {
+    const int env = util::ThreadPool::EnvThreads();
+    nthreads = env > 0 ? env : 1;
+  }
+  if (nthreads > 1 && !model->SupportsParallelLoss()) {
+    BOOTLEG_LOG(Warning)
+        << "model does not support per-worker RNGs; training serially";
+    nthreads = 1;
+  }
+  if (nthreads <= 1) return TrainSerial(model, train_examples, options);
+  return TrainParallel(model, train_examples, options, nthreads);
 }
 
 }  // namespace bootleg::core

@@ -19,22 +19,47 @@ class TrainableModel {
  public:
   virtual ~TrainableModel() = default;
   /// Scalar loss for one sentence, or an undefined Var if the sentence has
-  /// no trainable mention.
-  virtual tensor::Var Loss(const data::SentenceExample& example, bool train) = 0;
+  /// no trainable mention. `rng` supplies every stochastic draw (dropout,
+  /// regularization masks); nullptr means "use the model's internal
+  /// generator", which is only safe from one thread at a time.
+  virtual tensor::Var Loss(const data::SentenceExample& example, bool train,
+                           util::Rng* rng) = 0;
+  tensor::Var Loss(const data::SentenceExample& example, bool train) {
+    return Loss(example, train, nullptr);
+  }
+  /// True when Loss honors the rng argument, making concurrent Loss calls
+  /// from the data-parallel trainer safe. Models that ignore it fall back to
+  /// serial training.
+  virtual bool SupportsParallelLoss() const { return false; }
   virtual nn::ParameterStore& store() = 0;
 };
 
-/// Adapter wrapping any model with a Loss member function.
+/// Adapter wrapping any model with a Loss member function. Models exposing
+/// Loss(example, train, rng) get the per-worker RNG threaded through (and are
+/// eligible for data-parallel training); models with Loss(example, train)
+/// keep their internal generator and train serially.
 template <typename M>
 class Trainable : public TrainableModel {
  public:
   explicit Trainable(M* model) : model_(model) {}
-  tensor::Var Loss(const data::SentenceExample& example, bool train) override {
-    return model_->Loss(example, train);
+  using TrainableModel::Loss;
+  tensor::Var Loss(const data::SentenceExample& example, bool train,
+                   util::Rng* rng) override {
+    if constexpr (kHasRngLoss) {
+      return model_->Loss(example, train, rng);
+    } else {
+      (void)rng;
+      return model_->Loss(example, train);
+    }
   }
+  bool SupportsParallelLoss() const override { return kHasRngLoss; }
   nn::ParameterStore& store() override { return model_->store(); }
 
  private:
+  static constexpr bool kHasRngLoss =
+      requires(M* m, const data::SentenceExample& e, util::Rng* r) {
+        m->Loss(e, true, r);
+      };
   M* model_;
 };
 
@@ -45,6 +70,13 @@ struct TrainOptions {
   uint64_t seed = 99;
   bool verbose = false;
   int64_t log_every = 1000;  // sentences
+  /// Data-parallel workers per optimizer step. 0 reads BOOTLEG_THREADS (and
+  /// falls back to 1); 1 runs the exact serial loop, bit-identical to the
+  /// pre-parallel trainer. Workers shard each minibatch, accumulate into
+  /// per-worker gradient scopes, and the scopes are reduced in worker order
+  /// before the Adam step, so a run is deterministic for a fixed thread
+  /// count.
+  int num_threads = 0;
 };
 
 struct TrainStats {
@@ -52,10 +84,12 @@ struct TrainStats {
   int64_t sentences_seen = 0;
   int64_t steps = 0;
   double seconds = 0.0;
+  int threads = 1;  // resolved worker count actually used
 };
 
 /// Runs the shared training loop: shuffle each epoch, accumulate gradients
-/// over `batch_size` sentences, Adam step.
+/// over `batch_size` sentences, Adam step. With num_threads > 1 (and a model
+/// that supports it) each minibatch is sharded across pool workers.
 TrainStats Train(TrainableModel* model,
                  const std::vector<data::SentenceExample>& train_examples,
                  const TrainOptions& options);

@@ -1,5 +1,7 @@
 #include "eval/evaluator.h"
 
+#include "util/thread_pool.h"
+
 namespace bootleg::eval {
 
 Prf ResultSet::Filtered(
@@ -41,35 +43,80 @@ int64_t ResultSet::NumEligible() const {
   return n;
 }
 
+namespace {
+
+// Evaluates one sentence into `out` (which starts empty and stays empty when
+// the sentence yields no mentions).
+void EvaluateSentence(NedScorer* model, const data::Sentence& sentence,
+                      const data::ExampleBuilder& builder,
+                      const data::ExampleOptions& eval_options,
+                      const data::EntityCounts& counts,
+                      std::vector<PredictionRecord>* out) {
+  const data::SentenceExample example = builder.Build(sentence, eval_options);
+  if (example.mentions.empty()) return;
+  const std::vector<int64_t> preds = model->Predict(example);
+  BOOTLEG_CHECK_EQ(preds.size(), example.mentions.size());
+  for (size_t k = 0; k < example.mentions.size(); ++k) {
+    const data::MentionExample& me = example.mentions[k];
+    PredictionRecord rec;
+    rec.sentence = &sentence;
+    rec.mention_idx = static_cast<size_t>(me.sentence_mention_index);
+    rec.gold = me.gold;
+    rec.alias = sentence.mentions[rec.mention_idx].alias;
+    rec.gold_in_candidates = me.GoldInCandidates();
+    rec.num_candidates = static_cast<int64_t>(me.candidates.size());
+    rec.bucket = counts.BucketOf(me.gold);
+    if (preds[k] >= 0 &&
+        preds[k] < static_cast<int64_t>(me.candidates.size())) {
+      rec.predicted = me.candidates[static_cast<size_t>(preds[k])];
+    }
+    out->push_back(std::move(rec));
+  }
+}
+
+}  // namespace
+
 ResultSet RunEvaluation(NedScorer* model,
                         const std::vector<data::Sentence>& sentences,
                         const data::ExampleBuilder& builder,
                         const data::ExampleOptions& options,
-                        const data::EntityCounts& counts) {
+                        const data::EntityCounts& counts,
+                        int num_threads) {
   data::ExampleOptions eval_options = options;
   eval_options.include_weak_labels = false;  // evaluate true anchors only
+
+  if (num_threads <= 0) {
+    const int env = util::ThreadPool::EnvThreads();
+    num_threads = env > 0 ? env : 1;
+  }
+
   ResultSet results;
-  for (const data::Sentence& sentence : sentences) {
-    const data::SentenceExample example = builder.Build(sentence, eval_options);
-    if (example.mentions.empty()) continue;
-    const std::vector<int64_t> preds = model->Predict(example);
-    BOOTLEG_CHECK_EQ(preds.size(), example.mentions.size());
-    for (size_t k = 0; k < example.mentions.size(); ++k) {
-      const data::MentionExample& me = example.mentions[k];
-      PredictionRecord rec;
-      rec.sentence = &sentence;
-      rec.mention_idx = static_cast<size_t>(me.sentence_mention_index);
-      rec.gold = me.gold;
-      rec.alias = sentence.mentions[rec.mention_idx].alias;
-      rec.gold_in_candidates = me.GoldInCandidates();
-      rec.num_candidates = static_cast<int64_t>(me.candidates.size());
-      rec.bucket = counts.BucketOf(me.gold);
-      if (preds[k] >= 0 &&
-          preds[k] < static_cast<int64_t>(me.candidates.size())) {
-        rec.predicted = me.candidates[static_cast<size_t>(preds[k])];
-      }
-      results.Add(std::move(rec));
+  if (num_threads <= 1) {
+    std::vector<PredictionRecord> recs;
+    for (const data::Sentence& sentence : sentences) {
+      recs.clear();
+      EvaluateSentence(model, sentence, builder, eval_options, counts, &recs);
+      for (PredictionRecord& rec : recs) results.Add(std::move(rec));
     }
+    return results;
+  }
+
+  // Parallel path: per-sentence buffers filled out of order, appended in
+  // sentence order so the ResultSet is independent of scheduling.
+  const size_t n = sentences.size();
+  std::vector<std::vector<PredictionRecord>> per_sentence(n);
+  util::ThreadPool::Global()->RunWorkers(num_threads, [&](int w) {
+    const size_t lo = n * static_cast<size_t>(w) /
+                      static_cast<size_t>(num_threads);
+    const size_t hi = n * (static_cast<size_t>(w) + 1) /
+                      static_cast<size_t>(num_threads);
+    for (size_t i = lo; i < hi; ++i) {
+      EvaluateSentence(model, sentences[i], builder, eval_options, counts,
+                       &per_sentence[i]);
+    }
+  });
+  for (std::vector<PredictionRecord>& recs : per_sentence) {
+    for (PredictionRecord& rec : recs) results.Add(std::move(rec));
   }
   return results;
 }

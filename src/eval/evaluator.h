@@ -87,11 +87,19 @@ class ResultSet {
 /// Runs `model` over `sentences` (evaluating true anchors only, never weak
 /// labels) and assembles the ResultSet. Bucket membership uses `counts`
 /// (training-time anchor+weak-label occurrence counts).
+///
+/// `num_threads` shards sentences across the global thread pool: 0 reads
+/// BOOTLEG_THREADS (falling back to serial), 1 is serial. Records are
+/// appended in sentence order regardless of thread count, so the ResultSet is
+/// identical at any parallelism. Requires Predict to be safe to call
+/// concurrently — true for every inference-mode model here (inference draws
+/// no RNG values and mutates no model state).
 ResultSet RunEvaluation(NedScorer* model,
                         const std::vector<data::Sentence>& sentences,
                         const data::ExampleBuilder& builder,
                         const data::ExampleOptions& options,
-                        const data::EntityCounts& counts);
+                        const data::EntityCounts& counts,
+                        int num_threads = 0);
 
 }  // namespace bootleg::eval
 

@@ -38,7 +38,7 @@ Var MultiHeadAttention::Attend(const Var& queries, const Var& keys) const {
     Var qh = tensor::SliceCols(q, off, head_dim_);
     Var kh = tensor::SliceCols(k, off, head_dim_);
     Var vh = tensor::SliceCols(v, off, head_dim_);
-    Var scores = tensor::Scale(tensor::MatMul(qh, tensor::Transpose(kh)), inv_sqrt);
+    Var scores = tensor::Scale(tensor::MatMulTransposedB(qh, kh), inv_sqrt);
     Var attn = tensor::SoftmaxRows(scores);
     heads.push_back(tensor::MatMul(attn, vh));
   }

@@ -18,11 +18,17 @@ Var Embedding::Lookup(const std::vector<int64_t>& ids) {
   node->value = std::move(out);
   node->requires_grad = true;
   // Leaf-like op: no tape inputs, backward scatters into this table's sparse
-  // gradient map. `this` must outlive the tape (documented in the header).
+  // gradient map — or, under an active GradScope, into that worker's private
+  // buffer keyed by the map. `this` must outlive the tape (documented in the
+  // header).
   node->backward = [this, ids, cols](tensor::internal_autograd::Node& n) {
+    tensor::SparseRowGrads* sink = &sparse_grads_;
+    if (tensor::GradScope* scope = tensor::GradScope::Current()) {
+      sink = scope->SparseGrad(sink);
+    }
     for (size_t i = 0; i < ids.size(); ++i) {
-      auto [it, inserted] = sparse_grads_.try_emplace(
-          ids[i], static_cast<size_t>(cols), 0.0f);
+      auto [it, inserted] =
+          sink->try_emplace(ids[i], static_cast<size_t>(cols), 0.0f);
       float* dst = it->second.data();
       const float* src = n.grad.data() + static_cast<int64_t>(i) * cols;
       for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];

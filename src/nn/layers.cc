@@ -30,8 +30,14 @@ Var Dropout::Apply(const Var& x, util::Rng* rng, bool train) const {
   if (!train || p_ == 0.0f) return x;
   Tensor mask(x.value().shape());
   const float keep_scale = 1.0f / (1.0f - p_);
+  // Raw threshold compare on the engine: one 64-bit draw per element, same
+  // draw count as Rng::Bernoulli but without a distribution object and a
+  // double conversion per element — this loop runs once per activation.
+  const uint64_t threshold =
+      static_cast<uint64_t>(static_cast<double>(p_) * 18446744073709551616.0);
+  std::mt19937_64& engine = rng->engine();
   for (float& m : mask.vec()) {
-    m = rng->Bernoulli(p_) ? 0.0f : keep_scale;
+    m = engine() < threshold ? 0.0f : keep_scale;
   }
   return tensor::MulConst(x, mask);
 }

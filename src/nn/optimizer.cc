@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace bootleg::nn {
 
 using tensor::Tensor;
@@ -31,30 +33,63 @@ void Adam::Step() {
   // are left unclipped (each row receives few contributions per step).
   float scale = 1.0f;
   if (options_.clip_norm > 0.0f) {
-    double sq = 0.0;
+    // Lane accumulators: a single running double is a serial FP chain the
+    // compiler cannot reassociate; eight independent lanes vectorize. The
+    // lane assignment and fold order are fixed, so the norm is deterministic.
+    double lanes[8] = {0.0};
     for (const DenseSlot& slot : dense_) {
       const Tensor& g = slot.param.grad();
       if (g.empty()) continue;
-      for (float x : g.vec()) sq += static_cast<double>(x) * x;
+      const float* gd = g.data();
+      const int64_t n = g.numel();
+      int64_t i = 0;
+      for (; i + 8 <= n; i += 8) {
+        for (int64_t l = 0; l < 8; ++l) {
+          const double x = static_cast<double>(gd[i + l]);
+          lanes[l] += x * x;
+        }
+      }
+      for (; i < n; ++i) {
+        const double x = static_cast<double>(gd[i]);
+        lanes[0] += x * x;
+      }
     }
+    double sq = 0.0;
+    for (int64_t l = 0; l < 8; ++l) sq += lanes[l];
     const float norm = static_cast<float>(std::sqrt(sq));
     if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
   }
 
+  const float beta1 = options_.beta1;
+  const float beta2 = options_.beta2;
+  const float eps = options_.eps;
   for (DenseSlot& slot : dense_) {
     Var p = slot.param;
     const Tensor& g = p.grad();
     if (g.empty()) continue;
-    Tensor& value = p.mutable_value();
-    for (int64_t i = 0; i < value.numel(); ++i) {
-      const float gi = g.at(i) * scale;
-      float& m = slot.m.at(i);
-      float& v = slot.v.at(i);
-      m = options_.beta1 * m + (1.0f - options_.beta1) * gi;
-      v = options_.beta2 * v + (1.0f - options_.beta2) * gi * gi;
-      const float mhat = m / bc1;
-      const float vhat = v / bc2;
-      value.at(i) -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+    // Raw pointers keep the loop branch-free (element access via at() pays a
+    // bounds check per read) and let it vectorize; per-element updates are
+    // independent, so large parameters fan out across the pool.
+    const float* gd = g.data();
+    float* value = p.mutable_value().data();
+    float* m = slot.m.data();
+    float* v = slot.v.data();
+    const auto update = [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const float gi = gd[i] * scale;
+        const float mi = beta1 * m[i] + (1.0f - beta1) * gi;
+        const float vi = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+        m[i] = mi;
+        v[i] = vi;
+        value[i] -= lr * (mi / bc1) / (std::sqrt(vi / bc2) + eps);
+      }
+    };
+    const int64_t n = p.value().numel();
+    util::ThreadPool* pool = util::ThreadPool::Global();
+    if (pool->WouldParallelize(n, 1 << 13)) {
+      pool->ParallelFor(0, n, 1 << 13, update);
+    } else {
+      update(0, n);
     }
     p.ZeroGrad();
   }
@@ -66,13 +101,13 @@ void Adam::Step() {
       float* value = e->table().data() + row * cols;
       float* m = slot.m.data() + row * cols;
       float* v = slot.v.data() + row * cols;
+      const float* gj = grad.data();
       for (int64_t j = 0; j < cols; ++j) {
-        const float gj = grad[static_cast<size_t>(j)];
-        m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * gj;
-        v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * gj * gj;
-        const float mhat = m[j] / bc1;
-        const float vhat = v[j] / bc2;
-        value[j] -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+        const float mi = beta1 * m[j] + (1.0f - beta1) * gj[j];
+        const float vi = beta2 * v[j] + (1.0f - beta2) * gj[j] * gj[j];
+        m[j] = mi;
+        v[j] = vi;
+        value[j] -= lr * (mi / bc1) / (std::sqrt(vi / bc2) + eps);
       }
     }
     e->ZeroGrad();

@@ -60,6 +60,10 @@ void ParameterStore::ZeroGrad() {
   for (auto& [name, e] : embeddings_) e->ZeroGrad();
 }
 
+void ParameterStore::ReduceGradScopes(std::vector<tensor::GradScope>* scopes) {
+  for (tensor::GradScope& scope : *scopes) scope.ReduceInto();
+}
+
 int64_t ParameterStore::DenseParamCount() const {
   int64_t n = 0;
   for (const auto& [name, v] : params_) n += v.value().numel();

@@ -45,6 +45,13 @@ class ParameterStore {
 
   void ZeroGrad();
 
+  /// Reduces per-worker gradient scopes into the shared gradient storage
+  /// (dense leaf .grad tensors and embedding sparse-grad maps) in scope index
+  /// order. Index order equals worker order in the data-parallel trainer, so
+  /// the accumulated gradients are independent of thread scheduling. Call
+  /// after the workers filling the scopes have joined and before Adam::Step.
+  static void ReduceGradScopes(std::vector<tensor::GradScope>* scopes);
+
   /// Parameter accounting used by the Table 10 model-size bench.
   int64_t DenseParamCount() const;
   int64_t EmbeddingParamCount() const;

@@ -82,10 +82,66 @@ void Backward(const Var& loss) {
 }
 
 namespace {
+thread_local GradScope* t_grad_scope = nullptr;
+}  // namespace
+
+GradScope::Activation::Activation(GradScope* scope) : prev_(t_grad_scope) {
+  t_grad_scope = scope;
+}
+
+GradScope::Activation::~Activation() { t_grad_scope = prev_; }
+
+GradScope* GradScope::Current() { return t_grad_scope; }
+
+Tensor* GradScope::DenseGrad(internal_autograd::Node* node) {
+  auto [it, inserted] = dense_.try_emplace(node);
+  if (inserted) it->second = Tensor(node->value.shape());
+  return &it->second;
+}
+
+SparseRowGrads* GradScope::SparseGrad(SparseRowGrads* target) {
+  return &sparse_[target];
+}
+
+void GradScope::ReduceInto() {
+  // Buffers are retained (zeroed, not erased) between reductions: the dense
+  // keys are parameter nodes that outlive the scope, and reusing the
+  // allocation avoids a hash insert + Tensor allocation per parameter per
+  // batch in the training loop.
+  for (auto& [node, grad] : dense_) {
+    node->EnsureGrad();
+    node->grad.Add(grad);
+    grad.Fill(0.0f);
+  }
+  for (auto& [target, rows] : sparse_) {
+    for (auto& [row, grad] : rows) {
+      auto [it, inserted] = target->try_emplace(row, std::move(grad));
+      if (!inserted) {
+        float* dst = it->second.data();
+        const float* src = grad.data();
+        for (size_t j = 0; j < it->second.size(); ++j) dst[j] += src[j];
+      }
+    }
+    rows.clear();
+  }
+}
+
+namespace {
+/// True for gradient sinks: nodes backprop stops at (parameters and other
+/// leaves). Their accumulation is redirected into the active GradScope so
+/// concurrent Backward calls never write shared state.
+bool IsLeaf(const Node* node) { return !node->backward; }
+
 /// Accumulates `delta` into input slot `i` of `node` if that input wants grad.
 void AccumInto(Node& node, size_t i, const Tensor& delta) {
   Node* in = node.inputs[i].get();
   if (!in->requires_grad) return;
+  if (IsLeaf(in)) {
+    if (GradScope* scope = GradScope::Current()) {
+      scope->DenseGrad(in)->Add(delta);
+      return;
+    }
+  }
   in->EnsureGrad();
   in->grad.Add(delta);
 }
@@ -102,6 +158,21 @@ Var MatMul(const Var& a, const Var& b) {
     }
     if (n.inputs[1]->requires_grad) {
       AccumInto(n, 1, MatMulTransposedA(av, g));  // dB = Aᵀ · dC
+    }
+  });
+}
+
+Var MatMulTransposedB(const Var& a, const Var& b) {
+  Tensor out = MatMulTransposedB(a.value(), b.value());
+  return MakeOp(std::move(out), {a, b}, [](Node& n) {
+    const Tensor& g = n.grad;
+    const Tensor& av = n.inputs[0]->value;
+    const Tensor& bv = n.inputs[1]->value;
+    if (n.inputs[0]->requires_grad) {
+      AccumInto(n, 0, MatMul(g, bv));  // dA = dC · B
+    }
+    if (n.inputs[1]->requires_grad) {
+      AccumInto(n, 1, MatMulTransposedA(g, av));  // dB = dCᵀ · A
     }
   });
 }
@@ -152,8 +223,11 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
       const Tensor& g = n.grad;
       const int64_t rows = g.size(0), cols = g.size(1);
       Tensor db({cols});
+      float* dbp = db.data();
+      const float* gp = g.data();
       for (int64_t i = 0; i < rows; ++i) {
-        for (int64_t j = 0; j < cols; ++j) db.at(j) += g.at(i, j);
+        const float* grow = gp + i * cols;
+        for (int64_t j = 0; j < cols; ++j) dbp[j] += grow[j];
       }
       AccumInto(n, 1, db);
     }
@@ -164,9 +238,11 @@ Var Relu(const Var& a) {
   Tensor out = Relu(a.value());
   return MakeOp(std::move(out), {a}, [](Node& n) {
     Tensor d = n.grad;
-    const Tensor& x = n.inputs[0]->value;
-    for (int64_t i = 0; i < d.numel(); ++i) {
-      if (x.at(i) <= 0.0f) d.at(i) = 0.0f;
+    float* dp = d.data();
+    const float* xp = n.inputs[0]->value.data();
+    const int64_t numel = d.numel();
+    for (int64_t i = 0; i < numel; ++i) {
+      if (xp[i] <= 0.0f) dp[i] = 0.0f;
     }
     AccumInto(n, 0, d);
   });
@@ -176,8 +252,10 @@ Var TanhV(const Var& a) {
   Tensor out = TanhT(a.value());
   return MakeOp(std::move(out), {a}, [](Node& n) {
     Tensor d = n.grad;
-    const Tensor& y = n.value;
-    for (int64_t i = 0; i < d.numel(); ++i) d.at(i) *= 1.0f - y.at(i) * y.at(i);
+    float* dp = d.data();
+    const float* yp = n.value.data();
+    const int64_t numel = d.numel();
+    for (int64_t i = 0; i < numel; ++i) dp[i] *= 1.0f - yp[i] * yp[i];
     AccumInto(n, 0, d);
   });
 }
@@ -187,14 +265,16 @@ Var Gelu(const Var& a) {
   return MakeOp(std::move(out), {a}, [](Node& n) {
     constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
     Tensor d = n.grad;
-    const Tensor& x = n.inputs[0]->value;
-    for (int64_t i = 0; i < d.numel(); ++i) {
-      const float v = x.at(i);
+    float* dp = d.data();
+    const float* xp = n.inputs[0]->value.data();
+    const int64_t numel = d.numel();
+    for (int64_t i = 0; i < numel; ++i) {
+      const float v = xp[i];
       const float inner = kC * (v + 0.044715f * v * v * v);
       const float t = std::tanh(inner);
       const float dinner = kC * (1.0f + 3.0f * 0.044715f * v * v);
       const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dinner;
-      d.at(i) *= dgelu;
+      dp[i] *= dgelu;
     }
     AccumInto(n, 0, d);
   });
@@ -207,11 +287,18 @@ Var SoftmaxRows(const Var& a) {
     const Tensor& g = n.grad;
     const int64_t rows = y.size(0), cols = y.size(1);
     Tensor d({rows, cols});
+    const float* yp = y.data();
+    const float* gp = g.data();
+    float* dp = d.data();
     for (int64_t i = 0; i < rows; ++i) {
+      const float* yrow = yp + i * cols;
+      const float* grow = gp + i * cols;
+      float* drow = dp + i * cols;
       double dot = 0.0;
-      for (int64_t j = 0; j < cols; ++j) dot += static_cast<double>(g.at(i, j)) * y.at(i, j);
+      for (int64_t j = 0; j < cols; ++j) dot += static_cast<double>(grow[j]) * yrow[j];
+      const float dotf = static_cast<float>(dot);
       for (int64_t j = 0; j < cols; ++j) {
-        d.at(i, j) = (g.at(i, j) - static_cast<float>(dot)) * y.at(i, j);
+        drow[j] = (grow[j] - dotf) * yrow[j];
       }
     }
     AccumInto(n, 0, d);
@@ -225,11 +312,18 @@ Var LogSoftmaxRows(const Var& a) {
     const Tensor& g = n.grad;
     const int64_t rows = logp.size(0), cols = logp.size(1);
     Tensor d({rows, cols});
+    const float* lp = logp.data();
+    const float* gp = g.data();
+    float* dp = d.data();
     for (int64_t i = 0; i < rows; ++i) {
+      const float* lrow = lp + i * cols;
+      const float* grow = gp + i * cols;
+      float* drow = dp + i * cols;
       double gsum = 0.0;
-      for (int64_t j = 0; j < cols; ++j) gsum += g.at(i, j);
+      for (int64_t j = 0; j < cols; ++j) gsum += grow[j];
+      const float gsumf = static_cast<float>(gsum);
       for (int64_t j = 0; j < cols; ++j) {
-        d.at(i, j) = g.at(i, j) - static_cast<float>(gsum) * std::exp(logp.at(i, j));
+        drow[j] = grow[j] - gsumf * std::exp(lrow[j]);
       }
     }
     AccumInto(n, 0, d);
@@ -282,8 +376,12 @@ Var SliceCols(const Var& a, int64_t start, int64_t len) {
   const int64_t rows = a.value().size(0), cols = a.value().size(1);
   return MakeOp(std::move(out), {a}, [start, len, rows, cols](Node& n) {
     Tensor d({rows, cols});
+    float* dp = d.data();
+    const float* gp = n.grad.data();
     for (int64_t i = 0; i < rows; ++i) {
-      for (int64_t j = 0; j < len; ++j) d.at(i, start + j) = n.grad.at(i, j);
+      float* drow = dp + i * cols + start;
+      const float* grow = gp + i * len;
+      for (int64_t j = 0; j < len; ++j) drow[j] = grow[j];
     }
     AccumInto(n, 0, d);
   });
@@ -294,9 +392,8 @@ Var SliceRows(const Var& a, int64_t start, int64_t len) {
   const int64_t rows = a.value().size(0), cols = a.value().size(1);
   return MakeOp(std::move(out), {a}, [start, len, rows, cols](Node& n) {
     Tensor d({rows, cols});
-    for (int64_t i = 0; i < len; ++i) {
-      for (int64_t j = 0; j < cols; ++j) d.at(start + i, j) = n.grad.at(i, j);
-    }
+    std::copy(n.grad.data(), n.grad.data() + len * cols,
+              d.data() + start * cols);
     AccumInto(n, 0, d);
   });
 }
@@ -306,10 +403,17 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& ids) {
   return MakeOp(std::move(out), {table}, [ids](Node& n) {
     if (!n.inputs[0]->requires_grad) return;
     Node* t = n.inputs[0].get();
-    t->EnsureGrad();
     const int64_t cols = t->value.size(1);
+    Tensor* sink = nullptr;
+    if (IsLeaf(t)) {
+      if (GradScope* scope = GradScope::Current()) sink = scope->DenseGrad(t);
+    }
+    if (sink == nullptr) {
+      t->EnsureGrad();
+      sink = &t->grad;
+    }
     for (size_t i = 0; i < ids.size(); ++i) {
-      float* dst = t->grad.data() + ids[i] * cols;
+      float* dst = sink->data() + ids[i] * cols;
       const float* src = n.grad.data() + static_cast<int64_t>(i) * cols;
       for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
     }
@@ -367,37 +471,53 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   Tensor xhat({rows, cols});
   Tensor inv_std({rows});
   Tensor out({rows, cols});
+  const float* xp = xv.data();
+  const float* gp = gamma.value().data();
+  const float* bp = beta.value().data();
+  float* xhp = xhat.data();
+  float* isp = inv_std.data();
+  float* op = out.data();
   for (int64_t i = 0; i < rows; ++i) {
+    const float* xrow = xp + i * cols;
     double mean = 0.0;
-    for (int64_t j = 0; j < cols; ++j) mean += xv.at(i, j);
+    for (int64_t j = 0; j < cols; ++j) mean += xrow[j];
     mean /= cols;
     double var = 0.0;
     for (int64_t j = 0; j < cols; ++j) {
-      const double d = xv.at(i, j) - mean;
+      const double d = xrow[j] - mean;
       var += d * d;
     }
     var /= cols;
     const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    inv_std.at(i) = is;
+    isp[i] = is;
+    const float meanf = static_cast<float>(mean);
+    float* xhrow = xhp + i * cols;
+    float* orow = op + i * cols;
     for (int64_t j = 0; j < cols; ++j) {
-      const float xh = (xv.at(i, j) - static_cast<float>(mean)) * is;
-      xhat.at(i, j) = xh;
-      out.at(i, j) = xh * gamma.value().at(j) + beta.value().at(j);
+      const float xh = (xrow[j] - meanf) * is;
+      xhrow[j] = xh;
+      orow[j] = xh * gp[j] + bp[j];
     }
   }
 
   return MakeOp(std::move(out), {x, gamma, beta},
                 [xhat = std::move(xhat), inv_std = std::move(inv_std), rows,
                  cols](Node& n) {
-                  const Tensor& g = n.grad;
-                  const Tensor& gam = n.inputs[1]->value;
+                  const float* g = n.grad.data();
+                  const float* gam = n.inputs[1]->value.data();
+                  const float* xh = xhat.data();
+                  const float* is = inv_std.data();
                   if (n.inputs[1]->requires_grad || n.inputs[2]->requires_grad) {
                     Tensor dgamma({cols});
                     Tensor dbeta({cols});
+                    float* dg = dgamma.data();
+                    float* db = dbeta.data();
                     for (int64_t i = 0; i < rows; ++i) {
+                      const float* grow = g + i * cols;
+                      const float* xhrow = xh + i * cols;
                       for (int64_t j = 0; j < cols; ++j) {
-                        dgamma.at(j) += g.at(i, j) * xhat.at(i, j);
-                        dbeta.at(j) += g.at(i, j);
+                        dg[j] += grow[j] * xhrow[j];
+                        db[j] += grow[j];
                       }
                     }
                     AccumInto(n, 1, dgamma);
@@ -405,20 +525,22 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
                   }
                   if (n.inputs[0]->requires_grad) {
                     Tensor dx({rows, cols});
+                    float* dxp = dx.data();
                     for (int64_t i = 0; i < rows; ++i) {
+                      const float* grow = g + i * cols;
+                      const float* xhrow = xh + i * cols;
+                      float* dxrow = dxp + i * cols;
                       double m1 = 0.0, m2 = 0.0;
                       for (int64_t j = 0; j < cols; ++j) {
-                        const float dxh = g.at(i, j) * gam.at(j);
+                        const float dxh = grow[j] * gam[j];
                         m1 += dxh;
-                        m2 += static_cast<double>(dxh) * xhat.at(i, j);
+                        m2 += static_cast<double>(dxh) * xhrow[j];
                       }
-                      m1 /= cols;
-                      m2 /= cols;
+                      const float m1f = static_cast<float>(m1 / cols);
+                      const float m2f = static_cast<float>(m2 / cols);
                       for (int64_t j = 0; j < cols; ++j) {
-                        const float dxh = g.at(i, j) * gam.at(j);
-                        dx.at(i, j) = inv_std.at(i) *
-                                      (dxh - static_cast<float>(m1) -
-                                       xhat.at(i, j) * static_cast<float>(m2));
+                        const float dxh = grow[j] * gam[j];
+                        dxrow[j] = is[i] * (dxh - m1f - xhrow[j] * m2f);
                       }
                     }
                     AccumInto(n, 0, dx);

@@ -1,8 +1,10 @@
 #ifndef BOOTLEG_TENSOR_AUTOGRAD_H_
 #define BOOTLEG_TENSOR_AUTOGRAD_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -81,9 +83,76 @@ class Var {
 /// into the .grad of every reachable node with requires_grad.
 void Backward(const Var& loss);
 
+/// Row-id → gradient row. The sparse-gradient map type shared by embedding
+/// tables and gradient scopes.
+using SparseRowGrads = std::unordered_map<int64_t, std::vector<float>>;
+
+/// Per-worker gradient buffer for data-parallel training.
+///
+/// Intermediate tape nodes are private to the thread that built them, but
+/// gradient *sinks* — parameter leaves and embedding sparse-grad maps — are
+/// shared across workers. While a GradScope is active on a thread, Backward
+/// deposits every sink gradient into that scope instead of the shared
+/// storage. After all workers join, the trainer calls ReduceInto() on each
+/// scope in fixed worker order, which reproduces a deterministic accumulation
+/// order regardless of how worker threads were actually scheduled.
+///
+/// A scope may outlive the tapes it was filled from: it keys dense buffers by
+/// leaf Node pointers, which the ParameterStore keeps alive.
+class GradScope {
+ public:
+  GradScope() = default;
+  GradScope(const GradScope&) = delete;
+  GradScope& operator=(const GradScope&) = delete;
+  GradScope(GradScope&&) = default;
+  GradScope& operator=(GradScope&&) = default;
+
+  /// RAII: makes `scope` the calling thread's active scope (nesting restores
+  /// the previous scope on destruction).
+  class Activation {
+   public:
+    explicit Activation(GradScope* scope);
+    ~Activation();
+    Activation(const Activation&) = delete;
+    Activation& operator=(const Activation&) = delete;
+
+   private:
+    GradScope* prev_;
+  };
+
+  /// The calling thread's active scope, or nullptr.
+  static GradScope* Current();
+
+  /// Dense gradient buffer for a leaf node, zero-allocated on first touch.
+  Tensor* DenseGrad(internal_autograd::Node* node);
+
+  /// Buffered sparse row-gradients destined for `target` (an embedding's
+  /// sparse_grads() map), allocated on first touch.
+  SparseRowGrads* SparseGrad(SparseRowGrads* target);
+
+  /// Adds every buffered gradient into its real sink — dense buffers into
+  /// node->grad, sparse buffers into their target maps. Dense buffers are
+  /// zeroed and retained (their keys are parameter nodes that outlive the
+  /// scope), so a scope reused across batches pays no per-batch allocation.
+  /// Call from one thread at a time, after the workers that filled the
+  /// scope have joined.
+  void ReduceInto();
+
+  /// True when the scope has never buffered anything. Retained (zeroed)
+  /// buffers from a previous ReduceInto still count as non-empty.
+  bool empty() const { return dense_.empty() && sparse_.empty(); }
+
+ private:
+  std::unordered_map<internal_autograd::Node*, Tensor> dense_;
+  std::unordered_map<SparseRowGrads*, SparseRowGrads> sparse_;
+};
+
 // --- Differentiable ops -----------------------------------------------------
 
 Var MatMul(const Var& a, const Var& b);
+/// a [m,k] · b [n,k]ᵀ → [m,n] without materializing the transpose (the
+/// attention score path); gradients use MatMul / MatMulTransposedA directly.
+Var MatMulTransposedB(const Var& a, const Var& b);
 Var Add(const Var& a, const Var& b);
 Var Sub(const Var& a, const Var& b);
 Var Mul(const Var& a, const Var& b);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace bootleg::tensor {
 
 namespace {
@@ -14,6 +16,162 @@ int64_t NumelOf(const std::vector<int64_t>& shape) {
   }
   return n;
 }
+
+// --- Parallel kernel plumbing ------------------------------------------------
+// Every kernel below partitions its output rows (or flat index range) onto
+// the global pool. Each output element is computed by exactly one thread with
+// a fixed, partition-independent accumulation order, so results are
+// bit-identical at every thread count (see docs/ARCHITECTURE.md, "Execution
+// model").
+
+/// Rows of the B panel kept hot in cache while sweeping A rows.
+constexpr int64_t kKTile = 64;
+
+/// Minimum scalar ops worth shipping to another thread. A dispatch costs a
+/// queue round-trip plus a wakeup (~10µs); chunks below ~250k scalar ops
+/// lose more to that than they gain, so training-sized tensors stay serial
+/// and only genuinely large kernels (inference batches, benchmarks) fan out.
+constexpr int64_t kParallelWork = 1 << 18;
+
+/// ParallelFor grain: rows per chunk so a chunk costs >= kParallelWork.
+int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, kParallelWork / std::max<int64_t>(1, work_per_row));
+}
+
+/// Runs fn(lo, hi) over [0, n): fans out to the global pool only when the
+/// range is large enough to amortize dispatch; otherwise invokes the functor
+/// directly, paying neither the std::function conversion (which heap-allocates
+/// for capturing lambdas) nor a queue round-trip. Small tensors dominate call
+/// counts here, so the serial path must be free.
+template <typename F>
+void Dispatch(int64_t n, int64_t grain, F&& fn) {
+  util::ThreadPool* pool = util::ThreadPool::Global();
+  if (pool->WouldParallelize(n, grain)) {
+    pool->ParallelFor(0, n, grain, fn);
+  } else if (n > 0) {
+    fn(0, n);
+  }
+}
+
+/// C rows [i0, i1) of C = A·B, k-tiled so each B panel is reused across the
+/// row block. Per output element the k-accumulation order is ascending,
+/// matching MatMulReference on finite data.
+void MatMulRowRange(const float* pa, const float* pb, float* pc, int64_t i0,
+                    int64_t i1, int64_t k, int64_t n) {
+  for (int64_t kk0 = 0; kk0 < k; kk0 += kKTile) {
+    const int64_t kk1 = std::min(k, kk0 + kKTile);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      int64_t kk = kk0;
+      // 4-way k-unroll: the four adds into crow[j] chain in the same
+      // ascending order as four separate iterations (identical rounding),
+      // but crow is loaded and stored once instead of four times.
+      for (; kk + 4 <= kk1; kk += 4) {
+        const float a0 = arow[kk], a1 = arow[kk + 1];
+        const float a2 = arow[kk + 2], a3 = arow[kk + 3];
+        const float* b0 = pb + kk * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = (((crow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
+                    a3 * b3[j];
+        }
+      }
+      for (; kk < kk1; ++kk) {
+        const float av = arow[kk];
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// C rows [i0, i1) of C = A·Bᵀ. A plain dot-product loop is a serial FP
+/// dependency chain the compiler may not vectorize (FP addition is not
+/// associative), so each dot product accumulates into kTBLanes independent
+/// lanes — lane l sums terms kk ≡ l (mod kTBLanes) — and folds the lanes in
+/// fixed index order. The order depends only on k, never on the thread
+/// partition, so results stay bit-identical at every thread count.
+constexpr int64_t kTBLanes = 16;
+
+void MatMulTBRowRange(const float* pa, const float* pb, float* pc, int64_t i0,
+                      int64_t i1, int64_t k, int64_t n) {
+  if (k < kTBLanes) {
+    // Short reductions (backward of vector-valued heads has k as small as 1):
+    // every lane would be zero, so the fold is pure overhead. The branch
+    // depends only on k, never on the thread partition.
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+    return;
+  }
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float lanes[kTBLanes] = {0.0f};
+      int64_t kk = 0;
+      for (; kk + kTBLanes <= k; kk += kTBLanes) {
+        for (int64_t l = 0; l < kTBLanes; ++l) {
+          lanes[l] += arow[kk + l] * brow[kk + l];
+        }
+      }
+      float tail = 0.0f;
+      for (; kk < k; ++kk) tail += arow[kk] * brow[kk];
+      // Tree fold: fixed halving order (16→8→4→2→1) so the result depends
+      // only on k, and the upper-half adds vectorize instead of forming a
+      // 16-deep serial add chain per output element.
+      for (int64_t l = 0; l < 8; ++l) lanes[l] += lanes[l + 8];
+      for (int64_t l = 0; l < 4; ++l) lanes[l] += lanes[l + 4];
+      lanes[0] += lanes[2];
+      lanes[1] += lanes[3];
+      crow[j] = (lanes[0] + lanes[1]) + tail;
+    }
+  }
+}
+
+/// C rows [i0, i1) of C = Aᵀ·B for A [k,m]: the reduction axis walks A down a
+/// column (stride m), k-tiled so B panels stay hot across the row block.
+void MatMulTARowRange(const float* pa, const float* pb, float* pc, int64_t i0,
+                      int64_t i1, int64_t k, int64_t m, int64_t n) {
+  for (int64_t kk0 = 0; kk0 < k; kk0 += kKTile) {
+    const int64_t kk1 = std::min(k, kk0 + kKTile);
+    for (int64_t i = i0; i < i1; ++i) {
+      float* crow = pc + i * n;
+      int64_t kk = kk0;
+      // Same 4-way unroll as MatMulRowRange: ascending adds, one crow
+      // round-trip per four reduction steps.
+      for (; kk + 4 <= kk1; kk += 4) {
+        const float a0 = pa[kk * m + i], a1 = pa[(kk + 1) * m + i];
+        const float a2 = pa[(kk + 2) * m + i], a3 = pa[(kk + 3) * m + i];
+        const float* b0 = pb + kk * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = (((crow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) +
+                    a3 * b3[j];
+        }
+      }
+      for (; kk < kk1; ++kk) {
+        const float av = pa[kk * m + i];
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
@@ -67,16 +225,18 @@ void Tensor::Add(const Tensor& other) {
   BOOTLEG_CHECK(SameShape(other));
   const float* src = other.data();
   float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  Dispatch(numel(), 1 << 15, [dst, src](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+      });
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   BOOTLEG_CHECK(SameShape(other));
   const float* src = other.data();
   float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  Dispatch(numel(), 1 << 15, [dst, src, alpha](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dst[i] += alpha * src[i];
+      });
 }
 
 void Tensor::Scale(float alpha) {
@@ -113,6 +273,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   BOOTLEG_CHECK_EQ(k, b.size(0));
   Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  Dispatch(m, RowGrain(k * n), [pa, pb, pc, k, n](int64_t i0, int64_t i1) {
+        MatMulRowRange(pa, pb, pc, i0, i1, k, n);
+      });
+  return c;
+}
+
+Tensor MatMulReference(const Tensor& a, const Tensor& b) {
+  BOOTLEG_CHECK_EQ(a.dim(), 2);
+  BOOTLEG_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  BOOTLEG_CHECK_EQ(k, b.size(0));
+  Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -135,6 +311,22 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   BOOTLEG_CHECK_EQ(k, b.size(1));
   Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  Dispatch(m, RowGrain(k * n), [pa, pb, pc, k, n](int64_t i0, int64_t i1) {
+        MatMulTBRowRange(pa, pb, pc, i0, i1, k, n);
+      });
+  return c;
+}
+
+Tensor MatMulTransposedBReference(const Tensor& a, const Tensor& b) {
+  BOOTLEG_CHECK_EQ(a.dim(), 2);
+  BOOTLEG_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  BOOTLEG_CHECK_EQ(k, b.size(1));
+  Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -151,6 +343,22 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  BOOTLEG_CHECK_EQ(a.dim(), 2);
+  BOOTLEG_CHECK_EQ(b.dim(), 2);
+  const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  BOOTLEG_CHECK_EQ(k, b.size(0));
+  Tensor c({m, n});
+  if (m == 0 || k == 0 || n == 0) return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  Dispatch(m, RowGrain(k * n), [pa, pb, pc, k, m, n](int64_t i0, int64_t i1) {
+        MatMulTARowRange(pa, pb, pc, i0, i1, k, m, n);
+      });
+  return c;
+}
+
+Tensor MatMulTransposedAReference(const Tensor& a, const Tensor& b) {
   BOOTLEG_CHECK_EQ(a.dim(), 2);
   BOOTLEG_CHECK_EQ(b.dim(), 2);
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
@@ -199,8 +407,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   Tensor c = a;
   float* pc = c.data();
   const float* pb = b.data();
-  const int64_t n = c.numel();
-  for (int64_t i = 0; i < n; ++i) pc[i] *= pb[i];
+  Dispatch(c.numel(), 1 << 15, [pc, pb](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) pc[i] *= pb[i];
+      });
   return c;
 }
 
@@ -218,9 +427,11 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const int64_t rows = a.size(0), cols = a.size(1);
   float* pc = c.data();
   const float* pb = bias.data();
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t j = 0; j < cols; ++j) pc[i * cols + j] += pb[j];
-  }
+  Dispatch(rows, RowGrain(cols), [pc, pb, cols](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t j = 0; j < cols; ++j) pc[i * cols + j] += pb[j];
+        }
+      });
   return c;
 }
 
@@ -228,19 +439,25 @@ Tensor SoftmaxRows(const Tensor& a) {
   BOOTLEG_CHECK_EQ(a.dim(), 2);
   const int64_t rows = a.size(0), cols = a.size(1);
   Tensor c({rows, cols});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* src = a.data() + i * cols;
-    float* dst = c.data() + i * cols;
-    float mx = src[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      total += dst[j];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t j = 0; j < cols; ++j) dst[j] *= inv;
-  }
+  if (rows == 0 || cols == 0) return c;
+  const float* pa = a.data();
+  float* pc = c.data();
+  Dispatch(// exp dominates; treat each element as ~8 scalar ops when sizing chunks.
+      rows, RowGrain(cols * 8), [pa, pc, cols](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* src = pa + i * cols;
+          float* dst = pc + i * cols;
+          float mx = src[0];
+          for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
+          double total = 0.0;
+          for (int64_t j = 0; j < cols; ++j) {
+            dst[j] = std::exp(src[j] - mx);
+            total += dst[j];
+          }
+          const float inv = static_cast<float>(1.0 / total);
+          for (int64_t j = 0; j < cols; ++j) dst[j] *= inv;
+        }
+      });
   return c;
 }
 
@@ -248,16 +465,21 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   BOOTLEG_CHECK_EQ(a.dim(), 2);
   const int64_t rows = a.size(0), cols = a.size(1);
   Tensor c({rows, cols});
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* src = a.data() + i * cols;
-    float* dst = c.data() + i * cols;
-    float mx = src[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < cols; ++j) total += std::exp(src[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(total));
-    for (int64_t j = 0; j < cols; ++j) dst[j] = src[j] - lse;
-  }
+  if (rows == 0 || cols == 0) return c;
+  const float* pa = a.data();
+  float* pc = c.data();
+  Dispatch(rows, RowGrain(cols * 8), [pa, pc, cols](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* src = pa + i * cols;
+          float* dst = pc + i * cols;
+          float mx = src[0];
+          for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
+          double total = 0.0;
+          for (int64_t j = 0; j < cols; ++j) total += std::exp(src[j] - mx);
+          const float lse = mx + static_cast<float>(std::log(total));
+          for (int64_t j = 0; j < cols; ++j) dst[j] = src[j] - lse;
+        }
+      });
   return c;
 }
 
@@ -266,30 +488,41 @@ Tensor Max(const Tensor& a, const Tensor& b) {
   Tensor c = a;
   float* pc = c.data();
   const float* pb = b.data();
-  const int64_t n = c.numel();
-  for (int64_t i = 0; i < n; ++i) pc[i] = std::max(pc[i], pb[i]);
+  Dispatch(c.numel(), 1 << 15, [pc, pb](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) pc[i] = std::max(pc[i], pb[i]);
+      });
   return c;
 }
 
 Tensor Relu(const Tensor& a) {
   Tensor c = a;
-  for (float& v : c.vec()) v = v > 0.0f ? v : 0.0f;
+  float* pc = c.data();
+  Dispatch(c.numel(), 1 << 15, [pc](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) pc[i] = pc[i] > 0.0f ? pc[i] : 0.0f;
+      });
   return c;
 }
 
 Tensor TanhT(const Tensor& a) {
   Tensor c = a;
-  for (float& v : c.vec()) v = std::tanh(v);
+  float* pc = c.data();
+  Dispatch(c.numel(), 1 << 12, [pc](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) pc[i] = std::tanh(pc[i]);
+      });
   return c;
 }
 
 Tensor Gelu(const Tensor& a) {
   Tensor c = a;
+  float* pc = c.data();
   constexpr float kSqrt2OverPi = 0.7978845608f;
-  for (float& v : c.vec()) {
-    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
-    v = 0.5f * v * (1.0f + std::tanh(inner));
-  }
+  Dispatch(c.numel(), 1 << 12, [pc](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float v = pc[i];
+          const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+          pc[i] = 0.5f * v * (1.0f + std::tanh(inner));
+        }
+      });
   return c;
 }
 

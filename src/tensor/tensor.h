@@ -109,7 +109,8 @@ class Tensor {
 // autograd layer (autograd.h) composes them and supplies backward rules.
 // ---------------------------------------------------------------------------
 
-/// C = A·B for 2-D A [m,k] and B [k,n].
+/// C = A·B for 2-D A [m,k] and B [k,n]. Blocked and (above a size threshold)
+/// threaded over output rows; bit-identical at every thread count.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// C = A·Bᵀ for 2-D A [m,k] and B [n,k]. Fused to avoid materializing Bᵀ.
@@ -117,6 +118,13 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
 
 /// C = Aᵀ·B for 2-D A [k,m] and B [k,n].
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Naive single-threaded kernels preserved verbatim from before the blocked
+/// rewrite. The equivalence tests pin the production kernels to these, and
+/// the bench harness reports the blocked speedup against them.
+Tensor MatMulReference(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedBReference(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedAReference(const Tensor& a, const Tensor& b);
 
 /// 2-D transpose.
 Tensor Transpose(const Tensor& a);

@@ -18,33 +18,33 @@ using tensor::Tensor;
 using tensor::Var;
 
 TEST(DeathTest, MatMulShapeMismatchAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   Tensor a({2, 3});
   Tensor b({4, 2});
   EXPECT_DEATH((void)tensor::MatMul(a, b), "Check failed");
 }
 
 TEST(DeathTest, OutOfRangeAccessAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   Tensor t({2, 2});
   EXPECT_DEATH((void)t.at(5, 0), "Check failed");
 }
 
 TEST(DeathTest, BackwardRequiresScalarLoss) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   Var v = Var::Leaf(Tensor({2, 2}), true);
   EXPECT_DEATH(tensor::Backward(v), "Check failed");
 }
 
 TEST(DeathTest, CandidateMapLookupBeforeFinalizeAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   kb::CandidateMap map;
   map.AddAlias("a", 0);
   EXPECT_DEATH((void)map.Lookup("a"), "not finalized");
 }
 
 TEST(DeathTest, ConcatColsRowMismatchAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   Tensor a({2, 2});
   Tensor b({3, 2});
   EXPECT_DEATH((void)tensor::ConcatCols({a, b}), "Check failed");

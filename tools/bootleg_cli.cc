@@ -170,11 +170,13 @@ int CmdTrain(const Flags& flags) {
   const auto examples = builder.BuildAll(ds.corpus.train, {});
   core::TrainOptions options;
   options.epochs = flags.GetInt("epochs", 5);
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   options.verbose = true;
   core::Trainable<core::BootlegModel> trainable(&model);
   const core::TrainStats stats = core::Train(&trainable, examples, options);
-  std::printf("trained %lld sentences in %.1fs\n",
-              static_cast<long long>(stats.sentences_seen), stats.seconds);
+  std::printf("trained %lld sentences in %.1fs (%d threads)\n",
+              static_cast<long long>(stats.sentences_seen), stats.seconds,
+              stats.threads);
 
   util::Status status = model.store().Save(model_path);
   if (status.ok()) {
@@ -222,7 +224,8 @@ int CmdEval(const Flags& flags) {
       flags.Get("split", "dev") == "test" ? ds.corpus.test : ds.corpus.dev;
   data::ExampleBuilder builder(&ds.candidates, &ds.vocab);
   const eval::ResultSet results =
-      eval::RunEvaluation(model.get(), split, builder, {}, counts);
+      eval::RunEvaluation(model.get(), split, builder, {}, counts,
+                          static_cast<int>(flags.GetInt("threads", 0)));
   std::printf("%-10s %8s %8s\n", "bucket", "F1", "n");
   const eval::Prf overall = results.Overall();
   std::printf("%-10s %8.1f %8lld\n", "all", overall.f1(),
@@ -274,9 +277,9 @@ int Usage() {
       "usage: bootleg_cli <gen|inspect|train|eval|predict> [flags]\n"
       "  gen     --out DIR [--scale micro|main] [--seed N] [--pages N]\n"
       "  inspect --data DIR [--n N]\n"
-      "  train   --data DIR --model PATH [--epochs N]\n"
+      "  train   --data DIR --model PATH [--epochs N] [--threads N]\n"
       "          [--ablation full|ent|type|kg] [--no-weak-labels]\n"
-      "  eval    --data DIR --model PATH [--split dev|test]\n"
+      "  eval    --data DIR --model PATH [--split dev|test] [--threads N]\n"
       "  predict --data DIR --model PATH --text \"...\"\n");
   return 2;
 }

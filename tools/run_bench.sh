@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the micro-kernel benchmark suite, writing
+# google-benchmark JSON to BENCH_kernels.json at the repo root.
+#
+# Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
+#   BOOTLEG_THREADS controls pool size for the kernel benchmarks
+#   (BM_TrainEpoch / BM_ParallelEval sweep thread counts themselves).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-"${REPO_ROOT}/build"}"
+shift || true
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_kernels -j >/dev/null
+
+OUT="${REPO_ROOT}/BENCH_kernels.json"
+"${BUILD_DIR}/bench/micro_kernels" \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${OUT}"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -29,6 +30,7 @@ TrainStats TrainSerial(TrainableModel* model,
   double window_loss = 0.0;
   int64_t window_count = 0;
 
+  bool done = false;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
     int64_t in_batch = 0;
@@ -45,6 +47,10 @@ TrainStats TrainSerial(TrainableModel* model,
         optimizer.Step();
         ++stats.steps;
         in_batch = 0;
+        if (options.max_steps > 0 && stats.steps >= options.max_steps) {
+          done = true;
+          break;
+        }
       }
       if (options.verbose && stats.sentences_seen % options.log_every == 0 &&
           window_count > 0) {
@@ -55,9 +61,11 @@ TrainStats TrainSerial(TrainableModel* model,
         window_count = 0;
       }
     }
+    if (done) break;
     if (in_batch > 0) {
       optimizer.Step();
       ++stats.steps;
+      if (options.max_steps > 0 && stats.steps >= options.max_steps) break;
     }
   }
   stats.final_avg_loss = window_count > 0 ? window_loss / window_count : 0.0;
@@ -65,14 +73,62 @@ TrainStats TrainSerial(TrainableModel* model,
   return stats;
 }
 
-// Data-parallel loop: each minibatch of `batch_size` sentences is sharded
+// Validates a recovered TrainerState against this run's configuration before
+// trusting it. Checkpoint checksums already guarantee the bytes are intact;
+// this guards against resuming with a different corpus, thread count, or
+// schedule, and against logically-impossible states.
+util::Status ValidateRecoveredState(const TrainerState& s, size_t num_examples,
+                                    int nthreads, const TrainOptions& options) {
+  if (s.nthreads != nthreads) {
+    return util::Status::FailedPrecondition(
+        "checkpoint thread count mismatch (resume with the same thread "
+        "count for a bit-identical trajectory)");
+  }
+  if (s.order.size() != num_examples) {
+    return util::Status::FailedPrecondition(
+        "checkpoint corpus size mismatch");
+  }
+  if (s.epoch >= options.epochs ||
+      s.cursor > static_cast<int64_t>(num_examples) ||
+      s.in_batch > options.batch_size) {
+    return util::Status::FailedPrecondition(
+        "checkpoint position beyond this run's schedule");
+  }
+  std::vector<bool> seen(num_examples, false);
+  for (int64_t v : s.order) {
+    if (v < 0 || v >= static_cast<int64_t>(num_examples) ||
+        seen[static_cast<size_t>(v)]) {
+      return util::Status::Corruption("checkpoint order is not a permutation");
+    }
+    seen[static_cast<size_t>(v)] = true;
+  }
+  util::Rng probe(0);
+  if (!probe.DeserializeState(s.master_rng)) {
+    return util::Status::Corruption("checkpoint master RNG state unreadable");
+  }
+  for (const std::string& state : s.worker_rngs) {
+    if (!probe.DeserializeState(state)) {
+      return util::Status::Corruption("checkpoint worker RNG state unreadable");
+    }
+  }
+  return util::Status::OK();
+}
+
+// Stateful loop: each minibatch of `batch_size` sentences is sharded
 // contiguously across `nthreads` workers. Workers run Loss+Backward with a
 // private RNG (forked once, up front, from the master generator) and a
 // private GradScope; scopes are reduced in worker order before the step, so
 // the trajectory is deterministic for a fixed thread count. Epoch order and
 // shard boundaries match the serial loop; only the RNG streams driving
 // dropout differ, since workers draw independently.
-TrainStats TrainParallel(TrainableModel* model,
+//
+// All loop state lives in explicitly serializable form (counters, the master
+// and worker RNG streams, the epoch's shuffle permutation), which is what
+// makes mid-run checkpointing possible: a snapshot taken right after an
+// optimizer step captures everything, so a resumed run replays the exact
+// remaining trajectory. The master RNG is saved post-shuffle/post-fork, so a
+// resumed epoch must not re-shuffle and workers restore rather than re-fork.
+TrainStats TrainStateful(TrainableModel* model,
                          const std::vector<data::SentenceExample>& train_examples,
                          const TrainOptions& options, int nthreads) {
   util::Rng rng(options.seed);
@@ -94,14 +150,87 @@ TrainStats TrainParallel(TrainableModel* model,
   stats.threads = nthreads;
   double window_loss = 0.0;
   int64_t window_count = 0;
+  int64_t in_batch = 0;
+
+  const bool checkpointing =
+      !options.checkpoint_dir.empty() && options.checkpoint_every_steps > 0;
+  int64_t start_epoch = 0;
+  int64_t start_cursor = 0;
+  bool restored = false;
+
+  if (checkpointing && options.resume) {
+    TrainerState ts;
+    RecoveryResult rec = RecoverLatestCheckpoint(
+        options.checkpoint_dir, &ts, &model->store(), &optimizer,
+        [&](const TrainerState& s) {
+          return ValidateRecoveredState(s, train_examples.size(), nthreads,
+                                        options);
+        });
+    if (rec.resumed) {
+      rng.DeserializeState(ts.master_rng);
+      for (int w = 0; w < nthreads; ++w) {
+        worker_rngs[static_cast<size_t>(w)].DeserializeState(
+            ts.worker_rngs[static_cast<size_t>(w)]);
+      }
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<size_t>(ts.order[i]);
+      }
+      start_epoch = ts.epoch;
+      start_cursor = ts.cursor;
+      in_batch = ts.in_batch;
+      stats.steps = ts.steps;
+      stats.sentences_seen = ts.sentences_seen;
+      window_loss = ts.window_loss;
+      window_count = ts.window_count;
+      stats.resumed_from_step = rec.step;
+      restored = true;
+      BOOTLEG_LOG(Info) << "resumed from " << rec.path << " (step " << rec.step
+                        << ", epoch " << ts.epoch << ", cursor " << ts.cursor
+                        << ")";
+    } else {
+      BOOTLEG_LOG(Info) << "no usable checkpoint in "
+                        << options.checkpoint_dir << "; starting fresh";
+    }
+  }
+
+  // Snapshots the complete loop state; `next_cursor` is where the inner loop
+  // will pick up within the current epoch's order.
+  const auto save_checkpoint = [&](int64_t epoch, int64_t next_cursor) {
+    TrainerState ts;
+    ts.epoch = epoch;
+    ts.cursor = next_cursor;
+    ts.in_batch = in_batch;
+    ts.steps = stats.steps;
+    ts.sentences_seen = stats.sentences_seen;
+    ts.window_loss = window_loss;
+    ts.window_count = window_count;
+    ts.nthreads = nthreads;
+    ts.master_rng = rng.SerializeState();
+    ts.worker_rngs.reserve(worker_rngs.size());
+    for (const util::Rng& w : worker_rngs) {
+      ts.worker_rngs.push_back(w.SerializeState());
+    }
+    ts.order.assign(order.begin(), order.end());
+    util::Status st = WriteCheckpoint(options.checkpoint_dir, ts,
+                                      model->store(), optimizer,
+                                      options.checkpoint_retain);
+    if (!st.ok()) {
+      BOOTLEG_LOG(Warning) << "checkpoint write failed: " << st.ToString();
+    }
+  };
 
   std::vector<double> worker_loss(static_cast<size_t>(nthreads));
   std::vector<int64_t> worker_defined(static_cast<size_t>(nthreads));
 
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    rng.Shuffle(&order);
-    int64_t in_batch = 0;
-    for (size_t group_start = 0; group_start < order.size();
+  bool done = false;
+  for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    // A restored epoch was already shuffled before the snapshot (the saved
+    // master RNG state is post-shuffle); re-shuffling would double-draw.
+    const bool resumed_epoch = restored && epoch == start_epoch;
+    if (!resumed_epoch) rng.Shuffle(&order);
+    for (size_t group_start =
+             resumed_epoch ? static_cast<size_t>(start_cursor) : 0;
+         group_start < order.size();
          group_start += static_cast<size_t>(options.batch_size)) {
       const size_t group =
           std::min(static_cast<size_t>(options.batch_size),
@@ -139,6 +268,17 @@ TrainStats TrainParallel(TrainableModel* model,
         optimizer.Step();
         ++stats.steps;
         in_batch = 0;
+        // Snapshot right after the step: gradients are clear and the next
+        // unit of work is the group starting at `group_start + group`.
+        if (checkpointing &&
+            stats.steps % options.checkpoint_every_steps == 0) {
+          save_checkpoint(epoch,
+                          static_cast<int64_t>(group_start + group));
+        }
+        if (options.max_steps > 0 && stats.steps >= options.max_steps) {
+          done = true;
+          break;
+        }
       }
       if (options.verbose && window_count > 0 &&
           stats.sentences_seen / options.log_every !=
@@ -152,9 +292,17 @@ TrainStats TrainParallel(TrainableModel* model,
         window_count = 0;
       }
     }
+    if (done) break;
     if (in_batch > 0) {
       optimizer.Step();
       ++stats.steps;
+      in_batch = 0;
+      if (checkpointing && stats.steps % options.checkpoint_every_steps == 0) {
+        // Cursor at end-of-epoch: a resume lands on an empty remainder of
+        // this epoch and proceeds to the next one with the restored RNG.
+        save_checkpoint(epoch, static_cast<int64_t>(order.size()));
+      }
+      if (options.max_steps > 0 && stats.steps >= options.max_steps) break;
     }
   }
   stats.final_avg_loss = window_count > 0 ? window_loss / window_count : 0.0;
@@ -172,13 +320,22 @@ TrainStats Train(TrainableModel* model,
     const int env = util::ThreadPool::EnvThreads();
     nthreads = env > 0 ? env : 1;
   }
-  if (nthreads > 1 && !model->SupportsParallelLoss()) {
+  bool checkpointing =
+      !options.checkpoint_dir.empty() && options.checkpoint_every_steps > 0;
+  if ((nthreads > 1 || checkpointing) && !model->SupportsParallelLoss()) {
     BOOTLEG_LOG(Warning)
-        << "model does not support per-worker RNGs; training serially";
+        << "model does not support per-worker RNGs; training serially"
+        << (checkpointing ? " without checkpointing" : "");
     nthreads = 1;
+    checkpointing = false;
   }
-  if (nthreads <= 1) return TrainSerial(model, train_examples, options);
-  return TrainParallel(model, train_examples, options, nthreads);
+  // Checkpointing requires the stateful loop even at one thread: only its
+  // RNG streams are externally owned and thus serializable. The plain serial
+  // loop stays the untouched bit-exact reference trajectory.
+  if (nthreads <= 1 && !checkpointing) {
+    return TrainSerial(model, train_examples, options);
+  }
+  return TrainStateful(model, train_examples, options, nthreads);
 }
 
 }  // namespace bootleg::core

@@ -77,6 +77,29 @@ struct TrainOptions {
   /// before the Adam step, so a run is deterministic for a fixed thread
   /// count.
   int num_threads = 0;
+  /// Stop after this many optimizer steps (0 = no limit). Used by tests and
+  /// the CLI's fault-injection flow to simulate a mid-run kill.
+  int64_t max_steps = 0;
+
+  /// Durable checkpointing: with a non-empty `checkpoint_dir` and
+  /// `checkpoint_every_steps` > 0, the trainer snapshots full training state
+  /// — every parameter, Adam moments and step count, all RNG streams, the
+  /// epoch/batch cursor, and the epoch's shuffle permutation — into
+  /// `checkpoint_dir`/ckpt_<step>.bin every K optimizer steps, atomically
+  /// (temp file + fsync + rename) and checksummed, retaining the newest
+  /// `checkpoint_retain` files plus a MANIFEST. Checkpointing routes
+  /// training through the stateful loop even at one thread; its trajectory
+  /// differs from the plain serial loop only in dropout draws (per-worker
+  /// forked RNGs instead of the model's internal generator) and is
+  /// deterministic for a fixed thread count. Requires a model supporting
+  /// per-worker RNGs; otherwise checkpointing is disabled with a warning.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_steps = 0;
+  int64_t checkpoint_retain = 3;
+  /// Scan `checkpoint_dir` before training and resume from the newest valid
+  /// checkpoint, skipping corrupt or partial files. A resumed run finishes
+  /// bit-identical to the uninterrupted run at the same thread count.
+  bool resume = false;
 };
 
 struct TrainStats {
@@ -85,11 +108,14 @@ struct TrainStats {
   int64_t steps = 0;
   double seconds = 0.0;
   int threads = 1;  // resolved worker count actually used
+  int64_t resumed_from_step = -1;  // -1 when the run started fresh
 };
 
 /// Runs the shared training loop: shuffle each epoch, accumulate gradients
 /// over `batch_size` sentences, Adam step. With num_threads > 1 (and a model
-/// that supports it) each minibatch is sharded across pool workers.
+/// that supports it) each minibatch is sharded across pool workers; with
+/// checkpointing enabled the loop additionally snapshots and can resume full
+/// training state (see TrainOptions::checkpoint_dir).
 TrainStats Train(TrainableModel* model,
                  const std::vector<data::SentenceExample>& train_examples,
                  const TrainOptions& options);

@@ -65,12 +65,14 @@ bool ReadSentences(util::BinaryReader* r, std::vector<Sentence>* sentences) {
 }  // namespace
 
 util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
-  util::BinaryWriter w(path);
+  util::AtomicFileWriter atomic(path);
+  util::BinaryWriter w(atomic.temp_path());
   w.WriteU32(0xB0071ED0);
   WriteSentences(&w, corpus.train);
   WriteSentences(&w, corpus.dev);
   WriteSentences(&w, corpus.test);
-  return w.Finish();
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
 }
 
 util::Status LoadCorpus(const std::string& path, Corpus* corpus) {

@@ -109,7 +109,9 @@ std::unique_ptr<core::BootlegModel> TrainBootleg(Environment* env,
       return model;
     }
     BOOTLEG_LOG(Warning) << "cache load failed (" << st.ToString()
-                         << "); retraining";
+                         << "); deleting corrupt cache and retraining";
+    std::error_code ec;
+    std::filesystem::remove(cache, ec);
   }
   core::Trainable<core::BootlegModel> trainable(model.get());
   const core::TrainStats stats =
@@ -138,6 +140,10 @@ std::unique_ptr<baseline::NedBaseModel> TrainNedBase(
       BOOTLEG_LOG(Info) << "loaded cached model " << cache;
       return model;
     }
+    BOOTLEG_LOG(Warning) << "cache load failed (" << st.ToString()
+                         << "); deleting corrupt cache and retraining";
+    std::error_code ec;
+    std::filesystem::remove(cache, ec);
   }
   core::Trainable<baseline::NedBaseModel> trainable(model.get());
   const core::TrainStats stats =

@@ -50,7 +50,8 @@ const std::vector<Candidate>* CandidateMap::Lookup(const std::string& alias) con
 
 util::Status CandidateMap::Save(const std::string& path) const {
   BOOTLEG_CHECK(finalized_);
-  util::BinaryWriter w(path);
+  util::AtomicFileWriter atomic(path);
+  util::BinaryWriter w(atomic.temp_path());
   w.WriteU32(0xB0071EC0);
   w.WriteU32(static_cast<uint32_t>(max_candidates_));
   w.WriteU64(map_.size());
@@ -62,7 +63,8 @@ util::Status CandidateMap::Save(const std::string& path) const {
       w.WriteF32(c.prior);
     }
   }
-  return w.Finish();
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
 }
 
 util::Status CandidateMap::Load(const std::string& path) {

@@ -149,9 +149,24 @@ EntityId KnowledgeBase::FindByTitle(const std::string& title) const {
   return it == title_index_.end() ? kInvalidId : it->second;
 }
 
+namespace {
+
+// Snapshot format magics. v0 is the legacy unchecksummed layout; v1 adds the
+// version word, per-section CRC32s, and an end-of-file footer.
+constexpr uint32_t kKbMagicV0 = 0xB0071EB0;
+constexpr uint32_t kKbMagicV1 = 0xB0071EB1;
+constexpr uint32_t kKbFormatVersion = 1;
+
+bool InRange(int64_t id, int64_t limit) { return id >= 0 && id < limit; }
+
+}  // namespace
+
 util::Status KnowledgeBase::Save(const std::string& path) const {
-  util::BinaryWriter w(path);
-  w.WriteU32(0xB0071EB0);
+  util::AtomicFileWriter atomic(path);
+  util::BinaryWriter w(atomic.temp_path());
+  w.WriteU32(kKbMagicV1);
+  w.WriteU32(kKbFormatVersion);
+  w.BeginSection();
   w.WriteU64(types_.size());
   for (const TypeInfo& t : types_) {
     w.WriteString(t.name);
@@ -159,6 +174,8 @@ util::Status KnowledgeBase::Save(const std::string& path) const {
   }
   w.WriteU64(relations_.size());
   for (const RelationInfo& r : relations_) w.WriteString(r.name);
+  w.EndSection();
+  w.BeginSection();
   w.WriteU64(entities_.size());
   for (const Entity& e : entities_) {
     w.WriteString(e.title);
@@ -168,6 +185,8 @@ util::Status KnowledgeBase::Save(const std::string& path) const {
     w.WriteI64(static_cast<int64_t>(e.coarse_type));
     w.WriteU32(static_cast<uint32_t>(e.gender));
   }
+  w.EndSection();
+  w.BeginSection();
   w.WriteU64(triples_.size());
   for (const Triple& t : triples_) {
     w.WriteI64(t.subject);
@@ -179,23 +198,45 @@ util::Status KnowledgeBase::Save(const std::string& path) const {
     w.WriteI64(child);
     w.WriteI64Vector(parents);
   }
-  return w.Finish();
+  w.EndSection();
+  w.WriteFooter();
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
 }
 
 util::Status KnowledgeBase::Load(const std::string& path) {
   util::BinaryReader r(path);
-  if (r.ReadU32() != 0xB0071EB0) {
-    return util::Status::Corruption("bad KB magic: " + path);
+  BOOTLEG_RETURN_IF_ERROR(r.status());
+  const uint32_t magic = r.ReadU32();
+  const bool legacy = magic == kKbMagicV0;
+  if (!legacy) {
+    if (magic != kKbMagicV1) {
+      return util::Status::Corruption("bad KB magic: " + path);
+    }
+    const uint32_t version = r.ReadU32();
+    if (r.status().ok() && version != kKbFormatVersion) {
+      return util::Status::Corruption("unsupported KB version: " + path);
+    }
   }
   *this = KnowledgeBase();
+  // Every id read below is range-checked before use: construction helpers
+  // like AddTriple CHECK-fail on bad ids, and a corrupt or bit-flipped file
+  // must surface as Status::Corruption, never a crash.
+  if (!legacy) r.BeginSection();
   const uint64_t nt = r.ReadU64();
   for (uint64_t i = 0; i < nt && r.status().ok(); ++i) {
     const std::string name = r.ReadString();
-    const auto coarse = static_cast<CoarseType>(r.ReadI64());
-    AddType(name, coarse);
+    const int64_t coarse = r.ReadI64();
+    if (!r.status().ok()) break;
+    if (!InRange(coarse, kNumCoarseTypes)) {
+      return util::Status::Corruption("type coarse id out of range: " + path);
+    }
+    AddType(name, static_cast<CoarseType>(coarse));
   }
   const uint64_t nr = r.ReadU64();
   for (uint64_t i = 0; i < nr && r.status().ok(); ++i) AddRelation(r.ReadString());
+  if (!legacy) r.EndSection();
+  if (!legacy) r.BeginSection();
   const uint64_t ne = r.ReadU64();
   for (uint64_t i = 0; i < ne && r.status().ok(); ++i) {
     Entity e;
@@ -205,23 +246,55 @@ util::Status KnowledgeBase::Load(const std::string& path) {
       e.aliases.push_back(r.ReadString());
     }
     e.types = r.ReadI64Vector();
-    e.coarse_type = static_cast<CoarseType>(r.ReadI64());
+    const int64_t coarse = r.ReadI64();
     e.gender = static_cast<char>(r.ReadU32());
+    if (!r.status().ok()) break;
+    if (!InRange(coarse, kNumCoarseTypes)) {
+      return util::Status::Corruption("entity coarse id out of range: " + path);
+    }
+    e.coarse_type = static_cast<CoarseType>(coarse);
+    for (TypeId t : e.types) {
+      if (!InRange(t, num_types())) {
+        return util::Status::Corruption("entity type id out of range: " + path);
+      }
+    }
     AddEntity(std::move(e));
   }
+  if (!legacy) r.EndSection();
+  if (!legacy) r.BeginSection();
   const uint64_t ntr = r.ReadU64();
   for (uint64_t i = 0; i < ntr && r.status().ok(); ++i) {
     const EntityId s = r.ReadI64();
     const RelationId rel = r.ReadI64();
     const EntityId o = r.ReadI64();
-    if (r.status().ok()) AddTriple(s, rel, o);
+    if (!r.status().ok()) break;
+    if (!InRange(s, num_entities()) || !InRange(o, num_entities()) ||
+        !InRange(rel, num_relations())) {
+      return util::Status::Corruption("triple id out of range: " + path);
+    }
+    AddTriple(s, rel, o);
   }
   const uint64_t ns = r.ReadU64();
   for (uint64_t i = 0; i < ns && r.status().ok(); ++i) {
     const EntityId child = r.ReadI64();
-    for (EntityId parent : r.ReadI64Vector()) AddSubclass(child, parent);
+    const std::vector<EntityId> parents = r.ReadI64Vector();
+    if (!r.status().ok()) break;
+    if (!InRange(child, num_entities())) {
+      return util::Status::Corruption("subclass child out of range: " + path);
+    }
+    for (EntityId parent : parents) {
+      if (!InRange(parent, num_entities())) {
+        return util::Status::Corruption("subclass parent out of range: " + path);
+      }
+      AddSubclass(child, parent);
+    }
   }
-  return r.status();
+  if (!legacy) r.EndSection();
+  if (!legacy) r.VerifyFooter();
+  if (!r.status().ok()) {
+    return util::Status::Corruption(r.status().message() + ": " + path);
+  }
+  return util::Status::OK();
 }
 
 }  // namespace bootleg::kb

@@ -114,6 +114,12 @@ class KnowledgeBase {
   EntityId FindByTitle(const std::string& title) const;
 
   // -- serialization ----------------------------------------------------------
+  /// v1 snapshot format (versioned header, per-section CRC32 checksums,
+  /// footer), written atomically via temp file + rename. Load verifies
+  /// checksums and every id range, rejecting truncation, bit flips, and
+  /// trailing garbage with Status::Corruption — never a crash or oversized
+  /// allocation — and still reads legacy v0 files. On a non-OK Load the KB
+  /// contents are unspecified; reload before use.
   util::Status Save(const std::string& path) const;
   util::Status Load(const std::string& path);
 

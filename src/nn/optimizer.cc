@@ -14,13 +14,96 @@ Adam::Adam(ParameterStore* store, Options options)
   for (const std::string& name : store->param_names()) {
     if (store->IsFrozen(name)) continue;
     Var p = store->GetParam(name);
-    dense_.push_back({p, Tensor(p.value().shape()), Tensor(p.value().shape())});
+    dense_.push_back(
+        {name, p, Tensor(p.value().shape()), Tensor(p.value().shape())});
   }
   for (const std::string& name : store->embedding_names()) {
     if (store->IsFrozen(name)) continue;
     Embedding* e = store->GetEmbedding(name);
-    sparse_.push_back({e, Tensor({e->rows(), e->cols()}), Tensor({e->rows(), e->cols()})});
+    sparse_.push_back({name, e, Tensor({e->rows(), e->cols()}),
+                       Tensor({e->rows(), e->cols()})});
   }
+}
+
+namespace {
+constexpr uint32_t kAdamStateMagic = 0xB007ADA1;
+constexpr uint32_t kAdamStateVersion = 1;
+}  // namespace
+
+void Adam::SaveState(util::BinaryWriter* w) const {
+  w->WriteU32(kAdamStateMagic);
+  w->WriteU32(kAdamStateVersion);
+  w->BeginSection();
+  w->WriteI64(step_);
+  w->WriteU64(dense_.size());
+  for (const DenseSlot& slot : dense_) {
+    w->WriteString(slot.name);
+    w->WriteFloatVector(slot.m.vec());
+    w->WriteFloatVector(slot.v.vec());
+  }
+  w->WriteU64(sparse_.size());
+  for (const SparseSlot& slot : sparse_) {
+    w->WriteString(slot.name);
+    w->WriteFloatVector(slot.m.vec());
+    w->WriteFloatVector(slot.v.vec());
+  }
+  w->EndSection();
+}
+
+util::Status Adam::LoadState(util::BinaryReader* r) {
+  if (r->ReadU32() != kAdamStateMagic) {
+    if (!r->status().ok()) return r->status();
+    return util::Status::Corruption("bad optimizer state magic");
+  }
+  const uint32_t version = r->ReadU32();
+  if (r->status().ok() && version != kAdamStateVersion) {
+    return util::Status::Corruption("unsupported optimizer state version");
+  }
+  r->BeginSection();
+  const int64_t step = r->ReadI64();
+  if (r->status().ok() && step < 0) {
+    return util::Status::Corruption("negative optimizer step count");
+  }
+  const uint64_t nd = r->ReadU64();
+  if (r->status().ok() && nd != dense_.size()) {
+    return util::Status::Corruption("optimizer dense slot count mismatch");
+  }
+  for (uint64_t i = 0; i < nd && r->status().ok(); ++i) {
+    DenseSlot& slot = dense_[i];
+    const std::string name = r->ReadString();
+    std::vector<float> m = r->ReadFloatVector();
+    std::vector<float> v = r->ReadFloatVector();
+    if (!r->status().ok()) break;
+    if (name != slot.name ||
+        m.size() != static_cast<size_t>(slot.m.numel()) ||
+        v.size() != static_cast<size_t>(slot.v.numel())) {
+      return util::Status::Corruption("optimizer slot mismatch: " + name);
+    }
+    slot.m.vec() = std::move(m);
+    slot.v.vec() = std::move(v);
+  }
+  const uint64_t ns = r->ReadU64();
+  if (r->status().ok() && ns != sparse_.size()) {
+    return util::Status::Corruption("optimizer sparse slot count mismatch");
+  }
+  for (uint64_t i = 0; i < ns && r->status().ok(); ++i) {
+    SparseSlot& slot = sparse_[i];
+    const std::string name = r->ReadString();
+    std::vector<float> m = r->ReadFloatVector();
+    std::vector<float> v = r->ReadFloatVector();
+    if (!r->status().ok()) break;
+    if (name != slot.name ||
+        m.size() != static_cast<size_t>(slot.m.numel()) ||
+        v.size() != static_cast<size_t>(slot.v.numel())) {
+      return util::Status::Corruption("optimizer slot mismatch: " + name);
+    }
+    slot.m.vec() = std::move(m);
+    slot.v.vec() = std::move(v);
+  }
+  r->EndSection();
+  BOOTLEG_RETURN_IF_ERROR(r->status());
+  step_ = step;
+  return util::Status::OK();
 }
 
 void Adam::Step() {

@@ -7,6 +7,7 @@
 
 #include "nn/param_store.h"
 #include "tensor/autograd.h"
+#include "util/io.h"
 
 namespace bootleg::nn {
 
@@ -35,13 +36,23 @@ class Adam {
   float lr() const { return options_.lr; }
   int64_t step_count() const { return step_; }
 
+  /// Serializes the full optimizer state — step count plus first/second
+  /// moments of every slot, keyed by parameter name — as a checksummed
+  /// section of a training checkpoint. LoadState validates names and shapes
+  /// against this optimizer's slots (which must have been constructed over
+  /// the same store layout) and returns Corruption on any mismatch.
+  void SaveState(util::BinaryWriter* w) const;
+  util::Status LoadState(util::BinaryReader* r);
+
  private:
   struct DenseSlot {
+    std::string name;
     tensor::Var param;
     tensor::Tensor m;
     tensor::Tensor v;
   };
   struct SparseSlot {
+    std::string name;
     Embedding* embedding;
     tensor::Tensor m;
     tensor::Tensor v;

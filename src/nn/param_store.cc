@@ -76,41 +76,80 @@ int64_t ParameterStore::EmbeddingParamCount() const {
   return n;
 }
 
-util::Status ParameterStore::Save(const std::string& path) const {
-  util::BinaryWriter w(path);
-  w.WriteU32(0xB0071E60);  // magic
-  w.WriteU64(param_order_.size());
-  for (const std::string& name : param_order_) {
-    const Var& v = params_.at(name);
-    w.WriteString(name);
-    std::vector<int64_t> shape = v.value().shape();
-    w.WriteI64Vector(shape);
-    w.WriteFloatVector(v.value().vec());
+namespace {
+
+// Snapshot format magics. v0 is the legacy unchecksummed layout; v1 adds the
+// version word, per-section CRC32s, and (at file level) a footer.
+constexpr uint32_t kMagicV0 = 0xB0071E60;
+constexpr uint32_t kMagicV1 = 0xB0071E61;
+constexpr uint32_t kFormatVersion = 1;
+
+/// True iff `shape` is non-negative and its element count equals `n`,
+/// computed without integer overflow. Corrupt shape vectors must be rejected
+/// before Tensor's CHECK-based constructor can abort on them.
+bool ShapeMatchesCount(const std::vector<int64_t>& shape, uint64_t n) {
+  uint64_t prod = 1;
+  for (int64_t d : shape) {
+    if (d < 0) return false;
+    const auto ud = static_cast<uint64_t>(d);
+    if (ud != 0 && prod > n / ud) return false;  // prod * ud would exceed n
+    prod *= ud;
   }
-  w.WriteU64(embedding_order_.size());
-  for (const std::string& name : embedding_order_) {
-    const Embedding* e = embeddings_.at(name).get();
-    w.WriteString(name);
-    w.WriteI64(e->rows());
-    w.WriteI64(e->cols());
-    w.WriteFloatVector(e->table().vec());
-  }
-  return w.Finish();
+  return prod == n;
 }
 
-util::Status ParameterStore::Load(const std::string& path) {
-  util::BinaryReader r(path);
-  if (r.ReadU32() != 0xB0071E60) {
-    return util::Status::Corruption("bad checkpoint magic: " + path);
+}  // namespace
+
+void ParameterStore::SaveTo(util::BinaryWriter* w) const {
+  w->WriteU32(kMagicV1);
+  w->WriteU32(kFormatVersion);
+  w->BeginSection();
+  w->WriteU64(param_order_.size());
+  for (const std::string& name : param_order_) {
+    const Var& v = params_.at(name);
+    w->WriteString(name);
+    std::vector<int64_t> shape = v.value().shape();
+    w->WriteI64Vector(shape);
+    w->WriteFloatVector(v.value().vec());
   }
-  const uint64_t np = r.ReadU64();
-  for (uint64_t i = 0; i < np && r.status().ok(); ++i) {
-    const std::string name = r.ReadString();
-    std::vector<int64_t> shape = r.ReadI64Vector();
-    std::vector<float> data = r.ReadFloatVector();
+  w->EndSection();
+  w->BeginSection();
+  w->WriteU64(embedding_order_.size());
+  for (const std::string& name : embedding_order_) {
+    const Embedding* e = embeddings_.at(name).get();
+    w->WriteString(name);
+    w->WriteI64(e->rows());
+    w->WriteI64(e->cols());
+    w->WriteFloatVector(e->table().vec());
+  }
+  w->EndSection();
+}
+
+util::Status ParameterStore::LoadFrom(util::BinaryReader* r) {
+  const uint32_t magic = r->ReadU32();
+  const bool legacy = magic == kMagicV0;
+  if (!legacy) {
+    if (magic != kMagicV1) {
+      return util::Status::Corruption("bad checkpoint magic");
+    }
+    const uint32_t version = r->ReadU32();
+    if (r->status().ok() && version != kFormatVersion) {
+      return util::Status::Corruption("unsupported checkpoint version");
+    }
+  }
+  if (!legacy) r->BeginSection();
+  const uint64_t np = r->ReadU64();
+  for (uint64_t i = 0; i < np && r->status().ok(); ++i) {
+    const std::string name = r->ReadString();
+    std::vector<int64_t> shape = r->ReadI64Vector();
+    std::vector<float> data = r->ReadFloatVector();
+    if (!r->status().ok()) break;
     auto it = params_.find(name);
     if (it == params_.end()) {
       return util::Status::Corruption("checkpoint has unknown parameter: " + name);
+    }
+    if (!ShapeMatchesCount(shape, data.size())) {
+      return util::Status::Corruption("inconsistent shape for parameter: " + name);
     }
     Tensor t(std::move(shape), std::move(data));
     if (!t.SameShape(it->second.value())) {
@@ -118,23 +157,53 @@ util::Status ParameterStore::Load(const std::string& path) {
     }
     it->second.mutable_value() = std::move(t);
   }
-  const uint64_t ne = r.ReadU64();
-  for (uint64_t i = 0; i < ne && r.status().ok(); ++i) {
-    const std::string name = r.ReadString();
-    const int64_t rows = r.ReadI64();
-    const int64_t cols = r.ReadI64();
-    std::vector<float> data = r.ReadFloatVector();
+  if (!legacy) r->EndSection();
+  if (!legacy) r->BeginSection();
+  const uint64_t ne = r->ReadU64();
+  for (uint64_t i = 0; i < ne && r->status().ok(); ++i) {
+    const std::string name = r->ReadString();
+    const int64_t rows = r->ReadI64();
+    const int64_t cols = r->ReadI64();
+    std::vector<float> data = r->ReadFloatVector();
+    if (!r->status().ok()) break;
     auto it = embeddings_.find(name);
     if (it == embeddings_.end()) {
       return util::Status::Corruption("checkpoint has unknown embedding: " + name);
     }
     Embedding* e = it->second.get();
-    if (rows != e->rows() || cols != e->cols()) {
+    if (rows != e->rows() || cols != e->cols() ||
+        !ShapeMatchesCount({rows, cols}, data.size())) {
       return util::Status::Corruption("shape mismatch for embedding: " + name);
     }
     e->table() = Tensor({rows, cols}, std::move(data));
   }
-  return r.status();
+  if (!legacy) r->EndSection();
+  return r->status();
+}
+
+util::Status ParameterStore::Save(const std::string& path) const {
+  util::AtomicFileWriter atomic(path);
+  util::BinaryWriter w(atomic.temp_path());
+  SaveTo(&w);
+  w.WriteFooter();
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
+}
+
+util::Status ParameterStore::Load(const std::string& path) {
+  // Probe the magic first: legacy v0 files have no footer to verify.
+  util::BinaryReader probe(path);
+  BOOTLEG_RETURN_IF_ERROR(probe.status());
+  const bool legacy = probe.ReadU32() == kMagicV0;
+
+  util::BinaryReader r(path);
+  util::Status st = LoadFrom(&r);
+  if (st.ok() && !legacy) {
+    r.VerifyFooter();
+    st = r.status();
+  }
+  if (!st.ok()) return util::Status::Corruption(st.message() + ": " + path);
+  return util::Status::OK();
 }
 
 }  // namespace bootleg::nn

@@ -11,6 +11,11 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace bootleg::util {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace bootleg::util
+
 namespace bootleg::nn {
 
 /// Owns every learnable parameter of a model: dense parameters (weights,
@@ -57,8 +62,21 @@ class ParameterStore {
   int64_t EmbeddingParamCount() const;
 
   /// Checkpointing: saves/loads every parameter value by name.
+  ///
+  /// Save writes the v1 snapshot format (versioned header, per-section CRC32
+  /// checksums, end-of-file footer) through an atomic temp-file + rename, so
+  /// `path` always holds either the previous or the new complete snapshot.
+  /// Load verifies checksums and rejects truncation, bit flips, and trailing
+  /// garbage with Status::Corruption — never a crash or oversized allocation
+  /// — and still reads legacy v0 (unchecksummed) files. On a non-OK Load the
+  /// store's values are unspecified; reload or reinitialize before use.
   util::Status Save(const std::string& path) const;
   util::Status Load(const std::string& path);
+
+  /// Streaming variants used to embed the store in a larger snapshot (the
+  /// training checkpoint): same format, minus the file-level footer.
+  void SaveTo(util::BinaryWriter* w) const;
+  util::Status LoadFrom(util::BinaryReader* r);
 
  private:
   std::unordered_map<std::string, tensor::Var> params_;

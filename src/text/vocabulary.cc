@@ -39,11 +39,13 @@ const std::string& Vocabulary::Token(int64_t id) const {
 }
 
 util::Status Vocabulary::Save(const std::string& path) const {
-  util::BinaryWriter w(path);
+  util::AtomicFileWriter atomic(path);
+  util::BinaryWriter w(atomic.temp_path());
   w.WriteU32(0xB0071EF0);
   w.WriteU64(tokens_.size());
   for (const std::string& t : tokens_) w.WriteString(t);
-  return w.Finish();
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
 }
 
 util::Status Vocabulary::Load(const std::string& path) {

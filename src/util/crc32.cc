@@ -1,0 +1,63 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace bootleg::util {
+
+namespace {
+
+/// 8 tables of 256 entries for slice-by-8: eight input bytes are folded per
+/// step instead of one, which keeps checksum cost negligible next to the
+/// float payloads it guards.
+struct Crc32Tables {
+  uint32_t t[8][256];
+
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~crc;
+  while (n >= 8) {
+    const uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        static_cast<uint32_t>(p[5]) << 8 |
+                        static_cast<uint32_t>(p[6]) << 16 |
+                        static_cast<uint32_t>(p[7]) << 24;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace bootleg::util

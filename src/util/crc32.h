@@ -1,0 +1,17 @@
+#ifndef BOOTLEG_UTIL_CRC32_H_
+#define BOOTLEG_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bootleg::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+/// snapshot section (see docs/ARCHITECTURE.md, "Durability & recovery").
+/// Extendable: pass the previous return value as `crc` to checksum a stream
+/// incrementally. Crc32(data, n) == Crc32(data + k, n - k, Crc32(data, k)).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace bootleg::util
+
+#endif  // BOOTLEG_UTIL_CRC32_H_

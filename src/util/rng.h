@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
@@ -68,6 +70,23 @@ class Rng {
   /// Forks an independent generator seeded from this one (for parallel or
   /// per-component streams that must not perturb each other).
   Rng Fork() { return Rng(engine_()); }
+
+  /// Serializes the full engine state (std::mt19937_64's textual form) so a
+  /// resumed training run replays the exact random stream an uninterrupted
+  /// run would have drawn.
+  std::string SerializeState() const {
+    std::ostringstream ss;
+    ss << engine_;
+    return ss.str();
+  }
+
+  /// Restores a state produced by SerializeState; false on malformed input
+  /// (the engine is left unspecified but valid).
+  bool DeserializeState(const std::string& state) {
+    std::istringstream ss(state);
+    ss >> engine_;
+    return !ss.fail();
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

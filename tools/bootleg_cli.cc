@@ -4,6 +4,9 @@
 //   bootleg_cli inspect --data DIR [--n 10]
 //   bootleg_cli train   --data DIR --model PATH [--epochs N]
 //                       [--ablation full|ent|type|kg] [--no-weak-labels]
+//                       [--checkpoint_dir DIR [--checkpoint_every STEPS]
+//                        [--retain K] [--resume] [--max_steps N]
+//                        [--fault_fail_after BYTES]]
 //   bootleg_cli eval    --data DIR --model PATH [--split dev|test]
 //   bootleg_cli predict --data DIR --model PATH --text "..."
 //
@@ -172,11 +175,34 @@ int CmdTrain(const Flags& flags) {
   options.epochs = flags.GetInt("epochs", 5);
   options.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   options.verbose = true;
+  options.max_steps = flags.GetInt("max_steps", 0);
+  options.checkpoint_dir = flags.Get("checkpoint_dir");
+  options.checkpoint_every_steps = flags.GetInt("checkpoint_every", 0);
+  options.checkpoint_retain = flags.GetInt("retain", 3);
+  options.resume = flags.Has("resume");
+  if (flags.Has("fault_fail_after")) {
+    // Test hook: simulate a crash by failing (and truncating) every write
+    // past a total byte budget. Torn temp files are left on disk exactly as
+    // a real kill would leave them.
+    util::FaultInjector::Plan plan;
+    plan.fail_after_bytes = flags.GetInt("fault_fail_after", -1);
+    util::FaultInjector::Arm(plan);
+  }
   core::Trainable<core::BootlegModel> trainable(&model);
   const core::TrainStats stats = core::Train(&trainable, examples, options);
-  std::printf("trained %lld sentences in %.1fs (%d threads)\n",
+  if (stats.resumed_from_step >= 0) {
+    std::printf("resumed from checkpoint step %lld\n",
+                static_cast<long long>(stats.resumed_from_step));
+  }
+  std::printf("trained %lld sentences in %.1fs (%d threads, %lld steps)\n",
               static_cast<long long>(stats.sentences_seen), stats.seconds,
-              stats.threads);
+              stats.threads, static_cast<long long>(stats.steps));
+  if (util::FaultInjector::crash_simulated()) {
+    std::fprintf(stderr,
+                 "simulated crash: injected I/O fault fired; exiting without "
+                 "final save\n");
+    return 1;
+  }
 
   util::Status status = model.store().Save(model_path);
   if (status.ok()) {
@@ -279,6 +305,9 @@ int Usage() {
       "  inspect --data DIR [--n N]\n"
       "  train   --data DIR --model PATH [--epochs N] [--threads N]\n"
       "          [--ablation full|ent|type|kg] [--no-weak-labels]\n"
+      "          [--checkpoint_dir DIR] [--checkpoint_every STEPS]\n"
+      "          [--retain K] [--resume] [--max_steps N]\n"
+      "          [--fault_fail_after BYTES]\n"
       "  eval    --data DIR --model PATH [--split dev|test] [--threads N]\n"
       "  predict --data DIR --model PATH --text \"...\"\n");
   return 2;

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Full verification gate for the durability work (and the tier-1 suite):
+#
+#   1. Release build + complete ctest suite (tier-1 gate).
+#   2. ASan build: corruption fuzzing, checkpoint/resume, io, parallel tests.
+#   3. TSan build: checkpointed data-parallel training + parallel tests.
+#   4. CLI crash-recovery drill: train with checkpointing, kill the run
+#      mid-checkpoint-write via fault injection (leaving a torn temp file),
+#      corrupt the newest checkpoint, resume, and verify the final model is
+#      byte-identical to an uninterrupted run.
+#
+# Usage: tools/check.sh [--skip-san]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-san" ]] && SKIP_SAN=1
+
+JOBS="$(nproc)"
+
+echo "==> [1/4] Release build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" >/dev/null
+(cd build && ctest --output-on-failure)
+
+if [[ "$SKIP_SAN" == "0" ]]; then
+  echo "==> [2/4] ASan: fuzz + checkpoint + io + parallel"
+  cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$JOBS" \
+    --target io_fuzz_test checkpoint_test util_test robustness_test \
+             parallel_test >/dev/null
+  for t in io_fuzz_test checkpoint_test util_test robustness_test \
+           parallel_test; do
+    echo "  asan: $t"
+    ./build-asan/tests/"$t" >/dev/null
+  done
+
+  echo "==> [3/4] TSan: checkpointed parallel training"
+  cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$JOBS" \
+    --target checkpoint_test parallel_test >/dev/null
+  for t in checkpoint_test parallel_test; do
+    echo "  tsan: $t"
+    ./build-tsan/tests/"$t" >/dev/null
+  done
+else
+  echo "==> [2/4],[3/4] sanitizer stages skipped (--skip-san)"
+fi
+
+echo "==> [4/4] CLI kill-at-step-K -> resume -> bit-identical verify"
+CLI=./build/tools/bootleg_cli
+WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen --out "$WORK/data" --scale micro --pages 30 >/dev/null
+
+TRAIN_FLAGS=(--data "$WORK/data" --epochs 2 --threads 2 --checkpoint_every 2)
+
+# Uninterrupted reference run (checkpointing on, so both runs take the same
+# stateful loop; its own dir so the killed run can't see its snapshots).
+"$CLI" train "${TRAIN_FLAGS[@]}" --model "$WORK/ref.bin" \
+  --checkpoint_dir "$WORK/ckpt_ref" >/dev/null
+
+# Killed run: stop at step 5, and inject a write fault so the in-flight
+# checkpoint write at step 4 tears mid-file. The byte budget admits roughly
+# 1.5 checkpoints, so ckpt_2 lands whole and ckpt_4 is torn. (Any reference
+# checkpoint works for sizing — they are all the same shape.)
+CKPT_BYTES=$(stat -c%s "$(ls "$WORK/ckpt_ref"/ckpt_*.bin | head -1)")
+BUDGET=$((CKPT_BYTES * 3 / 2))
+set +e
+"$CLI" train "${TRAIN_FLAGS[@]}" --model "$WORK/killed.bin" \
+  --checkpoint_dir "$WORK/ckpt" --max_steps 5 \
+  --fault_fail_after "$BUDGET" >/dev/null 2>&1
+KILLED_RC=$?
+set -e
+[[ "$KILLED_RC" != "0" ]] || { echo "FAIL: killed run exited cleanly"; exit 1; }
+[[ ! -f "$WORK/killed.bin" ]] || { echo "FAIL: killed run saved a model"; exit 1; }
+ls "$WORK/ckpt"/*.tmp >/dev/null 2>&1 \
+  || { echo "FAIL: no torn temp file left by the simulated crash"; exit 1; }
+ls "$WORK/ckpt"/ckpt_*.bin >/dev/null 2>&1 \
+  || { echo "FAIL: no durable checkpoint survived the crash"; exit 1; }
+
+# Corrupt the newest surviving checkpoint too: recovery must fall back.
+NEWEST=$(ls "$WORK/ckpt"/ckpt_*.bin | sort -t_ -k2 -n | tail -1)
+if [[ $(ls "$WORK/ckpt"/ckpt_*.bin | wc -l) -gt 1 ]]; then
+  printf '\x7f' | dd of="$NEWEST" bs=1 seek=40 conv=notrunc status=none
+fi
+
+# Resume and finish; the final model must match the reference byte-for-byte.
+"$CLI" train "${TRAIN_FLAGS[@]}" --model "$WORK/resumed.bin" \
+  --checkpoint_dir "$WORK/ckpt" --resume | grep -q "resumed from checkpoint" \
+  || { echo "FAIL: resume did not pick up a checkpoint"; exit 1; }
+cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
+  || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
+
+echo "OK: all checks passed"

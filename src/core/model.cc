@@ -410,6 +410,318 @@ std::vector<int64_t> BootlegModel::Predict(const data::SentenceExample& example)
   return preds;
 }
 
+void BootlegModel::PrepareFrozenInference() {
+  int64_t pre = 0;
+  if (config_.use_entity) pre += config_.entity_dim;
+  if (config_.use_type) pre += config_.type_dim;
+  int64_t post = 0;
+  if (config_.use_kg) post += config_.rel_dim;
+  if (config_.use_title_feature) {
+    BOOTLEG_CHECK_MSG(!title_token_ids_.empty(),
+                      "use_title_feature requires SetTitleTokenIds");
+    post += title_dim_;
+  }
+  frozen_pre_cols_ = pre;
+  const int64_t n = kb_->num_entities();
+  const int64_t cols = pre + post;
+  frozen_static_ = Tensor({n, cols});
+
+  std::vector<int64_t> ids;
+  for (kb::EntityId e = 0; e < n; ++e) {
+    float* dst = frozen_static_.data() + e * cols;
+    const kb::Entity& ent = kb_->entity(e);
+    if (config_.use_entity) {
+      const float* src = entity_emb_->table().data() + e * config_.entity_dim;
+      for (int64_t j = 0; j < config_.entity_dim; ++j) dst[j] = src[j];
+      dst += config_.entity_dim;
+    }
+    if (config_.use_type) {
+      ids.clear();
+      for (kb::TypeId t : ent.types) {
+        if (static_cast<int64_t>(ids.size()) >= config_.max_types_per_entity) break;
+        ids.push_back(t + 1);  // shift: row 0 = "no type"
+      }
+      if (ids.empty()) ids.push_back(0);
+      Tensor pooled = type_pool_->PoolValue(type_emb_->LookupValue(ids));
+      for (int64_t j = 0; j < config_.type_dim; ++j) dst[j] = pooled.at(0, j);
+      dst += config_.type_dim;
+    }
+    if (config_.use_kg) {
+      ids.clear();
+      for (kb::RelationId rel : ent.relations) {
+        if (static_cast<int64_t>(ids.size()) >= config_.max_relations_per_entity) break;
+        ids.push_back(rel + 1);  // shift: row 0 = "no relation"
+      }
+      if (ids.empty()) ids.push_back(0);
+      Tensor pooled = rel_pool_->PoolValue(rel_emb_->LookupValue(ids));
+      for (int64_t j = 0; j < config_.rel_dim; ++j) dst[j] = pooled.at(0, j);
+      dst += config_.rel_dim;
+    }
+    if (config_.use_title_feature) {
+      Tensor title = title_proj_->ForwardValue(
+          encoder_->token_embedding()->LookupValue(
+              {title_token_ids_[static_cast<size_t>(e)]}));
+      for (int64_t j = 0; j < title_dim_; ++j) dst[j] = title.at(0, j);
+    }
+  }
+  frozen_ready_ = true;
+}
+
+std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
+    const std::vector<const data::SentenceExample*>& batch,
+    InferenceScratch* scratch) const {
+  BOOTLEG_CHECK_MSG(frozen_ready_,
+                    "PrepareFrozenInference() must run before PredictBatch");
+  std::vector<std::vector<int64_t>> preds(batch.size());
+  InferenceScratch& s = *scratch;
+  s.sentences.clear();
+  s.sequences.clear();
+  s.row_entities.clear();
+  s.row_mention.clear();
+  s.mention_row_offset.clear();
+  s.mention_row_count.clear();
+  s.p2e_segments.clear();
+  s.self_segments.clear();
+
+  // --- Row layout, exactly as RunForward builds it per sentence. -------------
+  for (size_t b = 0; b < batch.size(); ++b) {
+    const data::SentenceExample& ex = *batch[b];
+    preds[b].assign(ex.mentions.size(), -1);
+    const int64_t n_tokens = std::min<int64_t>(
+        static_cast<int64_t>(ex.token_ids.size()), config_.encoder.max_len);
+    if (n_tokens == 0 || ex.mentions.empty()) continue;
+
+    InferenceScratch::SentenceInfo info;
+    info.ex_index = static_cast<int64_t>(b);
+    info.row_offset = static_cast<int64_t>(s.row_entities.size());
+    info.mention_offset = static_cast<int64_t>(s.mention_row_offset.size());
+    info.mentions = static_cast<int64_t>(ex.mentions.size());
+    info.n_tokens = n_tokens;
+    for (size_t mi = 0; mi < ex.mentions.size(); ++mi) {
+      const data::MentionExample& m = ex.mentions[mi];
+      s.mention_row_offset.push_back(static_cast<int64_t>(s.row_entities.size()));
+      s.mention_row_count.push_back(static_cast<int64_t>(m.candidates.size()));
+      for (kb::EntityId e : m.candidates) {
+        s.row_entities.push_back(e);
+        s.row_mention.push_back(static_cast<int64_t>(mi));
+      }
+    }
+    info.rows = static_cast<int64_t>(s.row_entities.size()) - info.row_offset;
+    if (info.rows == 0) {
+      s.mention_row_offset.resize(static_cast<size_t>(info.mention_offset));
+      s.mention_row_count.resize(static_cast<size_t>(info.mention_offset));
+      continue;
+    }
+    s.sentences.push_back(info);
+    s.sequences.push_back(&ex.token_ids);
+  }
+  if (s.sentences.empty()) return preds;
+  const int64_t total_rows = static_cast<int64_t>(s.row_entities.size());
+  const int64_t total_mentions = static_cast<int64_t>(s.mention_row_offset.size());
+  const int64_t hidden = config_.hidden;
+
+  // --- Contextual word embeddings, batched with per-sentence attention. ------
+  Tensor w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges);
+
+  auto clamp_span = [](int64_t v, int64_t n_tokens) {
+    return std::max<int64_t>(0, std::min<int64_t>(v, n_tokens - 1));
+  };
+
+  // --- Mention-level coarse type prediction (batched head). ------------------
+  const bool use_tpred = config_.use_type && config_.use_type_prediction;
+  Tensor tpred_all;
+  if (use_tpred) {
+    Tensor m_all({total_mentions, hidden});
+    for (size_t i = 0; i < s.sentences.size(); ++i) {
+      const InferenceScratch::SentenceInfo& info = s.sentences[i];
+      const data::SentenceExample& ex = *batch[static_cast<size_t>(info.ex_index)];
+      const int64_t w_off = s.word_ranges[i].first;
+      for (int64_t mi = 0; mi < info.mentions; ++mi) {
+        const data::MentionExample& m = ex.mentions[static_cast<size_t>(mi)];
+        const int64_t first = clamp_span(m.span_start, info.n_tokens);
+        const int64_t last = clamp_span(m.span_end, info.n_tokens);
+        const float* w_first = w_all.data() + (w_off + first) * hidden;
+        const float* w_last = w_all.data() + (w_off + last) * hidden;
+        float* dst = m_all.data() + (info.mention_offset + mi) * hidden;
+        for (int64_t j = 0; j < hidden; ++j) dst[j] = w_first[j] + w_last[j];
+      }
+    }
+    Tensor logits = type_pred_head_->ForwardValue(m_all);
+    Tensor t_hat =
+        tensor::MatMul(tensor::SoftmaxRows(logits), coarse_table_.value());
+
+    // Selection-expand per-mention rows to candidate rows, per sentence — the
+    // same one-hot matmul RunForward performs.
+    tpred_all = Tensor({total_rows, config_.coarse_dim});
+    for (const InferenceScratch::SentenceInfo& info : s.sentences) {
+      Tensor t_hat_s = tensor::SliceRows(t_hat, info.mention_offset, info.mentions);
+      Tensor sel({info.rows, info.mentions});
+      for (int64_t r = 0; r < info.rows; ++r) {
+        sel.at(r, s.row_mention[static_cast<size_t>(info.row_offset + r)]) = 1.0f;
+      }
+      Tensor tp = tensor::MatMul(sel, t_hat_s);
+      float* dst = tpred_all.data() + info.row_offset * config_.coarse_dim;
+      const float* src = tp.data();
+      for (int64_t k = 0; k < info.rows * config_.coarse_dim; ++k) dst[k] = src[k];
+    }
+  }
+
+  // --- Candidate feature assembly from the frozen per-entity table. ----------
+  Tensor x({total_rows, input_dim_});
+  const int64_t static_cols = frozen_static_.size(1);
+  const int64_t post_cols = static_cols - frozen_pre_cols_;
+  const int64_t coarse = use_tpred ? config_.coarse_dim : 0;
+  for (int64_t r = 0; r < total_rows; ++r) {
+    const float* src =
+        frozen_static_.data() + s.row_entities[static_cast<size_t>(r)] * static_cols;
+    float* dst = x.data() + r * input_dim_;
+    for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
+    if (use_tpred) {
+      const float* tp = tpred_all.data() + r * coarse;
+      for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
+    }
+    for (int64_t j = 0; j < post_cols; ++j) {
+      dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
+    }
+  }
+  Tensor e_all = input_mlp_->ForwardValue(x);
+
+  if (config_.use_position_encoding) {
+    Tensor pos({total_rows, 2 * hidden});
+    for (const InferenceScratch::SentenceInfo& info : s.sentences) {
+      const data::SentenceExample& ex = *batch[static_cast<size_t>(info.ex_index)];
+      for (int64_t r = 0; r < info.rows; ++r) {
+        const data::MentionExample& m = ex.mentions[static_cast<size_t>(
+            s.row_mention[static_cast<size_t>(info.row_offset + r)])];
+        const int64_t first = clamp_span(m.span_start, info.n_tokens);
+        const int64_t last = clamp_span(m.span_end, info.n_tokens);
+        float* dst = pos.data() + (info.row_offset + r) * 2 * hidden;
+        const float* pf = position_table_.data() + first * hidden;
+        const float* pl = position_table_.data() + last * hidden;
+        for (int64_t j = 0; j < hidden; ++j) {
+          dst[j] = pf[j];
+          dst[hidden + j] = pl[j];
+        }
+      }
+    }
+    e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos));
+  }
+
+  // --- Per-sentence KG adjacencies (sentence-local, built once). -------------
+  std::vector<std::vector<Tensor>> adjacencies(s.sentences.size());
+  if (config_.use_kg || config_.use_cooccurrence_kg) {
+    for (size_t i = 0; i < s.sentences.size(); ++i) {
+      const InferenceScratch::SentenceInfo& info = s.sentences[i];
+      const data::SentenceExample& ex = *batch[static_cast<size_t>(info.ex_index)];
+      s.sent_entities.assign(
+          s.row_entities.begin() + info.row_offset,
+          s.row_entities.begin() + info.row_offset + info.rows);
+      s.sent_mentions.assign(
+          s.row_mention.begin() + info.row_offset,
+          s.row_mention.begin() + info.row_offset + info.rows);
+      if (config_.use_kg) {
+        adjacencies[i].push_back(BuildAdjacency(ex, s.sent_entities,
+                                                s.sent_mentions,
+                                                AdjacencyKind::kWikidata));
+      }
+      if (config_.use_cooccurrence_kg) {
+        adjacencies[i].push_back(BuildAdjacency(ex, s.sent_entities,
+                                                s.sent_mentions,
+                                                AdjacencyKind::kCooccurrence));
+      }
+      if (config_.use_kg && config_.use_two_hop_kg) {
+        adjacencies[i].push_back(BuildAdjacency(ex, s.sent_entities,
+                                                s.sent_mentions,
+                                                AdjacencyKind::kTwoHop));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < s.sentences.size(); ++i) {
+    const InferenceScratch::SentenceInfo& info = s.sentences[i];
+    s.self_segments.push_back(
+        {info.row_offset, info.rows, info.row_offset, info.rows});
+    s.p2e_segments.push_back({info.row_offset, info.rows, s.word_ranges[i].first,
+                              s.word_ranges[i].second});
+  }
+
+  // --- Stacked Phrase2Ent + Ent2Ent + KG2Ent layers. -------------------------
+  Tensor e_prime_all;
+  std::vector<std::vector<Tensor>> ek_final(s.sentences.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool last_layer = li + 1 == layers_.size();
+    Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(e_all, w_all,
+                                                          s.p2e_segments);
+    Tensor c_all =
+        layer.ent2ent->ForwardSegmentsValue(e_all, e_all, s.self_segments);
+    e_prime_all = tensor::Add(p_all, c_all);
+
+    Tensor e_next({total_rows, hidden});
+    for (size_t i = 0; i < s.sentences.size(); ++i) {
+      const InferenceScratch::SentenceInfo& info = s.sentences[i];
+      Tensor e_prime_s = tensor::SliceRows(e_prime_all, info.row_offset, info.rows);
+      std::vector<Tensor> eks;
+      eks.reserve(adjacencies[i].size());
+      for (size_t k = 0; k < adjacencies[i].size(); ++k) {
+        Tensor attn = tensor::SoftmaxRows(tensor::AddScaledIdentity(
+            adjacencies[i][k], layer.kg_weights[k].value().at(0)));
+        eks.push_back(tensor::Add(tensor::MatMul(attn, e_prime_s), e_prime_s));
+      }
+      Tensor e_s;
+      if (eks.empty()) {
+        e_s = e_prime_s;
+      } else if (eks.size() == 1) {
+        e_s = eks[0];
+      } else {
+        Tensor sum = eks[0];
+        for (size_t k = 1; k < eks.size(); ++k) sum = tensor::Add(sum, eks[k]);
+        e_s = tensor::Scale(sum, 1.0f / static_cast<float>(eks.size()));
+      }
+      float* dst = e_next.data() + info.row_offset * hidden;
+      const float* src = e_s.data();
+      for (int64_t k = 0; k < info.rows * hidden; ++k) dst[k] = src[k];
+      if (last_layer) ek_final[i] = std::move(eks);
+    }
+    e_all = std::move(e_next);
+  }
+
+  // --- Ensemble scoring S = max(E_k vᵀ, E' vᵀ). ------------------------------
+  Tensor scores;
+  if (config_.ensemble_scoring) {
+    scores = tensor::MatMul(e_prime_all, score_vec_.value());
+    for (size_t i = 0; i < s.sentences.size(); ++i) {
+      const InferenceScratch::SentenceInfo& info = s.sentences[i];
+      for (const Tensor& ek : ek_final[i]) {
+        Tensor sek = tensor::MatMul(ek, score_vec_.value());
+        for (int64_t r = 0; r < info.rows; ++r) {
+          float& dst = scores.at(info.row_offset + r, 0);
+          dst = std::max(dst, sek.at(r, 0));
+        }
+      }
+    }
+  } else {
+    scores = tensor::MatMul(e_all, score_vec_.value());
+  }
+
+  // --- Per-mention argmax, matching Predict's strict-> tie handling. ---------
+  for (const InferenceScratch::SentenceInfo& info : s.sentences) {
+    std::vector<int64_t>& out = preds[static_cast<size_t>(info.ex_index)];
+    for (int64_t mi = 0; mi < info.mentions; ++mi) {
+      const size_t g = static_cast<size_t>(info.mention_offset + mi);
+      const int64_t count = s.mention_row_count[g];
+      if (count == 0) continue;
+      const int64_t off = s.mention_row_offset[g];
+      int64_t best = 0;
+      for (int64_t k = 1; k < count; ++k) {
+        if (scores.at(off + k, 0) > scores.at(off + best, 0)) best = k;
+      }
+      out[static_cast<size_t>(mi)] = best;
+    }
+  }
+  return preds;
+}
+
 std::vector<BootlegModel::ContextualMention> BootlegModel::ContextualEmbeddings(
     const data::SentenceExample& example) {
   std::vector<ContextualMention> out;

@@ -58,6 +58,49 @@ class BootlegModel : public eval::NedScorer {
   /// Predicted candidate index per mention (-1 for empty candidate lists).
   std::vector<int64_t> Predict(const data::SentenceExample& example) override;
 
+  /// Reusable buffers for PredictBatch, one per serving worker. Keeping them
+  /// across batches avoids per-request metadata allocation on the hot path.
+  struct InferenceScratch {
+    struct SentenceInfo {
+      int64_t ex_index = 0;        // index into the PredictBatch input
+      int64_t row_offset = 0;      // first candidate row in the batch tensors
+      int64_t rows = 0;
+      int64_t mention_offset = 0;  // first row in the batched mention matrix
+      int64_t mentions = 0;
+      int64_t n_tokens = 0;        // truncated token count
+    };
+    std::vector<SentenceInfo> sentences;
+    std::vector<const std::vector<int64_t>*> sequences;
+    std::vector<std::pair<int64_t, int64_t>> word_ranges;
+    std::vector<int64_t> row_entities;        // all sentences, batch order
+    std::vector<int64_t> row_mention;         // local mention index per row
+    std::vector<int64_t> mention_row_offset;  // per batched mention, global
+    std::vector<int64_t> mention_row_count;
+    std::vector<int64_t> sent_entities;       // per-sentence adjacency temps
+    std::vector<int64_t> sent_mentions;
+    std::vector<nn::AttentionSegment> p2e_segments;
+    std::vector<nn::AttentionSegment> self_segments;
+  };
+
+  /// Precomputes every sentence-independent per-entity input feature (entity
+  /// embedding row, pooled type embedding, pooled relation embedding,
+  /// projected title) into one frozen table read by PredictBatch. Call after
+  /// the weights are in place; call again after any weight mutation (e.g. a
+  /// serving hot-reload), since the table snapshots current values.
+  void PrepareFrozenInference();
+  bool frozen_ready() const { return frozen_ready_; }
+
+  /// Forward-only batched inference over several sentences at once (the
+  /// serving path). Requires PrepareFrozenInference(). Returns Predict()'s
+  /// output for each example and is bit-identical to per-sentence Predict at
+  /// any batch composition: every cross-sentence stage is row-wise, while
+  /// attention, KG mixing, and scoring run per sentence. Builds no autograd
+  /// tape, never touches the model RNG, and is const — safe to call
+  /// concurrently with a distinct scratch per thread.
+  std::vector<std::vector<int64_t>> PredictBatch(
+      const std::vector<const data::SentenceExample*>& batch,
+      InferenceScratch* scratch) const;
+
   /// Contextual entity embeddings (final-layer E_k rows of the predicted
   /// candidate per mention), the representation transferred to downstream
   /// tasks in Sec. 4.3. Returns exactly one entry per example mention; a
@@ -161,6 +204,13 @@ class BootlegModel : public eval::NedScorer {
   std::vector<int64_t> title_token_ids_;
   tensor::Tensor entity_emb_backup_;  // for compression restore
   bool compressed_ = false;
+
+  // Frozen per-entity features for the serving path (PrepareFrozenInference).
+  // Column layout: [entity | type_pool] then [rel_pool | title] — the
+  // sentence-dependent coarse-type prediction slots between the two halves.
+  tensor::Tensor frozen_static_;
+  int64_t frozen_pre_cols_ = 0;
+  bool frozen_ready_ = false;
 };
 
 }  // namespace bootleg::core

@@ -1,0 +1,38 @@
+#include "core/model_loader.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "core/checkpoint.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace bootleg::core {
+
+util::Status LoadSnapshotOrInvalidate(const std::string& path,
+                                      nn::ParameterStore* store) {
+  const util::Status st = store->Load(path);
+  if (st.ok()) return st;
+  BOOTLEG_LOG(Warning) << "snapshot load failed (" << st.ToString()
+                       << "); deleting corrupt snapshot " << path;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return st;
+}
+
+util::StatusOr<std::string> LoadNewestCheckpointParams(
+    const std::string& dir, nn::ParameterStore* store) {
+  // ReadCheckpoint wants a full (state, store, optimizer) triple; the state
+  // and optimizer are throwaways here — serving only needs the parameters.
+  TrainerState state;
+  nn::Adam optimizer(store, nn::Adam::Options{});
+  const RecoveryResult result = RecoverLatestCheckpoint(
+      dir, &state, store, &optimizer,
+      [](const TrainerState&) { return util::Status::OK(); });
+  if (!result.resumed) {
+    return util::Status::NotFound("no readable checkpoint in " + dir);
+  }
+  return result.path;
+}
+
+}  // namespace bootleg::core

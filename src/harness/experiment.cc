@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "core/model_loader.h"
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -102,16 +104,10 @@ std::unique_ptr<core::BootlegModel> TrainBootleg(Environment* env,
     model->SetTitleTokenIds(env->TitleTokenIds());
   }
   const std::string cache = CachePath(*env, spec.name, spec.train);
-  if (!cache.empty() && std::filesystem::exists(cache)) {
-    const util::Status st = model->store().Load(cache);
-    if (st.ok()) {
-      BOOTLEG_LOG(Info) << "loaded cached model " << cache;
-      return model;
-    }
-    BOOTLEG_LOG(Warning) << "cache load failed (" << st.ToString()
-                         << "); deleting corrupt cache and retraining";
-    std::error_code ec;
-    std::filesystem::remove(cache, ec);
+  if (!cache.empty() && std::filesystem::exists(cache) &&
+      core::LoadSnapshotOrInvalidate(cache, &model->store()).ok()) {
+    BOOTLEG_LOG(Info) << "loaded cached model " << cache;
+    return model;
   }
   core::Trainable<core::BootlegModel> trainable(model.get());
   const core::TrainStats stats =
@@ -134,16 +130,10 @@ std::unique_ptr<baseline::NedBaseModel> TrainNedBase(
   auto model = std::make_unique<baseline::NedBaseModel>(
       env->world.kb.num_entities(), env->world.vocab.size(), config, model_seed);
   const std::string cache = CachePath(*env, name, train_options);
-  if (!cache.empty() && std::filesystem::exists(cache)) {
-    const util::Status st = model->store().Load(cache);
-    if (st.ok()) {
-      BOOTLEG_LOG(Info) << "loaded cached model " << cache;
-      return model;
-    }
-    BOOTLEG_LOG(Warning) << "cache load failed (" << st.ToString()
-                         << "); deleting corrupt cache and retraining";
-    std::error_code ec;
-    std::filesystem::remove(cache, ec);
+  if (!cache.empty() && std::filesystem::exists(cache) &&
+      core::LoadSnapshotOrInvalidate(cache, &model->store()).ok()) {
+    BOOTLEG_LOG(Info) << "loaded cached model " << cache;
+    return model;
   }
   core::Trainable<baseline::NedBaseModel> trainable(model.get());
   const core::TrainStats stats =

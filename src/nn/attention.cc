@@ -45,6 +45,55 @@ Var MultiHeadAttention::Attend(const Var& queries, const Var& keys) const {
   return wo_.Forward(tensor::ConcatCols(heads));
 }
 
+namespace {
+
+/// Copies a [rows, cols] block out of a 2-D tensor — the value of
+/// SliceCols(SliceRows(a, r0, rows), c0, cols) without the intermediate.
+Tensor SliceBlock(const Tensor& a, int64_t r0, int64_t rows, int64_t c0,
+                  int64_t cols) {
+  Tensor out({rows, cols});
+  const int64_t stride = a.size(1);
+  const float* src = a.data() + r0 * stride + c0;
+  float* dst = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) dst[i * cols + j] = src[i * stride + j];
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor MultiHeadAttention::AttendSegmentsValue(
+    const Tensor& queries, const Tensor& keys,
+    const std::vector<AttentionSegment>& segments) const {
+  BOOTLEG_CHECK_EQ(queries.size(1), hidden_);
+  BOOTLEG_CHECK_EQ(keys.size(1), hidden_);
+  const Tensor q = wq_.ForwardValue(queries);
+  const Tensor k = wk_.ForwardValue(keys);
+  const Tensor v = wv_.ForwardValue(keys);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  Tensor concat({queries.size(0), hidden_});
+  for (const AttentionSegment& seg : segments) {
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t off = h * head_dim_;
+      Tensor qh = SliceBlock(q, seg.q_offset, seg.q_rows, off, head_dim_);
+      Tensor kh = SliceBlock(k, seg.k_offset, seg.k_rows, off, head_dim_);
+      Tensor vh = SliceBlock(v, seg.k_offset, seg.k_rows, off, head_dim_);
+      Tensor attn = tensor::SoftmaxRows(
+          tensor::Scale(tensor::MatMulTransposedB(qh, kh), inv_sqrt));
+      Tensor head = tensor::MatMul(attn, vh);
+      // Write the head's rows into its column block of the concat output.
+      for (int64_t i = 0; i < seg.q_rows; ++i) {
+        const float* src = head.data() + i * head_dim_;
+        float* dst = concat.data() + (seg.q_offset + i) * hidden_ + off;
+        for (int64_t j = 0; j < head_dim_; ++j) dst[j] = src[j];
+      }
+    }
+  }
+  return wo_.ForwardValue(concat);
+}
+
 AttentionBlock::AttentionBlock(ParameterStore* store, const std::string& prefix,
                                int64_t hidden, int64_t num_heads,
                                int64_t ff_inner, util::Rng* rng)
@@ -62,6 +111,15 @@ Var AttentionBlock::Forward(const Var& queries, const Var& keys, util::Rng* rng,
   return ln2_.Forward(tensor::Add(h, ff_out));
 }
 
+Tensor AttentionBlock::ForwardSegmentsValue(
+    const Tensor& queries, const Tensor& keys,
+    const std::vector<AttentionSegment>& segments) const {
+  Tensor attended = mha_.AttendSegmentsValue(queries, keys, segments);
+  Tensor h = ln1_.ForwardValue(tensor::Add(queries, attended));
+  Tensor ff_out = ff_.ForwardValue(h);
+  return ln2_.ForwardValue(tensor::Add(h, ff_out));
+}
+
 AdditiveAttention::AdditiveAttention(ParameterStore* store,
                                      const std::string& prefix, int64_t dim,
                                      int64_t attn_dim, util::Rng* rng)
@@ -76,6 +134,14 @@ Var AdditiveAttention::Pool(const Var& items) const {
   Var scores = tensor::MatMul(hidden, score_vec_);           // [t, 1]
   Var weights = tensor::SoftmaxRows(tensor::Transpose(scores));  // [1, t]
   return tensor::MatMul(weights, items);                     // [1, dim]
+}
+
+Tensor AdditiveAttention::PoolValue(const Tensor& items) const {
+  BOOTLEG_CHECK_EQ(items.dim(), 2);
+  Tensor hidden = tensor::TanhT(proj_.ForwardValue(items));
+  Tensor scores = tensor::MatMul(hidden, score_vec_.value());
+  Tensor weights = tensor::SoftmaxRows(tensor::Transpose(scores));
+  return tensor::MatMul(weights, items);
 }
 
 }  // namespace bootleg::nn

@@ -10,6 +10,18 @@
 
 namespace bootleg::nn {
 
+/// One independent attention group inside batched query/key tensors: query
+/// rows [q_offset, q_offset + q_rows) attend only over key rows [k_offset,
+/// k_offset + k_rows). The serving engine packs many sentences into one
+/// tensor and describes each sentence with one segment, so the projection
+/// matmuls run batched while the attention cores stay per-sentence.
+struct AttentionSegment {
+  int64_t q_offset = 0;
+  int64_t q_rows = 0;
+  int64_t k_offset = 0;
+  int64_t k_rows = 0;
+};
+
 /// Standard multi-head attention (Vaswani et al.). Queries attend over
 /// keys/values; pass the same tensor for self-attention. Shapes are 2-D:
 /// queries [r, hidden], keys [s, hidden] → output [r, hidden].
@@ -19,6 +31,14 @@ class MultiHeadAttention {
                      int64_t hidden, int64_t num_heads, util::Rng* rng);
 
   tensor::Var Attend(const tensor::Var& queries, const tensor::Var& keys) const;
+
+  /// Forward-only fast path over independent segments. Every segment's output
+  /// rows are bit-identical to Attend() on that segment's rows alone: the
+  /// q/k/v/o projections are row-wise (batching cannot change them) and the
+  /// score/softmax/value cores run per segment on the same kernels.
+  tensor::Tensor AttendSegmentsValue(
+      const tensor::Tensor& queries, const tensor::Tensor& keys,
+      const std::vector<AttentionSegment>& segments) const;
 
   int64_t num_heads() const { return num_heads_; }
 
@@ -51,6 +71,13 @@ class AttentionBlock {
     return Forward(x, x, rng, train);
   }
 
+  /// Forward-only eval-mode fast path over independent segments (see
+  /// MultiHeadAttention::AttendSegmentsValue). Dropout is the identity at
+  /// eval time, so per-segment rows match Forward(..., train=false) exactly.
+  tensor::Tensor ForwardSegmentsValue(
+      const tensor::Tensor& queries, const tensor::Tensor& keys,
+      const std::vector<AttentionSegment>& segments) const;
+
  private:
   MultiHeadAttention mha_;
   LayerNormLayer ln1_;
@@ -68,6 +95,9 @@ class AdditiveAttention {
                     int64_t dim, int64_t attn_dim, util::Rng* rng);
 
   tensor::Var Pool(const tensor::Var& items) const;
+
+  /// Forward-only fast path, bit-identical to Pool (same kernels, no tape).
+  tensor::Tensor PoolValue(const tensor::Tensor& items) const;
 
  private:
   Linear proj_;

@@ -21,6 +21,12 @@ Var Linear::Forward(const Var& x) const {
   return tensor::AddRowBroadcast(tensor::MatMul(x, weight_), bias_);
 }
 
+Tensor Linear::ForwardValue(const Tensor& x) const {
+  BOOTLEG_CHECK_EQ(x.size(1), in_);
+  return tensor::AddRowBroadcast(tensor::MatMul(x, weight_.value()),
+                                 bias_.value());
+}
+
 LayerNormLayer::LayerNormLayer(ParameterStore* store, const std::string& prefix,
                                int64_t dim)
     : gamma_(store->CreateParam(prefix + ".gamma", Tensor::Ones({dim}))),
@@ -54,6 +60,10 @@ Var FeedForward::Forward(const Var& x, util::Rng* rng, bool train) const {
   return fc2_.Forward(h);
 }
 
+Tensor FeedForward::ForwardValue(const Tensor& x) const {
+  return fc2_.ForwardValue(tensor::Gelu(fc1_.ForwardValue(x)));
+}
+
 Mlp::Mlp(ParameterStore* store, const std::string& prefix,
          const std::vector<int64_t>& dims, util::Rng* rng)
     : dropout_(0.1f) {
@@ -72,6 +82,15 @@ Var Mlp::Forward(const Var& x, util::Rng* rng, bool train) const {
       h = tensor::Relu(h);
       h = dropout_.Apply(h, rng, train);
     }
+  }
+  return h;
+}
+
+Tensor Mlp::ForwardValue(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardValue(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
   }
   return h;
 }

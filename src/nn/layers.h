@@ -18,6 +18,9 @@ class Linear {
 
   tensor::Var Forward(const tensor::Var& x) const;
 
+  /// Forward-only fast path: same kernels as Forward, no tape allocation.
+  tensor::Tensor ForwardValue(const tensor::Tensor& x) const;
+
   int64_t in_dim() const { return in_; }
   int64_t out_dim() const { return out_; }
 
@@ -35,6 +38,10 @@ class LayerNormLayer {
 
   tensor::Var Forward(const tensor::Var& x) const {
     return tensor::LayerNorm(x, gamma_, beta_);
+  }
+
+  tensor::Tensor ForwardValue(const tensor::Tensor& x) const {
+    return tensor::LayerNormRows(x, gamma_.value(), beta_.value());
   }
 
  private:
@@ -64,6 +71,9 @@ class FeedForward {
 
   tensor::Var Forward(const tensor::Var& x, util::Rng* rng, bool train) const;
 
+  /// Eval-mode forward without tape (dropout is the identity at eval time).
+  tensor::Tensor ForwardValue(const tensor::Tensor& x) const;
+
  private:
   Linear fc1_;
   Linear fc2_;
@@ -79,6 +89,9 @@ class Mlp {
       const std::vector<int64_t>& dims, util::Rng* rng);
 
   tensor::Var Forward(const tensor::Var& x, util::Rng* rng, bool train) const;
+
+  /// Eval-mode forward without tape (dropout is the identity at eval time).
+  tensor::Tensor ForwardValue(const tensor::Tensor& x) const;
 
  private:
   std::vector<Linear> layers_;

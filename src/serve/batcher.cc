@@ -1,0 +1,170 @@
+#include "serve/batcher.h"
+
+#include "util/logging.h"
+
+namespace bootleg::serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions options, BatchFn batch_fn,
+                           ReloadFn reload_fn, ServerCounters* counters)
+    : options_(options),
+      batch_fn_(std::move(batch_fn)),
+      reload_fn_(std::move(reload_fn)),
+      counters_(counters) {
+  const int n = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<util::StatusOr<SentenceResult>> MicroBatcher::Submit(
+    std::string text) {
+  std::promise<util::StatusOr<SentenceResult>> promise;
+  std::future<util::StatusOr<SentenceResult>> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      promise.set_value(
+          util::Status::FailedPrecondition("server is shutting down"));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      if (counters_ != nullptr) {
+        counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      promise.set_value(util::Status::Unavailable(
+          "request queue full (" + std::to_string(options_.max_queue) +
+          " waiting); retry later"));
+      return future;
+    }
+    Request req;
+    req.text = std::move(text);
+    req.done = std::move(promise);
+    req.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(req));
+    if (counters_ != nullptr) {
+      counters_->requests.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void MicroBatcher::RequestReload() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reload_requested_ = true;
+  }
+  cv_.notify_one();
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Swap under the lock so concurrent Shutdown callers join exactly once.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(workers_);
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+int64_t MicroBatcher::max_batch_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_batch_observed_;
+}
+
+void MicroBatcher::WorkerLoop(int worker) {
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return stopping_ || reload_requested_ || !queue_.empty();
+    });
+
+    // Reloads apply at batch boundaries — including idle ones, so a SIGHUP
+    // on a quiet server does not wait for the next request.
+    if (reload_requested_) {
+      reload_requested_ = false;
+      lock.unlock();
+      if (reload_fn_) {
+        std::unique_lock<std::shared_mutex> exclusive(reload_mu_);
+        const util::Status st = reload_fn_();
+        if (st.ok()) {
+          if (counters_ != nullptr) {
+            counters_->reloads.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          BOOTLEG_LOG(Warning) << "hot reload failed: " << st.ToString()
+                               << " (serving previous weights)";
+        }
+      }
+      continue;
+    }
+
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained
+      continue;               // spurious wake / another worker took the work
+    }
+
+    // Coalescing wait: give stragglers until max_wait_us after the oldest
+    // request arrived, unless the batch is already full or we are draining.
+    if (!stopping_ && options_.max_wait_us > 0) {
+      const auto deadline =
+          queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
+      cv_.wait_until(lock, deadline, [this] {
+        return stopping_ || queue_.empty() ||
+               static_cast<int>(queue_.size()) >= options_.max_batch;
+      });
+      if (queue_.empty()) continue;  // another worker drained it while we slept
+    }
+
+    std::vector<Request> batch;
+    const size_t take = std::min<size_t>(queue_.size(),
+                                         static_cast<size_t>(options_.max_batch));
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (static_cast<int64_t>(batch.size()) > max_batch_observed_) {
+      max_batch_observed_ = static_cast<int64_t>(batch.size());
+    }
+    lock.unlock();
+
+    {
+      std::shared_lock<std::shared_mutex> shared(reload_mu_);
+      RunBatch(std::move(batch), worker);
+    }
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
+  std::vector<std::string> texts;
+  texts.reserve(batch.size());
+  for (const Request& r : batch) texts.push_back(r.text);
+
+  std::vector<SentenceResult> results = batch_fn_(texts, worker);
+  if (counters_ != nullptr) {
+    counters_->batches.fetch_add(1, std::memory_order_relaxed);
+    counters_->batched_sentences.fetch_add(
+        static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+  }
+  if (results.size() != batch.size()) {
+    for (Request& r : batch) {
+      r.done.set_value(
+          util::Status::Internal("batch handler returned wrong result count"));
+    }
+    return;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].done.set_value(std::move(results[i]));
+  }
+}
+
+}  // namespace bootleg::serve

@@ -1,0 +1,119 @@
+#ifndef BOOTLEG_SERVE_BATCHER_H_
+#define BOOTLEG_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_engine.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+
+namespace bootleg::serve {
+
+/// Policy knobs for dynamic micro-batching.
+struct BatcherOptions {
+  /// Largest batch one dispatch may coalesce.
+  int max_batch = 8;
+  /// How long the dispatcher waits for the batch to fill once the oldest
+  /// queued request is in hand. 0 = dispatch immediately (no coalescing
+  /// beyond what is already queued).
+  int64_t max_wait_us = 500;
+  /// Bounded queue depth; Submit rejects with Unavailable beyond this.
+  size_t max_queue = 64;
+  /// Consumer threads pulling batches. Each worker owns one preallocated
+  /// InferenceScratch; the tensor kernels inside a batch additionally fan
+  /// out onto the global util::ThreadPool.
+  int workers = 1;
+};
+
+/// Dynamic micro-batcher: a bounded MPMC queue of single-sentence requests
+/// that worker threads drain in coalesced batches.
+///
+///   - Coalescing: a worker takes up to max_batch requests; if fewer are
+///     queued it waits at most max_wait_us (measured from the oldest queued
+///     request's arrival) for stragglers, then dispatches what it has — the
+///     batch-size/latency trade dial.
+///   - Backpressure: Submit returns an Unavailable future immediately when
+///     max_queue requests are already waiting; the connection thread turns
+///     that into a reject-with-status reply instead of queueing unboundedly.
+///   - Hot reload: RequestReload() marks a flag; the next worker to start a
+///     batch performs the engine reload while holding the exclusive side of
+///     a shared mutex, so weights never change under an in-flight batch.
+///   - Graceful drain: Shutdown() stops intake, lets workers finish every
+///     request already accepted, then joins them. Every accepted future is
+///     fulfilled; nothing is dropped.
+///
+/// The batch function is injectable so tests can drive the queueing logic
+/// with a synthetic (blockable) backend; production wires it to
+/// InferenceEngine::Disambiguate.
+class MicroBatcher {
+ public:
+  /// Processes a batch of texts; must return one result per text.
+  using BatchFn = std::function<std::vector<SentenceResult>(
+      const std::vector<std::string>& texts, int worker)>;
+  /// Performed under exclusive lock when a reload was requested.
+  using ReloadFn = std::function<util::Status()>;
+
+  MicroBatcher(BatcherOptions options, BatchFn batch_fn, ReloadFn reload_fn,
+               ServerCounters* counters);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one sentence. The future resolves when its batch completes.
+  /// Fails fast with Unavailable (queue full) or FailedPrecondition (after
+  /// Shutdown) — in both cases the future is already resolved on return.
+  std::future<util::StatusOr<SentenceResult>> Submit(std::string text);
+
+  /// Asks the next batch boundary to run the reload hook.
+  void RequestReload();
+
+  /// Stops intake, drains every accepted request, joins workers. Idempotent.
+  void Shutdown();
+
+  /// Observed maximum coalesced batch size (tests of the coalescing policy).
+  int64_t max_batch_observed() const;
+
+ private:
+  struct Request {
+    std::string text;
+    std::promise<util::StatusOr<SentenceResult>> done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop(int worker);
+  void RunBatch(std::vector<Request> batch, int worker);
+
+  const BatcherOptions options_;
+  const BatchFn batch_fn_;
+  const ReloadFn reload_fn_;
+  ServerCounters* const counters_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool reload_requested_ = false;
+  int64_t max_batch_observed_ = 0;
+
+  // Workers hold the shared side while running a batch; a reload takes the
+  // exclusive side, so it can never overlap inference.
+  std::shared_mutex reload_mu_;
+
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;  // guards double Shutdown/join
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_BATCHER_H_

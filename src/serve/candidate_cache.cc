@@ -1,0 +1,63 @@
+#include "serve/candidate_cache.h"
+
+namespace bootleg::serve {
+
+CandidateCache::CandidateCache(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+bool CandidateCache::Lookup(const kb::CandidateMap& map,
+                            const std::string& alias, CachedCandidates* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(alias);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      *out = it->second->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const std::vector<kb::Candidate>* cands = map.Lookup(alias);
+  // Tokens outside Γ are not candidate lookups at all — they are neither
+  // cached nor counted, so garbage tokens can't distort the hit rate.
+  if (cands == nullptr || cands->empty()) return false;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CachedCandidates fresh;
+  fresh.entities.reserve(cands->size());
+  fresh.priors.reserve(cands->size());
+  for (const kb::Candidate& c : *cands) {
+    fresh.entities.push_back(c.entity);
+    fresh.priors.push_back(c.prior);
+  }
+  *out = fresh;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Another thread may have inserted the same alias while we were reading
+  // the map; the splice-to-front path above would have found it, so just
+  // refresh recency if present.
+  auto it = index_.find(alias);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  lru_.emplace_front(alias, std::move(fresh));
+  index_[alias] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return true;
+}
+
+void CandidateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t CandidateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace bootleg::serve

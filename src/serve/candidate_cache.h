@@ -1,0 +1,62 @@
+#ifndef BOOTLEG_SERVE_CANDIDATE_CACHE_H_
+#define BOOTLEG_SERVE_CANDIDATE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/candidate_map.h"
+
+namespace bootleg::serve {
+
+/// The candidate set the serving path needs per mention alias: the Γ(alias)
+/// entity list with priors, resolved once and reused. Together with the
+/// model's frozen per-entity feature table (PrepareFrozenInference), a cache
+/// hit skips both the candidate-map hash lookup and any per-candidate
+/// feature assembly for repeated aliases — the common case, since alias
+/// frequency in natural text is heavily skewed.
+struct CachedCandidates {
+  std::vector<kb::EntityId> entities;
+  std::vector<float> priors;
+};
+
+/// Thread-safe LRU cache keyed by alias. One mutex guards the list+map; the
+/// critical section is a few pointer swaps, so contention is negligible next
+/// to model inference. Hit/miss counters are exposed for the /stats op.
+class CandidateCache {
+ public:
+  /// Capacity in aliases; at least 1.
+  explicit CandidateCache(size_t capacity);
+
+  /// Cached lookup through `map`. Returns nullptr-equivalent (false) when
+  /// the alias is unknown to Γ — unknown aliases are not cached, so a flood
+  /// of garbage tokens cannot evict real entries.
+  bool Lookup(const kb::CandidateMap& map, const std::string& alias,
+              CachedCandidates* out);
+
+  /// Removes every entry (hot reload of a new candidate map, tests).
+  void Clear();
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, CachedCandidates>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_CANDIDATE_CACHE_H_

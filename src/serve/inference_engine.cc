@@ -1,0 +1,172 @@
+#include "serve/inference_engine.h"
+
+#include <utility>
+
+#include "core/model_loader.h"
+#include "text/vocabulary.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bootleg::serve {
+
+namespace {
+
+core::BootlegConfig ConfigForAblation(const std::string& ablation,
+                                      util::Status* status) {
+  core::BootlegConfig config;
+  config.encoder.max_len = 32;  // the training default of bootleg_cli
+  if (ablation == "ent") return core::BootlegConfig::EntOnly(config);
+  if (ablation == "type") return core::BootlegConfig::TypeOnly(config);
+  if (ablation == "kg") return core::BootlegConfig::KgOnly(config);
+  if (ablation != "full") {
+    *status = util::Status::InvalidArgument("unknown ablation: " + ablation);
+  }
+  return config;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const EngineOptions& options,
+                                 size_t cache_capacity)
+    : options_(options), cache_(cache_capacity) {}
+
+util::StatusOr<std::unique_ptr<InferenceEngine>> InferenceEngine::Create(
+    const EngineOptions& options) {
+  if (options.model_path.empty() == options.checkpoint_dir.empty()) {
+    return util::Status::InvalidArgument(
+        "exactly one of model_path and checkpoint_dir must be set");
+  }
+  std::unique_ptr<InferenceEngine> engine(
+      new InferenceEngine(options, options.cache_capacity));
+  util::Status st = engine->Initialize();
+  if (!st.ok()) return st;
+  return engine;
+}
+
+util::Status InferenceEngine::Initialize() {
+  BOOTLEG_RETURN_IF_ERROR(kb_.Load(options_.data_dir + "/kb.bin"));
+  BOOTLEG_RETURN_IF_ERROR(
+      candidates_.Load(options_.data_dir + "/candidates.bin"));
+  BOOTLEG_RETURN_IF_ERROR(vocab_.Load(options_.data_dir + "/vocab.bin"));
+
+  // Model-path deployments record their config preset in a .meta sidecar
+  // (written by `bootleg_cli train`); it overrides the option when present.
+  std::string ablation = options_.ablation;
+  if (!options_.model_path.empty()) {
+    auto meta = util::ReadTextFile(options_.model_path + ".meta");
+    if (meta.ok()) {
+      const auto parts = util::Split(meta.value());
+      if (!parts.empty()) ablation = parts[0];
+    }
+  }
+  util::Status config_status = util::Status::OK();
+  core::BootlegConfig config = ConfigForAblation(ablation, &config_status);
+  BOOTLEG_RETURN_IF_ERROR(config_status);
+  if (config.use_cooccurrence_kg) {
+    return util::Status::InvalidArgument(
+        "co-occurrence KG models are not servable: sentence co-occurrence "
+        "statistics are not part of the dataset snapshot");
+  }
+
+  // Construction seed is irrelevant — every weight is overwritten by the
+  // snapshot before serving.
+  model_ = std::make_unique<core::BootlegModel>(&kb_, vocab_.size(), config,
+                                                /*seed=*/7);
+  if (config.use_title_feature) {
+    std::vector<int64_t> ids;
+    ids.reserve(static_cast<size_t>(kb_.num_entities()));
+    for (kb::EntityId e = 0; e < kb_.num_entities(); ++e) {
+      ids.push_back(vocab_.Id(kb_.entity(e).title));
+    }
+    model_->SetTitleTokenIds(std::move(ids));
+  }
+
+  if (!options_.model_path.empty()) {
+    BOOTLEG_RETURN_IF_ERROR(model_->store().Load(options_.model_path));
+    loaded_path_ = options_.model_path;
+  } else {
+    auto loaded = core::LoadNewestCheckpointParams(options_.checkpoint_dir,
+                                                   &model_->store());
+    if (!loaded.ok()) return loaded.status();
+    loaded_path_ = loaded.value();
+  }
+  model_->PrepareFrozenInference();
+  return util::Status::OK();
+}
+
+util::Status InferenceEngine::Reload() {
+  if (options_.checkpoint_dir.empty()) {
+    return util::Status::FailedPrecondition(
+        "engine was created from a fixed model snapshot; nothing to reload");
+  }
+  auto loaded = core::LoadNewestCheckpointParams(options_.checkpoint_dir,
+                                                 &model_->store());
+  // A failed scan leaves the store partially overwritten only if a read got
+  // midway — LoadNewestCheckpointParams skips unreadable files wholesale, so
+  // on error the previous weights are still intact and serving continues.
+  if (!loaded.ok()) return loaded.status();
+  if (loaded.value() == loaded_path_) return util::Status::OK();
+  loaded_path_ = loaded.value();
+  model_->PrepareFrozenInference();
+  BOOTLEG_LOG(Info) << "hot-reloaded weights from " << loaded_path_;
+  return util::Status::OK();
+}
+
+std::vector<SentenceResult> InferenceEngine::Disambiguate(
+    const std::vector<std::string>& texts,
+    core::BootlegModel::InferenceScratch* scratch) {
+  // Build one example per text, resolving alias candidates through the LRU
+  // cache (mirrors data::MentionExtractor::BuildExample, minus the repeated
+  // Γ hash lookups).
+  std::vector<data::SentenceExample> examples(texts.size());
+  std::vector<SentenceResult> results(texts.size());
+  CachedCandidates cached;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const std::vector<std::string> tokens = text::Tokenize(texts[i]);
+    examples[i].token_ids = text::Encode(vocab_, tokens);
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      if (!cache_.Lookup(candidates_, tokens[t], &cached)) continue;
+      data::MentionExample m;
+      m.span_start = static_cast<int64_t>(t);
+      m.span_end = m.span_start;
+      m.candidates = cached.entities;
+      m.priors = cached.priors;
+      examples[i].mentions.push_back(std::move(m));
+
+      ServedMention served;
+      served.alias = tokens[t];
+      served.span_start = static_cast<int64_t>(t);
+      served.span_end = served.span_start;
+      served.num_candidates = static_cast<int64_t>(cached.entities.size());
+      results[i].mentions.push_back(std::move(served));
+    }
+  }
+
+  std::vector<const data::SentenceExample*> batch;
+  batch.reserve(examples.size());
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  const std::vector<std::vector<int64_t>> preds =
+      model_->PredictBatch(batch, scratch);
+
+  for (size_t i = 0; i < texts.size(); ++i) {
+    for (size_t mi = 0; mi < results[i].mentions.size(); ++mi) {
+      const int64_t k = preds[i][mi];
+      if (k < 0) continue;
+      ServedMention& served = results[i].mentions[mi];
+      const data::MentionExample& m = examples[i].mentions[mi];
+      served.entity = m.candidates[static_cast<size_t>(k)];
+      served.prior = m.priors[static_cast<size_t>(k)];
+      served.title = kb_.entity(served.entity).title;
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<int64_t>> InferenceEngine::PredictExamples(
+    const std::vector<const data::SentenceExample*>& batch,
+    core::BootlegModel::InferenceScratch* scratch) const {
+  return model_->PredictBatch(batch, scratch);
+}
+
+}  // namespace bootleg::serve

@@ -1,0 +1,103 @@
+#ifndef BOOTLEG_SERVE_INFERENCE_ENGINE_H_
+#define BOOTLEG_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/example.h"
+#include "kb/candidate_map.h"
+#include "kb/kb.h"
+#include "serve/candidate_cache.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace bootleg::serve {
+
+/// How the engine finds its weights. Exactly one of `model_path` (a
+/// ParameterStore snapshot, as written by `bootleg_cli train`) or
+/// `checkpoint_dir` (a training checkpoint directory; the newest readable
+/// checkpoint wins, corrupt ones are skipped) must be set.
+struct EngineOptions {
+  std::string data_dir;        // kb.bin / candidates.bin / vocab.bin
+  std::string model_path;      // snapshot file (frozen deployment)
+  std::string checkpoint_dir;  // checkpoint directory (hot-reloadable)
+  std::string ablation = "full";  // config preset: full|ent|type|kg
+  size_t cache_capacity = 4096;   // candidate cache, in aliases
+};
+
+/// One disambiguated mention in a served sentence.
+struct ServedMention {
+  std::string alias;
+  int64_t span_start = 0;
+  int64_t span_end = 0;
+  kb::EntityId entity = kb::kInvalidId;
+  std::string title;        // KB title of the predicted entity
+  float prior = 0.0f;       // Γ prior of the predicted candidate
+  int64_t num_candidates = 0;
+};
+
+struct SentenceResult {
+  std::vector<ServedMention> mentions;
+};
+
+/// Frozen-model inference engine: loads the KB, candidate map, vocabulary
+/// and a weight snapshot once, precomputes the model's frozen per-entity
+/// feature table, and serves batched forward-only predictions.
+///
+/// Thread-safety: Disambiguate/PredictExamples may run concurrently from any
+/// number of threads, each with its own InferenceScratch — the model is
+/// read-only between reloads and the candidate cache locks internally.
+/// Reload() mutates the weights and must be externally serialized against
+/// in-flight inference (the micro-batcher does this between batches).
+class InferenceEngine {
+ public:
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> Create(
+      const EngineOptions& options);
+
+  /// Re-resolves the newest readable checkpoint and swaps the weights in,
+  /// then refreezes the per-entity feature table. No-op (OK) when the newest
+  /// checkpoint is the one already loaded. FailedPrecondition when the
+  /// engine was created from a fixed model_path instead of a checkpoint dir.
+  util::Status Reload();
+
+  /// Tokenizes each text, extracts alias mentions through the candidate
+  /// cache, and disambiguates all texts in one batched forward pass.
+  std::vector<SentenceResult> Disambiguate(
+      const std::vector<std::string>& texts,
+      core::BootlegModel::InferenceScratch* scratch);
+
+  /// Raw batched prediction over prebuilt examples (the equivalence-test
+  /// surface): returns exactly what model().Predict would per example.
+  std::vector<std::vector<int64_t>> PredictExamples(
+      const std::vector<const data::SentenceExample*>& batch,
+      core::BootlegModel::InferenceScratch* scratch) const;
+
+  core::BootlegModel& model() { return *model_; }
+  CandidateCache& cache() { return cache_; }
+  const kb::KnowledgeBase& kb() const { return kb_; }
+  const kb::CandidateMap& candidates() const { return candidates_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+
+  /// Path of the weights currently serving (snapshot or checkpoint file).
+  const std::string& loaded_path() const { return loaded_path_; }
+
+ private:
+  InferenceEngine(const EngineOptions& options, size_t cache_capacity);
+
+  util::Status Initialize();
+
+  EngineOptions options_;
+  kb::KnowledgeBase kb_;
+  kb::CandidateMap candidates_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<core::BootlegModel> model_;
+  CandidateCache cache_;
+  std::string loaded_path_;
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_INFERENCE_ENGINE_H_

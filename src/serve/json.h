@@ -1,0 +1,78 @@
+#ifndef BOOTLEG_SERVE_JSON_H_
+#define BOOTLEG_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bootleg::serve {
+
+/// Minimal JSON document for the serving wire protocol (newline-delimited
+/// objects). Deliberately tiny: objects, arrays, strings, doubles, bools and
+/// null — enough for requests and replies, nothing more.
+///
+/// Robustness contract: Parse never crashes or aborts on hostile input. It
+/// returns InvalidArgument for malformed text, bounds recursion depth, and
+/// rejects trailing garbage, so a malformed client line can at worst produce
+/// an error reply.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  /// Parses exactly one JSON value spanning the whole input (surrounding
+  /// whitespace allowed). InvalidArgument on any syntax error.
+  static util::StatusOr<Json> Parse(const std::string& text);
+
+  /// Compact single-line rendering (the wire format; no embedded newlines,
+  /// so one reply is always one line).
+  std::string Dump() const;
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<Json>& array_items() const { return array_; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  /// Convenience: string field, or `fallback` when absent / wrong type.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  /// Convenience: numeric field, or `fallback` when absent / wrong type.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+
+  /// Object field assignment (value semantics; makes this an object).
+  void Set(const std::string& key, Json value);
+  /// Array append (makes this an array).
+  void Append(Json value);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  // Field order is preserved for readable, deterministic replies.
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_JSON_H_

@@ -1,0 +1,69 @@
+#include "serve/metrics.h"
+
+namespace bootleg::serve {
+
+namespace {
+
+// 1-2-5 ladder: 1, 2, 5, 10, 20, 50, ... 100'000'000 µs (24 finite bounds),
+// plus one overflow bucket.
+constexpr int64_t kBounds[LatencyHistogram::kNumBuckets - 1] = {
+    1,       2,       5,        10,       20,       50,
+    100,     200,     500,      1000,     2000,     5000,
+    10000,   20000,   50000,    100000,   200000,   500000,
+    1000000, 2000000, 5000000,  10000000, 20000000, 100000000};
+
+int BucketFor(int64_t micros) {
+  for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+    if (micros <= kBounds[i]) return i;
+  }
+  return LatencyHistogram::kNumBuckets - 1;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[static_cast<size_t>(BucketFor(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::PercentileUs(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the q-quantile observation (1-based, ceiling).
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketBoundUs(i);
+  }
+  return BucketBoundUs(kNumBuckets - 1);
+}
+
+double LatencyHistogram::MeanUs() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+int64_t LatencyHistogram::BucketBoundUs(int i) {
+  if (i < 0) i = 0;
+  if (i >= kNumBuckets - 1) return kBounds[kNumBuckets - 2];
+  return kBounds[i];
+}
+
+}  // namespace bootleg::serve

@@ -1,0 +1,68 @@
+#ifndef BOOTLEG_SERVE_METRICS_H_
+#define BOOTLEG_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace bootleg::serve {
+
+/// Fixed-bucket latency histogram in microseconds. Record() is lock-free
+/// (one relaxed atomic increment), so it sits on the per-request hot path of
+/// every server thread without serializing them; percentile reads scan the
+/// buckets and are approximate to one bucket width, which is all a serving
+/// dashboard needs.
+///
+/// Buckets are exponential (1-2-5 per decade) from 1µs to 100s plus an
+/// overflow bucket, so p50/p95/p99 stay meaningful from cache-hit
+/// micro-latencies up to cold multi-second outliers.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 25;
+
+  LatencyHistogram();
+
+  /// Adds one observation. Thread-safe, wait-free.
+  void Record(int64_t micros);
+
+  /// Upper bound (µs) of the bucket containing the q-quantile, q in [0, 1].
+  /// Returns 0 when empty. Concurrent Record() calls may be partially
+  /// visible; the result is a consistent-enough snapshot for reporting.
+  int64_t PercentileUs(double q) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+
+  /// Inclusive upper bound of bucket i (the last bucket is unbounded and
+  /// reports its lower edge).
+  static int64_t BucketBoundUs(int i);
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+/// Counters every serving front end shares. Plain relaxed atomics: the
+/// counters are monotonically increasing and read only for reporting.
+struct ServerCounters {
+  std::atomic<int64_t> requests{0};        // disambiguate requests accepted
+  std::atomic<int64_t> rejected{0};        // backpressure rejections
+  std::atomic<int64_t> errors{0};          // malformed / failed requests
+  std::atomic<int64_t> batches{0};         // micro-batches dispatched
+  std::atomic<int64_t> batched_sentences{0};  // sentences across all batches
+  std::atomic<int64_t> reloads{0};         // successful hot reloads
+
+  double MeanBatchSize() const {
+    const int64_t b = batches.load(std::memory_order_relaxed);
+    return b == 0 ? 0.0
+                  : static_cast<double>(
+                        batched_sentences.load(std::memory_order_relaxed)) /
+                        static_cast<double>(b);
+  }
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_METRICS_H_

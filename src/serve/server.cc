@@ -1,0 +1,270 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/json.h"
+#include "util/logging.h"
+
+namespace bootleg::serve {
+
+namespace {
+
+std::string ErrorReply(const std::string& what) {
+  Json reply = Json::Object();
+  reply.Set("ok", Json::Bool(false));
+  reply.Set("error", Json::Str(what));
+  return reply.Dump();
+}
+
+}  // namespace
+
+Server::Server(InferenceEngine* engine, MicroBatcher* batcher,
+               ServerCounters* counters, LatencyHistogram* latency)
+    : engine_(engine),
+      batcher_(batcher),
+      counters_(counters),
+      latency_(latency) {}
+
+Server::~Server() { Stop(); }
+
+std::string Server::HandleLine(const std::string& line) {
+  util::StatusOr<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    if (counters_ != nullptr) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorReply("bad request: " + parsed.status().ToString());
+  }
+  const Json& request = parsed.value();
+  if (!request.is_object()) {
+    if (counters_ != nullptr) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorReply("bad request: expected a JSON object");
+  }
+  const std::string op = request.GetString("op");
+
+  if (op == "disambiguate") {
+    const Json* text = request.Find("text");
+    if (text == nullptr || !text->is_string()) {
+      if (counters_ != nullptr) {
+        counters_->errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ErrorReply("disambiguate requires a string \"text\" field");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::future<util::StatusOr<SentenceResult>> future =
+        batcher_->Submit(text->string_value());
+    util::StatusOr<SentenceResult> result = future.get();
+    if (latency_ != nullptr) {
+      latency_->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    }
+    if (!result.ok()) return ErrorReply(result.status().ToString());
+
+    Json mentions = Json::Array();
+    for (const ServedMention& m : result.value().mentions) {
+      Json jm = Json::Object();
+      jm.Set("alias", Json::Str(m.alias));
+      Json span = Json::Array();
+      span.Append(Json::Number(static_cast<double>(m.span_start)));
+      span.Append(Json::Number(static_cast<double>(m.span_end)));
+      jm.Set("span", std::move(span));
+      jm.Set("entity", Json::Number(static_cast<double>(m.entity)));
+      jm.Set("title", Json::Str(m.title));
+      jm.Set("prior", Json::Number(static_cast<double>(m.prior)));
+      jm.Set("candidates", Json::Number(static_cast<double>(m.num_candidates)));
+      mentions.Append(std::move(jm));
+    }
+    Json reply = Json::Object();
+    reply.Set("ok", Json::Bool(true));
+    reply.Set("mentions", std::move(mentions));
+    return reply.Dump();
+  }
+
+  if (op == "health") {
+    Json reply = Json::Object();
+    reply.Set("ok", Json::Bool(true));
+    reply.Set("status", Json::Str("serving"));
+    reply.Set("model", Json::Str(engine_->loaded_path()));
+    return reply.Dump();
+  }
+
+  if (op == "stats") {
+    Json reply = Json::Object();
+    reply.Set("ok", Json::Bool(true));
+    if (counters_ != nullptr) {
+      reply.Set("requests", Json::Number(static_cast<double>(
+                                counters_->requests.load(std::memory_order_relaxed))));
+      reply.Set("rejected", Json::Number(static_cast<double>(
+                                counters_->rejected.load(std::memory_order_relaxed))));
+      reply.Set("errors", Json::Number(static_cast<double>(
+                              counters_->errors.load(std::memory_order_relaxed))));
+      reply.Set("batches", Json::Number(static_cast<double>(
+                               counters_->batches.load(std::memory_order_relaxed))));
+      reply.Set("mean_batch", Json::Number(counters_->MeanBatchSize()));
+      reply.Set("reloads", Json::Number(static_cast<double>(
+                               counters_->reloads.load(std::memory_order_relaxed))));
+    }
+    const CandidateCache& cache = engine_->cache();
+    reply.Set("cache_hits", Json::Number(static_cast<double>(cache.hits())));
+    reply.Set("cache_misses", Json::Number(static_cast<double>(cache.misses())));
+    const double lookups = static_cast<double>(cache.hits() + cache.misses());
+    reply.Set("cache_hit_rate",
+              Json::Number(lookups == 0.0 ? 0.0
+                                          : static_cast<double>(cache.hits()) /
+                                                lookups));
+    if (latency_ != nullptr) {
+      Json lat = Json::Object();
+      lat.Set("count", Json::Number(static_cast<double>(latency_->count())));
+      lat.Set("mean_us", Json::Number(latency_->MeanUs()));
+      lat.Set("p50_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.50))));
+      lat.Set("p95_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.95))));
+      lat.Set("p99_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.99))));
+      reply.Set("latency", std::move(lat));
+    }
+    reply.Set("model", Json::Str(engine_->loaded_path()));
+    return reply.Dump();
+  }
+
+  if (op == "reload") {
+    batcher_->RequestReload();
+    Json reply = Json::Object();
+    reply.Set("ok", Json::Bool(true));
+    reply.Set("status", Json::Str("reload requested"));
+    return reply.Dump();
+  }
+
+  if (counters_ != nullptr) {
+    counters_->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ErrorReply("unknown op: \"" + op + "\"");
+}
+
+util::Status Server::Start(int port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return util::Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd);
+    return util::Status::Internal("bind 127.0.0.1:" + std::to_string(port) +
+                                  ": " + err);
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd);
+    return util::Status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  listen_fd_.store(listen_fd, std::memory_order_release);
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // EINTR is the SIGHUP path: let the poll hook pick the flag up.
+      if (poll_hook_) poll_hook_();
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed or unrecoverable
+    }
+    if (poll_hook_) poll_hook_();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string pending;
+  char buf[4096];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF or error: client is gone
+    pending.append(buf, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string reply = HandleLine(line) + "\n";
+      size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w =
+            ::send(fd, reply.data() + sent, reply.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<size_t>(w);
+      }
+      if (sent < reply.size()) break;
+    }
+  }
+  // Deregister before closing so Stop() can never shut down a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+void Server::Stop() {
+  if (listen_fd_.load(std::memory_order_acquire) < 0 &&
+      !accept_thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    to_join.swap(conn_threads_);
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+void Server::RunStdio(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (poll_hook_) poll_hook_();
+    if (line.empty()) continue;
+    out << HandleLine(line) << "\n";
+    out.flush();
+  }
+}
+
+}  // namespace bootleg::serve

@@ -1,0 +1,84 @@
+#ifndef BOOTLEG_SERVE_SERVER_H_
+#define BOOTLEG_SERVE_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/inference_engine.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+
+namespace bootleg::serve {
+
+/// Newline-delimited-JSON front end over the micro-batcher. One request
+/// object per line, one reply object per line:
+///
+///   {"op":"disambiguate","text":"..."}  → {"ok":true,"mentions":[...]}
+///   {"op":"health"}                     → {"ok":true,"status":"serving",...}
+///   {"op":"stats"}                      → {"ok":true,"requests":...,...}
+///   {"op":"reload"}                     → {"ok":true} (same path as SIGHUP)
+///
+/// Malformed input of any kind produces {"ok":false,"error":"..."} — the
+/// connection survives and the process never crashes on client bytes.
+///
+/// Two transports share HandleLine: a localhost TCP listener with one thread
+/// per connection (Start/Stop), and a stdin/stdout loop (RunStdio) used by
+/// tests and the check.sh smoke drill.
+class Server {
+ public:
+  Server(InferenceEngine* engine, MicroBatcher* batcher,
+         ServerCounters* counters, LatencyHistogram* latency);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Processes one request line into one reply line (no trailing newline).
+  /// This is the whole protocol; both transports and the tests call it.
+  std::string HandleLine(const std::string& line);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  util::Status Start(int port);
+  /// Actual bound port (after Start with port 0).
+  int port() const { return port_; }
+  /// Stops accepting, closes every connection, joins all threads.
+  void Stop();
+
+  /// Reads request lines from `in` until EOF, writing replies to `out`.
+  void RunStdio(std::istream& in, std::ostream& out);
+
+  /// Invoked between requests and on interrupted accepts; the serve tool
+  /// uses it to translate the SIGHUP flag into a batcher reload request
+  /// (signal handlers themselves must stay async-signal-safe).
+  void SetPollHook(std::function<void()> hook) { poll_hook_ = std::move(hook); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  InferenceEngine* const engine_;
+  MicroBatcher* const batcher_;
+  ServerCounters* const counters_;
+  LatencyHistogram* const latency_;
+  std::function<void()> poll_hook_;
+
+  std::atomic<bool> stopping_{false};
+  // Atomic: Stop() invalidates the fd while AcceptLoop is blocked on it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace bootleg::serve
+
+#endif  // BOOTLEG_SERVE_SERVER_H_

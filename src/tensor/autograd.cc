@@ -468,37 +468,10 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   BOOTLEG_CHECK_EQ(gamma.value().numel(), cols);
   BOOTLEG_CHECK_EQ(beta.value().numel(), cols);
 
-  Tensor xhat({rows, cols});
-  Tensor inv_std({rows});
-  Tensor out({rows, cols});
-  const float* xp = xv.data();
-  const float* gp = gamma.value().data();
-  const float* bp = beta.value().data();
-  float* xhp = xhat.data();
-  float* isp = inv_std.data();
-  float* op = out.data();
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* xrow = xp + i * cols;
-    double mean = 0.0;
-    for (int64_t j = 0; j < cols; ++j) mean += xrow[j];
-    mean /= cols;
-    double var = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      const double d = xrow[j] - mean;
-      var += d * d;
-    }
-    var /= cols;
-    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-    isp[i] = is;
-    const float meanf = static_cast<float>(mean);
-    float* xhrow = xhp + i * cols;
-    float* orow = op + i * cols;
-    for (int64_t j = 0; j < cols; ++j) {
-      const float xh = (xrow[j] - meanf) * is;
-      xhrow[j] = xh;
-      orow[j] = xh * gp[j] + bp[j];
-    }
-  }
+  Tensor xhat;
+  Tensor inv_std;
+  Tensor out =
+      LayerNormRows(xv, gamma.value(), beta.value(), eps, &xhat, &inv_std);
 
   return MakeOp(std::move(out), {x, gamma, beta},
                 [xhat = std::move(xhat), inv_std = std::move(inv_std), rows,
@@ -578,13 +551,9 @@ Var CrossEntropy(const Var& logits, const std::vector<int64_t>& targets) {
 }
 
 Var AddScaledIdentity(const Tensor& k, const Var& w) {
-  BOOTLEG_CHECK_EQ(k.dim(), 2);
-  BOOTLEG_CHECK_EQ(k.size(0), k.size(1));
   BOOTLEG_CHECK_EQ(w.value().numel(), 1);
-  Tensor out = k;
   const int64_t n_dim = k.size(0);
-  const float wv = w.value().at(0);
-  for (int64_t i = 0; i < n_dim; ++i) out.at(i, i) += wv;
+  Tensor out = AddScaledIdentity(k, w.value().at(0));
   return MakeOp(std::move(out), {w}, [n_dim](Node& n) {
     if (!n.inputs[0]->requires_grad) return;
     float tr = 0.0f;

@@ -607,6 +607,54 @@ Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& ids) {
   return c;
 }
 
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     float eps, Tensor* xhat, Tensor* inv_std) {
+  BOOTLEG_CHECK_EQ(x.dim(), 2);
+  const int64_t rows = x.size(0), cols = x.size(1);
+  BOOTLEG_CHECK_EQ(gamma.numel(), cols);
+  BOOTLEG_CHECK_EQ(beta.numel(), cols);
+  if (xhat != nullptr) *xhat = Tensor({rows, cols});
+  if (inv_std != nullptr) *inv_std = Tensor({rows});
+  Tensor out({rows, cols});
+  const float* xp = x.data();
+  const float* gp = gamma.data();
+  const float* bp = beta.data();
+  float* xhp = xhat != nullptr ? xhat->data() : nullptr;
+  float* isp = inv_std != nullptr ? inv_std->data() : nullptr;
+  float* op = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* xrow = xp + i * cols;
+    double mean = 0.0;
+    for (int64_t j = 0; j < cols; ++j) mean += xrow[j];
+    mean /= cols;
+    double var = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      const double d = xrow[j] - mean;
+      var += d * d;
+    }
+    var /= cols;
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+    if (isp != nullptr) isp[i] = is;
+    const float meanf = static_cast<float>(mean);
+    float* orow = op + i * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      const float xh = (xrow[j] - meanf) * is;
+      if (xhp != nullptr) xhp[i * cols + j] = xh;
+      orow[j] = xh * gp[j] + bp[j];
+    }
+  }
+  return out;
+}
+
+Tensor AddScaledIdentity(const Tensor& k, float w) {
+  BOOTLEG_CHECK_EQ(k.dim(), 2);
+  BOOTLEG_CHECK_EQ(k.size(0), k.size(1));
+  Tensor out = k;
+  const int64_t n = k.size(0);
+  for (int64_t i = 0; i < n; ++i) out.at(i, i) += w;
+  return out;
+}
+
 int64_t ArgMax(const Tensor& a) {
   BOOTLEG_CHECK_GT(a.numel(), 0);
   int64_t best = 0;

@@ -173,6 +173,18 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t len);
 /// Gathers rows of a 2-D table by index.
 Tensor GatherRows(const Tensor& table, const std::vector<int64_t>& ids);
 
+/// Row-wise layer normalization y = (x - mean) / sqrt(var + eps) * gamma +
+/// beta. This is the forward computation of the autograd LayerNorm op; when
+/// `xhat` / `inv_std` are non-null they receive the normalized rows and the
+/// per-row 1/std that the backward pass needs. Keeping both paths on this one
+/// kernel is what makes the no-tape inference path bit-identical to training.
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     float eps = 1e-5f, Tensor* xhat = nullptr,
+                     Tensor* inv_std = nullptr);
+
+/// K + w·I for square K (value-path form of the autograd op).
+Tensor AddScaledIdentity(const Tensor& k, float w);
+
 /// Row index of the maximum in a 1-D tensor.
 int64_t ArgMax(const Tensor& a);
 

@@ -37,6 +37,41 @@ Var WordEncoder::Encode(const std::vector<int64_t>& token_ids, util::Rng* rng,
   return h;
 }
 
+Tensor WordEncoder::EncodeBatchValue(
+    const std::vector<const std::vector<int64_t>*>& sequences,
+    std::vector<std::pair<int64_t, int64_t>>* ranges) const {
+  std::vector<int64_t> all_ids;
+  std::vector<nn::AttentionSegment> segments;
+  ranges->clear();
+  ranges->reserve(sequences.size());
+  segments.reserve(sequences.size());
+  for (const std::vector<int64_t>* seq : sequences) {
+    BOOTLEG_CHECK(!seq->empty());
+    const int64_t n = std::min<int64_t>(static_cast<int64_t>(seq->size()),
+                                        config_.max_len);
+    const int64_t off = static_cast<int64_t>(all_ids.size());
+    all_ids.insert(all_ids.end(), seq->begin(), seq->begin() + n);
+    ranges->emplace_back(off, n);
+    segments.push_back({off, n, off, n});
+  }
+
+  Tensor h = token_embedding_->LookupValue(all_ids);
+  // Per-sequence position add: row i of a sequence gets position_table_ row
+  // i, the same elementwise sum Encode computes via tensor::Add.
+  const int64_t hidden = config_.hidden;
+  for (const auto& [off, n] : *ranges) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* dst = h.data() + (off + i) * hidden;
+      const float* pos = position_table_.data() + i * hidden;
+      for (int64_t j = 0; j < hidden; ++j) dst[j] += pos[j];
+    }
+  }
+  for (const nn::AttentionBlock& layer : layers_) {
+    h = layer.ForwardSegmentsValue(h, h, segments);
+  }
+  return h;
+}
+
 Var WordEncoder::MentionEmbedding(const Var& w, int64_t span_start,
                                   int64_t span_end) {
   const int64_t n = w.value().size(0);

@@ -2,6 +2,7 @@
 #define BOOTLEG_TEXT_WORD_ENCODER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/attention.h"
@@ -36,6 +37,17 @@ class WordEncoder {
   /// [num_tokens, hidden]. Sequences longer than max_len are truncated.
   tensor::Var Encode(const std::vector<int64_t>& token_ids, util::Rng* rng,
                      bool train) const;
+
+  /// Forward-only batched encoding for inference. Each sequence is truncated
+  /// to max_len exactly as Encode does, all sequences are stacked row-wise in
+  /// input order, and the attention layers run with per-sequence segments —
+  /// so every sequence's output rows are bit-identical to
+  /// Encode(seq, rng, /*train=*/false) on that sequence alone, with the
+  /// projection matmuls batched across the whole stack and no tape built.
+  /// `ranges[i]` receives {first_row, num_rows} of sequence i.
+  tensor::Tensor EncodeBatchValue(
+      const std::vector<const std::vector<int64_t>*>& sequences,
+      std::vector<std::pair<int64_t, int64_t>>* ranges) const;
 
   /// Contextualized mention embedding m: sum of the first and last token
   /// vectors of the mention span (paper Appendix A).

@@ -17,6 +17,7 @@ enum class StatusCode {
   kCorruption,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
 };
 
 /// Lightweight status object in the RocksDB/Arrow style. Library functions
@@ -44,6 +45,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Transient overload (a full serving queue); the caller should back off
+  /// and retry rather than treat the request as failed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,926 @@
+// Serving subsystem: batched engine inference must match the serial
+// evaluator path bit-for-bit at any batch size and thread count, the
+// micro-batcher must coalesce / flush / backpressure / drain exactly as
+// specified, the LRU candidate cache must evict and count correctly,
+// malformed client bytes must never crash the server, and hot reload must
+// pick the newest checkpoint while skipping corrupt ones.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/mention_extractor.h"
+#include "data/world.h"
+#include "eval/evaluator.h"
+#include "kb/candidate_map.h"
+#include "nn/optimizer.h"
+#include "serve/batcher.h"
+#include "serve/candidate_cache.h"
+#include "serve/inference_engine.h"
+#include "serve/json.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace bootleg {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("bootleg_serve_test_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The config every serving deployment uses (bootleg_cli's training default).
+core::BootlegConfig ServingConfig() {
+  core::BootlegConfig config;
+  config.encoder.max_len = 32;
+  return config;
+}
+
+/// One tiny world + saved dataset + saved model snapshot, built once and
+/// shared by every test (the expensive part is BuildWorld + corpus).
+struct ServeWorld {
+  std::string data_dir;
+  std::string model_path;
+  data::SynthWorld world;
+  data::Corpus corpus;
+};
+
+const ServeWorld& GetServeWorld() {
+  static const ServeWorld* shared = [] {
+    auto* sw = new ServeWorld();
+    data::SynthConfig config = data::SynthConfig::MicroScale();
+    config.num_pages = 40;
+    sw->world = data::BuildWorld(config);
+    data::CorpusGenerator generator(&sw->world);
+    sw->corpus = generator.Generate();
+    sw->data_dir = TestDir("world");
+    BOOTLEG_CHECK(sw->world.kb.Save(sw->data_dir + "/kb.bin").ok());
+    BOOTLEG_CHECK(
+        sw->world.candidates.Save(sw->data_dir + "/candidates.bin").ok());
+    BOOTLEG_CHECK(sw->world.vocab.Save(sw->data_dir + "/vocab.bin").ok());
+    core::BootlegModel model(&sw->world.kb, sw->world.vocab.size(),
+                             ServingConfig(), /*seed=*/123);
+    sw->model_path = sw->data_dir + "/model.bin";
+    BOOTLEG_CHECK(model.store().Save(sw->model_path).ok());
+    return sw;
+  }();
+  return *shared;
+}
+
+std::unique_ptr<serve::InferenceEngine> MakeSnapshotEngine() {
+  const ServeWorld& sw = GetServeWorld();
+  serve::EngineOptions options;
+  options.data_dir = sw.data_dir;
+  options.model_path = sw.model_path;
+  auto engine = serve::InferenceEngine::Create(options);
+  BOOTLEG_CHECK_MSG(engine.ok(), engine.status().ToString());
+  return std::move(engine.value());
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+/// A dev-split sentence that actually carries mentions, as raw text.
+std::string SampleServableText() {
+  for (const data::Sentence& s : GetServeWorld().corpus.dev) {
+    if (!s.mentions.empty()) return JoinTokens(s.tokens);
+  }
+  BOOTLEG_CHECK_MSG(false, "no dev sentence with mentions");
+  return "";
+}
+
+// --- Batched inference vs the serial evaluator path --------------------------
+
+TEST(ServeEquivalenceTest, PredictBatchMatchesSerialPredictAtAnyBatchSize) {
+  const ServeWorld& sw = GetServeWorld();
+  data::ExampleBuilder builder(&sw.world.candidates, &sw.world.vocab);
+  data::ExampleOptions options;
+  options.include_weak_labels = false;  // evaluation is over true anchors
+  const std::vector<data::SentenceExample> examples =
+      builder.BuildAll(sw.corpus.dev, options);
+  ASSERT_GT(examples.size(), 8u);
+
+  // Serial reference: the exact per-sentence path eval::Evaluator drives.
+  core::BootlegModel ref(&sw.world.kb, sw.world.vocab.size(), ServingConfig(),
+                         /*seed=*/123);
+  ASSERT_TRUE(ref.store().Load(sw.model_path).ok());
+  util::ThreadPool::ResetGlobal(1);
+  std::vector<std::vector<int64_t>> serial;
+  serial.reserve(examples.size());
+  for (const data::SentenceExample& ex : examples) serial.push_back(ref.Predict(ex));
+
+  auto engine = MakeSnapshotEngine();
+  core::BootlegModel::InferenceScratch scratch;
+  for (const int threads : {1, 4}) {
+    util::ThreadPool::ResetGlobal(threads);
+    for (const size_t batch_size :
+         {size_t{1}, size_t{3}, size_t{8}, examples.size()}) {
+      for (size_t begin = 0; begin < examples.size(); begin += batch_size) {
+        const size_t end = std::min(examples.size(), begin + batch_size);
+        std::vector<const data::SentenceExample*> batch;
+        batch.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) batch.push_back(&examples[i]);
+        const std::vector<std::vector<int64_t>> preds =
+            engine->PredictExamples(batch, &scratch);
+        ASSERT_EQ(preds.size(), batch.size());
+        for (size_t i = begin; i < end; ++i) {
+          EXPECT_EQ(preds[i - begin], serial[i])
+              << "batch_size=" << batch_size << " threads=" << threads
+              << " example=" << i;
+        }
+      }
+    }
+  }
+  util::ThreadPool::ResetGlobal(1);
+}
+
+/// Adapter running the engine one sentence at a time under the evaluator
+/// harness, so the two paths can be compared record by record.
+class EngineScorer : public eval::NedScorer {
+ public:
+  explicit EngineScorer(serve::InferenceEngine* engine) : engine_(engine) {}
+  std::vector<int64_t> Predict(const data::SentenceExample& example) override {
+    thread_local core::BootlegModel::InferenceScratch scratch;
+    return engine_->PredictExamples({&example}, &scratch)[0];
+  }
+
+ private:
+  serve::InferenceEngine* engine_;
+};
+
+TEST(ServeEquivalenceTest, EvaluatorResultsIdenticalThroughEngine) {
+  const ServeWorld& sw = GetServeWorld();
+  core::BootlegModel ref(&sw.world.kb, sw.world.vocab.size(), ServingConfig(),
+                         /*seed=*/123);
+  ASSERT_TRUE(ref.store().Load(sw.model_path).ok());
+  auto engine = MakeSnapshotEngine();
+  EngineScorer scorer(engine.get());
+
+  data::ExampleBuilder builder(&sw.world.candidates, &sw.world.vocab);
+  data::ExampleOptions options;
+  options.include_weak_labels = false;
+  const data::EntityCounts counts =
+      data::EntityCounts::FromTraining(sw.corpus.train);
+
+  for (const int threads : {1, 4}) {
+    util::ThreadPool::ResetGlobal(1);
+    const eval::ResultSet want = eval::RunEvaluation(
+        &ref, sw.corpus.dev, builder, options, counts, /*num_threads=*/1);
+    util::ThreadPool::ResetGlobal(threads);
+    const eval::ResultSet got = eval::RunEvaluation(
+        &scorer, sw.corpus.dev, builder, options, counts, threads);
+    ASSERT_EQ(got.records().size(), want.records().size());
+    for (size_t i = 0; i < want.records().size(); ++i) {
+      EXPECT_EQ(got.records()[i].predicted, want.records()[i].predicted)
+          << "threads=" << threads << " record=" << i;
+      EXPECT_EQ(got.records()[i].gold, want.records()[i].gold);
+    }
+  }
+  util::ThreadPool::ResetGlobal(1);
+}
+
+TEST(ServeEquivalenceTest, DisambiguateMatchesMentionExtractorPath) {
+  const ServeWorld& sw = GetServeWorld();
+  auto engine = MakeSnapshotEngine();
+  core::BootlegModel ref(&sw.world.kb, sw.world.vocab.size(), ServingConfig(),
+                         /*seed=*/123);
+  ASSERT_TRUE(ref.store().Load(sw.model_path).ok());
+  data::MentionExtractor extractor(&sw.world.candidates);
+
+  std::vector<std::string> texts;
+  for (const data::Sentence& s : sw.corpus.dev) {
+    texts.push_back(JoinTokens(s.tokens));
+    if (texts.size() == 16) break;
+  }
+  core::BootlegModel::InferenceScratch scratch;
+  const std::vector<serve::SentenceResult> results =
+      engine->Disambiguate(texts, &scratch);
+  ASSERT_EQ(results.size(), texts.size());
+
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const data::SentenceExample ex =
+        extractor.BuildExample(sw.world.vocab, texts[i]);
+    const std::vector<int64_t> preds = ref.Predict(ex);
+    ASSERT_EQ(results[i].mentions.size(), ex.mentions.size()) << "text=" << i;
+    for (size_t m = 0; m < ex.mentions.size(); ++m) {
+      const serve::ServedMention& served = results[i].mentions[m];
+      EXPECT_EQ(served.span_start, ex.mentions[m].span_start);
+      const int64_t k = preds[m];
+      const kb::EntityId want =
+          k < 0 ? kb::kInvalidId : ex.mentions[m].candidates[static_cast<size_t>(k)];
+      EXPECT_EQ(served.entity, want) << "text=" << i << " mention=" << m;
+    }
+  }
+}
+
+// --- Micro-batcher -----------------------------------------------------------
+
+// Built additively (not operator+) to sidestep a GCC 12 -Wrestrict false
+// positive on temporary string concatenation.
+std::string RequestName(int i) {
+  std::string name = "r";
+  name += std::to_string(i);
+  return name;
+}
+
+serve::SentenceResult EchoResult(const std::string& text) {
+  serve::SentenceResult r;
+  serve::ServedMention m;
+  m.alias = text;
+  r.mentions.push_back(std::move(m));
+  return r;
+}
+
+std::vector<serve::SentenceResult> EchoBatch(
+    const std::vector<std::string>& texts) {
+  std::vector<serve::SentenceResult> out;
+  out.reserve(texts.size());
+  for (const std::string& t : texts) out.push_back(EchoResult(t));
+  return out;
+}
+
+/// Batch backend whose first "plug" batch blocks until released, letting a
+/// test deterministically pile requests into the queue behind it.
+struct PluggableBackend {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool plug_seen = false;
+  bool released = false;
+  std::vector<size_t> batch_sizes;
+
+  serve::MicroBatcher::BatchFn Fn() {
+    return [this](const std::vector<std::string>& texts, int) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        batch_sizes.push_back(texts.size());
+        if (texts.size() == 1 && texts[0] == "plug") {
+          plug_seen = true;
+          cv.notify_all();
+          cv.wait(lock, [this] { return released; });
+        }
+      }
+      return EchoBatch(texts);
+    };
+  }
+  void AwaitPlugTaken() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return plug_seen; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(MicroBatcherTest, CoalescesQueuedRequestsIntoOneBatch) {
+  serve::ServerCounters counters;
+  PluggableBackend backend;
+  serve::BatcherOptions options;
+  options.max_batch = 4;
+  options.max_wait_us = 0;  // take whatever is queued, no straggler wait
+  options.workers = 1;
+  serve::MicroBatcher batcher(options, backend.Fn(), nullptr, &counters);
+
+  auto plug = batcher.Submit("plug");
+  backend.AwaitPlugTaken();
+  std::vector<std::future<util::StatusOr<serve::SentenceResult>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(batcher.Submit(RequestName(i)));
+  }
+  backend.Release();
+
+  ASSERT_TRUE(plug.get().ok());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    util::StatusOr<serve::SentenceResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok());
+    // Results map back to the submitting request, not just the batch.
+    EXPECT_EQ(result.value().mentions[0].alias, RequestName(static_cast<int>(i)));
+  }
+  batcher.Shutdown();
+
+  EXPECT_EQ(batcher.max_batch_observed(), 4);
+  ASSERT_EQ(backend.batch_sizes.size(), 2u);  // the plug, then one batch of 4
+  EXPECT_EQ(backend.batch_sizes[1], 4u);
+  EXPECT_EQ(counters.requests.load(), 5);
+  EXPECT_EQ(counters.batches.load(), 2);
+  EXPECT_EQ(counters.batched_sentences.load(), 5);
+  EXPECT_DOUBLE_EQ(counters.MeanBatchSize(), 2.5);
+}
+
+TEST(MicroBatcherTest, MaxWaitFlushesPartialBatch) {
+  serve::ServerCounters counters;
+  std::vector<size_t> batch_sizes;
+  std::mutex mu;
+  serve::BatcherOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 2000;  // well under the test timeout
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options,
+      [&](const std::vector<std::string>& texts, int) {
+        std::lock_guard<std::mutex> lock(mu);
+        batch_sizes.push_back(texts.size());
+        return EchoBatch(texts);
+      },
+      nullptr, &counters);
+
+  // A lone request must not wait for 7 siblings that never come.
+  auto future = batcher.Submit("solo");
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  ASSERT_TRUE(future.get().ok());
+  batcher.Shutdown();
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 1u);
+}
+
+TEST(MicroBatcherTest, BackpressureRejectsWhenQueueFull) {
+  serve::ServerCounters counters;
+  PluggableBackend backend;
+  serve::BatcherOptions options;
+  options.max_batch = 1;
+  options.max_wait_us = 0;
+  options.max_queue = 2;
+  options.workers = 1;
+  serve::MicroBatcher batcher(options, backend.Fn(), nullptr, &counters);
+
+  auto plug = batcher.Submit("plug");
+  backend.AwaitPlugTaken();  // worker busy; queue is now empty
+  auto a = batcher.Submit("a");
+  auto b = batcher.Submit("b");   // queue at capacity
+  auto c = batcher.Submit("c");   // must be rejected, already resolved
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const util::StatusOr<serve::SentenceResult> rejected = c.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(counters.rejected.load(), 1);
+
+  backend.Release();
+  EXPECT_TRUE(plug.get().ok());
+  EXPECT_TRUE(a.get().ok());  // accepted requests still complete
+  EXPECT_TRUE(b.get().ok());
+  batcher.Shutdown();
+  EXPECT_EQ(counters.requests.load(), 3);  // rejects are not "accepted"
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsAcceptedRequests) {
+  serve::ServerCounters counters;
+  std::atomic<int64_t> processed{0};
+  serve::BatcherOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 0;
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options,
+      [&](const std::vector<std::string>& texts, int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        processed.fetch_add(static_cast<int64_t>(texts.size()));
+        return EchoBatch(texts);
+      },
+      nullptr, &counters);
+
+  std::vector<std::future<util::StatusOr<serve::SentenceResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(batcher.Submit(RequestName(i)));
+  }
+  batcher.Shutdown();  // must block until every accepted request finished
+  EXPECT_EQ(processed.load(), 6);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+
+  auto late = batcher.Submit("late");
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const util::StatusOr<serve::SentenceResult> result = late.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(MicroBatcherTest, ReloadRunsAtBatchBoundaryAndFailureIsNonFatal) {
+  serve::ServerCounters counters;
+  std::atomic<int> attempts{0};
+  std::atomic<bool> fail_reload{true};
+  serve::BatcherOptions options;
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options, [](const std::vector<std::string>& texts, int) {
+        return EchoBatch(texts);
+      },
+      [&] {
+        attempts.fetch_add(1);
+        return fail_reload.load() ? util::Status::IOError("injected")
+                                  : util::Status::OK();
+      },
+      &counters);
+
+  batcher.RequestReload();  // fails: logged, counted as attempt, not reload
+  for (int i = 0; i < 200 && attempts.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(attempts.load(), 1);
+  EXPECT_EQ(counters.reloads.load(), 0);
+  EXPECT_TRUE(batcher.Submit("still serving").get().ok());
+
+  fail_reload.store(false);
+  batcher.RequestReload();
+  for (int i = 0; i < 200 && counters.reloads.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(counters.reloads.load(), 1);
+  EXPECT_EQ(attempts.load(), 2);
+  batcher.Shutdown();
+}
+
+// --- Candidate cache ---------------------------------------------------------
+
+TEST(CandidateCacheTest, LruEvictionAndHitMissAccounting) {
+  kb::CandidateMap map;
+  map.AddAlias("apple", 1, 1.0f);
+  map.AddAlias("apple", 2, 0.5f);
+  map.AddAlias("banana", 3);
+  map.AddAlias("cherry", 4);
+  map.Finalize(/*max_candidates=*/5);
+
+  serve::CandidateCache cache(/*capacity=*/2);
+  serve::CachedCandidates out;
+
+  EXPECT_TRUE(cache.Lookup(map, "apple", &out));  // miss, cached
+  ASSERT_EQ(out.entities.size(), 2u);
+  EXPECT_EQ(out.entities[0], 1);  // sorted by accumulated weight
+  EXPECT_NEAR(out.priors[0] + out.priors[1], 1.0f, 1e-6f);
+
+  EXPECT_TRUE(cache.Lookup(map, "banana", &out));  // miss, cached
+  EXPECT_TRUE(cache.Lookup(map, "apple", &out));   // hit, refreshes recency
+  EXPECT_TRUE(cache.Lookup(map, "cherry", &out));  // miss, evicts banana (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(map, "banana", &out));  // miss again: was evicted
+  EXPECT_TRUE(cache.Lookup(map, "cherry", &out));  // hit: survived
+  EXPECT_FALSE(cache.Lookup(map, "apple", &out) &&
+               cache.misses() == 4);  // apple was evicted by banana's return
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 5);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CandidateCacheTest, UnknownAliasesAreNeitherCachedNorCounted) {
+  kb::CandidateMap map;
+  map.AddAlias("known", 1);
+  map.Finalize(5);
+  serve::CandidateCache cache(8);
+  serve::CachedCandidates out;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(cache.Lookup(map, "garbage" + std::to_string(i), &out));
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);  // garbage cannot deflate the hit rate
+  EXPECT_TRUE(cache.Lookup(map, "known", &out));
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+// --- Latency histogram -------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesCountsAndBucketBounds) {
+  serve::LatencyHistogram h;
+  EXPECT_EQ(h.PercentileUs(0.5), 0);  // empty
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.sum_us(), 500500);
+  EXPECT_NEAR(h.MeanUs(), 500.5, 1e-9);
+
+  const int64_t p50 = h.PercentileUs(0.50);
+  const int64_t p95 = h.PercentileUs(0.95);
+  const int64_t p99 = h.PercentileUs(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 500);    // the 500th value is 500µs
+  EXPECT_LE(p99, 2000);   // within one 1-2-5 bucket of 1000µs
+  // Strictly increasing bounds, except the overflow bucket, which reports
+  // its lower edge.
+  for (int i = 1; i + 1 < serve::LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_GT(serve::LatencyHistogram::BucketBoundUs(i),
+              serve::LatencyHistogram::BucketBoundUs(i - 1));
+  }
+}
+
+// --- JSON wire format --------------------------------------------------------
+
+TEST(JsonTest, RoundTripAndHostileInputs) {
+  const std::string text =
+      R"({"op":"disambiguate","text":"a \"quoted\" line","n":1.5,)"
+      R"("flags":[true,false,null]})";
+  util::StatusOr<serve::Json> parsed = serve::Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GetString("op"), "disambiguate");
+  EXPECT_EQ(parsed.value().GetString("text"), "a \"quoted\" line");
+  EXPECT_DOUBLE_EQ(parsed.value().GetNumber("n"), 1.5);
+  util::StatusOr<serve::Json> reparsed =
+      serve::Json::Parse(parsed.value().Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().Dump(), parsed.value().Dump());
+
+  for (const std::string& bad :
+       {std::string("{"), std::string("[1,"), std::string("tru"),
+        std::string("\"unterminated"), std::string("1 2"),
+        std::string("{\"a\":}"), std::string("{} trailing"), std::string(""),
+        std::string(10000, '[')}) {
+    EXPECT_FALSE(serve::Json::Parse(bad).ok()) << bad.substr(0, 40);
+  }
+}
+
+// --- Server front end --------------------------------------------------------
+
+struct ServerUnderTest {
+  std::unique_ptr<serve::InferenceEngine> engine;
+  serve::ServerCounters counters;
+  serve::LatencyHistogram latency;
+  core::BootlegModel::InferenceScratch scratch;
+  std::unique_ptr<serve::MicroBatcher> batcher;
+  std::unique_ptr<serve::Server> server;
+
+  explicit ServerUnderTest(serve::BatcherOptions options = {}) {
+    engine = MakeSnapshotEngine();
+    batcher = std::make_unique<serve::MicroBatcher>(
+        options,
+        [this](const std::vector<std::string>& texts, int) {
+          return engine->Disambiguate(texts, &scratch);
+        },
+        [this] { return engine->Reload(); }, &counters);
+    server = std::make_unique<serve::Server>(engine.get(), batcher.get(),
+                                             &counters, &latency);
+  }
+  ~ServerUnderTest() {
+    server->Stop();
+    batcher->Shutdown();
+  }
+};
+
+TEST(ServeServerTest, MalformedRequestsGetErrorRepliesNeverCrash) {
+  ServerUnderTest sut;
+  const std::vector<std::string> hostile = {
+      "",
+      "{",
+      "]",
+      "not json at all",
+      "{\"op\":42}",
+      "{\"op\":\"disambiguate\"}",
+      "{\"op\":\"disambiguate\",\"text\":7}",
+      "{\"op\":\"no_such_op\"}",
+      "{\"op\":\"stats\"} trailing garbage",
+      "[\"an\",\"array\",\"not\",\"an\",\"object\"]",
+      std::string(5000, '['),
+      std::string(1 << 16, 'x'),
+  };
+  for (const std::string& line : hostile) {
+    const std::string reply = sut.server->HandleLine(line);
+    util::StatusOr<serve::Json> parsed = serve::Json::Parse(reply);
+    ASSERT_TRUE(parsed.ok()) << "reply not JSON for: " << line.substr(0, 40);
+    const serve::Json* ok = parsed.value().Find("ok");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_FALSE(ok->bool_value()) << line.substr(0, 40);
+    EXPECT_FALSE(parsed.value().GetString("error").empty());
+  }
+  EXPECT_EQ(sut.counters.errors.load(),
+            static_cast<int64_t>(hostile.size()));
+
+  // The server still serves real traffic afterwards.
+  serve::Json request = serve::Json::Object();
+  request.Set("op", serve::Json::Str("disambiguate"));
+  request.Set("text", serve::Json::Str(SampleServableText()));
+  const std::string reply = sut.server->HandleLine(request.Dump());
+  util::StatusOr<serve::Json> parsed = serve::Json::Parse(reply);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().Find("ok")->bool_value());
+  ASSERT_NE(parsed.value().Find("mentions"), nullptr);
+  EXPECT_FALSE(parsed.value().Find("mentions")->array_items().empty());
+}
+
+TEST(ServeServerTest, StdioLoopServesHealthDisambiguateAndStats) {
+  ServerUnderTest sut;
+  const std::string text = SampleServableText();
+  serve::Json disambiguate = serve::Json::Object();
+  disambiguate.Set("op", serve::Json::Str("disambiguate"));
+  disambiguate.Set("text", serve::Json::Str(text));
+
+  std::ostringstream script;
+  script << "{\"op\":\"health\"}\n";
+  for (int i = 0; i < 5; ++i) script << disambiguate.Dump() << "\n";
+  script << "{\"op\":\"stats\"}\n";
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  sut.server->RunStdio(in, out);
+
+  std::vector<std::string> replies;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) replies.push_back(line);
+  ASSERT_EQ(replies.size(), 7u);
+
+  util::StatusOr<serve::Json> health = serve::Json::Parse(replies[0]);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().GetString("status"), "serving");
+
+  for (int i = 1; i <= 5; ++i) {
+    util::StatusOr<serve::Json> reply = serve::Json::Parse(replies[i]);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.value().Find("ok")->bool_value());
+  }
+
+  util::StatusOr<serve::Json> stats = serve::Json::Parse(replies[6]);
+  ASSERT_TRUE(stats.ok());
+  const serve::Json& s = stats.value();
+  EXPECT_EQ(s.GetNumber("requests"), 5.0);
+  EXPECT_GE(s.GetNumber("batches"), 1.0);
+  // The same sentence 5 times: every alias after the first pass is a hit.
+  EXPECT_GT(s.GetNumber("cache_hit_rate"), 0.5);
+  const serve::Json* latency = s.Find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->GetNumber("count"), 5.0);
+  EXPECT_GT(latency->GetNumber("p50_us"), 0.0);
+  EXPECT_LE(latency->GetNumber("p50_us"), latency->GetNumber("p95_us"));
+  EXPECT_LE(latency->GetNumber("p95_us"), latency->GetNumber("p99_us"));
+}
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BOOTLEG_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  BOOTLEG_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0);
+  return fd;
+}
+
+std::string RequestOverSocket(int fd, const std::string& line) {
+  const std::string msg = line + "\n";
+  size_t sent = 0;
+  while (sent < msg.size()) {
+    const ssize_t w = ::send(fd, msg.data() + sent, msg.size() - sent, 0);
+    BOOTLEG_CHECK(w > 0);
+    sent += static_cast<size_t>(w);
+  }
+  std::string reply;
+  char c;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') break;
+    reply.push_back(c);
+  }
+  return reply;
+}
+
+TEST(ServeServerTest, TcpServesConcurrentClients) {
+  serve::BatcherOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 200;
+  options.max_queue = 256;
+  ServerUnderTest sut(options);
+  ASSERT_TRUE(sut.server->Start(0).ok());
+  const int port = sut.server->port();
+  ASSERT_GT(port, 0);
+
+  const std::string text = SampleServableText();
+  serve::Json request = serve::Json::Object();
+  request.Set("op", serve::Json::Str("disambiguate"));
+  request.Set("text", serve::Json::Str(text));
+  const std::string request_line = request.Dump();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::atomic<int> ok_replies{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ConnectLoopback(port);
+      for (int i = 0; i < kPerClient; ++i) {
+        // One malformed request per client, mid-stream.
+        const std::string& line = (i == 3) ? "{broken" : request_line;
+        const std::string reply = RequestOverSocket(fd, line);
+        util::StatusOr<serve::Json> parsed = serve::Json::Parse(reply);
+        if (parsed.ok() && parsed.value().Find("ok") != nullptr &&
+            parsed.value().Find("ok")->bool_value()) {
+          ok_replies.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_replies.load(), kClients * (kPerClient - 1));
+
+  const int fd = ConnectLoopback(port);
+  util::StatusOr<serve::Json> stats =
+      serve::Json::Parse(RequestOverSocket(fd, "{\"op\":\"stats\"}"));
+  ::close(fd);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().GetNumber("requests"),
+            static_cast<double>(kClients * (kPerClient - 1)));
+  EXPECT_EQ(stats.value().GetNumber("errors"), static_cast<double>(kClients));
+  EXPECT_GT(stats.value().GetNumber("cache_hit_rate"), 0.5);
+  sut.server->Stop();
+}
+
+// --- Hot reload --------------------------------------------------------------
+
+/// A minimal trainer state that passes checkpoint validation (which requires
+/// one worker RNG per thread); serving discards it all anyway.
+core::TrainerState ServingTrainerState(int64_t step) {
+  core::TrainerState state;
+  state.steps = step;
+  state.nthreads = 1;
+  state.master_rng = util::Rng(1).SerializeState();
+  state.worker_rngs = {util::Rng(2).SerializeState()};
+  return state;
+}
+
+TEST(ServeHotReloadTest, PicksNewestCheckpointAndSkipsCorruptOne) {
+  const ServeWorld& sw = GetServeWorld();
+  const std::string dir = TestDir("hot_reload");
+
+  const auto write_checkpoint = [&](uint64_t seed, int64_t step) {
+    core::BootlegModel model(&sw.world.kb, sw.world.vocab.size(),
+                             ServingConfig(), seed);
+    nn::Adam optimizer(&model.store(), {});
+    return core::WriteCheckpoint(dir, ServingTrainerState(step), model.store(),
+                                 optimizer, /*retain=*/10);
+  };
+  ASSERT_TRUE(write_checkpoint(/*seed=*/123, /*step=*/2).ok());
+
+  serve::EngineOptions options;
+  options.data_dir = sw.data_dir;
+  options.checkpoint_dir = dir;
+  auto engine_or = serve::InferenceEngine::Create(options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+  EXPECT_EQ(engine.loaded_path(), core::CheckpointPath(dir, 2));
+
+  // A newer checkpoint with different weights appears: Reload must pick it
+  // up and serve the new parameters (frozen feature table refreshed too).
+  ASSERT_TRUE(write_checkpoint(/*seed=*/999, /*step=*/4).ok());
+  ASSERT_TRUE(engine.Reload().ok());
+  EXPECT_EQ(engine.loaded_path(), core::CheckpointPath(dir, 4));
+  {
+    core::BootlegModel want(&sw.world.kb, sw.world.vocab.size(),
+                            ServingConfig(), /*seed=*/999);
+    const std::string name = engine.model().store().param_names().front();
+    EXPECT_EQ(engine.model().store().GetParam(name).value().vec(),
+              want.store().GetParam(name).value().vec());
+  }
+  core::BootlegModel::InferenceScratch scratch;
+  const std::vector<serve::SentenceResult> after_swap =
+      engine.Disambiguate({SampleServableText()}, &scratch);
+  ASSERT_EQ(after_swap.size(), 1u);
+
+  // The next checkpoint is corrupted in flight (simulated media fault):
+  // recovery must skip it and keep serving step 4.
+  util::FaultInjector::Plan plan;
+  plan.flip_byte_at = 512;
+  plan.flip_mask = 0x40;
+  util::FaultInjector::Arm(plan);
+  ASSERT_TRUE(write_checkpoint(/*seed=*/555, /*step=*/6).ok());
+  util::FaultInjector::Disarm();
+  ASSERT_TRUE(fs::exists(core::CheckpointPath(dir, 6)));
+
+  ASSERT_TRUE(engine.Reload().ok());
+  EXPECT_EQ(engine.loaded_path(), core::CheckpointPath(dir, 4));
+
+  // Reload with nothing newer is a no-op.
+  ASSERT_TRUE(engine.Reload().ok());
+  EXPECT_EQ(engine.loaded_path(), core::CheckpointPath(dir, 4));
+}
+
+// --- Concurrent load (the TSan target) ---------------------------------------
+
+bool SameResult(const serve::SentenceResult& a, const serve::SentenceResult& b) {
+  if (a.mentions.size() != b.mentions.size()) return false;
+  for (size_t i = 0; i < a.mentions.size(); ++i) {
+    if (a.mentions[i].alias != b.mentions[i].alias ||
+        a.mentions[i].entity != b.mentions[i].entity ||
+        a.mentions[i].span_start != b.mentions[i].span_start) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ServeStressTest, ConcurrentClientsWithHotReloadStayConsistent) {
+  const ServeWorld& sw = GetServeWorld();
+  const std::string dir = TestDir("stress_ckpt");
+  {
+    core::BootlegModel model(&sw.world.kb, sw.world.vocab.size(),
+                             ServingConfig(), /*seed=*/123);
+    nn::Adam optimizer(&model.store(), {});
+    ASSERT_TRUE(core::WriteCheckpoint(dir, ServingTrainerState(2),
+                                      model.store(), optimizer, 10)
+                    .ok());
+  }
+  serve::EngineOptions engine_options;
+  engine_options.data_dir = sw.data_dir;
+  engine_options.checkpoint_dir = dir;
+  auto engine_or = serve::InferenceEngine::Create(engine_options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  std::vector<std::string> texts;
+  for (const data::Sentence& s : sw.corpus.dev) {
+    if (!s.mentions.empty()) texts.push_back(JoinTokens(s.tokens));
+    if (texts.size() == 6) break;
+  }
+  ASSERT_GE(texts.size(), 2u);
+
+  // Expected results, computed serially before any concurrency starts.
+  std::vector<serve::SentenceResult> expected;
+  {
+    core::BootlegModel::InferenceScratch scratch;
+    for (const std::string& t : texts) {
+      expected.push_back(engine.Disambiguate({t}, &scratch)[0]);
+    }
+  }
+
+  serve::ServerCounters counters;
+  serve::BatcherOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 200;
+  options.max_queue = 256;
+  options.workers = 2;
+  std::vector<core::BootlegModel::InferenceScratch> scratch(2);
+  serve::MicroBatcher batcher(
+      options,
+      [&](const std::vector<std::string>& batch, int worker) {
+        return engine.Disambiguate(batch, &scratch[static_cast<size_t>(worker)]);
+      },
+      [&] { return engine.Reload(); }, &counters);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 15;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % texts.size();
+        auto future = batcher.Submit(texts[which]);
+        if (t == 0 && i == kPerThread / 2) batcher.RequestReload();
+        util::StatusOr<serve::SentenceResult> result = future.get();
+        if (!result.ok() || !SameResult(result.value(), expected[which])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  batcher.Shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(counters.requests.load(), kThreads * kPerThread);
+  EXPECT_EQ(counters.batched_sentences.load(), kThreads * kPerThread);
+  EXPECT_GE(counters.batches.load(), 1);
+  // The reload resolved to the checkpoint already loaded — still a success.
+  EXPECT_EQ(counters.reloads.load(), 1);
+}
+
+}  // namespace
+}  // namespace bootleg

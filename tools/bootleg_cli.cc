@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/model.h"
+#include "core/model_loader.h"
 #include "core/trainer.h"
 #include "data/corpus_io.h"
 #include "data/example.h"
@@ -227,7 +228,8 @@ std::unique_ptr<core::BootlegModel> LoadModel(const Dataset& ds,
   }
   auto model = std::make_unique<core::BootlegModel>(
       &ds.kb, ds.vocab.size(), ConfigFor(ablation), /*seed=*/7);
-  const util::Status status = model->store().Load(path);
+  const util::Status status =
+      core::LoadSnapshotOrInvalidate(path, &model->store());
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return nullptr;

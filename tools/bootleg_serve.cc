@@ -1,0 +1,163 @@
+// bootleg_serve — long-running disambiguation service over a trained model.
+//
+//   bootleg_serve --data DIR (--model PATH | --checkpoint_dir DIR)
+//                 [--port N]          TCP on 127.0.0.1:N (0 = ephemeral)
+//                 [--stdin]           serve stdin/stdout instead of TCP
+//                 [--max_batch N]     micro-batch size cap          (default 8)
+//                 [--max_wait_us N]   coalescing wait               (default 500)
+//                 [--max_queue N]     bounded queue depth           (default 64)
+//                 [--workers N]       batch worker threads          (default 1)
+//                 [--cache N]         candidate cache capacity      (default 4096)
+//                 [--ablation A]      config preset when no .meta sidecar
+//
+// Protocol: newline-delimited JSON; ops disambiguate / health / stats /
+// reload. SIGHUP hot-reloads the newest valid checkpoint (checkpoint_dir
+// deployments); corrupt checkpoints are skipped, and a failed reload keeps
+// serving the previous weights.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "serve/batcher.h"
+#include "serve/inference_engine.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnSighup(int) { g_reload_requested = 1; }
+void OnTerm(int) { g_shutdown_requested = 1; }
+
+/// Same minimal --flag parser as bootleg_cli, minus the subcommand slot.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = std::string(argv[++i]);
+      } else {
+        values_[key] = std::string("1");
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string data = flags.Get("data");
+  if (data.empty()) {
+    std::fprintf(stderr,
+                 "usage: bootleg_serve --data DIR (--model PATH | "
+                 "--checkpoint_dir DIR) [--port N | --stdin]\n");
+    return 2;
+  }
+
+  serve::EngineOptions engine_options;
+  engine_options.data_dir = data;
+  engine_options.model_path = flags.Get("model");
+  engine_options.checkpoint_dir = flags.Get("checkpoint_dir");
+  engine_options.ablation = flags.Get("ablation", "full");
+  engine_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 4096));
+
+  auto engine_or = serve::InferenceEngine::Create(engine_options);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine_or.status().ToString().c_str());
+    return 1;
+  }
+  serve::InferenceEngine& engine = *engine_or.value();
+  std::fprintf(stderr, "serving model %s\n", engine.loaded_path().c_str());
+
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch = static_cast<int>(flags.GetInt("max_batch", 8));
+  batcher_options.max_wait_us = flags.GetInt("max_wait_us", 500);
+  batcher_options.max_queue =
+      static_cast<size_t>(flags.GetInt("max_queue", 64));
+  batcher_options.workers = static_cast<int>(flags.GetInt("workers", 1));
+
+  serve::ServerCounters counters;
+  serve::LatencyHistogram latency;
+
+  // One preallocated scratch per batch worker, reused across batches.
+  std::vector<core::BootlegModel::InferenceScratch> scratch(
+      static_cast<size_t>(batcher_options.workers < 1 ? 1
+                                                      : batcher_options.workers));
+  serve::MicroBatcher batcher(
+      batcher_options,
+      [&engine, &scratch](const std::vector<std::string>& texts, int worker) {
+        return engine.Disambiguate(texts, &scratch[static_cast<size_t>(worker)]);
+      },
+      [&engine] { return engine.Reload(); }, &counters);
+
+  serve::Server server(&engine, &batcher, &counters, &latency);
+  server.SetPollHook([&batcher] {
+    if (g_reload_requested) {
+      g_reload_requested = 0;
+      batcher.RequestReload();
+    }
+  });
+
+  // No SA_RESTART: SIGHUP must interrupt accept() so the poll hook runs.
+  struct sigaction sa {};
+  sa.sa_handler = OnSighup;
+  sigaction(SIGHUP, &sa, nullptr);
+  struct sigaction st {};
+  st.sa_handler = OnTerm;
+  sigaction(SIGINT, &st, nullptr);
+  sigaction(SIGTERM, &st, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (flags.Has("stdin")) {
+    server.RunStdio(std::cin, std::cout);
+    batcher.Shutdown();  // graceful drain of anything still queued
+    return 0;
+  }
+
+  const util::Status st_start =
+      server.Start(static_cast<int>(flags.GetInt("port", 0)));
+  if (!st_start.ok()) {
+    std::fprintf(stderr, "error: %s\n", st_start.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%d\n", server.port());
+
+  // Park until SIGINT/SIGTERM; SIGHUP reloads via the poll hook.
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (!g_shutdown_requested) {
+    sigsuspend(&empty);
+    if (g_reload_requested) {
+      g_reload_requested = 0;
+      batcher.RequestReload();
+    }
+  }
+  std::fprintf(stderr, "shutting down: draining in-flight requests\n");
+  server.Stop();
+  batcher.Shutdown();
+  return 0;
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Full verification gate for the durability work (and the tier-1 suite):
+# Full verification gate for the durability + serving work (and the tier-1
+# suite):
 #
 #   1. Release build + complete ctest suite (tier-1 gate).
-#   2. ASan build: corruption fuzzing, checkpoint/resume, io, parallel tests.
-#   3. TSan build: checkpointed data-parallel training + parallel tests.
+#   2. ASan build: corruption fuzzing, checkpoint/resume, io, parallel, serve.
+#   3. TSan build: checkpointed data-parallel training + parallel + serve.
 #   4. CLI crash-recovery drill: train with checkpointing, kill the run
 #      mid-checkpoint-write via fault injection (leaving a torn temp file),
 #      corrupt the newest checkpoint, resume, and verify the final model is
 #      byte-identical to an uninterrupted run.
+#   5. Serve smoke drill: bring up bootleg_serve on the tiny model from (4),
+#      drive it over stdin and TCP with concurrent clients (malformed lines
+#      included), assert stats are sane, hot-reload via SIGHUP, and verify a
+#      clean SIGTERM shutdown.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -18,36 +23,36 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/4] Release build + full test suite"
+echo "==> [1/5] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/4] ASan: fuzz + checkpoint + io + parallel"
+  echo "==> [2/5] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
-             parallel_test >/dev/null
+             parallel_test serve_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
-           parallel_test; do
+           parallel_test serve_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/4] TSan: checkpointed parallel training"
+  echo "==> [3/5] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
-    --target checkpoint_test parallel_test >/dev/null
-  for t in checkpoint_test parallel_test; do
+    --target checkpoint_test parallel_test serve_test >/dev/null
+  for t in checkpoint_test parallel_test serve_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/4],[3/4] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/5],[3/5] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/4] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/5] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -92,5 +97,88 @@ fi
   || { echo "FAIL: resume did not pick up a checkpoint"; exit 1; }
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
+
+echo "==> [5/5] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+SERVE=./build/tools/bootleg_serve
+
+# --- stdin transport: health, disambiguate, malformed line, stats. ----------
+STDIN_OUT=$(printf '%s\n' \
+  '{"op": "health"}' \
+  '{"op": "disambiguate", "text": "the first page mentions a rare entity"}' \
+  'this line is not json at all {{{' \
+  '{"op": "disambiguate"}' \
+  '{"op": "stats"}' \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin 2>/dev/null)
+[[ $(echo "$STDIN_OUT" | wc -l) == 5 ]] \
+  || { echo "FAIL: stdin serve: expected 5 replies"; exit 1; }
+echo "$STDIN_OUT" | sed -n 1p | grep -q '"status": *"serving"' \
+  || { echo "FAIL: stdin serve: bad health reply"; exit 1; }
+echo "$STDIN_OUT" | sed -n 2p | grep -q '"ok": *true' \
+  || { echo "FAIL: stdin serve: disambiguate failed"; exit 1; }
+echo "$STDIN_OUT" | sed -n 3p | grep -q '"ok": *false' \
+  || { echo "FAIL: stdin serve: malformed line not rejected"; exit 1; }
+echo "$STDIN_OUT" | sed -n 4p | grep -q '"ok": *false' \
+  || { echo "FAIL: stdin serve: missing text not rejected"; exit 1; }
+echo "$STDIN_OUT" | sed -n 5p \
+  | grep -q '"errors": *2.*"p50_us"' \
+  || { echo "FAIL: stdin serve: stats missing error count or latency"; exit 1; }
+
+# --- TCP transport: concurrent clients, SIGHUP hot-reload, clean SIGTERM. ---
+"$SERVE" --data "$WORK/data" --checkpoint_dir "$WORK/ckpt_ref" --port 0 \
+  2>"$WORK/serve.log" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/serve.log")
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: serve: no listening port"; exit 1; }
+
+# Helper: one request/reply exchange over a fresh connection via /dev/tcp.
+serve_rpc() {
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf '%s\n' "$1" >&3
+  local reply
+  IFS= read -r reply <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$reply"
+}
+
+CLIENT_PIDS=()
+for c in 1 2 3 4; do
+  (
+    for _ in 1 2 3 4 5; do
+      serve_rpc '{"op": "disambiguate", "text": "entities appear on every page"}' \
+        | grep -q '"ok": *true' || exit 1
+    done
+    serve_rpc 'not json' | grep -q '"ok": *false' || exit 1
+  ) &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || { echo "FAIL: serve: concurrent TCP client failed"; exit 1; }
+done
+
+STATS=$(serve_rpc '{"op": "stats"}')
+echo "$STATS" | grep -q '"requests": *20' \
+  || { echo "FAIL: serve: expected 20 requests in stats: $STATS"; exit 1; }
+echo "$STATS" | grep -q '"errors": *4' \
+  || { echo "FAIL: serve: expected 4 errors in stats: $STATS"; exit 1; }
+echo "$STATS" | grep -Eq '"p50_us": *[1-9]' \
+  || { echo "FAIL: serve: latency percentiles missing: $STATS"; exit 1; }
+
+kill -HUP "$SERVE_PID"
+sleep 0.2
+serve_rpc '{"op": "disambiguate", "text": "one more request after reload"}' \
+  | grep -q '"ok": *true' \
+  || { echo "FAIL: serve: request after SIGHUP failed"; exit 1; }
+serve_rpc '{"op": "stats"}' | grep -Eq '"reloads": *[1-9]' \
+  || { echo "FAIL: serve: SIGHUP did not trigger a reload"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
 echo "OK: all checks passed"

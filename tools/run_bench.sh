@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Builds (Release) and runs the micro-kernel benchmark suite, writing
-# google-benchmark JSON to BENCH_kernels.json at the repo root.
+# Builds (Release) and runs the benchmark suites:
+#   1. micro-kernel suite  -> BENCH_kernels.json (google-benchmark JSON)
+#   2. serving suite       -> BENCH_serve.json   (closed-loop clients at fixed
+#      concurrency against the micro-batching engine; throughput + p50/p95/p99)
 #
 # Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks
 #   (BM_TrainEpoch / BM_ParallelEval sweep thread counts themselves).
+#   SERVE_BENCH_REQUESTS overrides per-client request count (default 500).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,7 +15,7 @@ BUILD_DIR="${1:-"${REPO_ROOT}/build"}"
 shift || true
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD_DIR}" --target micro_kernels -j >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_kernels.json"
 "${BUILD_DIR}/bench/micro_kernels" \
@@ -21,3 +24,8 @@ OUT="${REPO_ROOT}/BENCH_kernels.json"
   "$@"
 
 echo "wrote ${OUT}"
+
+SERVE_OUT="${REPO_ROOT}/BENCH_serve.json"
+"${BUILD_DIR}/bench/serve_bench" \
+  --out "${SERVE_OUT}" \
+  --requests "${SERVE_BENCH_REQUESTS:-500}"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace bootleg::core {
@@ -521,7 +522,11 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   const int64_t hidden = config_.hidden;
 
   // --- Contextual word embeddings, batched with per-sentence attention. ------
-  Tensor w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges);
+  Tensor w_all;
+  {
+    OBS_SPAN("infer.encode");
+    w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges);
+  }
 
   auto clamp_span = [](int64_t v, int64_t n_tokens) {
     return std::max<int64_t>(0, std::min<int64_t>(v, n_tokens - 1));
@@ -531,6 +536,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   const bool use_tpred = config_.use_type && config_.use_type_prediction;
   Tensor tpred_all;
   if (use_tpred) {
+    OBS_SPAN("infer.type_pred");
     Tensor m_all({total_mentions, hidden});
     for (size_t i = 0; i < s.sentences.size(); ++i) {
       const InferenceScratch::SentenceInfo& info = s.sentences[i];
@@ -567,49 +573,55 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   }
 
   // --- Candidate feature assembly from the frozen per-entity table. ----------
-  Tensor x({total_rows, input_dim_});
-  const int64_t static_cols = frozen_static_.size(1);
-  const int64_t post_cols = static_cols - frozen_pre_cols_;
-  const int64_t coarse = use_tpred ? config_.coarse_dim : 0;
-  for (int64_t r = 0; r < total_rows; ++r) {
-    const float* src =
-        frozen_static_.data() + s.row_entities[static_cast<size_t>(r)] * static_cols;
-    float* dst = x.data() + r * input_dim_;
-    for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
-    if (use_tpred) {
-      const float* tp = tpred_all.data() + r * coarse;
-      for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
-    }
-    for (int64_t j = 0; j < post_cols; ++j) {
-      dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
-    }
-  }
-  Tensor e_all = input_mlp_->ForwardValue(x);
-
-  if (config_.use_position_encoding) {
-    Tensor pos({total_rows, 2 * hidden});
-    for (const InferenceScratch::SentenceInfo& info : s.sentences) {
-      const data::SentenceExample& ex = *batch[static_cast<size_t>(info.ex_index)];
-      for (int64_t r = 0; r < info.rows; ++r) {
-        const data::MentionExample& m = ex.mentions[static_cast<size_t>(
-            s.row_mention[static_cast<size_t>(info.row_offset + r)])];
-        const int64_t first = clamp_span(m.span_start, info.n_tokens);
-        const int64_t last = clamp_span(m.span_end, info.n_tokens);
-        float* dst = pos.data() + (info.row_offset + r) * 2 * hidden;
-        const float* pf = position_table_.data() + first * hidden;
-        const float* pl = position_table_.data() + last * hidden;
-        for (int64_t j = 0; j < hidden; ++j) {
-          dst[j] = pf[j];
-          dst[hidden + j] = pl[j];
-        }
+  Tensor e_all;
+  {
+    OBS_SPAN("infer.features");
+    Tensor x({total_rows, input_dim_});
+    const int64_t static_cols = frozen_static_.size(1);
+    const int64_t post_cols = static_cols - frozen_pre_cols_;
+    const int64_t coarse = use_tpred ? config_.coarse_dim : 0;
+    for (int64_t r = 0; r < total_rows; ++r) {
+      const float* src = frozen_static_.data() +
+                         s.row_entities[static_cast<size_t>(r)] * static_cols;
+      float* dst = x.data() + r * input_dim_;
+      for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
+      if (use_tpred) {
+        const float* tp = tpred_all.data() + r * coarse;
+        for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
+      }
+      for (int64_t j = 0; j < post_cols; ++j) {
+        dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
       }
     }
-    e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos));
+    e_all = input_mlp_->ForwardValue(x);
+
+    if (config_.use_position_encoding) {
+      Tensor pos({total_rows, 2 * hidden});
+      for (const InferenceScratch::SentenceInfo& info : s.sentences) {
+        const data::SentenceExample& ex =
+            *batch[static_cast<size_t>(info.ex_index)];
+        for (int64_t r = 0; r < info.rows; ++r) {
+          const data::MentionExample& m = ex.mentions[static_cast<size_t>(
+              s.row_mention[static_cast<size_t>(info.row_offset + r)])];
+          const int64_t first = clamp_span(m.span_start, info.n_tokens);
+          const int64_t last = clamp_span(m.span_end, info.n_tokens);
+          float* dst = pos.data() + (info.row_offset + r) * 2 * hidden;
+          const float* pf = position_table_.data() + first * hidden;
+          const float* pl = position_table_.data() + last * hidden;
+          for (int64_t j = 0; j < hidden; ++j) {
+            dst[j] = pf[j];
+            dst[hidden + j] = pl[j];
+          }
+        }
+      }
+      e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos));
+    }
   }
 
   // --- Per-sentence KG adjacencies (sentence-local, built once). -------------
   std::vector<std::vector<Tensor>> adjacencies(s.sentences.size());
   if (config_.use_kg || config_.use_cooccurrence_kg) {
+    OBS_SPAN("infer.kg_adjacency");
     for (size_t i = 0; i < s.sentences.size(); ++i) {
       const InferenceScratch::SentenceInfo& info = s.sentences[i];
       const data::SentenceExample& ex = *batch[static_cast<size_t>(info.ex_index)];
@@ -648,45 +660,50 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   // --- Stacked Phrase2Ent + Ent2Ent + KG2Ent layers. -------------------------
   Tensor e_prime_all;
   std::vector<std::vector<Tensor>> ek_final(s.sentences.size());
-  for (size_t li = 0; li < layers_.size(); ++li) {
-    const Layer& layer = layers_[li];
-    const bool last_layer = li + 1 == layers_.size();
-    Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(e_all, w_all,
-                                                          s.p2e_segments);
-    Tensor c_all =
-        layer.ent2ent->ForwardSegmentsValue(e_all, e_all, s.self_segments);
-    e_prime_all = tensor::Add(p_all, c_all);
+  {
+    OBS_SPAN("infer.attention");
+    for (size_t li = 0; li < layers_.size(); ++li) {
+      const Layer& layer = layers_[li];
+      const bool last_layer = li + 1 == layers_.size();
+      Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(e_all, w_all,
+                                                            s.p2e_segments);
+      Tensor c_all =
+          layer.ent2ent->ForwardSegmentsValue(e_all, e_all, s.self_segments);
+      e_prime_all = tensor::Add(p_all, c_all);
 
-    Tensor e_next({total_rows, hidden});
-    for (size_t i = 0; i < s.sentences.size(); ++i) {
-      const InferenceScratch::SentenceInfo& info = s.sentences[i];
-      Tensor e_prime_s = tensor::SliceRows(e_prime_all, info.row_offset, info.rows);
-      std::vector<Tensor> eks;
-      eks.reserve(adjacencies[i].size());
-      for (size_t k = 0; k < adjacencies[i].size(); ++k) {
-        Tensor attn = tensor::SoftmaxRows(tensor::AddScaledIdentity(
-            adjacencies[i][k], layer.kg_weights[k].value().at(0)));
-        eks.push_back(tensor::Add(tensor::MatMul(attn, e_prime_s), e_prime_s));
+      Tensor e_next({total_rows, hidden});
+      for (size_t i = 0; i < s.sentences.size(); ++i) {
+        const InferenceScratch::SentenceInfo& info = s.sentences[i];
+        Tensor e_prime_s =
+            tensor::SliceRows(e_prime_all, info.row_offset, info.rows);
+        std::vector<Tensor> eks;
+        eks.reserve(adjacencies[i].size());
+        for (size_t k = 0; k < adjacencies[i].size(); ++k) {
+          Tensor attn = tensor::SoftmaxRows(tensor::AddScaledIdentity(
+              adjacencies[i][k], layer.kg_weights[k].value().at(0)));
+          eks.push_back(tensor::Add(tensor::MatMul(attn, e_prime_s), e_prime_s));
+        }
+        Tensor e_s;
+        if (eks.empty()) {
+          e_s = e_prime_s;
+        } else if (eks.size() == 1) {
+          e_s = eks[0];
+        } else {
+          Tensor sum = eks[0];
+          for (size_t k = 1; k < eks.size(); ++k) sum = tensor::Add(sum, eks[k]);
+          e_s = tensor::Scale(sum, 1.0f / static_cast<float>(eks.size()));
+        }
+        float* dst = e_next.data() + info.row_offset * hidden;
+        const float* src = e_s.data();
+        for (int64_t k = 0; k < info.rows * hidden; ++k) dst[k] = src[k];
+        if (last_layer) ek_final[i] = std::move(eks);
       }
-      Tensor e_s;
-      if (eks.empty()) {
-        e_s = e_prime_s;
-      } else if (eks.size() == 1) {
-        e_s = eks[0];
-      } else {
-        Tensor sum = eks[0];
-        for (size_t k = 1; k < eks.size(); ++k) sum = tensor::Add(sum, eks[k]);
-        e_s = tensor::Scale(sum, 1.0f / static_cast<float>(eks.size()));
-      }
-      float* dst = e_next.data() + info.row_offset * hidden;
-      const float* src = e_s.data();
-      for (int64_t k = 0; k < info.rows * hidden; ++k) dst[k] = src[k];
-      if (last_layer) ek_final[i] = std::move(eks);
+      e_all = std::move(e_next);
     }
-    e_all = std::move(e_next);
   }
 
   // --- Ensemble scoring S = max(E_k vᵀ, E' vᵀ). ------------------------------
+  OBS_SPAN("infer.score");
   Tensor scores;
   if (config_.ensemble_scoring) {
     scores = tensor::MatMul(e_prime_all, score_vec_.value());

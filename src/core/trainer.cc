@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/checkpoint.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -32,19 +33,27 @@ TrainStats TrainSerial(TrainableModel* model,
 
   bool done = false;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    OBS_SPAN("train.epoch");
     rng.Shuffle(&order);
     int64_t in_batch = 0;
     for (size_t idx : order) {
-      tensor::Var loss = model->Loss(train_examples[idx], /*train=*/true);
+      tensor::Var loss;
+      {
+        OBS_SPAN("train.forward_backward");
+        loss = model->Loss(train_examples[idx], /*train=*/true);
+        if (loss.defined()) tensor::Backward(loss);
+      }
       ++stats.sentences_seen;
       if (loss.defined()) {
-        tensor::Backward(loss);
         window_loss += loss.value().at(0);
         ++window_count;
         ++in_batch;
       }
       if (in_batch >= options.batch_size) {
-        optimizer.Step();
+        {
+          OBS_SPAN("train.step");
+          optimizer.Step();
+        }
         ++stats.steps;
         in_batch = 0;
         if (options.max_steps > 0 && stats.steps >= options.max_steps) {
@@ -63,6 +72,7 @@ TrainStats TrainSerial(TrainableModel* model,
     }
     if (done) break;
     if (in_batch > 0) {
+      OBS_SPAN("train.step");
       optimizer.Step();
       ++stats.steps;
       if (options.max_steps > 0 && stats.steps >= options.max_steps) break;
@@ -196,6 +206,7 @@ TrainStats TrainStateful(TrainableModel* model,
   // Snapshots the complete loop state; `next_cursor` is where the inner loop
   // will pick up within the current epoch's order.
   const auto save_checkpoint = [&](int64_t epoch, int64_t next_cursor) {
+    OBS_SPAN("train.checkpoint");
     TrainerState ts;
     ts.epoch = epoch;
     ts.cursor = next_cursor;
@@ -224,6 +235,7 @@ TrainStats TrainStateful(TrainableModel* model,
 
   bool done = false;
   for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    OBS_SPAN("train.epoch");
     // A restored epoch was already shuffled before the snapshot (the saved
     // master RNG state is post-shuffle); re-shuffling would double-draw.
     const bool resumed_epoch = restored && epoch == start_epoch;
@@ -237,25 +249,32 @@ TrainStats TrainStateful(TrainableModel* model,
                    order.size() - group_start);
       std::fill(worker_loss.begin(), worker_loss.end(), 0.0);
       std::fill(worker_defined.begin(), worker_defined.end(), int64_t{0});
-      pool->RunWorkers(nthreads, [&](int w) {
-        const size_t lo = group * static_cast<size_t>(w) /
-                          static_cast<size_t>(nthreads);
-        const size_t hi = group * (static_cast<size_t>(w) + 1) /
-                          static_cast<size_t>(nthreads);
-        if (lo == hi) return;
-        tensor::GradScope::Activation act(&scopes[static_cast<size_t>(w)]);
-        for (size_t i = lo; i < hi; ++i) {
-          tensor::Var loss = model->Loss(train_examples[order[group_start + i]],
-                                         /*train=*/true,
-                                         &worker_rngs[static_cast<size_t>(w)]);
-          if (loss.defined()) {
-            tensor::Backward(loss);
-            worker_loss[static_cast<size_t>(w)] += loss.value().at(0);
-            ++worker_defined[static_cast<size_t>(w)];
+      OBS_SPAN("train.group");
+      {
+        OBS_SPAN("train.forward_backward");
+        pool->RunWorkers(nthreads, [&](int w) {
+          const size_t lo = group * static_cast<size_t>(w) /
+                            static_cast<size_t>(nthreads);
+          const size_t hi = group * (static_cast<size_t>(w) + 1) /
+                            static_cast<size_t>(nthreads);
+          if (lo == hi) return;
+          tensor::GradScope::Activation act(&scopes[static_cast<size_t>(w)]);
+          for (size_t i = lo; i < hi; ++i) {
+            tensor::Var loss = model->Loss(
+                train_examples[order[group_start + i]], /*train=*/true,
+                &worker_rngs[static_cast<size_t>(w)]);
+            if (loss.defined()) {
+              tensor::Backward(loss);
+              worker_loss[static_cast<size_t>(w)] += loss.value().at(0);
+              ++worker_defined[static_cast<size_t>(w)];
+            }
           }
-        }
-      });
-      nn::ParameterStore::ReduceGradScopes(&scopes);
+        });
+      }
+      {
+        OBS_SPAN("train.reduce");
+        nn::ParameterStore::ReduceGradScopes(&scopes);
+      }
       stats.sentences_seen += static_cast<int64_t>(group);
       for (int w = 0; w < nthreads; ++w) {
         window_loss += worker_loss[static_cast<size_t>(w)];
@@ -265,7 +284,10 @@ TrainStats TrainStateful(TrainableModel* model,
       // Same step rule as the serial loop — step once `batch_size` defined
       // losses have accumulated — evaluated at group granularity.
       if (in_batch >= options.batch_size) {
-        optimizer.Step();
+        {
+          OBS_SPAN("train.step");
+          optimizer.Step();
+        }
         ++stats.steps;
         in_batch = 0;
         // Snapshot right after the step: gradients are clear and the next
@@ -294,7 +316,10 @@ TrainStats TrainStateful(TrainableModel* model,
     }
     if (done) break;
     if (in_batch > 0) {
-      optimizer.Step();
+      {
+        OBS_SPAN("train.step");
+        optimizer.Step();
+      }
       ++stats.steps;
       in_batch = 0;
       if (checkpointing && stats.steps % options.checkpoint_every_steps == 0) {

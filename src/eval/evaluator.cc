@@ -1,5 +1,6 @@
 #include "eval/evaluator.h"
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace bootleg::eval {
@@ -52,6 +53,7 @@ void EvaluateSentence(NedScorer* model, const data::Sentence& sentence,
                       const data::ExampleOptions& eval_options,
                       const data::EntityCounts& counts,
                       std::vector<PredictionRecord>* out) {
+  OBS_SPAN("eval.sentence");
   const data::SentenceExample example = builder.Build(sentence, eval_options);
   if (example.mentions.empty()) return;
   const std::vector<int64_t> preds = model->Predict(example);
@@ -82,6 +84,7 @@ ResultSet RunEvaluation(NedScorer* model,
                         const data::ExampleOptions& options,
                         const data::EntityCounts& counts,
                         int num_threads) {
+  OBS_SPAN("eval.run");
   data::ExampleOptions eval_options = options;
   eval_options.include_weak_labels = false;  // evaluate true anchors only
 

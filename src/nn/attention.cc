@@ -1,5 +1,7 @@
 #include "nn/attention.h"
 
+#include "obs/trace.h"
+
 #include <cmath>
 
 #include "nn/init.h"
@@ -114,6 +116,7 @@ Var AttentionBlock::Forward(const Var& queries, const Var& keys, util::Rng* rng,
 Tensor AttentionBlock::ForwardSegmentsValue(
     const Tensor& queries, const Tensor& keys,
     const std::vector<AttentionSegment>& segments) const {
+  OBS_SPAN("nn.attention.segments");
   Tensor attended = mha_.AttendSegmentsValue(queries, keys, segments);
   Tensor h = ln1_.ForwardValue(tensor::Add(queries, attended));
   Tensor ff_out = ff_.ForwardValue(h);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace bootleg::nn {
@@ -107,6 +108,7 @@ util::Status Adam::LoadState(util::BinaryReader* r) {
 }
 
 void Adam::Step() {
+  OBS_SPAN("nn.adam.step");
   ++step_;
   const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
   const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));

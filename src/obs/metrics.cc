@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace bootleg::obs {
+
+namespace {
+
+// Complete 1-2-5 ladder: 1, 2, 5, 10, 20, 50, … 100'000'000 µs (25 finite
+// bounds), plus one overflow bucket.
+constexpr int64_t kBounds[LatencyHistogram::kNumBuckets - 1] = {
+    1,        2,        5,        10,       20,
+    50,       100,      200,      500,      1000,
+    2000,     5000,     10000,    20000,    50000,
+    100000,   200000,   500000,   1000000,  2000000,
+    5000000,  10000000, 20000000, 50000000, 100000000};
+
+int BucketFor(int64_t micros) {
+  for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+    if (micros <= kBounds[i]) return i;
+  }
+  return LatencyHistogram::kNumBuckets - 1;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name, bool first) {
+  if (!first) *out += ", ";
+  *out += '"';
+  *out += name;  // registry names are dot-scoped identifiers, never escaped
+  *out += "\": ";
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { Reset(); }
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[static_cast<size_t>(BucketFor(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::PercentileUs(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the q-quantile observation (1-based, ceiling).
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketBoundUs(i);
+  }
+  return BucketBoundUs(kNumBuckets - 1);
+}
+
+double LatencyHistogram::MeanUs() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+int64_t LatencyHistogram::BucketBoundUs(int i) {
+  if (i < 0) i = 0;
+  if (i >= kNumBuckets - 1) return kBounds[kNumBuckets - 2];
+  return kBounds[i];
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Snapshot(const LatencyHistogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum_us = h.sum_us();
+  s.mean_us = h.MeanUs();
+  s.p50_us = h.PercentileUs(0.50);
+  s.p95_us = h.PercentileUs(0.95);
+  s.p99_us = h.PercentileUs(0.99);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, Snapshot(*h));
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : CounterValues()) {
+    AppendJsonKey(&out, name, first);
+    out += std::to_string(value);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : GaugeValues()) {
+    AppendJsonKey(&out, name, first);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += buf;
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : HistogramValues()) {
+    AppendJsonKey(&out, name, first);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %lld, \"sum_us\": %lld, \"mean_us\": %.3f, "
+                  "\"p50_us\": %lld, \"p95_us\": %lld, \"p99_us\": %lld}",
+                  static_cast<long long>(s.count),
+                  static_cast<long long>(s.sum_us), s.mean_us,
+                  static_cast<long long>(s.p50_us),
+                  static_cast<long long>(s.p95_us),
+                  static_cast<long long>(s.p99_us));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace bootleg::obs

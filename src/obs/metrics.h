@@ -1,0 +1,138 @@
+#ifndef BOOTLEG_OBS_METRICS_H_
+#define BOOTLEG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bootleg::obs {
+
+/// Monotonically increasing event counter. Add() is one relaxed atomic
+/// fetch_add, so counters sit on request/step hot paths without serializing
+/// the threads that bump them.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, loaded-model epoch, …).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram in microseconds. Record() is lock-free
+/// (one relaxed atomic increment), so it sits on the per-request hot path of
+/// every server thread without serializing them; percentile reads scan the
+/// buckets and are approximate to one bucket width, which is all a serving
+/// dashboard needs.
+///
+/// Buckets are exponential (a complete 1-2-5 ladder per decade) from 1µs to
+/// 100s plus an overflow bucket, so p50/p95/p99 stay meaningful from
+/// cache-hit micro-latencies up to cold multi-second outliers.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 26;
+
+  LatencyHistogram();
+
+  /// Adds one observation. Thread-safe, wait-free.
+  void Record(int64_t micros);
+
+  /// Upper bound (µs) of the bucket containing the q-quantile, q in [0, 1].
+  /// The quantile observation is the ceiling 1-based rank ⌈q·n⌉ (clamped to
+  /// [1, n]), so p50 of 3 observations is the 2nd. Returns 0 when empty.
+  /// Concurrent Record() calls may be partially visible; the result is a
+  /// consistent-enough snapshot for reporting.
+  int64_t PercentileUs(double q) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+
+  /// Inclusive upper bound of bucket i (the last bucket is unbounded and
+  /// reports its lower edge).
+  static int64_t BucketBoundUs(int i);
+
+  /// Zeroes every bucket and the count/sum (tests, registry reset). Not
+  /// atomic with respect to concurrent Record() calls.
+  void Reset();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+/// Point-in-time percentile summary of one histogram.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum_us = 0;
+  double mean_us = 0.0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+};
+
+HistogramSnapshot Snapshot(const LatencyHistogram& h);
+
+/// Process-wide home for named counters, gauges and latency histograms.
+///
+/// Get*() returns a stable pointer that stays valid for the life of the
+/// registry (instruments are never removed, only Reset()); callers look a
+/// name up once and then touch the instrument lock-free. Names are
+/// dot-scoped, lowercase, subsystem-first: `serve.requests`,
+/// `train.steps`, `serve.queue_wait_us`.
+///
+/// The Global() instance is what the serve `stats` op, `--trace_out` and the
+/// bench harness export; tests may construct private registries.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Sorted name → value snapshots (deterministic export order).
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramValues()
+      const;
+
+  /// The whole registry as one compact JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, ...}}}.
+  /// Self-contained (no serve::Json dependency) so tools and benches below
+  /// the serving layer can export it too.
+  std::string DumpJson() const;
+
+  /// Zeroes every registered instrument in place; pointers handed out by
+  /// Get*() remain valid. Tests and bench harness only.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments are internally safe
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace bootleg::obs
+
+#endif  // BOOTLEG_OBS_METRICS_H_

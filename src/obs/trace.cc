@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/io.h"
+
+namespace bootleg::obs {
+
+namespace {
+
+// Leaked intentionally: stages are referenced from function-local statics in
+// arbitrary translation units, so the map must outlive every destructor.
+std::mutex& StageMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, std::unique_ptr<StageStats>>& StageMap() {
+  static auto* stages = new std::map<std::string, std::unique_ptr<StageStats>>();
+  return *stages;
+}
+
+}  // namespace
+
+void StageStats::Record(int64_t us) {
+  hist_.Record(us);
+  int64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+void StageStats::Reset() {
+  hist_.Reset();
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+std::string SpanSummary::ToJson() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"span\": \"%s\", \"count\": %lld, \"total_us\": %lld, "
+      "\"mean_us\": %.3f, \"p50_us\": %lld, \"p95_us\": %lld, "
+      "\"p99_us\": %lld, \"max_us\": %lld}",
+      name.c_str(), static_cast<long long>(count),
+      static_cast<long long>(total_us), mean_us, static_cast<long long>(p50_us),
+      static_cast<long long>(p95_us), static_cast<long long>(p99_us),
+      static_cast<long long>(max_us));
+  return buf;
+}
+
+std::atomic<bool>& Trace::enabled_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+StageStats* Trace::Stage(const std::string& name) {
+  std::lock_guard<std::mutex> lock(StageMutex());
+  std::unique_ptr<StageStats>& slot = StageMap()[name];
+  if (slot == nullptr) slot = std::make_unique<StageStats>(name);
+  return slot.get();
+}
+
+std::vector<SpanSummary> Trace::Summaries() {
+  std::lock_guard<std::mutex> lock(StageMutex());
+  std::vector<SpanSummary> out;
+  out.reserve(StageMap().size());
+  for (const auto& [name, stage] : StageMap()) {
+    const HistogramSnapshot s = Snapshot(stage->histogram());
+    if (s.count == 0) continue;
+    SpanSummary row;
+    row.name = name;
+    row.count = s.count;
+    row.total_us = s.sum_us;
+    row.mean_us = s.mean_us;
+    row.p50_us = s.p50_us;
+    row.p95_us = s.p95_us;
+    row.p99_us = s.p99_us;
+    row.max_us = stage->max_us();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+util::Status Trace::WriteJsonl(const std::string& path) {
+  std::string body;
+  for (const SpanSummary& row : Summaries()) {
+    body += row.ToJson();
+    body += '\n';
+  }
+  return util::WriteTextFile(path, body);
+}
+
+void Trace::Reset() {
+  std::lock_guard<std::mutex> lock(StageMutex());
+  for (auto& [name, stage] : StageMap()) stage->Reset();
+}
+
+}  // namespace bootleg::obs

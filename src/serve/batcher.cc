@@ -1,5 +1,7 @@
 #include "serve/batcher.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace bootleg::serve {
@@ -9,7 +11,11 @@ MicroBatcher::MicroBatcher(BatcherOptions options, BatchFn batch_fn,
     : options_(options),
       batch_fn_(std::move(batch_fn)),
       reload_fn_(std::move(reload_fn)),
-      counters_(counters) {
+      counters_(counters),
+      queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.queue_wait_us")),
+      queue_depth_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("serve.queue_depth")) {
   const int n = options_.workers < 1 ? 1 : options_.workers;
   workers_.reserve(static_cast<size_t>(n));
   for (int w = 0; w < n; ++w) {
@@ -44,6 +50,7 @@ std::future<util::StatusOr<SentenceResult>> MicroBatcher::Submit(
     req.done = std::move(promise);
     req.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(req));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     if (counters_ != nullptr) {
       counters_->requests.fetch_add(1, std::memory_order_relaxed);
     }
@@ -135,6 +142,7 @@ void MicroBatcher::WorkerLoop(int worker) {
     if (static_cast<int64_t>(batch.size()) > max_batch_observed_) {
       max_batch_observed_ = static_cast<int64_t>(batch.size());
     }
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     lock.unlock();
 
     {
@@ -145,11 +153,22 @@ void MicroBatcher::WorkerLoop(int worker) {
 }
 
 void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::string> texts;
   texts.reserve(batch.size());
-  for (const Request& r : batch) texts.push_back(r.text);
+  for (const Request& r : batch) {
+    queue_wait_hist_->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(start -
+                                                              r.enqueued)
+            .count());
+    texts.push_back(r.text);
+  }
 
-  std::vector<SentenceResult> results = batch_fn_(texts, worker);
+  std::vector<SentenceResult> results;
+  {
+    OBS_SPAN("serve.batch");
+    results = batch_fn_(texts, worker);
+  }
   if (counters_ != nullptr) {
     counters_->batches.fetch_add(1, std::memory_order_relaxed);
     counters_->batched_sentences.fetch_add(

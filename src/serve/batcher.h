@@ -98,6 +98,9 @@ class MicroBatcher {
   const BatchFn batch_fn_;
   const ReloadFn reload_fn_;
   ServerCounters* const counters_;
+  // Registry-owned (never deallocated), so the raw pointers are always valid.
+  LatencyHistogram* const queue_wait_hist_;
+  obs::Gauge* const queue_depth_gauge_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

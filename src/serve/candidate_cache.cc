@@ -21,7 +21,6 @@ bool CandidateCache::Lookup(const kb::CandidateMap& map,
   // Tokens outside Γ are not candidate lookups at all — they are neither
   // cached nor counted, so garbage tokens can't distort the hit rate.
   if (cands == nullptr || cands->empty()) return false;
-  misses_.fetch_add(1, std::memory_order_relaxed);
   CachedCandidates fresh;
   fresh.entities.reserve(cands->size());
   fresh.priors.reserve(cands->size());
@@ -33,13 +32,15 @@ bool CandidateCache::Lookup(const kb::CandidateMap& map,
 
   std::lock_guard<std::mutex> lock(mu_);
   // Another thread may have inserted the same alias while we were reading
-  // the map; the splice-to-front path above would have found it, so just
-  // refresh recency if present.
+  // the map; the entry is already in (and served from) the cache, so that
+  // counts as a hit — a miss is recorded only on an actual insert below.
   auto it = index_.find(alias);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   lru_.emplace_front(alias, std::move(fresh));
   index_[alias] = lru_.begin();
   if (lru_.size() > capacity_) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/model_loader.h"
+#include "obs/trace.h"
 #include "text/vocabulary.h"
 #include "util/io.h"
 #include "util/logging.h"
@@ -121,28 +122,32 @@ std::vector<SentenceResult> InferenceEngine::Disambiguate(
   // Γ hash lookups).
   std::vector<data::SentenceExample> examples(texts.size());
   std::vector<SentenceResult> results(texts.size());
-  CachedCandidates cached;
-  for (size_t i = 0; i < texts.size(); ++i) {
-    const std::vector<std::string> tokens = text::Tokenize(texts[i]);
-    examples[i].token_ids = text::Encode(vocab_, tokens);
-    for (size_t t = 0; t < tokens.size(); ++t) {
-      if (!cache_.Lookup(candidates_, tokens[t], &cached)) continue;
-      data::MentionExample m;
-      m.span_start = static_cast<int64_t>(t);
-      m.span_end = m.span_start;
-      m.candidates = cached.entities;
-      m.priors = cached.priors;
-      examples[i].mentions.push_back(std::move(m));
+  {
+    OBS_SPAN("serve.assemble");
+    CachedCandidates cached;
+    for (size_t i = 0; i < texts.size(); ++i) {
+      const std::vector<std::string> tokens = text::Tokenize(texts[i]);
+      examples[i].token_ids = text::Encode(vocab_, tokens);
+      for (size_t t = 0; t < tokens.size(); ++t) {
+        if (!cache_.Lookup(candidates_, tokens[t], &cached)) continue;
+        data::MentionExample m;
+        m.span_start = static_cast<int64_t>(t);
+        m.span_end = m.span_start;
+        m.candidates = cached.entities;
+        m.priors = cached.priors;
+        examples[i].mentions.push_back(std::move(m));
 
-      ServedMention served;
-      served.alias = tokens[t];
-      served.span_start = static_cast<int64_t>(t);
-      served.span_end = served.span_start;
-      served.num_candidates = static_cast<int64_t>(cached.entities.size());
-      results[i].mentions.push_back(std::move(served));
+        ServedMention served;
+        served.alias = tokens[t];
+        served.span_start = static_cast<int64_t>(t);
+        served.span_end = served.span_start;
+        served.num_candidates = static_cast<int64_t>(cached.entities.size());
+        results[i].mentions.push_back(std::move(served));
+      }
     }
   }
 
+  OBS_SPAN("serve.predict");
   std::vector<const data::SentenceExample*> batch;
   batch.reserve(examples.size());
   for (const data::SentenceExample& ex : examples) batch.push_back(&ex);

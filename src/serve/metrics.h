@@ -1,51 +1,24 @@
 #ifndef BOOTLEG_SERVE_METRICS_H_
 #define BOOTLEG_SERVE_METRICS_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace bootleg::serve {
 
-/// Fixed-bucket latency histogram in microseconds. Record() is lock-free
-/// (one relaxed atomic increment), so it sits on the per-request hot path of
-/// every server thread without serializing them; percentile reads scan the
-/// buckets and are approximate to one bucket width, which is all a serving
-/// dashboard needs.
-///
-/// Buckets are exponential (1-2-5 per decade) from 1µs to 100s plus an
-/// overflow bucket, so p50/p95/p99 stay meaningful from cache-hit
-/// micro-latencies up to cold multi-second outliers.
-class LatencyHistogram {
- public:
-  static constexpr int kNumBuckets = 25;
-
-  LatencyHistogram();
-
-  /// Adds one observation. Thread-safe, wait-free.
-  void Record(int64_t micros);
-
-  /// Upper bound (µs) of the bucket containing the q-quantile, q in [0, 1].
-  /// Returns 0 when empty. Concurrent Record() calls may be partially
-  /// visible; the result is a consistent-enough snapshot for reporting.
-  int64_t PercentileUs(double q) const;
-
-  int64_t count() const { return count_.load(std::memory_order_relaxed); }
-  int64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
-  double MeanUs() const;
-
-  /// Inclusive upper bound of bucket i (the last bucket is unbounded and
-  /// reports its lower edge).
-  static int64_t BucketBoundUs(int i);
-
- private:
-  std::array<std::atomic<int64_t>, kNumBuckets> buckets_;
-  std::atomic<int64_t> count_{0};
-  std::atomic<int64_t> sum_us_{0};
-};
+/// The serving latency histogram is the process-wide obs instrument; the
+/// alias keeps the historical serve::LatencyHistogram spelling working for
+/// callers and tests.
+using LatencyHistogram = ::bootleg::obs::LatencyHistogram;
 
 /// Counters every serving front end shares. Plain relaxed atomics: the
 /// counters are monotonically increasing and read only for reporting.
+/// Instance-local by design (benches and tests run several serving stacks in
+/// one process and want independent zeros); the server's `stats` op
+/// federates them with the global obs::MetricsRegistry + trace spans when it
+/// builds the reply.
 struct ServerCounters {
   std::atomic<int64_t> requests{0};        // disambiguate requests accepted
   std::atomic<int64_t> rejected{0};        // backpressure rejections

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "util/logging.h"
 
@@ -36,6 +38,7 @@ Server::Server(InferenceEngine* engine, MicroBatcher* batcher,
 Server::~Server() { Stop(); }
 
 std::string Server::HandleLine(const std::string& line) {
+  OBS_SPAN("serve.request");
   util::StatusOr<Json> parsed = Json::Parse(line);
   if (!parsed.ok()) {
     if (counters_ != nullptr) {
@@ -132,6 +135,50 @@ std::string Server::HandleLine(const std::string& line) {
       lat.Set("p99_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.99))));
       reply.Set("latency", std::move(lat));
     }
+
+    // Process-wide observability: the metrics registry federated with this
+    // server's own counters (which stay instance-local so multiple servers
+    // in one process — as in tests and benches — never share request counts).
+    const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    Json jregistry = Json::Object();
+    Json jcounters = Json::Object();
+    for (const auto& [name, value] : registry.CounterValues()) {
+      jcounters.Set(name, Json::Number(static_cast<double>(value)));
+    }
+    jregistry.Set("counters", std::move(jcounters));
+    Json jgauges = Json::Object();
+    for (const auto& [name, value] : registry.GaugeValues()) {
+      jgauges.Set(name, Json::Number(value));
+    }
+    jregistry.Set("gauges", std::move(jgauges));
+    Json jhists = Json::Object();
+    for (const auto& [name, snap] : registry.HistogramValues()) {
+      Json jh = Json::Object();
+      jh.Set("count", Json::Number(static_cast<double>(snap.count)));
+      jh.Set("mean_us", Json::Number(snap.mean_us));
+      jh.Set("p50_us", Json::Number(static_cast<double>(snap.p50_us)));
+      jh.Set("p95_us", Json::Number(static_cast<double>(snap.p95_us)));
+      jh.Set("p99_us", Json::Number(static_cast<double>(snap.p99_us)));
+      jhists.Set(name, std::move(jh));
+    }
+    jregistry.Set("histograms", std::move(jhists));
+    reply.Set("registry", std::move(jregistry));
+
+    Json jspans = Json::Array();
+    for (const obs::SpanSummary& s : obs::Trace::Summaries()) {
+      Json js = Json::Object();
+      js.Set("span", Json::Str(s.name));
+      js.Set("count", Json::Number(static_cast<double>(s.count)));
+      js.Set("total_us", Json::Number(static_cast<double>(s.total_us)));
+      js.Set("mean_us", Json::Number(s.mean_us));
+      js.Set("p50_us", Json::Number(static_cast<double>(s.p50_us)));
+      js.Set("p95_us", Json::Number(static_cast<double>(s.p95_us)));
+      js.Set("p99_us", Json::Number(static_cast<double>(s.p99_us)));
+      js.Set("max_us", Json::Number(static_cast<double>(s.max_us)));
+      jspans.Append(std::move(js));
+    }
+    reply.Set("spans", std::move(jspans));
+
     reply.Set("model", Json::Str(engine_->loaded_path()));
     return reply.Dump();
   }

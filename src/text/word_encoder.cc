@@ -1,5 +1,7 @@
 #include "text/word_encoder.h"
 
+#include "obs/trace.h"
+
 namespace bootleg::text {
 
 using tensor::Tensor;
@@ -40,6 +42,7 @@ Var WordEncoder::Encode(const std::vector<int64_t>& token_ids, util::Rng* rng,
 Tensor WordEncoder::EncodeBatchValue(
     const std::vector<const std::vector<int64_t>*>& sequences,
     std::vector<std::pair<int64_t, int64_t>>* ranges) const {
+  OBS_SPAN("text.encode_batch");
   std::vector<int64_t> all_ids;
   std::vector<nn::AttentionSegment> segments;
   ranges->clear();

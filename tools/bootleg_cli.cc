@@ -6,7 +6,7 @@
 //                       [--ablation full|ent|type|kg] [--no-weak-labels]
 //                       [--checkpoint_dir DIR [--checkpoint_every STEPS]
 //                        [--retain K] [--resume] [--max_steps N]
-//                        [--fault_fail_after BYTES]]
+//                        [--fault_fail_after BYTES]] [--trace_out FILE]
 //   bootleg_cli eval    --data DIR --model PATH [--split dev|test]
 //   bootleg_cli predict --data DIR --model PATH --text "..."
 //
@@ -29,6 +29,7 @@
 #include "data/weak_label.h"
 #include "data/world.h"
 #include "eval/evaluator.h"
+#include "obs/trace.h"
 #include "util/io.h"
 #include "util/string_util.h"
 
@@ -37,13 +38,19 @@ using namespace bootleg;  // NOLINT
 namespace {
 
 /// Minimal --flag value parser; flags without '--' are positional.
+/// Accepts both `--flag value` and `--flag=value`.
 class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
-        const std::string key = arg.substr(2);
+        std::string key = arg.substr(2);
+        const size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          values_[key.substr(0, eq)] = key.substr(eq + 1);
+          continue;
+        }
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
           values_[key] = argv[++i];
         } else {
@@ -158,6 +165,8 @@ int CmdTrain(const Flags& flags) {
     std::fprintf(stderr, "train requires --model PATH\n");
     return 2;
   }
+  const std::string trace_out = flags.Get("trace_out");
+  if (!trace_out.empty()) obs::Trace::Enable(true);
   if (!flags.Has("no-weak-labels")) {
     const data::WeakLabelStats wl =
         data::ApplyWeakLabeling(ds.kb, &ds.corpus.train);
@@ -214,6 +223,14 @@ int CmdTrain(const Flags& flags) {
     return 1;
   }
   std::printf("saved %s\n", model_path.c_str());
+  if (!trace_out.empty()) {
+    status = obs::Trace::WriteJsonl(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote per-stage trace to %s\n", trace_out.c_str());
+  }
   return 0;
 }
 
@@ -309,7 +326,7 @@ int Usage() {
       "          [--ablation full|ent|type|kg] [--no-weak-labels]\n"
       "          [--checkpoint_dir DIR] [--checkpoint_every STEPS]\n"
       "          [--retain K] [--resume] [--max_steps N]\n"
-      "          [--fault_fail_after BYTES]\n"
+      "          [--fault_fail_after BYTES] [--trace_out FILE]\n"
       "  eval    --data DIR --model PATH [--split dev|test] [--threads N]\n"
       "  predict --data DIR --model PATH --text \"...\"\n");
   return 2;

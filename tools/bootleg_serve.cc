@@ -9,6 +9,7 @@
 //                 [--workers N]       batch worker threads          (default 1)
 //                 [--cache N]         candidate cache capacity      (default 4096)
 //                 [--ablation A]      config preset when no .meta sidecar
+//                 [--no_trace]        disable per-stage trace spans
 //
 // Protocol: newline-delimited JSON; ops disambiguate / health / stats /
 // reload. SIGHUP hot-reloads the newest valid checkpoint (checkpoint_dir
@@ -21,6 +22,7 @@
 #include <map>
 #include <string>
 
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/inference_engine.h"
 #include "serve/metrics.h"
@@ -37,13 +39,19 @@ void OnSighup(int) { g_reload_requested = 1; }
 void OnTerm(int) { g_shutdown_requested = 1; }
 
 /// Same minimal --flag parser as bootleg_cli, minus the subcommand slot.
+/// Accepts both `--flag value` and `--flag=value`.
 class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
-      const std::string key = arg.substr(2);
+      std::string key = arg.substr(2);
+      const size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = std::string(argv[++i]);
       } else {
@@ -69,6 +77,9 @@ class Flags {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  // Spans feed the stats op's per-stage breakdown; --no_trace turns the
+  // clock reads off (span scopes then cost one atomic load + branch).
+  obs::Trace::Enable(!flags.Has("no_trace"));
   const std::string data = flags.Get("data");
   if (data.empty()) {
     std::fprintf(stderr,

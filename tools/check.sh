@@ -13,6 +13,10 @@
 #      drive it over stdin and TCP with concurrent clients (malformed lines
 #      included), assert stats are sane, hot-reload via SIGHUP, and verify a
 #      clean SIGTERM shutdown.
+#   6. Observability self-check: metrics/trace unit tests, the stats op must
+#      export the metrics registry (queue-wait histogram included) and
+#      per-stage spans covering a request end to end, and `train --trace_out`
+#      must emit a JSONL trace covering a full training step.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -23,36 +27,36 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/5] Release build + full test suite"
+echo "==> [1/6] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/5] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/6] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
-             parallel_test serve_test >/dev/null
+             parallel_test serve_test metrics_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
-           parallel_test serve_test; do
+           parallel_test serve_test metrics_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/5] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/6] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
-    --target checkpoint_test parallel_test serve_test >/dev/null
-  for t in checkpoint_test parallel_test serve_test; do
+    --target checkpoint_test parallel_test serve_test metrics_test >/dev/null
+  for t in checkpoint_test parallel_test serve_test metrics_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/5],[3/5] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/6],[3/6] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/5] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/6] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -98,7 +102,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/5] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/6] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -180,5 +184,45 @@ serve_rpc '{"op": "stats"}' | grep -Eq '"reloads": *[1-9]' \
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
+
+echo "==> [6/6] observability: registry + spans in stats, train --trace_out"
+./build/tests/metrics_test >/dev/null \
+  || { echo "FAIL: metrics_test failed"; exit 1; }
+
+# A fresh stdin server, driven with a sentence containing a real alias (pulled
+# from the corpus so the request reaches the model): stats must carry the
+# process metrics registry (micro-batcher queue wait) and spans for the whole
+# request path (serve.request down to the model's infer.* stages).
+ALIAS=$("$CLI" inspect --data "$WORK/data" --n 1 \
+  | sed -n 's/.*\[\([^]|>-]*\)->.*/\1/p' | head -1)
+[[ -n "$ALIAS" ]] || { echo "FAIL: could not extract an alias"; exit 1; }
+OBS_STATS=$(printf '%s\n' \
+  "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+  '{"op": "stats"}' \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin 2>/dev/null \
+  | sed -n 2p)
+for key in '"registry"' '"spans"' 'serve.queue_wait_us' '"span": *"serve.request"' \
+           '"span": *"infer.encode"' '"span": *"infer.score"'; do
+  echo "$OBS_STATS" | grep -Eq "$key" \
+    || { echo "FAIL: stats missing $key: $OBS_STATS"; exit 1; }
+done
+
+# --no_trace must suppress the span report but keep the stats op working.
+printf '%s\n' \
+  "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+  '{"op": "stats"}' \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin --no_trace \
+      2>/dev/null \
+  | sed -n 2p | grep -Eq '"spans": *\[\]' \
+  || { echo "FAIL: --no_trace still reported spans"; exit 1; }
+
+# Traced training run (= flag syntax on purpose): the JSONL must cover a full
+# step — forward/backward, the optimizer, and the epoch that contains them.
+"$CLI" train --data "$WORK/data" --model "$WORK/traced.bin" --epochs 1 \
+  --trace_out="$WORK/trace.jsonl" >/dev/null
+for stage in train.epoch train.forward_backward train.step nn.adam.step; do
+  grep -q "\"span\": \"$stage\"" "$WORK/trace.jsonl" \
+    || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
+done
 
 echo "OK: all checks passed"

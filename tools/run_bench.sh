@@ -3,6 +3,9 @@
 #   1. micro-kernel suite  -> BENCH_kernels.json (google-benchmark JSON)
 #   2. serving suite       -> BENCH_serve.json   (closed-loop clients at fixed
 #      concurrency against the micro-batching engine; throughput + p50/p95/p99)
+#   3. observability suite -> BENCH_obs.json     (disabled/enabled span cost,
+#      disabled-span overhead on MatMul/128, and a traced train+serve
+#      workload's per-stage wall-time breakdown)
 #
 # Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks
@@ -15,7 +18,7 @@ BUILD_DIR="${1:-"${REPO_ROOT}/build"}"
 shift || true
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench -j >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_kernels.json"
 "${BUILD_DIR}/bench/micro_kernels" \
@@ -29,3 +32,7 @@ SERVE_OUT="${REPO_ROOT}/BENCH_serve.json"
 "${BUILD_DIR}/bench/serve_bench" \
   --out "${SERVE_OUT}" \
   --requests "${SERVE_BENCH_REQUESTS:-500}"
+
+OBS_OUT="${REPO_ROOT}/BENCH_obs.json"
+"${BUILD_DIR}/bench/obs_bench" --out "${OBS_OUT}"
+echo "wrote ${OBS_OUT}"

@@ -1,0 +1,255 @@
+// Embedding-store benchmark: quantifies what serving entity features from a
+// memory-mapped (optionally int8-quantized) store costs against the classic
+// in-heap frozen table, and what it saves in resident memory.
+//
+//   store_bench [--out PATH]
+//
+// Reported:
+//   - gather cost in ns per row for heap floats, mmap floats (zero-copy
+//     RowPtr) and mmap int8 (dequantize-on-gather), over a synthetic
+//     20k x 128 table with a uniform-random access pattern
+//   - resident bytes of the float heap table vs the mapped float / int8
+//     stores; the acceptance bar is >=3x reduction for int8 (the raw ratio
+//     is 4x, minus per-row scales and per-shard headers)
+//   - end-to-end serve-path cost: batched PredictExamples latency on a
+//     synthetic world with the heap path, the float store and the int8
+//     store; the acceptance bar is <20% overhead for the store paths
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/world.h"
+#include "serve/inference_engine.h"
+#include "store/embedding_store.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+using namespace bootleg;  // NOLINT
+
+namespace {
+
+volatile float g_sink = 0.0f;  // defeats loop elision
+
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// ns per row gathering `ids` through a view into `dst`, summing one element
+/// per row into the sink so the loads cannot be elided.
+double TimeGatherNs(const store::StoreView& view,
+                    const std::vector<int64_t>& ids, float* dst) {
+  const int64_t cols = view.cols();
+  const auto begin = std::chrono::steady_clock::now();
+  float acc = 0.0f;
+  for (const int64_t id : ids) {
+    const float* src = view.RowPtr(id);
+    if (src == nullptr) {
+      view.GatherRow(id, dst);
+      src = dst;
+    }
+    acc += src[0] + src[cols - 1];
+  }
+  g_sink = acc;
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+  return ns / static_cast<double>(ids.size());
+}
+
+/// Seconds to run every dev example through the engine once, in one batch.
+double TimePredictPass(serve::InferenceEngine* engine,
+                       const std::vector<const data::SentenceExample*>& batch,
+                       core::BootlegModel::InferenceScratch* scratch) {
+  const auto begin = std::chrono::steady_clock::now();
+  const auto preds = engine->PredictExamples(batch, scratch);
+  g_sink = static_cast<float>(preds.size());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_store.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+  util::ThreadPool::ResetGlobal(util::ThreadPool::EnvThreads());
+
+  const std::string work_dir =
+      (std::filesystem::temp_directory_path() / "bootleg_store_bench").string();
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  // --- Gather microbenchmark over a synthetic 20k x 128 table --------------
+  const int64_t rows = 20000, cols = 128;
+  util::Rng rng(17);
+  std::vector<float> table(static_cast<size_t>(rows * cols));
+  for (float& v : table) {
+    v = static_cast<float>(rng.Normal(0.0, 0.25));
+  }
+
+  store::WriteOptions write_options;
+  write_options.shards = 8;
+  write_options.dtype = store::Dtype::kFloat32;
+  BOOTLEG_CHECK(store::WriteStore(work_dir + "/float_store",
+                                  {{"static", table.data(), rows, cols}},
+                                  write_options)
+                    .ok());
+  write_options.dtype = store::Dtype::kInt8;
+  BOOTLEG_CHECK(store::WriteStore(work_dir + "/int8_store",
+                                  {{"static", table.data(), rows, cols}},
+                                  write_options)
+                    .ok());
+
+  auto float_store = store::EmbeddingStore::Open(work_dir + "/float_store");
+  auto int8_store = store::EmbeddingStore::Open(work_dir + "/int8_store");
+  BOOTLEG_CHECK(float_store.ok() && int8_store.ok());
+  const store::HeapView heap_view(table.data(), rows, cols);
+  const auto mmap_float_view = float_store.value()->View("static").value();
+  const auto mmap_int8_view = int8_store.value()->View("static").value();
+
+  std::vector<int64_t> ids(200000);
+  for (int64_t& id : ids) id = rng.UniformInt(0, rows - 1);
+  std::vector<float> dst(static_cast<size_t>(cols));
+
+  TimeGatherNs(heap_view, ids, dst.data());  // warm up caches and pages
+  TimeGatherNs(*mmap_float_view, ids, dst.data());
+  TimeGatherNs(*mmap_int8_view, ids, dst.data());
+  std::vector<double> heap_ns, mmap_float_ns, mmap_int8_ns;
+  for (int r = 0; r < 7; ++r) {
+    heap_ns.push_back(TimeGatherNs(heap_view, ids, dst.data()));
+    mmap_float_ns.push_back(TimeGatherNs(*mmap_float_view, ids, dst.data()));
+    mmap_int8_ns.push_back(TimeGatherNs(*mmap_int8_view, ids, dst.data()));
+  }
+  const double heap_row_ns = MedianOf(heap_ns);
+  const double float_row_ns = MedianOf(mmap_float_ns);
+  const double int8_row_ns = MedianOf(mmap_int8_ns);
+
+  const uint64_t heap_bytes = static_cast<uint64_t>(rows * cols) * sizeof(float);
+  const uint64_t float_mapped = float_store.value()->mapped_bytes();
+  const uint64_t int8_mapped = int8_store.value()->mapped_bytes();
+  const double memory_reduction =
+      static_cast<double>(heap_bytes) / static_cast<double>(int8_mapped);
+  const double quant_max_abs_error =
+      int8_store.value()->FindTable("static")->max_abs_error;
+
+  std::printf("gather ns/row: heap %.1f, mmap-float %.1f, mmap-int8 %.1f\n",
+              heap_row_ns, float_row_ns, int8_row_ns);
+  std::printf("resident bytes: heap %llu, mmap-float %llu, mmap-int8 %llu "
+              "(%.2fx reduction)\n",
+              static_cast<unsigned long long>(heap_bytes),
+              static_cast<unsigned long long>(float_mapped),
+              static_cast<unsigned long long>(int8_mapped), memory_reduction);
+
+  // --- End-to-end serve path on a synthetic world ---------------------------
+  data::SynthConfig config = data::SynthConfig::MicroScale();
+  config.num_pages = 60;
+  const data::SynthWorld world = data::BuildWorld(config);
+  data::CorpusGenerator generator(&world);
+  const data::Corpus corpus = generator.Generate();
+  const std::string data_dir = work_dir + "/world";
+  std::filesystem::create_directories(data_dir);
+  BOOTLEG_CHECK(world.kb.Save(data_dir + "/kb.bin").ok());
+  BOOTLEG_CHECK(world.candidates.Save(data_dir + "/candidates.bin").ok());
+  BOOTLEG_CHECK(world.vocab.Save(data_dir + "/vocab.bin").ok());
+  core::BootlegConfig model_config;
+  model_config.encoder.max_len = 32;
+  core::BootlegModel model(&world.kb, world.vocab.size(), model_config, 123);
+  BOOTLEG_CHECK(model.store().Save(data_dir + "/model.bin").ok());
+
+  model.PrepareFrozenInference();
+  const tensor::Tensor& frozen = model.frozen_static();
+  for (const auto& [name, dtype] :
+       std::vector<std::pair<std::string, store::Dtype>>{
+           {"serve_float", store::Dtype::kFloat32},
+           {"serve_int8", store::Dtype::kInt8}}) {
+    store::WriteOptions wo;
+    wo.shards = 4;
+    wo.dtype = dtype;
+    BOOTLEG_CHECK(store::WriteStore(work_dir + "/" + name,
+                                    {{"static", frozen.data(), frozen.size(0),
+                                      frozen.size(1)}},
+                                    wo)
+                      .ok());
+  }
+
+  const auto make_engine = [&](const std::string& store_dir) {
+    serve::EngineOptions options;
+    options.data_dir = data_dir;
+    options.model_path = data_dir + "/model.bin";
+    options.store_dir = store_dir;
+    auto engine = serve::InferenceEngine::Create(options);
+    BOOTLEG_CHECK_MSG(engine.ok(), engine.status().ToString());
+    return std::move(engine.value());
+  };
+  auto heap_engine = make_engine("");
+  auto float_engine = make_engine(work_dir + "/serve_float");
+  auto int8_engine = make_engine(work_dir + "/serve_int8");
+
+  data::ExampleBuilder builder(&world.candidates, &world.vocab);
+  data::ExampleOptions example_options;
+  example_options.include_weak_labels = false;
+  const std::vector<data::SentenceExample> examples =
+      builder.BuildAll(corpus.dev, example_options);
+  std::vector<const data::SentenceExample*> batch;
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  BOOTLEG_CHECK(!batch.empty());
+
+  core::BootlegModel::InferenceScratch scratch;
+  TimePredictPass(heap_engine.get(), batch, &scratch);  // warmup
+  TimePredictPass(float_engine.get(), batch, &scratch);
+  TimePredictPass(int8_engine.get(), batch, &scratch);
+  std::vector<double> heap_s, float_s, int8_s;
+  for (int r = 0; r < 9; ++r) {
+    heap_s.push_back(TimePredictPass(heap_engine.get(), batch, &scratch));
+    float_s.push_back(TimePredictPass(float_engine.get(), batch, &scratch));
+    int8_s.push_back(TimePredictPass(int8_engine.get(), batch, &scratch));
+  }
+  const double heap_pass = MedianOf(heap_s);
+  const double float_overhead_pct = (MedianOf(float_s) / heap_pass - 1.0) * 100.0;
+  const double int8_overhead_pct = (MedianOf(int8_s) / heap_pass - 1.0) * 100.0;
+
+  std::printf("serve pass (%zu sentences): heap %.1f ms, float-store %+.2f%%, "
+              "int8-store %+.2f%%\n",
+              batch.size(), heap_pass * 1e3, float_overhead_pct,
+              int8_overhead_pct);
+
+  // --- Export ---------------------------------------------------------------
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"benchmark\": \"bootleg embedding store\",\n"
+      "  \"gather_table\": {\"rows\": %lld, \"cols\": %lld, \"lookups\": %zu},\n"
+      "  \"gather_ns_per_row\": {\"heap\": %.2f, \"mmap_float\": %.2f, "
+      "\"mmap_int8\": %.2f},\n"
+      "  \"resident_bytes\": {\"heap_float\": %llu, \"mmap_float\": %llu, "
+      "\"mmap_int8\": %llu},\n"
+      "  \"int8_memory_reduction_x\": %.3f,\n"
+      "  \"int8_quant_max_abs_error\": %.6g,\n"
+      "  \"serve_pass\": {\"sentences\": %zu, \"heap_ms\": %.3f, "
+      "\"float_store_overhead_pct\": %.3f, \"int8_store_overhead_pct\": %.3f}\n"
+      "}\n",
+      static_cast<long long>(rows), static_cast<long long>(cols), ids.size(),
+      heap_row_ns, float_row_ns, int8_row_ns,
+      static_cast<unsigned long long>(heap_bytes),
+      static_cast<unsigned long long>(float_mapped),
+      static_cast<unsigned long long>(int8_mapped), memory_reduction,
+      quant_max_abs_error, batch.size(), heap_pass * 1e3, float_overhead_pct,
+      int8_overhead_pct);
+  std::ofstream f(out_path);
+  f << buf;
+  f.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

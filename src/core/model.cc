@@ -1,9 +1,11 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "nn/init.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -411,6 +413,15 @@ std::vector<int64_t> BootlegModel::Predict(const data::SentenceExample& example)
   return preds;
 }
 
+int64_t BootlegModel::FrozenStaticCols() const {
+  int64_t cols = 0;
+  if (config_.use_entity) cols += config_.entity_dim;
+  if (config_.use_type) cols += config_.type_dim;
+  if (config_.use_kg) cols += config_.rel_dim;
+  if (config_.use_title_feature) cols += title_dim_;
+  return cols;
+}
+
 void BootlegModel::PrepareFrozenInference() {
   int64_t pre = 0;
   if (config_.use_entity) pre += config_.entity_dim;
@@ -423,6 +434,7 @@ void BootlegModel::PrepareFrozenInference() {
     post += title_dim_;
   }
   frozen_pre_cols_ = pre;
+  frozen_view_.reset();  // back to the heap path
   const int64_t n = kb_->num_entities();
   const int64_t cols = pre + post;
   frozen_static_ = Tensor({n, cols});
@@ -466,6 +478,39 @@ void BootlegModel::PrepareFrozenInference() {
     }
   }
   frozen_ready_ = true;
+}
+
+util::Status BootlegModel::UseFrozenStore(
+    std::shared_ptr<const store::StoreView> view) {
+  if (view == nullptr) {
+    return util::Status::InvalidArgument("UseFrozenStore: null view");
+  }
+  if (view->rows() != kb_->num_entities()) {
+    return util::Status::InvalidArgument(
+        "store has " + std::to_string(view->rows()) + " rows but the KB has " +
+        std::to_string(kb_->num_entities()) + " entities");
+  }
+  const int64_t want_cols = FrozenStaticCols();
+  if (view->cols() != want_cols) {
+    return util::Status::InvalidArgument(
+        "store has " + std::to_string(view->cols()) +
+        " columns but this config needs " + std::to_string(want_cols) +
+        " (was it exported under a different ablation?)");
+  }
+  int64_t pre = 0;
+  if (config_.use_entity) pre += config_.entity_dim;
+  if (config_.use_type) pre += config_.type_dim;
+  frozen_pre_cols_ = pre;
+  frozen_static_ = Tensor();  // the view replaces the heap table
+  frozen_view_ = std::move(view);
+  frozen_ready_ = true;
+  return util::Status::OK();
+}
+
+void BootlegModel::ReleaseEntityTableForServing() {
+  BOOTLEG_CHECK_MSG(frozen_view_ != nullptr,
+                    "ReleaseEntityTableForServing requires UseFrozenStore");
+  if (entity_emb_ != nullptr) entity_emb_->ReleaseTable();
 }
 
 std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
@@ -577,21 +622,52 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   {
     OBS_SPAN("infer.features");
     Tensor x({total_rows, input_dim_});
-    const int64_t static_cols = frozen_static_.size(1);
+    const int64_t static_cols = frozen_view_ != nullptr
+                                    ? frozen_view_->cols()
+                                    : frozen_static_.size(1);
     const int64_t post_cols = static_cols - frozen_pre_cols_;
     const int64_t coarse = use_tpred ? config_.coarse_dim : 0;
-    for (int64_t r = 0; r < total_rows; ++r) {
-      const float* src = frozen_static_.data() +
-                         s.row_entities[static_cast<size_t>(r)] * static_cols;
-      float* dst = x.data() + r * input_dim_;
-      for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
-      if (use_tpred) {
-        const float* tp = tpred_all.data() + r * coarse;
-        for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
+    if (frozen_view_ == nullptr) {
+      for (int64_t r = 0; r < total_rows; ++r) {
+        const float* src = frozen_static_.data() +
+                           s.row_entities[static_cast<size_t>(r)] * static_cols;
+        float* dst = x.data() + r * input_dim_;
+        for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
+        if (use_tpred) {
+          const float* tp = tpred_all.data() + r * coarse;
+          for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
+        }
+        for (int64_t j = 0; j < post_cols; ++j) {
+          dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
+        }
       }
-      for (int64_t j = 0; j < post_cols; ++j) {
-        dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
+    } else {
+      // Same assembly gathered through the store view (mmap float rows
+      // zero-copy; int8 dequantizes into the per-scratch staging row).
+      static obs::LatencyHistogram* gather_hist =
+          obs::MetricsRegistry::Global().GetHistogram("store.gather_us");
+      const auto gather_start = std::chrono::steady_clock::now();
+      s.row_buf.resize(static_cast<size_t>(static_cols));
+      for (int64_t r = 0; r < total_rows; ++r) {
+        const int64_t e = s.row_entities[static_cast<size_t>(r)];
+        const float* src = frozen_view_->RowPtr(e);
+        if (src == nullptr) {
+          frozen_view_->GatherRow(e, s.row_buf.data());
+          src = s.row_buf.data();
+        }
+        float* dst = x.data() + r * input_dim_;
+        for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
+        if (use_tpred) {
+          const float* tp = tpred_all.data() + r * coarse;
+          for (int64_t j = 0; j < coarse; ++j) dst[frozen_pre_cols_ + j] = tp[j];
+        }
+        for (int64_t j = 0; j < post_cols; ++j) {
+          dst[frozen_pre_cols_ + coarse + j] = src[frozen_pre_cols_ + j];
+        }
       }
+      gather_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - gather_start)
+                              .count());
     }
     e_all = input_mlp_->ForwardValue(x);
 

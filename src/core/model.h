@@ -14,8 +14,10 @@
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "nn/param_store.h"
+#include "store/embedding_store.h"
 #include "text/word_encoder.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace bootleg::core {
 
@@ -80,6 +82,7 @@ class BootlegModel : public eval::NedScorer {
     std::vector<int64_t> sent_mentions;
     std::vector<nn::AttentionSegment> p2e_segments;
     std::vector<nn::AttentionSegment> self_segments;
+    std::vector<float> row_buf;  // one-row staging for non-float store views
   };
 
   /// Precomputes every sentence-independent per-entity input feature (entity
@@ -89,6 +92,31 @@ class BootlegModel : public eval::NedScorer {
   /// serving hot-reload), since the table snapshots current values.
   void PrepareFrozenInference();
   bool frozen_ready() const { return frozen_ready_; }
+
+  /// Serves the frozen per-entity features from an external StoreView (a
+  /// memory-mapped embedding store) instead of the in-heap table built by
+  /// PrepareFrozenInference(). The view must cover every KB entity with
+  /// exactly FrozenStaticCols() columns — the layout PrepareFrozenInference
+  /// writes and `bootleg_cli export-store` persists. Replaces any previous
+  /// frozen state (heap table or earlier view); PredictBatch then gathers
+  /// through the view. A later PrepareFrozenInference() call drops the view
+  /// and returns to the heap path.
+  util::Status UseFrozenStore(std::shared_ptr<const store::StoreView> view);
+  bool frozen_from_store() const { return frozen_view_ != nullptr; }
+
+  /// Frozen static-feature column count for the current config: the store
+  /// schema PredictBatch expects ([entity | type_pool | rel_pool | title]).
+  int64_t FrozenStaticCols() const;
+
+  /// The in-heap frozen table (empty when serving from a store view).
+  const tensor::Tensor& frozen_static() const { return frozen_static_; }
+  int64_t frozen_pre_cols() const { return frozen_pre_cols_; }
+
+  /// Frees the entity embedding table after UseFrozenStore: its rows are
+  /// baked into the store, so keeping them resident would double the memory
+  /// the store exists to save. Serving-only — training and checkpointing
+  /// must not run on a model with a released table.
+  void ReleaseEntityTableForServing();
 
   /// Forward-only batched inference over several sentences at once (the
   /// serving path). Requires PrepareFrozenInference(). Returns Predict()'s
@@ -211,6 +239,9 @@ class BootlegModel : public eval::NedScorer {
   tensor::Tensor frozen_static_;
   int64_t frozen_pre_cols_ = 0;
   bool frozen_ready_ = false;
+  // When set, PredictBatch gathers frozen rows through this view (mmap
+  // store) instead of frozen_static_; see UseFrozenStore().
+  std::shared_ptr<const store::StoreView> frozen_view_;
 };
 
 }  // namespace bootleg::core

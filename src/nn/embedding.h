@@ -41,6 +41,12 @@ class Embedding {
   tensor::Tensor& table() { return table_; }
   const tensor::Tensor& table() const { return table_; }
 
+  /// Frees the table storage, keeping the column count but zero rows. Used
+  /// by serving when rows are read from a memory-mapped store instead — the
+  /// table would otherwise duplicate the store's resident bytes. Lookup
+  /// after release is undefined; training paths must never call this.
+  void ReleaseTable() { table_ = tensor::Tensor({0, table_.size(1)}); }
+
   /// Row-id → accumulated gradient row, cleared by ZeroGrad().
   std::unordered_map<int64_t, std::vector<float>>& sparse_grads() {
     return sparse_grads_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/model_loader.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/vocabulary.h"
 #include "util/io.h"
@@ -37,6 +38,11 @@ util::StatusOr<std::unique_ptr<InferenceEngine>> InferenceEngine::Create(
   if (options.model_path.empty() == options.checkpoint_dir.empty()) {
     return util::Status::InvalidArgument(
         "exactly one of model_path and checkpoint_dir must be set");
+  }
+  if (!options.store_dir.empty() && options.model_path.empty()) {
+    return util::Status::InvalidArgument(
+        "store_dir requires model_path: an embedding store snapshots one "
+        "fixed set of weights and cannot follow a checkpoint directory");
   }
   std::unique_ptr<InferenceEngine> engine(
       new InferenceEngine(options, options.cache_capacity));
@@ -92,11 +98,53 @@ util::Status InferenceEngine::Initialize() {
     if (!loaded.ok()) return loaded.status();
     loaded_path_ = loaded.value();
   }
-  model_->PrepareFrozenInference();
+  if (options_.store_dir.empty()) {
+    model_->PrepareFrozenInference();
+  } else {
+    BOOTLEG_RETURN_IF_ERROR(AdoptNewestStoreGeneration());
+    // The store holds the frozen entity rows; drop the duplicate heap table.
+    model_->ReleaseEntityTableForServing();
+  }
+  return util::Status::OK();
+}
+
+util::Status InferenceEngine::AdoptNewestStoreGeneration() {
+  int64_t generation = -1;
+  auto opened = store::OpenNewestGeneration(options_.store_dir, &generation);
+  if (!opened.ok()) return opened.status();
+  if (entity_store_ != nullptr && generation == store_generation_) {
+    return util::Status::OK();  // already serving the newest generation
+  }
+  std::shared_ptr<store::EmbeddingStore> next(std::move(opened).value());
+  auto view = next->View("static");
+  if (!view.ok()) return view.status();
+  // UseFrozenStore validates shape before anything is swapped; on failure
+  // the old generation (or heap table) keeps serving untouched.
+  BOOTLEG_RETURN_IF_ERROR(model_->UseFrozenStore(view.value()));
+  entity_store_ = std::move(next);
+  store_generation_ = generation;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("store.generation")->Set(static_cast<double>(generation));
+  reg.GetGauge("store.resident_shards")
+      ->Set(static_cast<double>(entity_store_->num_shards()));
+  reg.GetGauge("store.mapped_bytes")
+      ->Set(static_cast<double>(entity_store_->mapped_bytes()));
+  if (const store::TableInfo* t = entity_store_->FindTable("static")) {
+    reg.GetGauge("store.quant_max_abs_error")->Set(t->max_abs_error);
+    reg.GetGauge("store.quant_mean_abs_error")->Set(t->mean_abs_error);
+  }
+  BOOTLEG_LOG(Info) << "serving embedding store generation " << generation
+                    << " from " << entity_store_->dir() << " ("
+                    << entity_store_->num_shards() << " shards, "
+                    << entity_store_->mapped_bytes() << " mapped bytes)";
   return util::Status::OK();
 }
 
 util::Status InferenceEngine::Reload() {
+  if (!options_.store_dir.empty()) {
+    return AdoptNewestStoreGeneration();
+  }
   if (options_.checkpoint_dir.empty()) {
     return util::Status::FailedPrecondition(
         "engine was created from a fixed model snapshot; nothing to reload");

@@ -11,6 +11,7 @@
 #include "kb/candidate_map.h"
 #include "kb/kb.h"
 #include "serve/candidate_cache.h"
+#include "store/embedding_store.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
@@ -26,6 +27,14 @@ struct EngineOptions {
   std::string checkpoint_dir;  // checkpoint directory (hot-reloadable)
   std::string ablation = "full";  // config preset: full|ent|type|kg
   size_t cache_capacity = 4096;   // candidate cache, in aliases
+  /// Optional embedding-store directory (written by `bootleg_cli
+  /// export-store`). When set, the frozen per-entity features are served
+  /// from the newest memory-mapped store generation under this directory
+  /// instead of being recomputed into the heap, and the entity embedding
+  /// table is released after load. Requires model_path (the store snapshots
+  /// one fixed set of weights); incompatible with checkpoint_dir. Reload()
+  /// then re-scans for a newer store generation instead of newer weights.
+  std::string store_dir;
 };
 
 /// One disambiguated mention in a served sentence.
@@ -57,10 +66,12 @@ class InferenceEngine {
   static util::StatusOr<std::unique_ptr<InferenceEngine>> Create(
       const EngineOptions& options);
 
-  /// Re-resolves the newest readable checkpoint and swaps the weights in,
-  /// then refreezes the per-entity feature table. No-op (OK) when the newest
-  /// checkpoint is the one already loaded. FailedPrecondition when the
-  /// engine was created from a fixed model_path instead of a checkpoint dir.
+  /// Checkpoint deployments: re-resolves the newest readable checkpoint and
+  /// swaps the weights in, then refreezes the per-entity feature table.
+  /// Store deployments: re-scans store_dir for a newer generation and swaps
+  /// the mapped store in (the old generation unmaps once swapped). No-op
+  /// (OK) when already serving the newest checkpoint/generation.
+  /// FailedPrecondition for a fixed model_path deployment with no store.
   util::Status Reload();
 
   /// Tokenizes each text, extracts alias mentions through the candidate
@@ -84,10 +95,21 @@ class InferenceEngine {
   /// Path of the weights currently serving (snapshot or checkpoint file).
   const std::string& loaded_path() const { return loaded_path_; }
 
+  /// The mapped embedding store serving frozen features, or nullptr when
+  /// the engine computes them into the heap (no store_dir).
+  const store::EmbeddingStore* entity_store() const {
+    return entity_store_.get();
+  }
+  /// Store generation currently serving (-1 without a store).
+  int64_t store_generation() const { return store_generation_; }
+
  private:
   InferenceEngine(const EngineOptions& options, size_t cache_capacity);
 
   util::Status Initialize();
+  /// Opens the newest generation under options_.store_dir and points the
+  /// model's frozen gather path at it. Publishes store gauges on success.
+  util::Status AdoptNewestStoreGeneration();
 
   EngineOptions options_;
   kb::KnowledgeBase kb_;
@@ -96,6 +118,8 @@ class InferenceEngine {
   std::unique_ptr<core::BootlegModel> model_;
   CandidateCache cache_;
   std::string loaded_path_;
+  std::shared_ptr<store::EmbeddingStore> entity_store_;
+  int64_t store_generation_ = -1;
 };
 
 }  // namespace bootleg::serve

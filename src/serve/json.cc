@@ -8,7 +8,7 @@ namespace bootleg::serve {
 
 namespace {
 
-constexpr int kMaxDepth = 32;
+constexpr int kMaxDepth = Json::kMaxDepth;
 
 /// Recursive-descent parser over a borrowed string. Every entry point checks
 /// bounds before reading, so no input can index past the buffer.
@@ -58,14 +58,18 @@ class Parser {
   }
 
   util::Status ParseValue(Json* out, int depth) {
-    if (depth > kMaxDepth) return Fail("nesting too deep");
     SkipSpace();
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     const char c = text_[pos_];
     switch (c) {
+      // The depth gate sits on the containers themselves: a container at
+      // depth d holds children at depth d+1, so containers parse at depths
+      // [0, kMaxDepth) — exactly kMaxDepth nesting levels, scalars free.
       case '{':
+        if (depth >= kMaxDepth) return Fail("nesting too deep");
         return ParseObject(out, depth);
       case '[':
+        if (depth >= kMaxDepth) return Fail("nesting too deep");
         return ParseArray(out, depth);
       case '"': {
         std::string s;
@@ -138,6 +142,7 @@ class Parser {
     ++pos_;  // opening '"'
     out->clear();
     while (true) {
+      if (out->size() > Json::kMaxStringBytes) return Fail("string too long");
       if (pos_ >= text_.size()) return Fail("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return util::Status::OK();

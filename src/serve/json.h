@@ -16,12 +16,21 @@ namespace bootleg::serve {
 /// null — enough for requests and replies, nothing more.
 ///
 /// Robustness contract: Parse never crashes or aborts on hostile input. It
-/// returns InvalidArgument for malformed text, bounds recursion depth, and
-/// rejects trailing garbage, so a malformed client line can at worst produce
-/// an error reply.
+/// returns InvalidArgument for malformed text, bounds container nesting at
+/// kMaxDepth levels (a value inside kMaxDepth containers parses; one more
+/// container is rejected), caps any single string at kMaxStringBytes of
+/// decoded output, and rejects trailing garbage — a malformed or hostile
+/// client line can at worst produce an error reply.
 class Json {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Maximum container (object/array) nesting Parse accepts.
+  static constexpr int kMaxDepth = 32;
+  /// Maximum decoded bytes of a single string (keys included). Generous for
+  /// the wire protocol (sentences), small enough that a hostile line cannot
+  /// amplify into unbounded allocation.
+  static constexpr size_t kMaxStringBytes = 1 << 20;
 
   Json() : type_(Type::kNull) {}
   static Json Null() { return Json(); }

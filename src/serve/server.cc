@@ -180,6 +180,24 @@ std::string Server::HandleLine(const std::string& line) {
     reply.Set("spans", std::move(jspans));
 
     reply.Set("model", Json::Str(engine_->loaded_path()));
+
+    // Embedding-store deployments report the serving generation so reload
+    // drills can confirm a SIGHUP swap landed without dropping requests.
+    if (const store::EmbeddingStore* es = engine_->entity_store()) {
+      Json jstore = Json::Object();
+      jstore.Set("generation", Json::Number(static_cast<double>(
+                                   engine_->store_generation())));
+      jstore.Set("resident_shards",
+                 Json::Number(static_cast<double>(es->num_shards())));
+      jstore.Set("mapped_bytes",
+                 Json::Number(static_cast<double>(es->mapped_bytes())));
+      jstore.Set("dir", Json::Str(es->dir()));
+      if (const store::TableInfo* t = es->FindTable("static")) {
+        jstore.Set("dtype", Json::Str(store::DtypeName(t->dtype)));
+        jstore.Set("quant_max_abs_error", Json::Number(t->max_abs_error));
+      }
+      reply.Set("store", std::move(jstore));
+    }
     return reply.Dump();
   }
 

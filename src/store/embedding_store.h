@@ -1,0 +1,227 @@
+#ifndef BOOTLEG_STORE_EMBEDDING_STORE_H_
+#define BOOTLEG_STORE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bootleg::store {
+
+/// Read-only [rows × cols] float matrix abstraction between the model's
+/// frozen-inference gather path and whatever holds the rows: a heap tensor
+/// (the classic PrepareFrozenInference table), a memory-mapped float shard
+/// set (zero-copy), or a memory-mapped int8 shard set (dequantize-on-gather
+/// into the caller's staging buffer).
+///
+/// Contract: RowPtr() returns a pointer to `cols()` contiguous floats when
+/// the storage is raw float (heap or mmap) and nullptr otherwise; callers
+/// fall back to GatherRow(), which always works. Implementations are
+/// immutable after construction and safe to share across serving threads.
+class StoreView {
+ public:
+  virtual ~StoreView() = default;
+
+  virtual int64_t rows() const = 0;
+  virtual int64_t cols() const = 0;
+
+  /// Copies (dequantizing if needed) row `id` into dst[0..cols()).
+  virtual void GatherRow(int64_t id, float* dst) const = 0;
+
+  /// Zero-copy row pointer, or nullptr when the storage is not raw float.
+  virtual const float* RowPtr(int64_t /*id*/) const { return nullptr; }
+};
+
+/// StoreView over caller-owned contiguous float rows (the in-memory frozen
+/// table). Does not own the data; the owner must outlive the view.
+class HeapView : public StoreView {
+ public:
+  HeapView(const float* data, int64_t rows, int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  void GatherRow(int64_t id, float* dst) const override {
+    const float* src = data_ + id * cols_;
+    for (int64_t j = 0; j < cols_; ++j) dst[j] = src[j];
+  }
+  const float* RowPtr(int64_t id) const override {
+    return data_ + id * cols_;
+  }
+
+ private:
+  const float* data_;
+  int64_t rows_;
+  int64_t cols_;
+};
+
+/// Element encoding of a stored table.
+enum class Dtype : uint32_t {
+  kFloat32 = 0,  // rows are raw little-endian float32 — mapped zero-copy
+  kInt8 = 1,     // per-row symmetric int8: value ≈ q * scale, zero_point = 0
+};
+
+const char* DtypeName(Dtype dtype);
+
+/// Per-shard description, as recorded in the MANIFEST and re-validated
+/// against the shard file headers at open.
+struct ShardInfo {
+  std::string file;        // filename relative to the store directory
+  int64_t row_begin = 0;   // first entity row in this shard
+  int64_t row_count = 0;
+  uint64_t file_bytes = 0; // exact on-disk size (truncation check at open)
+  uint32_t payload_crc = 0;  // CRC32 over the payload (scales + row data)
+};
+
+/// One named table inside the store (e.g. "static", "entity_emb").
+struct TableInfo {
+  std::string name;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  Dtype dtype = Dtype::kFloat32;
+  /// Quantization error stats measured at export against the exact floats:
+  /// max/mean |x - dequant(quant(x))| over the whole table (0 for float32).
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  std::vector<ShardInfo> shards;
+};
+
+/// Options controlling WriteStore.
+struct WriteOptions {
+  Dtype dtype = Dtype::kFloat32;
+  /// Number of shards to split each table into (entity-id ranges of equal
+  /// size; the last shard takes the remainder). Shards are built and written
+  /// in parallel through the global thread pool. Clamped to [1, rows].
+  int64_t shards = 4;
+};
+
+/// One table to export: `name` plus `rows × cols` contiguous floats.
+struct TableSource {
+  std::string name;
+  const float* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+/// Writes a store directory: one shard file per table per entity-id range,
+/// each through util::AtomicFileWriter with a v1 CRC32 footer, then the
+/// MANIFEST (also atomic, checksummed) describing every table and shard.
+/// Because the MANIFEST lands last, a complete MANIFEST implies the shards
+/// it names were all committed; a crash mid-export leaves at worst torn
+/// `.tmp` siblings that Open/generation scans ignore.
+util::Status WriteStore(const std::string& dir,
+                        const std::vector<TableSource>& tables,
+                        const WriteOptions& options);
+
+/// A memory-mapped read-only file. Movable, closes (munmap) on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. IOError when the file cannot be opened/mapped.
+  util::Status Map(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void Reset();
+  uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+/// A read-only, memory-mapped, sharded entity-table store, as written by
+/// WriteStore / `bootleg_cli export-store`.
+///
+/// Open() parses and checksum-verifies the MANIFEST, then maps every shard
+/// and validates its header and exact byte size against the manifest —
+/// structural corruption (truncation, wrong shapes, renamed files) fails
+/// with kCorruption at open. Payload bit flips are caught by Verify(), which
+/// walks every mapped byte against the per-shard CRC32 (`bootleg_cli store
+/// --verify`, the fuzz tests, and the check.sh drill run it; the serving
+/// open path skips it to keep page-ins lazy).
+///
+/// All reads after Open are lock-free over the mappings; an EmbeddingStore
+/// is immutable and safe to share across threads. Serving swaps generations
+/// by atomically replacing the shared_ptr under the batcher's reload lock.
+class EmbeddingStore {
+ public:
+  static util::StatusOr<std::unique_ptr<EmbeddingStore>> Open(
+      const std::string& dir);
+
+  /// Full payload CRC32 check of every shard of every table.
+  util::Status Verify() const;
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<TableInfo>& tables() const { return tables_; }
+  const TableInfo* FindTable(const std::string& name) const;
+
+  /// Total mapped bytes across all shards (the store's resident ceiling).
+  uint64_t mapped_bytes() const;
+  /// Number of mapped shard files across all tables.
+  int64_t num_shards() const;
+
+  /// A view gathering rows of `name` through the mappings. The view borrows
+  /// the store's mappings: callers must keep the EmbeddingStore alive (the
+  /// serving layer holds both in one shared generation object). NotFound
+  /// when no such table exists.
+  util::StatusOr<std::shared_ptr<StoreView>> View(const std::string& name) const;
+
+ private:
+  struct MappedShard {
+    MappedFile file;
+    const uint8_t* payload = nullptr;  // scales (int8 only) + row data
+    const float* scales = nullptr;     // [row_count] (int8 only)
+    const uint8_t* rows = nullptr;     // row-major payload
+    uint64_t payload_bytes = 0;
+  };
+  struct MappedTable {
+    TableInfo info;
+    std::vector<MappedShard> shards;
+    int64_t rows_per_shard = 0;  // shard i covers [i*rps, min((i+1)*rps, rows))
+  };
+
+  util::Status Load(const std::string& dir);
+
+  std::string dir_;
+  std::vector<TableInfo> tables_;
+  std::vector<MappedTable> mapped_;
+
+  friend class MmapFloatView;
+  friend class MmapInt8View;
+};
+
+// ---------------------------------------------------------------------------
+// Quantization (symmetric per-row int8: scale = max|x| / 127, zero_point 0).
+// ---------------------------------------------------------------------------
+
+/// Quantizes one row: scale = max|x|/127 (0 for an all-zero row), q =
+/// round(x/scale) in [-127, 127]. Returns the scale.
+float QuantizeRow(const float* src, int64_t cols, int8_t* dst);
+
+/// Dequantizes one row: dst = q * scale.
+void DequantizeRow(const int8_t* src, int64_t cols, float scale, float* dst);
+
+/// Worst-case reconstruction error bound for a row with the given scale:
+/// |x - dequant(quant(x))| ≤ scale/2 (rounding half-step).
+inline float RowErrorBound(float scale) { return 0.5f * scale; }
+
+/// Scans `dir`'s subdirectories for store generations named `gen_<number>`
+/// and returns the openable one with the highest number, skipping corrupt or
+/// incomplete generations (logged). `generation` receives the parsed number.
+/// When `dir` itself holds a MANIFEST it is returned as generation 0.
+/// NotFound when nothing is servable.
+util::StatusOr<std::unique_ptr<EmbeddingStore>> OpenNewestGeneration(
+    const std::string& dir, int64_t* generation);
+
+}  // namespace bootleg::store
+
+#endif  // BOOTLEG_STORE_EMBEDDING_STORE_H_

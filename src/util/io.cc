@@ -111,6 +111,10 @@ void BinaryWriter::WriteString(const std::string& s) {
   WriteBytes(s.data(), s.size());
 }
 
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  WriteBytes(data, n);
+}
+
 void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
   WriteU64(v.size());
   WriteBytes(v.data(), v.size() * sizeof(float));

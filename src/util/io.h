@@ -77,6 +77,11 @@ class BinaryWriter {
   void WriteFloatVector(const std::vector<float>& v);
   void WriteI64Vector(const std::vector<int64_t>& v);
 
+  /// Unprefixed raw bytes (section checksums and fault injection apply).
+  /// Used by formats that track their own offsets, e.g. the mmap-read
+  /// embedding-store shards whose payload layout is fixed by the header.
+  void WriteRaw(const void* data, size_t n);
+
   /// Starts accumulating a section checksum over subsequent writes.
   void BeginSection();
   /// Writes the section's CRC32 (the CRC word itself is not checksummed).

@@ -569,6 +569,57 @@ TEST(JsonTest, RoundTripAndHostileInputs) {
   }
 }
 
+TEST(JsonTest, NestingBoundIsExactlyKMaxDepth) {
+  // A document with exactly kMaxDepth nested containers must parse — the
+  // documented bound is inclusive — and one more level must be rejected,
+  // whether the innermost value is a scalar or another container.
+  auto nested_arrays = [](int levels, const std::string& core) {
+    return std::string(static_cast<size_t>(levels), '[') + core +
+           std::string(static_cast<size_t>(levels), ']');
+  };
+  EXPECT_TRUE(serve::Json::Parse(nested_arrays(serve::Json::kMaxDepth, "1")).ok());
+  EXPECT_TRUE(serve::Json::Parse(nested_arrays(serve::Json::kMaxDepth, "")).ok());
+  EXPECT_FALSE(
+      serve::Json::Parse(nested_arrays(serve::Json::kMaxDepth + 1, "1")).ok());
+  EXPECT_FALSE(
+      serve::Json::Parse(nested_arrays(serve::Json::kMaxDepth + 1, "")).ok());
+
+  // Same bound through object nesting: {"k":{"k":...{}...}}.
+  std::string obj = "{}";
+  for (int i = 1; i < serve::Json::kMaxDepth; ++i) obj = "{\"k\":" + obj + "}";
+  EXPECT_TRUE(serve::Json::Parse(obj).ok());
+  EXPECT_FALSE(serve::Json::Parse("{\"k\":" + obj + "}").ok());
+
+  // Mixed alternation lands on the same counter.
+  std::string mixed = "1";
+  for (int i = 0; i < serve::Json::kMaxDepth; ++i) {
+    mixed = (i % 2 == 0) ? "[" + mixed + "]" : "{\"k\":" + mixed + "}";
+  }
+  EXPECT_TRUE(serve::Json::Parse(mixed).ok());
+  EXPECT_FALSE(serve::Json::Parse("[" + mixed + "]").ok());
+}
+
+TEST(JsonTest, OversizedStringsAreRejectedNotAllocated) {
+  // Strings up to kMaxStringBytes decode; one byte over fails cleanly. The
+  // bound applies to decoded output, so escape-heavy input cannot dodge it.
+  const std::string ok_body(serve::Json::kMaxStringBytes, 'a');
+  EXPECT_TRUE(serve::Json::Parse("\"" + ok_body + "\"").ok());
+  const std::string big_body(serve::Json::kMaxStringBytes + 1, 'a');
+  EXPECT_FALSE(serve::Json::Parse("\"" + big_body + "\"").ok());
+
+  // The same bound guards object keys and nested strings.
+  EXPECT_FALSE(serve::Json::Parse("{\"" + big_body + "\":1}").ok());
+  EXPECT_FALSE(serve::Json::Parse("[\"" + big_body + "\"]").ok());
+
+  // Escaped expansion: A is six input bytes but one decoded byte, so a
+  // decoded-size bound must still accept reasonable escape runs.
+  std::string escapes;
+  for (int i = 0; i < 1000; ++i) escapes += "\\u0041";
+  util::StatusOr<serve::Json> parsed = serve::Json::Parse("\"" + escapes + "\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string_value(), std::string(1000, 'A'));
+}
+
 // --- Server front end --------------------------------------------------------
 
 struct ServerUnderTest {

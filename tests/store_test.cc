@@ -1,0 +1,521 @@
+// Embedding-store subsystem: int8 quantization must round-trip within the
+// per-row half-step bound, float stores must reproduce their source bytes
+// exactly, every corrupted shard or manifest variant (truncation, byte flip,
+// trailing garbage) must fail with kCorruption and never crash, the
+// generation scan must pick the newest servable directory and skip corrupt
+// ones, and an engine serving from a float store must be bit-identical to
+// the in-memory frozen path (int8 within tolerance, identical argmax).
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/world.h"
+#include "serve/inference_engine.h"
+#include "store/embedding_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace bootleg {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("bootleg_store_test_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<float> RandomTable(int64_t rows, int64_t cols, uint64_t seed,
+                               float magnitude = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (float& v : data) {
+    v = magnitude * (2.0f * static_cast<float>(rng.Uniform()) - 1.0f);
+  }
+  return data;
+}
+
+// --- Quantization ------------------------------------------------------------
+
+TEST(QuantizeTest, RoundTripErrorWithinHalfStepPerRow) {
+  util::Rng rng(99);
+  const int64_t cols = 37;
+  std::vector<float> row(static_cast<size_t>(cols));
+  std::vector<int8_t> q(static_cast<size_t>(cols));
+  std::vector<float> back(static_cast<size_t>(cols));
+
+  // Property sweep over magnitudes spanning tiny to large rows: every
+  // reconstructed value must sit within RowErrorBound(scale) = scale/2, and
+  // the row maximum must quantize to ±127 exactly (symmetric scheme).
+  for (const float magnitude : {1e-4f, 0.01f, 1.0f, 35.0f, 1e4f}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      for (float& v : row) {
+        v = magnitude * (2.0f * static_cast<float>(rng.Uniform()) - 1.0f);
+      }
+      const float scale = store::QuantizeRow(row.data(), cols, q.data());
+      ASSERT_GT(scale, 0.0f);
+      store::DequantizeRow(q.data(), cols, scale, back.data());
+      float max_abs = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) {
+        max_abs = std::max(max_abs, std::fabs(row[static_cast<size_t>(j)]));
+        EXPECT_LE(std::fabs(row[static_cast<size_t>(j)] -
+                            back[static_cast<size_t>(j)]),
+                  store::RowErrorBound(scale) * (1.0f + 1e-5f))
+            << "magnitude=" << magnitude << " trial=" << trial << " col=" << j;
+      }
+      EXPECT_FLOAT_EQ(scale, max_abs / 127.0f);
+    }
+  }
+}
+
+TEST(QuantizeTest, ZeroRowsAndConstantRowsAreExact) {
+  const int64_t cols = 16;
+  std::vector<float> row(static_cast<size_t>(cols), 0.0f);
+  std::vector<int8_t> q(static_cast<size_t>(cols), 111);
+  std::vector<float> back(static_cast<size_t>(cols), 1.0f);
+
+  // All-zero row: scale 0, every quantized byte 0, exact reconstruction.
+  EXPECT_EQ(store::QuantizeRow(row.data(), cols, q.data()), 0.0f);
+  for (int8_t v : q) EXPECT_EQ(v, 0);
+  store::DequantizeRow(q.data(), cols, 0.0f, back.data());
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+
+  // Constant row: every value is the row max, so it maps to exactly ±127
+  // and reconstructs with zero error.
+  for (size_t j = 0; j < row.size(); ++j) row[j] = (j % 2 == 0) ? 0.5f : -0.5f;
+  const float scale = store::QuantizeRow(row.data(), cols, q.data());
+  store::DequantizeRow(q.data(), cols, scale, back.data());
+  for (size_t j = 0; j < row.size(); ++j) EXPECT_FLOAT_EQ(back[j], row[j]);
+}
+
+// --- Write / open round trips ------------------------------------------------
+
+TEST(EmbeddingStoreTest, FloatStoreRoundTripsBitExactly) {
+  const std::string dir = TestDir("float_roundtrip");
+  const int64_t rows = 23, cols = 12;  // uneven: last shard is short
+  const std::vector<float> data = RandomTable(rows, cols, 7);
+
+  store::WriteOptions options;
+  options.dtype = store::Dtype::kFloat32;
+  options.shards = 4;
+  ASSERT_TRUE(
+      store::WriteStore(dir, {{"static", data.data(), rows, cols}}, options)
+          .ok());
+
+  auto opened = store::EmbeddingStore::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const store::EmbeddingStore& es = *opened.value();
+  ASSERT_TRUE(es.Verify().ok());
+  ASSERT_EQ(es.tables().size(), 1u);
+  EXPECT_EQ(es.tables()[0].rows, rows);
+  EXPECT_EQ(es.tables()[0].cols, cols);
+  EXPECT_EQ(es.tables()[0].shards.size(), 4u);
+  EXPECT_EQ(es.tables()[0].max_abs_error, 0.0);
+  EXPECT_GT(es.mapped_bytes(), 0u);
+  EXPECT_EQ(es.num_shards(), 4);
+
+  auto view = es.View("static");
+  ASSERT_TRUE(view.ok());
+  std::vector<float> got(static_cast<size_t>(cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    // Zero-copy pointer must exist for float storage and match the source
+    // bytes exactly (the bit-identical serving guarantee rests on this).
+    const float* p = view.value()->RowPtr(r);
+    ASSERT_NE(p, nullptr);
+    view.value()->GatherRow(r, got.data());
+    for (int64_t j = 0; j < cols; ++j) {
+      const float want = data[static_cast<size_t>(r * cols + j)];
+      EXPECT_EQ(p[j], want) << "row " << r << " col " << j;
+      EXPECT_EQ(got[static_cast<size_t>(j)], want);
+    }
+  }
+  EXPECT_FALSE(es.View("missing").ok());
+}
+
+TEST(EmbeddingStoreTest, Int8StoreRoundTripsWithinRecordedErrorBound) {
+  const std::string dir = TestDir("int8_roundtrip");
+  const int64_t rows = 40, cols = 9;
+  std::vector<float> data = RandomTable(rows, cols, 21, 3.0f);
+  // Include an all-zero row: it must survive quantization untouched.
+  for (int64_t j = 0; j < cols; ++j) data[static_cast<size_t>(5 * cols + j)] = 0.0f;
+
+  store::WriteOptions options;
+  options.dtype = store::Dtype::kInt8;
+  options.shards = 3;
+  ASSERT_TRUE(
+      store::WriteStore(dir, {{"static", data.data(), rows, cols}}, options)
+          .ok());
+
+  auto opened = store::EmbeddingStore::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_TRUE(opened.value()->Verify().ok());
+  const store::TableInfo* info = opened.value()->FindTable("static");
+  ASSERT_NE(info, nullptr);
+  EXPECT_GT(info->max_abs_error, 0.0);
+  EXPECT_GT(info->mean_abs_error, 0.0);
+  EXPECT_LE(info->mean_abs_error, info->max_abs_error);
+
+  auto view = opened.value()->View("static");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value()->RowPtr(0), nullptr);  // int8 has no raw float rows
+  std::vector<float> got(static_cast<size_t>(cols));
+  double max_err = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    view.value()->GatherRow(r, got.data());
+    float row_max = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      row_max =
+          std::max(row_max, std::fabs(data[static_cast<size_t>(r * cols + j)]));
+    }
+    const float bound = store::RowErrorBound(row_max / 127.0f);
+    for (int64_t j = 0; j < cols; ++j) {
+      const double err =
+          std::fabs(static_cast<double>(got[static_cast<size_t>(j)]) -
+                    static_cast<double>(data[static_cast<size_t>(r * cols + j)]));
+      EXPECT_LE(err, static_cast<double>(bound) * (1.0 + 1e-5))
+          << "row " << r << " col " << j;
+      max_err = std::max(max_err, err);
+    }
+    if (r == 5) {
+      for (float v : got) EXPECT_EQ(v, 0.0f);  // the zeroed row, exact
+    }
+  }
+  // The manifest's recorded maximum must match what the mapped rows deliver.
+  EXPECT_NEAR(max_err, info->max_abs_error, 1e-7);
+}
+
+// --- Corruption fuzzing ------------------------------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Open + full checksum walk — the reload probe the fuzz sweep drives.
+util::Status OpenAndVerify(const std::string& dir) {
+  auto opened = store::EmbeddingStore::Open(dir);
+  if (!opened.ok()) return opened.status();
+  return opened.value()->Verify();
+}
+
+/// Every truncation offset, every single-byte flip, and trailing garbage of
+/// `target` (one file inside the store directory) must yield kCorruption
+/// from Open+Verify — never a crash or a silent success.
+void FuzzStoreFile(const std::string& dir, const std::string& target) {
+  const std::string good = ReadAll(target);
+  ASSERT_FALSE(good.empty());
+  ASSERT_TRUE(OpenAndVerify(dir).ok());
+
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    WriteAll(target, good.substr(0, cut));
+    const util::Status st = OpenAndVerify(dir);
+    ASSERT_FALSE(st.ok()) << target << " truncated at " << cut << " loaded";
+    ASSERT_EQ(st.code(), util::StatusCode::kCorruption)
+        << target << " truncated at " << cut << ": " << st.ToString();
+  }
+  for (size_t at = 0; at < good.size(); ++at) {
+    std::string flipped = good;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x40);
+    WriteAll(target, flipped);
+    const util::Status st = OpenAndVerify(dir);
+    ASSERT_FALSE(st.ok()) << target << " flip at " << at << " loaded";
+    ASSERT_EQ(st.code(), util::StatusCode::kCorruption)
+        << target << " flip at " << at << ": " << st.ToString();
+  }
+  WriteAll(target, good + std::string(16, '\x5a'));
+  const util::Status st = OpenAndVerify(dir);
+  ASSERT_FALSE(st.ok());
+  ASSERT_EQ(st.code(), util::StatusCode::kCorruption);
+
+  WriteAll(target, good);  // restore for the next sweep
+  ASSERT_TRUE(OpenAndVerify(dir).ok());
+}
+
+TEST(StoreFuzzTest, CorruptShardsAndManifestAlwaysFailAsCorruption) {
+  const std::string dir = TestDir("fuzz");
+  const int64_t rows = 8, cols = 4;  // tiny: the sweep is O(file bytes²)
+  const std::vector<float> data = RandomTable(rows, cols, 3);
+  for (const store::Dtype dtype :
+       {store::Dtype::kFloat32, store::Dtype::kInt8}) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    store::WriteOptions options;
+    options.dtype = dtype;
+    options.shards = 2;
+    ASSERT_TRUE(
+        store::WriteStore(dir, {{"static", data.data(), rows, cols}}, options)
+            .ok());
+    FuzzStoreFile(dir, dir + "/static.shard_000000.bin");
+    FuzzStoreFile(dir, dir + "/static.shard_000001.bin");
+    FuzzStoreFile(dir, dir + "/MANIFEST");
+  }
+}
+
+TEST(StoreFuzzTest, MissingShardFailsWithoutCrashing) {
+  const std::string dir = TestDir("missing_shard");
+  const std::vector<float> data = RandomTable(6, 4, 11);
+  store::WriteOptions options;
+  options.shards = 2;
+  ASSERT_TRUE(
+      store::WriteStore(dir, {{"static", data.data(), 6, 4}}, options).ok());
+  fs::remove(dir + "/static.shard_000001.bin");
+  EXPECT_FALSE(store::EmbeddingStore::Open(dir).ok());
+}
+
+// --- Generation scan ---------------------------------------------------------
+
+TEST(GenerationScanTest, NewestValidGenerationWinsAndCorruptOnesAreSkipped) {
+  const std::string dir = TestDir("generations");
+  const std::vector<float> data = RandomTable(10, 6, 13);
+  store::WriteOptions options;
+  options.shards = 2;
+  for (const std::string gen : {"gen_000001", "gen_000002", "gen_000003"}) {
+    ASSERT_TRUE(store::WriteStore(dir + "/" + gen,
+                                  {{"static", data.data(), 10, 6}}, options)
+                    .ok());
+  }
+  // Corrupt the newest generation's manifest: the scan must fall back to 2.
+  {
+    const std::string manifest = dir + "/gen_000003/MANIFEST";
+    std::string bytes = ReadAll(manifest);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    WriteAll(manifest, bytes);
+  }
+  int64_t generation = -1;
+  auto opened = store::OpenNewestGeneration(dir, &generation);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(generation, 2);
+  EXPECT_TRUE(opened.value()->dir().find("gen_000002") != std::string::npos);
+
+  // A directory holding a MANIFEST directly is generation 0.
+  int64_t flat_generation = -1;
+  auto flat = store::OpenNewestGeneration(dir + "/gen_000001", &flat_generation);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat_generation, 0);
+
+  // Nothing servable at all.
+  const std::string empty = TestDir("generations_empty");
+  EXPECT_EQ(store::OpenNewestGeneration(empty, &generation).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+// --- Engine equivalence ------------------------------------------------------
+
+/// One tiny world + saved dataset + saved model, shared across engine tests
+/// (mirrors serve_test's fixture; rebuilt here so the two test binaries stay
+/// independent).
+struct StoreWorld {
+  std::string data_dir;
+  std::string model_path;
+  std::string store_root;
+  data::SynthWorld world;
+  data::Corpus corpus;
+};
+
+core::BootlegConfig ServingConfig() {
+  core::BootlegConfig config;
+  config.encoder.max_len = 32;
+  return config;
+}
+
+const StoreWorld& GetStoreWorld() {
+  static const StoreWorld* shared = [] {
+    auto* sw = new StoreWorld();
+    data::SynthConfig config = data::SynthConfig::MicroScale();
+    config.num_pages = 40;
+    sw->world = data::BuildWorld(config);
+    data::CorpusGenerator generator(&sw->world);
+    sw->corpus = generator.Generate();
+    sw->data_dir = TestDir("engine_world");
+    BOOTLEG_CHECK(sw->world.kb.Save(sw->data_dir + "/kb.bin").ok());
+    BOOTLEG_CHECK(
+        sw->world.candidates.Save(sw->data_dir + "/candidates.bin").ok());
+    BOOTLEG_CHECK(sw->world.vocab.Save(sw->data_dir + "/vocab.bin").ok());
+    core::BootlegModel model(&sw->world.kb, sw->world.vocab.size(),
+                             ServingConfig(), /*seed=*/123);
+    sw->model_path = sw->data_dir + "/model.bin";
+    BOOTLEG_CHECK(model.store().Save(sw->model_path).ok());
+
+    // Export both dtypes from the model's own frozen table: generation 1 is
+    // the float store, generation 2 the int8 store.
+    model.PrepareFrozenInference();
+    const tensor::Tensor& frozen = model.frozen_static();
+    sw->store_root = TestDir("engine_store");
+    store::WriteOptions wo;
+    wo.shards = 3;
+    wo.dtype = store::Dtype::kFloat32;
+    BOOTLEG_CHECK(store::WriteStore(sw->store_root + "/gen_000001",
+                                    {{"static", frozen.data(), frozen.size(0),
+                                      frozen.size(1)}},
+                                    wo)
+                      .ok());
+    wo.dtype = store::Dtype::kInt8;
+    BOOTLEG_CHECK(store::WriteStore(sw->store_root + "/gen_000002",
+                                    {{"static", frozen.data(), frozen.size(0),
+                                      frozen.size(1)}},
+                                    wo)
+                      .ok());
+    return sw;
+  }();
+  return *shared;
+}
+
+std::unique_ptr<serve::InferenceEngine> MakeEngine(const std::string& store_dir) {
+  const StoreWorld& sw = GetStoreWorld();
+  serve::EngineOptions options;
+  options.data_dir = sw.data_dir;
+  options.model_path = sw.model_path;
+  options.store_dir = store_dir;
+  auto engine = serve::InferenceEngine::Create(options);
+  BOOTLEG_CHECK_MSG(engine.ok(), engine.status().ToString());
+  return std::move(engine.value());
+}
+
+std::vector<data::SentenceExample> DevExamples() {
+  const StoreWorld& sw = GetStoreWorld();
+  data::ExampleBuilder builder(&sw.world.candidates, &sw.world.vocab);
+  data::ExampleOptions options;
+  options.include_weak_labels = false;
+  return builder.BuildAll(sw.corpus.dev, options);
+}
+
+TEST(StoreEngineTest, FloatStoreServingIsBitIdenticalToHeapPath) {
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  ASSERT_GT(examples.size(), 8u);
+
+  auto heap_engine = MakeEngine("");
+  auto store_engine = MakeEngine(GetStoreWorld().store_root + "/gen_000001");
+  ASSERT_TRUE(store_engine->model().frozen_from_store());
+  EXPECT_FALSE(heap_engine->model().frozen_from_store());
+  EXPECT_EQ(store_engine->store_generation(), 0);  // flat dir: generation 0
+
+  core::BootlegModel::InferenceScratch heap_scratch, store_scratch;
+  for (const int threads : {1, 4}) {
+    util::ThreadPool::ResetGlobal(threads);
+    for (const size_t batch_size :
+         {size_t{1}, size_t{3}, size_t{8}, examples.size()}) {
+      for (size_t begin = 0; begin < examples.size(); begin += batch_size) {
+        const size_t end = std::min(examples.size(), begin + batch_size);
+        std::vector<const data::SentenceExample*> batch;
+        for (size_t i = begin; i < end; ++i) batch.push_back(&examples[i]);
+        const auto want = heap_engine->PredictExamples(batch, &heap_scratch);
+        const auto got = store_engine->PredictExamples(batch, &store_scratch);
+        ASSERT_EQ(got, want) << "batch_size=" << batch_size
+                             << " threads=" << threads << " begin=" << begin;
+      }
+    }
+  }
+  util::ThreadPool::ResetGlobal(1);
+}
+
+TEST(StoreEngineTest, Int8StoreMatchesArgmaxOnSyntheticWorld) {
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  auto heap_engine = MakeEngine("");
+  // The store root holds gen_000001 (float) and gen_000002 (int8); the scan
+  // must serve the int8 generation.
+  auto int8_engine = MakeEngine(GetStoreWorld().store_root);
+  EXPECT_EQ(int8_engine->store_generation(), 2);
+  ASSERT_NE(int8_engine->entity_store(), nullptr);
+  EXPECT_EQ(int8_engine->entity_store()->FindTable("static")->dtype,
+            store::Dtype::kInt8);
+
+  core::BootlegModel::InferenceScratch heap_scratch, int8_scratch;
+  std::vector<const data::SentenceExample*> batch;
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  const auto want = heap_engine->PredictExamples(batch, &heap_scratch);
+  const auto got = int8_engine->PredictExamples(batch, &int8_scratch);
+  // Quantization error (≤ scale/2 per feature) is far below the synthetic
+  // world's score margins: the argmax must not move on any mention.
+  EXPECT_EQ(got, want);
+}
+
+TEST(StoreEngineTest, ReloadSwapsToNewerGenerationAndKeepsServingOnFailure) {
+  const StoreWorld& sw = GetStoreWorld();
+  const std::string root = TestDir("reload_generations");
+  const auto copy_gen = [&](const std::string& name, const std::string& from) {
+    fs::create_directories(root + "/" + name);
+    fs::copy(from, root + "/" + name,
+             fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+  };
+  copy_gen("gen_000001", sw.store_root + "/gen_000001");
+  auto engine = MakeEngine(root);
+  EXPECT_EQ(engine->store_generation(), 1);
+
+  // No newer generation: reload is a clean no-op.
+  ASSERT_TRUE(engine->Reload().ok());
+  EXPECT_EQ(engine->store_generation(), 1);
+
+  // A corrupt newer generation is skipped; serving stays on 1.
+  copy_gen("gen_000003", sw.store_root + "/gen_000002");
+  {
+    std::string bytes = ReadAll(root + "/gen_000003/MANIFEST");
+    bytes[10] = static_cast<char>(bytes[10] ^ 0x40);
+    WriteAll(root + "/gen_000003/MANIFEST", bytes);
+  }
+  ASSERT_TRUE(engine->Reload().ok());
+  EXPECT_EQ(engine->store_generation(), 1);
+
+  // A valid newer generation swaps in, and predictions keep matching the
+  // heap reference (gen 2 here is the int8 export).
+  copy_gen("gen_000002", sw.store_root + "/gen_000002");
+  ASSERT_TRUE(engine->Reload().ok());
+  EXPECT_EQ(engine->store_generation(), 2);
+
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  auto heap_engine = MakeEngine("");
+  core::BootlegModel::InferenceScratch a, b;
+  std::vector<const data::SentenceExample*> batch;
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  EXPECT_EQ(engine->PredictExamples(batch, &a),
+            heap_engine->PredictExamples(batch, &b));
+}
+
+TEST(StoreEngineTest, MismatchedStoreSchemaIsRejectedAtCreate) {
+  const StoreWorld& sw = GetStoreWorld();
+  // A store whose "static" table has the wrong width must be rejected up
+  // front (exported under a different ablation), not crash at gather time.
+  const std::string dir = TestDir("bad_schema");
+  const std::vector<float> data = RandomTable(sw.world.kb.num_entities(), 8, 5);
+  store::WriteOptions options;
+  ASSERT_TRUE(store::WriteStore(
+                  dir, {{"static", data.data(), sw.world.kb.num_entities(), 8}},
+                  options)
+                  .ok());
+  serve::EngineOptions eo;
+  eo.data_dir = sw.data_dir;
+  eo.model_path = sw.model_path;
+  eo.store_dir = dir;
+  auto engine = serve::InferenceEngine::Create(eo);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kInvalidArgument);
+
+  // store_dir with checkpoint_dir is a config error, caught before any IO.
+  serve::EngineOptions bad;
+  bad.data_dir = sw.data_dir;
+  bad.checkpoint_dir = sw.data_dir;
+  bad.store_dir = dir;
+  EXPECT_EQ(serve::InferenceEngine::Create(bad).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace bootleg

@@ -9,6 +9,9 @@
 //                        [--fault_fail_after BYTES]] [--trace_out FILE]
 //   bootleg_cli eval    --data DIR --model PATH [--split dev|test]
 //   bootleg_cli predict --data DIR --model PATH --text "..."
+//   bootleg_cli export-store --data DIR --model PATH --out DIR
+//                       [--quant float32|int8] [--shards N]
+//   bootleg_cli store   --dir DIR [--verify]
 //
 // `gen` writes a self-contained dataset directory (kb.bin, candidates.bin,
 // vocab.bin, corpus.bin); `train`/`eval`/`predict` work purely from those
@@ -30,6 +33,7 @@
 #include "data/world.h"
 #include "eval/evaluator.h"
 #include "obs/trace.h"
+#include "store/embedding_store.h"
 #include "util/io.h"
 #include "util/string_util.h"
 
@@ -316,10 +320,119 @@ int CmdPredict(const Flags& flags) {
   return 0;
 }
 
+/// Converts a trained snapshot into a sharded embedding-store directory:
+/// the frozen per-entity feature table the serving gather path reads
+/// ("static") plus the raw entity embedding ("entity_emb", for inspection
+/// and downstream reuse), float32 or per-row symmetric int8.
+int CmdExportStore(const Flags& flags) {
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  auto model = LoadModel(ds, flags.Get("model"));
+  if (model == nullptr) return 1;
+  const std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "export-store requires --out DIR\n");
+    return 2;
+  }
+  store::WriteOptions options;
+  const std::string quant = flags.Get("quant", "float32");
+  if (quant == "int8") {
+    options.dtype = store::Dtype::kInt8;
+  } else if (quant != "float32") {
+    std::fprintf(stderr, "unknown --quant %s (float32|int8)\n", quant.c_str());
+    return 2;
+  }
+  options.shards = flags.GetInt("shards", 4);
+
+  if (model->config().use_title_feature) {
+    std::vector<int64_t> ids;
+    ids.reserve(static_cast<size_t>(ds.kb.num_entities()));
+    for (kb::EntityId e = 0; e < ds.kb.num_entities(); ++e) {
+      ids.push_back(ds.vocab.Id(ds.kb.entity(e).title));
+    }
+    model->SetTitleTokenIds(std::move(ids));
+  }
+  model->PrepareFrozenInference();
+  const tensor::Tensor& frozen = model->frozen_static();
+
+  std::vector<store::TableSource> tables;
+  tables.push_back({"static", frozen.data(), frozen.size(0), frozen.size(1)});
+  if (const nn::Embedding* emb = model->store().GetEmbedding("entity_emb")) {
+    tables.push_back(
+        {"entity_emb", emb->table().data(), emb->rows(), emb->cols()});
+  }
+  const util::Status status = store::WriteStore(out, tables, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto opened = store::EmbeddingStore::Open(out);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: re-open after export failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("exported %zu tables (%s, %lld shards each) to %s\n",
+              tables.size(), store::DtypeName(options.dtype),
+              static_cast<long long>(options.shards), out.c_str());
+  for (const store::TableInfo& t : opened.value()->tables()) {
+    std::printf("  %-12s %lld x %lld  max_abs_err=%.6f\n", t.name.c_str(),
+                static_cast<long long>(t.rows), static_cast<long long>(t.cols),
+                t.max_abs_error);
+  }
+  return 0;
+}
+
+/// Inspects (and with --verify, checksum-walks) a store directory.
+int CmdStore(const Flags& flags) {
+  const std::string dir = flags.Get("dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "store requires --dir DIR\n");
+    return 2;
+  }
+  int64_t generation = -1;
+  auto opened = store::OpenNewestGeneration(dir, &generation);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::EmbeddingStore& es = *opened.value();
+  std::printf("store %s (generation %lld, %lld shards, %llu mapped bytes)\n",
+              es.dir().c_str(), static_cast<long long>(generation),
+              static_cast<long long>(es.num_shards()),
+              static_cast<unsigned long long>(es.mapped_bytes()));
+  for (const store::TableInfo& t : es.tables()) {
+    std::printf("  table %-12s %lld x %lld %s", t.name.c_str(),
+                static_cast<long long>(t.rows), static_cast<long long>(t.cols),
+                store::DtypeName(t.dtype));
+    if (t.dtype == store::Dtype::kInt8) {
+      std::printf("  max_abs_err=%.6f mean_abs_err=%.6f", t.max_abs_error,
+                  t.mean_abs_error);
+    }
+    std::printf("\n");
+    for (const store::ShardInfo& s : t.shards) {
+      std::printf("    %-28s rows [%lld, %lld)  %llu bytes  crc %08x\n",
+                  s.file.c_str(), static_cast<long long>(s.row_begin),
+                  static_cast<long long>(s.row_begin + s.row_count),
+                  static_cast<unsigned long long>(s.file_bytes), s.payload_crc);
+    }
+  }
+  if (flags.Has("verify")) {
+    const util::Status status = es.Verify();
+    if (!status.ok()) {
+      std::fprintf(stderr, "verify FAILED: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("verify OK: every shard payload matches its checksum\n");
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: bootleg_cli <gen|inspect|train|eval|predict> [flags]\n"
+      "usage: bootleg_cli <gen|inspect|train|eval|predict|export-store|store> "
+      "[flags]\n"
       "  gen     --out DIR [--scale micro|main] [--seed N] [--pages N]\n"
       "  inspect --data DIR [--n N]\n"
       "  train   --data DIR --model PATH [--epochs N] [--threads N]\n"
@@ -328,7 +441,10 @@ int Usage() {
       "          [--retain K] [--resume] [--max_steps N]\n"
       "          [--fault_fail_after BYTES] [--trace_out FILE]\n"
       "  eval    --data DIR --model PATH [--split dev|test] [--threads N]\n"
-      "  predict --data DIR --model PATH --text \"...\"\n");
+      "  predict --data DIR --model PATH --text \"...\"\n"
+      "  export-store --data DIR --model PATH --out DIR\n"
+      "          [--quant float32|int8] [--shards N]\n"
+      "  store   --dir DIR [--verify]\n");
   return 2;
 }
 
@@ -343,5 +459,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "eval") return CmdEval(flags);
   if (cmd == "predict") return CmdPredict(flags);
+  if (cmd == "export-store") return CmdExportStore(flags);
+  if (cmd == "store") return CmdStore(flags);
   return Usage();
 }

@@ -1,6 +1,9 @@
 // bootleg_serve — long-running disambiguation service over a trained model.
 //
 //   bootleg_serve --data DIR (--model PATH | --checkpoint_dir DIR)
+//                 [--store_dir DIR]   serve frozen features from an mmap
+//                                     embedding store (export-store output;
+//                                     requires --model)
 //                 [--port N]          TCP on 127.0.0.1:N (0 = ephemeral)
 //                 [--stdin]           serve stdin/stdout instead of TCP
 //                 [--max_batch N]     micro-batch size cap          (default 8)
@@ -13,8 +16,9 @@
 //
 // Protocol: newline-delimited JSON; ops disambiguate / health / stats /
 // reload. SIGHUP hot-reloads the newest valid checkpoint (checkpoint_dir
-// deployments); corrupt checkpoints are skipped, and a failed reload keeps
-// serving the previous weights.
+// deployments) or the newest store generation (--store_dir deployments);
+// corrupt candidates are skipped, and a failed reload keeps serving the
+// previous weights/generation.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   engine_options.data_dir = data;
   engine_options.model_path = flags.Get("model");
   engine_options.checkpoint_dir = flags.Get("checkpoint_dir");
+  engine_options.store_dir = flags.Get("store_dir");
   engine_options.ablation = flags.Get("ablation", "full");
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 4096));

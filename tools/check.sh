@@ -17,6 +17,10 @@
 #      export the metrics registry (queue-wait histogram included) and
 #      per-stage spans covering a request end to end, and `train --trace_out`
 #      must emit a JSONL trace covering a full training step.
+#   7. Embedding-store drill: export the trained model to a mmap store,
+#      verify every shard checksum, serve from the store, then export a new
+#      int8 generation and SIGHUP-swap it in under concurrent load — no
+#      request may drop, and stats must report the new generation.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -27,36 +31,37 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/6] Release build + full test suite"
+echo "==> [1/7] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/6] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/7] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
-             parallel_test serve_test metrics_test >/dev/null
+             parallel_test serve_test metrics_test store_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
-           parallel_test serve_test metrics_test; do
+           parallel_test serve_test metrics_test store_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/6] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/7] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
-    --target checkpoint_test parallel_test serve_test metrics_test >/dev/null
-  for t in checkpoint_test parallel_test serve_test metrics_test; do
+    --target checkpoint_test parallel_test serve_test metrics_test \
+             store_test >/dev/null
+  for t in checkpoint_test parallel_test serve_test metrics_test store_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/6],[3/6] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/7],[3/7] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/6] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/7] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -102,7 +107,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/6] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/7] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -185,7 +190,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/6] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/7] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -224,5 +229,62 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
   grep -q "\"span\": \"$stage\"" "$WORK/trace.jsonl" \
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
+
+echo "==> [7/7] store drill: export -> verify -> serve -> SIGHUP generation swap"
+"$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
+  --out "$WORK/store/gen_000001" --quant float32 >/dev/null
+"$CLI" store --dir "$WORK/store" --verify >/dev/null \
+  || { echo "FAIL: store verify failed"; exit 1; }
+
+"$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" \
+  --store_dir "$WORK/store" --port 0 2>"$WORK/serve_store.log" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/serve_store.log")
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: store serve: no listening port"; exit 1; }
+
+serve_rpc "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+  | grep -q '"ok": *true' \
+  || { echo "FAIL: store serve: disambiguate failed"; exit 1; }
+STORE_STATS=$(serve_rpc '{"op": "stats"}')
+echo "$STORE_STATS" | grep -q '"generation": *1' \
+  || { echo "FAIL: store serve: stats missing generation 1: $STORE_STATS"; exit 1; }
+echo "$STORE_STATS" | grep -Eq '"resident_shards": *[1-9]' \
+  || { echo "FAIL: store serve: no resident shards: $STORE_STATS"; exit 1; }
+
+# Export a quantized second generation, then swap it in live: concurrent
+# clients keep hammering across the SIGHUP and none may see a failure.
+"$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
+  --out "$WORK/store/gen_000002" --quant int8 >/dev/null
+CLIENT_PIDS=()
+for c in 1 2 3; do
+  (
+    for _ in $(seq 1 8); do
+      serve_rpc "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+        | grep -q '"ok": *true' || exit 1
+    done
+  ) &
+  CLIENT_PIDS+=($!)
+done
+kill -HUP "$SERVE_PID"
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" \
+    || { echo "FAIL: store serve: request dropped across generation swap"; exit 1; }
+done
+sleep 0.2
+STORE_STATS=$(serve_rpc '{"op": "stats"}')
+echo "$STORE_STATS" | grep -q '"generation": *2' \
+  || { echo "FAIL: store serve: SIGHUP did not swap to generation 2: $STORE_STATS"; exit 1; }
+echo "$STORE_STATS" | grep -q '"dtype": *"int8"' \
+  || { echo "FAIL: store serve: generation 2 is not the int8 export: $STORE_STATS"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
 
 echo "OK: all checks passed"

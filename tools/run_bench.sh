@@ -6,6 +6,9 @@
 #   3. observability suite -> BENCH_obs.json     (disabled/enabled span cost,
 #      disabled-span overhead on MatMul/128, and a traced train+serve
 #      workload's per-stage wall-time breakdown)
+#   4. embedding store     -> BENCH_store.json   (gather ns/row for heap vs
+#      mmap-float vs mmap-int8, resident-memory reduction, and end-to-end
+#      serve-path overhead of store-backed engines)
 #
 # Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks
@@ -18,7 +21,7 @@ BUILD_DIR="${1:-"${REPO_ROOT}/build"}"
 shift || true
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench -j >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench store_bench -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_kernels.json"
 "${BUILD_DIR}/bench/micro_kernels" \
@@ -36,3 +39,7 @@ SERVE_OUT="${REPO_ROOT}/BENCH_serve.json"
 OBS_OUT="${REPO_ROOT}/BENCH_obs.json"
 "${BUILD_DIR}/bench/obs_bench" --out "${OBS_OUT}"
 echo "wrote ${OBS_OUT}"
+
+STORE_OUT="${REPO_ROOT}/BENCH_store.json"
+"${BUILD_DIR}/bench/store_bench" --out "${STORE_OUT}"
+echo "wrote ${STORE_OUT}"

@@ -121,23 +121,29 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
   // UseFrozenStore validates shape before anything is swapped; on failure
   // the old generation (or heap table) keeps serving untouched.
   BOOTLEG_RETURN_IF_ERROR(model_->UseFrozenStore(view.value()));
-  entity_store_ = std::move(next);
-  store_generation_ = generation;
+  {
+    // Publish under store_mu_ so stats readers on connection threads get a
+    // shared_ptr snapshot; the displaced generation stays mapped until the
+    // last such snapshot drops it.
+    std::lock_guard<std::mutex> lock(store_mu_);
+    entity_store_ = next;
+    store_generation_ = generation;
+  }
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("store.generation")->Set(static_cast<double>(generation));
   reg.GetGauge("store.resident_shards")
-      ->Set(static_cast<double>(entity_store_->num_shards()));
+      ->Set(static_cast<double>(next->num_shards()));
   reg.GetGauge("store.mapped_bytes")
-      ->Set(static_cast<double>(entity_store_->mapped_bytes()));
-  if (const store::TableInfo* t = entity_store_->FindTable("static")) {
+      ->Set(static_cast<double>(next->mapped_bytes()));
+  if (const store::TableInfo* t = next->FindTable("static")) {
     reg.GetGauge("store.quant_max_abs_error")->Set(t->max_abs_error);
     reg.GetGauge("store.quant_mean_abs_error")->Set(t->mean_abs_error);
   }
   BOOTLEG_LOG(Info) << "serving embedding store generation " << generation
-                    << " from " << entity_store_->dir() << " ("
-                    << entity_store_->num_shards() << " shards, "
-                    << entity_store_->mapped_bytes() << " mapped bytes)";
+                    << " from " << next->dir() << " (" << next->num_shards()
+                    << " shards, " << next->mapped_bytes()
+                    << " mapped bytes)";
   return util::Status::OK();
 }
 

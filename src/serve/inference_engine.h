@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/model.h"
@@ -95,13 +97,28 @@ class InferenceEngine {
   /// Path of the weights currently serving (snapshot or checkpoint file).
   const std::string& loaded_path() const { return loaded_path_; }
 
-  /// The mapped embedding store serving frozen features, or nullptr when
-  /// the engine computes them into the heap (no store_dir).
-  const store::EmbeddingStore* entity_store() const {
-    return entity_store_.get();
+  /// Snapshot of the mapped embedding store serving frozen features, or
+  /// nullptr when the engine computes them into the heap (no store_dir).
+  /// Returns a shared_ptr so callers on connection threads keep the mapped
+  /// generation alive even if Reload() swaps a newer one in concurrently —
+  /// never hold a raw pointer across a reload boundary.
+  std::shared_ptr<const store::EmbeddingStore> entity_store() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return entity_store_;
   }
   /// Store generation currently serving (-1 without a store).
-  int64_t store_generation() const { return store_generation_; }
+  int64_t store_generation() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return store_generation_;
+  }
+  /// Store and its generation read atomically under one lock, so a stats
+  /// reader racing a generation swap never pairs the old mapping with the
+  /// new generation number (or vice versa).
+  std::pair<std::shared_ptr<const store::EmbeddingStore>, int64_t>
+  store_snapshot() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return {entity_store_, store_generation_};
+  }
 
  private:
   InferenceEngine(const EngineOptions& options, size_t cache_capacity);
@@ -118,6 +135,9 @@ class InferenceEngine {
   std::unique_ptr<core::BootlegModel> model_;
   CandidateCache cache_;
   std::string loaded_path_;
+  /// Guards entity_store_/store_generation_: written by the reload path
+  /// (batcher worker / Initialize), read by stats on connection threads.
+  mutable std::mutex store_mu_;
   std::shared_ptr<store::EmbeddingStore> entity_store_;
   int64_t store_generation_ = -1;
 };

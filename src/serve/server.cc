@@ -183,10 +183,13 @@ std::string Server::HandleLine(const std::string& line) {
 
     // Embedding-store deployments report the serving generation so reload
     // drills can confirm a SIGHUP swap landed without dropping requests.
-    if (const store::EmbeddingStore* es = engine_->entity_store()) {
+    // The shared_ptr snapshot pins the mapped generation for the duration of
+    // this reply even if the batcher swaps in a newer one mid-read.
+    const auto [es, store_generation] = engine_->store_snapshot();
+    if (es != nullptr) {
       Json jstore = Json::Object();
-      jstore.Set("generation", Json::Number(static_cast<double>(
-                                   engine_->store_generation())));
+      jstore.Set("generation",
+                 Json::Number(static_cast<double>(store_generation)));
       jstore.Set("resident_shards",
                  Json::Number(static_cast<double>(es->num_shards())));
       jstore.Set("mapped_bytes",

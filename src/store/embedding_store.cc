@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -477,6 +478,13 @@ util::Status EmbeddingStore::Load(const std::string& dir) {
         return util::Status::Corruption("store table " + info.name +
                                         " shard ranges are not uniform");
       }
+      // The writer emits a remainder shard of at most rows_per_shard rows;
+      // an oversized last shard would make the id/rows_per_shard lookup
+      // index past the shard vector at gather time, so reject it here.
+      if (last && shard.row_count > mt.rows_per_shard) {
+        return util::Status::Corruption("store table " + info.name +
+                                        " last shard exceeds the tile size");
+      }
       expect_begin += shard.row_count;
     }
     if (expect_begin != info.rows) {
@@ -623,6 +631,13 @@ util::StatusOr<std::unique_ptr<EmbeddingStore>> OpenNewestGeneration(
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
     if (name.rfind("gen_", 0) != 0) continue;
+    // Require a digit right after "gen_": strtoll would otherwise accept a
+    // sign ("gen_-1"), and a negative generation collides with the engine's
+    // -1 "no store" sentinel.
+    if (name.size() <= 4 ||
+        !std::isdigit(static_cast<unsigned char>(name[4]))) {
+      continue;
+    }
     errno = 0;
     char* end = nullptr;
     const long long num = std::strtoll(name.c_str() + 4, &end, 10);

@@ -151,7 +151,8 @@ class MappedFile {
 ///
 /// All reads after Open are lock-free over the mappings; an EmbeddingStore
 /// is immutable and safe to share across threads. Serving swaps generations
-/// by atomically replacing the shared_ptr under the batcher's reload lock.
+/// by replacing a shared_ptr under a lock; readers take shared_ptr
+/// snapshots, which keep a displaced generation mapped until released.
 class EmbeddingStore {
  public:
   static util::StatusOr<std::unique_ptr<EmbeddingStore>> Open(

@@ -6,11 +6,15 @@
 // ones, and an engine serving from a float store must be bit-identical to
 // the in-memory frozen path (int8 within tolerance, identical argmax).
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +25,8 @@
 #include "data/world.h"
 #include "serve/inference_engine.h"
 #include "store/embedding_store.h"
+#include "util/crc32.h"
+#include "util/io.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -281,6 +287,118 @@ TEST(StoreFuzzTest, MissingShardFailsWithoutCrashing) {
   EXPECT_FALSE(store::EmbeddingStore::Open(dir).ok());
 }
 
+// --- Adversarial (internally consistent but malformed) stores ----------------
+
+// The on-disk constants, duplicated from the writer on purpose: these tests
+// craft stores byte-by-byte to exercise geometries the writer never emits.
+constexpr uint32_t kTestManifestMagic = 0xB007E5D0;
+constexpr uint32_t kTestShardMagic = 0xB007E5D1;
+constexpr uint32_t kTestVersion = 1;
+constexpr uint64_t kTestPayloadAlign = 64;
+
+/// Writes one float32 shard file exactly as the store writer would (header,
+/// aligned payload, payload CRC word, footer) for an arbitrary row range,
+/// and fills `info` with the matching manifest entry.
+void CraftFloatShard(const std::string& dir, const std::string& table,
+                     int64_t shard_index, const std::vector<float>& data,
+                     int64_t row_begin, int64_t row_count, int64_t cols,
+                     store::ShardInfo* info) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".shard_%06lld.bin",
+                static_cast<long long>(shard_index));
+  info->file = table + suffix;
+  info->row_begin = row_begin;
+  info->row_count = row_count;
+
+  util::BinaryWriter w(dir + "/" + info->file);
+  w.WriteU32(kTestShardMagic);
+  w.WriteU32(kTestVersion);
+  w.BeginSection();
+  w.WriteString(table);
+  w.WriteU32(0);  // Dtype::kFloat32
+  w.WriteI64(row_begin);
+  w.WriteI64(row_count);
+  w.WriteI64(cols);
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(row_count) * static_cast<uint64_t>(cols) * 4;
+  w.WriteU64(payload_bytes);
+  w.EndSection();
+  const uint64_t aligned = (w.bytes_written() + kTestPayloadAlign - 1) /
+                           kTestPayloadAlign * kTestPayloadAlign;
+  const std::string zeros(aligned - w.bytes_written(), '\0');
+  w.WriteRaw(zeros.data(), zeros.size());
+  const float* rows = data.data() + row_begin * cols;
+  info->payload_crc = util::Crc32(rows, payload_bytes);
+  w.WriteRaw(rows, payload_bytes);
+  w.WriteU32(info->payload_crc);
+  w.WriteFooter();
+  info->file_bytes = w.bytes_written();
+  ASSERT_TRUE(w.Finish().ok());
+}
+
+void CraftManifest(const std::string& dir, const std::string& table,
+                   int64_t rows, int64_t cols,
+                   const std::vector<store::ShardInfo>& shards) {
+  util::BinaryWriter w(dir + "/MANIFEST");
+  w.WriteU32(kTestManifestMagic);
+  w.WriteU32(kTestVersion);
+  w.BeginSection();
+  w.WriteU64(1);  // one table
+  w.WriteString(table);
+  w.WriteI64(rows);
+  w.WriteI64(cols);
+  w.WriteU32(0);     // Dtype::kFloat32
+  w.WriteF64(0.0);   // max_abs_error
+  w.WriteF64(0.0);   // mean_abs_error
+  w.WriteU64(shards.size());
+  for (const store::ShardInfo& s : shards) {
+    w.WriteString(s.file);
+    w.WriteI64(s.row_begin);
+    w.WriteI64(s.row_count);
+    w.WriteU64(s.file_bytes);
+    w.WriteU32(s.payload_crc);
+  }
+  w.EndSection();
+  w.WriteFooter();
+  ASSERT_TRUE(w.Finish().ok());
+}
+
+/// Crafts a store whose shard ranges are `{begin, count}` pairs over `data`,
+/// with shard files fully consistent with the manifest (valid headers, CRCs,
+/// footers) — only the geometry itself can be objectionable.
+void CraftStore(const std::string& dir, const std::vector<float>& data,
+                int64_t rows, int64_t cols,
+                const std::vector<std::pair<int64_t, int64_t>>& ranges) {
+  std::vector<store::ShardInfo> shards(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    CraftFloatShard(dir, "static", static_cast<int64_t>(i), data,
+                    ranges[i].first, ranges[i].second, cols, &shards[i]);
+  }
+  CraftManifest(dir, "static", rows, cols, shards);
+}
+
+TEST(StoreFuzzTest, OversizedLastShardIsRejectedAtOpen) {
+  const int64_t rows = 30, cols = 4;
+  const std::vector<float> data = RandomTable(rows, cols, 17);
+
+  // Control: a crafted store with the writer's uniform-tile geometry must
+  // open — proving the crafted bytes are valid and the rejection below is
+  // about geometry, not formatting.
+  const std::string good = TestDir("crafted_uniform");
+  CraftStore(good, data, rows, cols, {{0, 15}, {15, 30 - 15}});
+  ASSERT_TRUE(OpenAndVerify(good).ok());
+
+  // Oversized last shard: [0,10) then [10,30). Contiguous, covers every row,
+  // every header agrees with the manifest — but row 29 would resolve to
+  // shard index 29/10 = 2, past the two mapped shards. Must be kCorruption
+  // at open, never an out-of-bounds gather later.
+  const std::string dir = TestDir("oversized_last_shard");
+  CraftStore(dir, data, rows, cols, {{0, 10}, {10, 20}});
+  const util::Status st = OpenAndVerify(dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kCorruption) << st.ToString();
+}
+
 // --- Generation scan ---------------------------------------------------------
 
 TEST(GenerationScanTest, NewestValidGenerationWinsAndCorruptOnesAreSkipped) {
@@ -316,6 +434,33 @@ TEST(GenerationScanTest, NewestValidGenerationWinsAndCorruptOnesAreSkipped) {
   const std::string empty = TestDir("generations_empty");
   EXPECT_EQ(store::OpenNewestGeneration(empty, &generation).status().code(),
             util::StatusCode::kNotFound);
+}
+
+TEST(GenerationScanTest, SignPrefixedGenerationNamesAreIgnored) {
+  const std::string dir = TestDir("generations_signed");
+  const std::vector<float> data = RandomTable(6, 4, 19);
+  store::WriteOptions options;
+  options.shards = 1;
+  // Perfectly valid stores under sign-prefixed names: strtoll would happily
+  // parse "gen_-1" (colliding with the engine's -1 "no store" sentinel) and
+  // "gen_+1"; the scan must treat these — and outright non-numeric names —
+  // as foreign directories, not generations.
+  for (const std::string gen : {"gen_-1", "gen_+1", "gen_x"}) {
+    ASSERT_TRUE(store::WriteStore(dir + "/" + gen,
+                                  {{"static", data.data(), 6, 4}}, options)
+                    .ok());
+  }
+  int64_t generation = -7;
+  EXPECT_EQ(store::OpenNewestGeneration(dir, &generation).status().code(),
+            util::StatusCode::kNotFound);
+
+  // A digit-named sibling is still picked up among the ignored ones.
+  ASSERT_TRUE(store::WriteStore(dir + "/gen_5",
+                                {{"static", data.data(), 6, 4}}, options)
+                  .ok());
+  auto opened = store::OpenNewestGeneration(dir, &generation);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(generation, 5);
 }
 
 // --- Engine equivalence ------------------------------------------------------
@@ -487,6 +632,50 @@ TEST(StoreEngineTest, ReloadSwapsToNewerGenerationAndKeepsServingOnFailure) {
   for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
   EXPECT_EQ(engine->PredictExamples(batch, &a),
             heap_engine->PredictExamples(batch, &b));
+}
+
+TEST(StoreEngineTest, StatsSnapshotSurvivesConcurrentGenerationSwap) {
+  const StoreWorld& sw = GetStoreWorld();
+  const std::string root = TestDir("stats_race");
+  const auto copy_gen = [&](const std::string& name, const std::string& from) {
+    fs::create_directories(root + "/" + name);
+    fs::copy(from, root + "/" + name,
+             fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+  };
+  copy_gen("gen_000001", sw.store_root + "/gen_000001");
+  auto engine = MakeEngine(root);
+
+  // Stats-op readers hammer the store snapshot exactly as the server does —
+  // dereferencing num_shards()/mapped_bytes()/dir() — while the main thread
+  // swaps generations underneath them. The shared_ptr snapshot must keep
+  // whichever generation a reader grabbed mapped until it lets go (the
+  // sanitizer gates turn a use-after-munmap here into a hard failure).
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto [es, generation] = engine->store_snapshot();
+        EXPECT_NE(es, nullptr);
+        if (es == nullptr) return;
+        EXPECT_GT(es->num_shards(), 0);
+        EXPECT_GT(es->mapped_bytes(), 0u);
+        EXPECT_FALSE(es->dir().empty());
+        EXPECT_GE(generation, 1);
+      }
+    });
+  }
+  for (int gen = 2; gen <= 20; ++gen) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "gen_%06d", gen);
+    // Alternate float and int8 exports so the swap also flips view types.
+    copy_gen(name, sw.store_root +
+                       (gen % 2 == 0 ? "/gen_000002" : "/gen_000001"));
+    ASSERT_TRUE(engine->Reload().ok());
+    EXPECT_EQ(engine->store_generation(), gen);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
 }
 
 TEST(StoreEngineTest, MismatchedStoreSchemaIsRejectedAtCreate) {

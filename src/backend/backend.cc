@@ -1,0 +1,82 @@
+#include "backend/backend.h"
+
+#include "backend/simd_backend.h"
+
+namespace bootleg::backend {
+
+namespace {
+
+/// Shim over the tensor:: kernels — the permanent oracle. Composition order
+/// matches the pre-backend call sites exactly (MatMul then AddRowBroadcast;
+/// MatMulTransposedB then Scale), so installing "ref" changes nothing but
+/// the virtual dispatch.
+class ReferenceBackend : public Backend {
+ public:
+  const char* name() const override { return "ref"; }
+
+  void LoadModel(const std::vector<FrozenWeight>& weights) override {
+    registered_weights_ = static_cast<int64_t>(weights.size());
+  }
+
+  tensor::Tensor LinearForward(const tensor::Tensor& x, const tensor::Tensor& w,
+                               const tensor::Tensor& bias) const override {
+    return tensor::AddRowBroadcast(tensor::MatMul(x, w), bias);
+  }
+  tensor::Tensor MatMul(const tensor::Tensor& a,
+                        const tensor::Tensor& b) const override {
+    return tensor::MatMul(a, b);
+  }
+  tensor::Tensor ScaledMatMulTransposedB(const tensor::Tensor& a,
+                                         const tensor::Tensor& b,
+                                         float alpha) const override {
+    tensor::Tensor c = tensor::MatMulTransposedB(a, b);
+    if (alpha != 1.0f) c = tensor::Scale(c, alpha);
+    return c;
+  }
+  tensor::Tensor MatMulTransposedA(const tensor::Tensor& a,
+                                   const tensor::Tensor& b) const override {
+    return tensor::MatMulTransposedA(a, b);
+  }
+  tensor::Tensor SoftmaxRows(const tensor::Tensor& a) const override {
+    return tensor::SoftmaxRows(a);
+  }
+
+  BackendStats stats() const override {
+    BackendStats s;
+    s.name = name();
+    s.isa = "scalar";
+    s.simd_active = false;
+    s.quantized_tensors = 0;
+    (void)registered_weights_;
+    return s;
+  }
+
+ private:
+  int64_t registered_weights_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<Backend>> Backend::Create(
+    const std::string& spec) {
+  if (spec.empty() || spec == "ref") {
+    return std::shared_ptr<Backend>(new ReferenceBackend());
+  }
+  if (spec == "simd") {
+    return std::shared_ptr<Backend>(new SimdBackend());
+  }
+  if (spec == "simd_q8") {
+    return std::shared_ptr<Backend>(new SimdQ8Backend());
+  }
+  return util::Status::InvalidArgument("unknown backend '" + spec +
+                                       "' (expected ref | simd | simd_q8)");
+}
+
+const Backend* Backend::ReferenceInstance() {
+  static const ReferenceBackend* kInstance = new ReferenceBackend();
+  return kInstance;
+}
+
+bool Backend::SimdAvailable() { return SimdBackend::ProbeBitIdentity(); }
+
+}  // namespace bootleg::backend

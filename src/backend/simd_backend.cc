@@ -1,0 +1,235 @@
+#include "backend/simd_backend.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "backend/simd_kernels.h"
+#include "backend/simd_primitives.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bootleg::backend {
+
+namespace {
+
+// Dispatch economics, mirrored from tensor/tensor.cc (see the comment there).
+constexpr int64_t kParallelWork = 1 << 18;
+
+int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1,
+                           kParallelWork / std::max<int64_t>(1, work_per_row));
+}
+
+template <typename F>
+void Dispatch(int64_t n, int64_t grain, F&& fn) {
+  util::ThreadPool* pool = util::ThreadPool::Global();
+  if (pool->WouldParallelize(n, grain)) {
+    pool->ParallelFor(0, n, grain, fn);
+  } else if (n > 0) {
+    fn(0, n);
+  }
+}
+
+bool BitEqual(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+}  // namespace
+
+// --- SimdBackend -------------------------------------------------------------
+
+bool SimdBackend::ProbeBitIdentity() {
+  // The probe's verdict is a property of (binary, CPU): compute once.
+  static const bool ok = [] {
+    if (!simd::KernelsUsable()) return false;
+    util::Rng rng(20260808);
+    // MatMul / LinearForward shapes covering every internal branch: 16-wide
+    // and 8-wide column blocks, scalar column tails, 4-row blocks plus row
+    // tails, k % 4 tails inside the reference k-tiling, k crossing a kKTile
+    // boundary, and the n < 8 matvec path the scorer uses.
+    const int64_t mm_shapes[][3] = {
+        {5, 67, 35}, {4, 64, 16}, {9, 64, 1}, {3, 33, 7}, {2, 5, 3},
+        {6, 130, 24}, {1, 16, 40},
+    };
+    for (const auto& s : mm_shapes) {
+      const tensor::Tensor a = tensor::Tensor::Randn({s[0], s[1]}, &rng, 1.0f);
+      const tensor::Tensor b = tensor::Tensor::Randn({s[1], s[2]}, &rng, 1.0f);
+      const tensor::Tensor bias = tensor::Tensor::Randn({s[2]}, &rng, 1.0f);
+      if (!BitEqual(simd::MatMul(a, b), tensor::MatMul(a, b))) return false;
+      if (!BitEqual(simd::LinearForward(a, b, bias),
+                    tensor::AddRowBroadcast(tensor::MatMul(a, b), bias))) {
+        return false;
+      }
+      const tensor::Tensor at = tensor::Tensor::Randn({s[1], s[0]}, &rng, 1.0f);
+      if (!BitEqual(simd::MatMulTransposedA(at, b),
+                    tensor::MatMulTransposedA(at, b))) {
+        return false;
+      }
+    }
+    // Transposed-B shapes: the 16-lane path with and without k-tails, the
+    // short-k (< 16) branch, 4-column blocks plus column tails; each at
+    // alpha = 1 (no epilogue) and attention-style alpha.
+    const int64_t tb_shapes[][3] = {
+        {5, 37, 9}, {3, 16, 5}, {4, 7, 3}, {2, 48, 2}, {7, 21, 13},
+    };
+    for (const auto& s : tb_shapes) {
+      const tensor::Tensor a = tensor::Tensor::Randn({s[0], s[1]}, &rng, 1.0f);
+      const tensor::Tensor b = tensor::Tensor::Randn({s[2], s[1]}, &rng, 1.0f);
+      for (const float alpha : {1.0f, 0.25f, 0.57735f}) {
+        tensor::Tensor ref = tensor::MatMulTransposedB(a, b);
+        if (alpha != 1.0f) ref = tensor::Scale(ref, alpha);
+        if (!BitEqual(simd::MatMulTransposedB(a, b, alpha), ref)) return false;
+      }
+    }
+    return true;
+  }();
+  return ok;
+}
+
+SimdBackend::SimdBackend() : simd_active_(ProbeBitIdentity()) {}
+
+void SimdBackend::LoadModel(const std::vector<FrozenWeight>& weights) {
+  registered_weights_ = static_cast<int64_t>(weights.size());
+}
+
+tensor::Tensor SimdBackend::LinearForward(const tensor::Tensor& x,
+                                          const tensor::Tensor& w,
+                                          const tensor::Tensor& bias) const {
+  if (simd_active_) return simd::LinearForward(x, w, bias);
+  return tensor::AddRowBroadcast(tensor::MatMul(x, w), bias);
+}
+
+tensor::Tensor SimdBackend::MatMul(const tensor::Tensor& a,
+                                   const tensor::Tensor& b) const {
+  if (simd_active_) return simd::MatMul(a, b);
+  return tensor::MatMul(a, b);
+}
+
+tensor::Tensor SimdBackend::ScaledMatMulTransposedB(const tensor::Tensor& a,
+                                                    const tensor::Tensor& b,
+                                                    float alpha) const {
+  if (simd_active_) return simd::MatMulTransposedB(a, b, alpha);
+  tensor::Tensor c = tensor::MatMulTransposedB(a, b);
+  if (alpha != 1.0f) c = tensor::Scale(c, alpha);
+  return c;
+}
+
+tensor::Tensor SimdBackend::MatMulTransposedA(const tensor::Tensor& a,
+                                              const tensor::Tensor& b) const {
+  if (simd_active_) return simd::MatMulTransposedA(a, b);
+  return tensor::MatMulTransposedA(a, b);
+}
+
+tensor::Tensor SimdBackend::SoftmaxRows(const tensor::Tensor& a) const {
+  return tensor::SoftmaxRows(a);
+}
+
+BackendStats SimdBackend::stats() const {
+  BackendStats s;
+  s.name = name();
+  s.simd_active = simd_active_;
+  s.isa = simd_active_
+              ? (CpuHasAvx512() ? "avx2+fma+avx512f" : "avx2+fma")
+              : (SimdCompiled() ? "avx2+fma(fallback)" : "scalar");
+  return s;
+}
+
+// --- SimdQ8Backend -----------------------------------------------------------
+
+void SimdQ8Backend::LoadModel(const std::vector<FrozenWeight>& weights) {
+  SimdBackend::LoadModel(weights);
+  prepared_.clear();
+  quantized_bytes_ = 0;
+  double err_sum = 0.0, err_max = 0.0;
+  int64_t err_count = 0;
+  std::vector<float> col;
+  for (const FrozenWeight& fw : weights) {
+    if (fw.weight == nullptr || fw.weight->dim() != 2) continue;
+    const int64_t in = fw.weight->size(0), out = fw.weight->size(1);
+    if (in <= 0 || out <= 0) continue;
+    QuantLinear ql;
+    ql.in = in;
+    ql.out = out;
+    ql.blocks = NumQ8Blocks(in);
+    ql.name = fw.name;
+    const int64_t padded = ql.blocks * kQ8Block;
+    ql.q.assign(static_cast<size_t>(out * padded), 0);
+    ql.scales.assign(static_cast<size_t>(out * ql.blocks), 0.0f);
+    col.resize(static_cast<size_t>(in));
+    const float* pw = fw.weight->data();
+    // Pack W [in,out] as rows of W^T so each output's reduction is one
+    // contiguous q8 row.
+    for (int64_t o = 0; o < out; ++o) {
+      for (int64_t r = 0; r < in; ++r) col[static_cast<size_t>(r)] = pw[r * out + o];
+      int8_t* qrow = ql.q.data() + o * padded;
+      float* srow = ql.scales.data() + o * ql.blocks;
+      QuantizeBlocksQ8(col.data(), in, qrow, srow);
+      for (int64_t r = 0; r < in; ++r) {
+        const float dq =
+            static_cast<float>(qrow[r]) * srow[r / kQ8Block];
+        const double e = std::fabs(static_cast<double>(dq) -
+                                   static_cast<double>(col[static_cast<size_t>(r)]));
+        err_sum += e;
+        if (e > err_max) err_max = e;
+      }
+      err_count += in;
+    }
+    quantized_bytes_ += static_cast<int64_t>(ql.q.size()) +
+                        static_cast<int64_t>(ql.scales.size() * sizeof(float));
+    prepared_.emplace(pw, std::move(ql));
+  }
+  quant_max_abs_error_ = err_max;
+  quant_mean_abs_error_ = err_count > 0 ? err_sum / static_cast<double>(err_count) : 0.0;
+}
+
+tensor::Tensor SimdQ8Backend::LinearForward(const tensor::Tensor& x,
+                                            const tensor::Tensor& w,
+                                            const tensor::Tensor& bias) const {
+  const auto it = prepared_.find(w.data());
+  if (it == prepared_.end()) return SimdBackend::LinearForward(x, w, bias);
+  const QuantLinear& ql = it->second;
+  BOOTLEG_CHECK_EQ(x.dim(), 2);
+  BOOTLEG_CHECK_EQ(x.size(1), ql.in);
+  BOOTLEG_CHECK_EQ(bias.numel(), ql.out);
+  const int64_t m = x.size(0), k = ql.in, n = ql.out;
+  tensor::Tensor c({m, n});
+  if (m == 0) return c;
+  const int64_t bpr = ql.blocks;
+  const int64_t padded = bpr * kQ8Block;
+  const float* px = x.data();
+  const float* pbias = bias.data();
+  const int8_t* pq = ql.q.data();
+  const float* ps = ql.scales.data();
+  float* pc = c.data();
+  Dispatch(m, RowGrain(k * n),
+           [px, pbias, pq, ps, pc, k, n, bpr, padded](int64_t lo, int64_t hi) {
+             // Per-chunk activation scratch: one quantized row at a time.
+             std::vector<int8_t> qrow(static_cast<size_t>(padded));
+             std::vector<float> srow(static_cast<size_t>(bpr));
+             for (int64_t r = lo; r < hi; ++r) {
+               QuantizeBlocksQ8(px + r * k, k, qrow.data(), srow.data());
+               float* crow = pc + r * n;
+               for (int64_t o = 0; o < n; ++o) {
+                 crow[o] = DotQ8(qrow.data(), srow.data(), pq + o * padded,
+                                 ps + o * bpr, bpr) +
+                           pbias[o];
+               }
+             }
+           });
+  return c;
+}
+
+BackendStats SimdQ8Backend::stats() const {
+  BackendStats s = SimdBackend::stats();
+  s.name = name();
+  s.quant_block = kQ8Block;
+  s.quantized_tensors = static_cast<int64_t>(prepared_.size());
+  s.quantized_bytes = quantized_bytes_;
+  s.quant_max_abs_error = quant_max_abs_error_;
+  s.quant_mean_abs_error = quant_mean_abs_error_;
+  return s;
+}
+
+}  // namespace bootleg::backend

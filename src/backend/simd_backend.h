@@ -1,0 +1,86 @@
+// SimdBackend (float AVX2/FMA kernels behind a bit-identity probe) and
+// SimdQ8Backend (block-int8 quantized Linear forwards on top of it).
+#ifndef BOOTLEG_BACKEND_SIMD_BACKEND_H_
+#define BOOTLEG_BACKEND_SIMD_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.h"
+
+namespace bootleg::backend {
+
+/// Float inference backend. Construction runs a bit-identity probe: every
+/// SIMD kernel is exercised against its tensor:: counterpart on shapes that
+/// cover all internal branches (16/8-wide column blocks, scalar column tails,
+/// k-tails, the short-k transposed-B branch, matvec n<8, fused bias and
+/// scale epilogues). Any bitwise mismatch — e.g. a sanitizer build compiled
+/// at -O1 where the reference kernels were not FMA-contracted — permanently
+/// downgrades the instance to delegating at the tensor:: layer, so forwards
+/// are bit-identical to ReferenceBackend under every build and on every CPU.
+class SimdBackend : public Backend {
+ public:
+  SimdBackend();
+
+  const char* name() const override { return "simd"; }
+  void LoadModel(const std::vector<FrozenWeight>& weights) override;
+  tensor::Tensor LinearForward(const tensor::Tensor& x, const tensor::Tensor& w,
+                               const tensor::Tensor& bias) const override;
+  tensor::Tensor MatMul(const tensor::Tensor& a,
+                        const tensor::Tensor& b) const override;
+  tensor::Tensor ScaledMatMulTransposedB(const tensor::Tensor& a,
+                                         const tensor::Tensor& b,
+                                         float alpha) const override;
+  tensor::Tensor MatMulTransposedA(const tensor::Tensor& a,
+                                   const tensor::Tensor& b) const override;
+  tensor::Tensor SoftmaxRows(const tensor::Tensor& a) const override;
+  BackendStats stats() const override;
+
+  bool simd_active() const { return simd_active_; }
+
+  /// The probe, exposed for tests: true iff the compiled SIMD kernels exist,
+  /// run on this CPU, and reproduce the reference kernels bit-for-bit.
+  static bool ProbeBitIdentity();
+
+ protected:
+  bool simd_active_ = false;  // fixed at construction
+  int64_t registered_weights_ = 0;
+};
+
+/// SimdBackend plus q8 Linear forwards: LoadModel packs every registered
+/// weight matrix into transposed block-int8 form (rows of W^T, kQ8Block
+/// values per f32 scale, partial tail blocks zero-padded); LinearForward
+/// quantizes activations per row on the fly and reduces through the
+/// int8×int8→int32 dot core. Unregistered weights fall back to the float
+/// path. Prepared tensors are keyed by weight data pointer and rebuilt on
+/// every LoadModel, making hot reload safe; the map is read-only during
+/// serving so concurrent forwards need no locking.
+class SimdQ8Backend : public SimdBackend {
+ public:
+  const char* name() const override { return "simd_q8"; }
+  void LoadModel(const std::vector<FrozenWeight>& weights) override;
+  tensor::Tensor LinearForward(const tensor::Tensor& x, const tensor::Tensor& w,
+                               const tensor::Tensor& bias) const override;
+  BackendStats stats() const override;
+
+ private:
+  struct QuantLinear {
+    int64_t in = 0;
+    int64_t out = 0;
+    int64_t blocks = 0;             // q8 blocks per W^T row
+    std::vector<int8_t> q;          // [out, blocks*kQ8Block]
+    std::vector<float> scales;      // [out, blocks]
+    std::string name;
+  };
+
+  std::unordered_map<const float*, QuantLinear> prepared_;
+  int64_t quantized_bytes_ = 0;
+  double quant_max_abs_error_ = 0;
+  double quant_mean_abs_error_ = 0;
+};
+
+}  // namespace bootleg::backend
+
+#endif  // BOOTLEG_BACKEND_SIMD_BACKEND_H_

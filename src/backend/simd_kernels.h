@@ -1,0 +1,44 @@
+// AVX2/FMA kernels for the frozen-inference compute cores. Each kernel
+// reproduces the per-element accumulation order of its counterpart in
+// tensor/tensor.cc (ascending-k fused multiply-add chains; the 16-lane
+// tree-fold for transposed-B dots), so on a Release build — where the
+// compiler contracts the reference kernels' mul+add into FMA — the results
+// are bit-identical at every shape and thread count. SimdBackend verifies
+// that property at construction with a runtime probe (see simd_backend.cc)
+// and delegates to the reference kernels when it does not hold (portable
+// builds, sanitizer builds compiled at -O1, CPUs without AVX2).
+#ifndef BOOTLEG_BACKEND_SIMD_KERNELS_H_
+#define BOOTLEG_BACKEND_SIMD_KERNELS_H_
+
+#include "tensor/tensor.h"
+
+namespace bootleg::backend::simd {
+
+/// True when the binary carries the AVX2/FMA kernels and the CPU supports
+/// them. Does NOT imply bit-identity with the reference kernels — that is
+/// the probe's job.
+bool KernelsUsable();
+
+/// C = A·B. A [m,k], B [k,n].
+tensor::Tensor MatMul(const tensor::Tensor& a, const tensor::Tensor& b);
+
+/// C = alpha * (A·Bᵀ). A [m,k], B [n,k]. alpha == 1.0f skips the scaling
+/// epilogue so the unscaled product matches tensor::MatMulTransposedB
+/// bitwise; otherwise each element gets exactly one extra rounded multiply,
+/// matching tensor::Scale applied afterwards.
+tensor::Tensor MatMulTransposedB(const tensor::Tensor& a,
+                                 const tensor::Tensor& b, float alpha);
+
+/// C = Aᵀ·B. A [k,m], B [k,n].
+tensor::Tensor MatMulTransposedA(const tensor::Tensor& a,
+                                 const tensor::Tensor& b);
+
+/// C = X·W + bias (row broadcast). X [m,k], W [k,n], bias [n]. The bias add
+/// rides the matmul epilogue — same roundings as MatMul followed by
+/// tensor::AddRowBroadcast, one fewer pass over C.
+tensor::Tensor LinearForward(const tensor::Tensor& x, const tensor::Tensor& w,
+                             const tensor::Tensor& bias);
+
+}  // namespace bootleg::backend::simd
+
+#endif  // BOOTLEG_BACKEND_SIMD_KERNELS_H_

@@ -478,6 +478,36 @@ void BootlegModel::PrepareFrozenInference() {
     }
   }
   frozen_ready_ = true;
+  // Weight tensors may have been swapped since the backend was installed
+  // (checkpoint load, hot-reload): refresh any backend-prepared copies.
+  RegisterBackendWeights();
+}
+
+void BootlegModel::SetInferenceBackend(std::shared_ptr<backend::Backend> be) {
+  backend_ = std::move(be);
+  RegisterBackendWeights();
+}
+
+void BootlegModel::RegisterBackendWeights() {
+  if (backend_ == nullptr) return;
+  std::vector<backend::FrozenWeight> weights;
+  if (encoder_ != nullptr) encoder_->AppendFrozenWeights("encoder", &weights);
+  if (type_pred_head_ != nullptr) {
+    type_pred_head_->AppendFrozenWeights("type_pred_head", &weights);
+  }
+  if (input_mlp_ != nullptr) {
+    input_mlp_->AppendFrozenWeights("input_mlp", &weights);
+  }
+  if (position_proj_ != nullptr) {
+    position_proj_->AppendFrozenWeights("position_proj", &weights);
+  }
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const std::string prefix = "layer" + std::to_string(li);
+    layers_[li].phrase2ent->AppendFrozenWeights(prefix + ".phrase2ent",
+                                                &weights);
+    layers_[li].ent2ent->AppendFrozenWeights(prefix + ".ent2ent", &weights);
+  }
+  backend_->LoadModel(weights);
 }
 
 util::Status BootlegModel::UseFrozenStore(
@@ -518,6 +548,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
     InferenceScratch* scratch) const {
   BOOTLEG_CHECK_MSG(frozen_ready_,
                     "PrepareFrozenInference() must run before PredictBatch");
+  const backend::Backend* be = inference_backend();
   std::vector<std::vector<int64_t>> preds(batch.size());
   InferenceScratch& s = *scratch;
   s.sentences.clear();
@@ -570,7 +601,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   Tensor w_all;
   {
     OBS_SPAN("infer.encode");
-    w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges);
+    w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges, be);
   }
 
   auto clamp_span = [](int64_t v, int64_t n_tokens) {
@@ -597,9 +628,8 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
         for (int64_t j = 0; j < hidden; ++j) dst[j] = w_first[j] + w_last[j];
       }
     }
-    Tensor logits = type_pred_head_->ForwardValue(m_all);
-    Tensor t_hat =
-        tensor::MatMul(tensor::SoftmaxRows(logits), coarse_table_.value());
+    Tensor logits = type_pred_head_->ForwardValue(m_all, be);
+    Tensor t_hat = be->MatMul(be->SoftmaxRows(logits), coarse_table_.value());
 
     // Selection-expand per-mention rows to candidate rows, per sentence — the
     // same one-hot matmul RunForward performs.
@@ -610,7 +640,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
       for (int64_t r = 0; r < info.rows; ++r) {
         sel.at(r, s.row_mention[static_cast<size_t>(info.row_offset + r)]) = 1.0f;
       }
-      Tensor tp = tensor::MatMul(sel, t_hat_s);
+      Tensor tp = be->MatMul(sel, t_hat_s);
       float* dst = tpred_all.data() + info.row_offset * config_.coarse_dim;
       const float* src = tp.data();
       for (int64_t k = 0; k < info.rows * config_.coarse_dim; ++k) dst[k] = src[k];
@@ -642,18 +672,38 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
         }
       }
     } else {
-      // Same assembly gathered through the store view (mmap float rows
-      // zero-copy; int8 dequantizes into the per-scratch staging row).
+      // Same assembly gathered through the store view. Float stores serve
+      // zero-copy row pointers (with a small prefetch lookahead so the copy
+      // loop is not bound by per-row miss latency); non-float stores run one
+      // batched fused gather+dequant over the whole id list, then the
+      // assembly reads the dequantized rows from scratch.
       static obs::LatencyHistogram* gather_hist =
           obs::MetricsRegistry::Global().GetHistogram("store.gather_us");
       const auto gather_start = std::chrono::steady_clock::now();
-      s.row_buf.resize(static_cast<size_t>(static_cols));
+      constexpr int64_t kGatherLookahead = 8;
+      const bool zero_copy =
+          total_rows > 0 && frozen_view_->RowPtr(s.row_entities[0]) != nullptr;
+      const float* gathered = nullptr;
+      if (!zero_copy && total_rows > 0) {
+        s.row_buf.resize(static_cast<size_t>(total_rows * static_cols));
+        frozen_view_->GatherRows(s.row_entities.data(), total_rows,
+                                 s.row_buf.data());
+        gathered = s.row_buf.data();
+      } else {
+        for (int64_t r = 0; r < std::min(kGatherLookahead, total_rows); ++r) {
+          frozen_view_->PrefetchRow(s.row_entities[static_cast<size_t>(r)]);
+        }
+      }
       for (int64_t r = 0; r < total_rows; ++r) {
-        const int64_t e = s.row_entities[static_cast<size_t>(r)];
-        const float* src = frozen_view_->RowPtr(e);
-        if (src == nullptr) {
-          frozen_view_->GatherRow(e, s.row_buf.data());
-          src = s.row_buf.data();
+        const float* src;
+        if (zero_copy) {
+          if (r + kGatherLookahead < total_rows) {
+            frozen_view_->PrefetchRow(
+                s.row_entities[static_cast<size_t>(r + kGatherLookahead)]);
+          }
+          src = frozen_view_->RowPtr(s.row_entities[static_cast<size_t>(r)]);
+        } else {
+          src = gathered + r * static_cols;
         }
         float* dst = x.data() + r * input_dim_;
         for (int64_t j = 0; j < frozen_pre_cols_; ++j) dst[j] = src[j];
@@ -669,7 +719,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
                               std::chrono::steady_clock::now() - gather_start)
                               .count());
     }
-    e_all = input_mlp_->ForwardValue(x);
+    e_all = input_mlp_->ForwardValue(x, be);
 
     if (config_.use_position_encoding) {
       Tensor pos({total_rows, 2 * hidden});
@@ -690,7 +740,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
           }
         }
       }
-      e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos));
+      e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos, be));
     }
   }
 
@@ -741,10 +791,10 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
     for (size_t li = 0; li < layers_.size(); ++li) {
       const Layer& layer = layers_[li];
       const bool last_layer = li + 1 == layers_.size();
-      Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(e_all, w_all,
-                                                            s.p2e_segments);
-      Tensor c_all =
-          layer.ent2ent->ForwardSegmentsValue(e_all, e_all, s.self_segments);
+      Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(
+          e_all, w_all, s.p2e_segments, be);
+      Tensor c_all = layer.ent2ent->ForwardSegmentsValue(e_all, e_all,
+                                                         s.self_segments, be);
       e_prime_all = tensor::Add(p_all, c_all);
 
       Tensor e_next({total_rows, hidden});
@@ -755,9 +805,9 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
         std::vector<Tensor> eks;
         eks.reserve(adjacencies[i].size());
         for (size_t k = 0; k < adjacencies[i].size(); ++k) {
-          Tensor attn = tensor::SoftmaxRows(tensor::AddScaledIdentity(
+          Tensor attn = be->SoftmaxRows(tensor::AddScaledIdentity(
               adjacencies[i][k], layer.kg_weights[k].value().at(0)));
-          eks.push_back(tensor::Add(tensor::MatMul(attn, e_prime_s), e_prime_s));
+          eks.push_back(tensor::Add(be->MatMul(attn, e_prime_s), e_prime_s));
         }
         Tensor e_s;
         if (eks.empty()) {
@@ -782,11 +832,11 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   OBS_SPAN("infer.score");
   Tensor scores;
   if (config_.ensemble_scoring) {
-    scores = tensor::MatMul(e_prime_all, score_vec_.value());
+    scores = be->MatMul(e_prime_all, score_vec_.value());
     for (size_t i = 0; i < s.sentences.size(); ++i) {
       const InferenceScratch::SentenceInfo& info = s.sentences[i];
       for (const Tensor& ek : ek_final[i]) {
-        Tensor sek = tensor::MatMul(ek, score_vec_.value());
+        Tensor sek = be->MatMul(ek, score_vec_.value());
         for (int64_t r = 0; r < info.rows; ++r) {
           float& dst = scores.at(info.row_offset + r, 0);
           dst = std::max(dst, sek.at(r, 0));
@@ -794,7 +844,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
       }
     }
   } else {
-    scores = tensor::MatMul(e_all, score_vec_.value());
+    scores = be->MatMul(e_all, score_vec_.value());
   }
 
   // --- Per-mention argmax, matching Predict's strict-> tie handling. ---------

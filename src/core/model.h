@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "core/config.h"
 #include "data/example.h"
 #include "eval/evaluator.h"
@@ -82,7 +83,7 @@ class BootlegModel : public eval::NedScorer {
     std::vector<int64_t> sent_mentions;
     std::vector<nn::AttentionSegment> p2e_segments;
     std::vector<nn::AttentionSegment> self_segments;
-    std::vector<float> row_buf;  // one-row staging for non-float store views
+    std::vector<float> row_buf;  // batch-gather staging for non-float views
   };
 
   /// Precomputes every sentence-independent per-entity input feature (entity
@@ -128,6 +129,22 @@ class BootlegModel : public eval::NedScorer {
   std::vector<std::vector<int64_t>> PredictBatch(
       const std::vector<const data::SentenceExample*>& batch,
       InferenceScratch* scratch) const;
+
+  /// Installs the inference backend PredictBatch routes its frozen compute
+  /// through, and registers the inference-path Linear weights with it
+  /// (Backend::LoadModel — quantizing backends pack their copies here).
+  /// nullptr restores the default reference path. PrepareFrozenInference()
+  /// re-registers automatically, so a serving hot-reload refreshes any
+  /// backend-prepared weight copies. Not thread-safe against concurrent
+  /// PredictBatch calls.
+  void SetInferenceBackend(std::shared_ptr<backend::Backend> be);
+
+  /// The backend PredictBatch uses: the installed one, or the process-wide
+  /// reference backend when none is installed. Never null.
+  const backend::Backend* inference_backend() const {
+    return backend_ != nullptr ? backend_.get()
+                               : backend::Backend::ReferenceInstance();
+  }
 
   /// Contextual entity embeddings (final-layer E_k rows of the predicted
   /// candidate per mention), the representation transferred to downstream
@@ -242,6 +259,13 @@ class BootlegModel : public eval::NedScorer {
   // When set, PredictBatch gathers frozen rows through this view (mmap
   // store) instead of frozen_static_; see UseFrozenStore().
   std::shared_ptr<const store::StoreView> frozen_view_;
+
+  /// Collects every inference-path Linear into LoadModel's inventory and
+  /// hands it to backend_ (no-op without an installed backend).
+  void RegisterBackendWeights();
+
+  // Inference backend for PredictBatch; see SetInferenceBackend().
+  std::shared_ptr<backend::Backend> backend_;
 };
 
 }  // namespace bootleg::core

@@ -37,6 +37,11 @@ struct EngineOptions {
   /// one fixed set of weights); incompatible with checkpoint_dir. Reload()
   /// then re-scans for a newer store generation instead of newer weights.
   std::string store_dir;
+  /// Inference backend: "ref" (scalar reference kernels), "simd" (runtime-
+  /// dispatched AVX2/FMA kernels, bit-identical to ref), or "simd_q8" (SIMD
+  /// plus block-int8 quantized frozen weights — argmax-stable, not
+  /// bit-identical). See backend/backend.h.
+  std::string backend = "ref";
 };
 
 /// One disambiguated mention in a served sentence.
@@ -127,6 +132,8 @@ class InferenceEngine {
   /// Opens the newest generation under options_.store_dir and points the
   /// model's frozen gather path at it. Publishes store gauges on success.
   util::Status AdoptNewestStoreGeneration();
+  /// Publishes the backend.* gauges from the active backend's stats().
+  void PublishBackendGauges() const;
 
   EngineOptions options_;
   kb::KnowledgeBase kb_;

@@ -32,6 +32,21 @@ class StoreView {
 
   /// Zero-copy row pointer, or nullptr when the storage is not raw float.
   virtual const float* RowPtr(int64_t /*id*/) const { return nullptr; }
+
+  /// Hints that row `id` will be gathered shortly. Batch gather loops call
+  /// this a few ids ahead so the row's cache lines are in flight by the time
+  /// GatherRow/RowPtr touches them; purely advisory, never changes results.
+  virtual void PrefetchRow(int64_t /*id*/) const {}
+
+  /// Gathers rows ids[0..n) into dst rows of cols() floats each — bitwise
+  /// the same values as n GatherRow calls, but implementations amortize the
+  /// per-row costs (metrics update, shard lookup) and keep a prefetch window
+  /// of upcoming rows in flight, so batch gathers are bandwidth-bound rather
+  /// than per-row-miss-latency-bound.
+  virtual void GatherRows(const int64_t* ids, int64_t n, float* dst) const {
+    const int64_t c = cols();
+    for (int64_t i = 0; i < n; ++i) GatherRow(ids[i], dst + i * c);
+  }
 };
 
 /// StoreView over caller-owned contiguous float rows (the in-memory frozen
@@ -49,6 +64,11 @@ class HeapView : public StoreView {
   }
   const float* RowPtr(int64_t id) const override {
     return data_ + id * cols_;
+  }
+  void PrefetchRow(int64_t id) const override {
+    const char* p = reinterpret_cast<const char*>(data_ + id * cols_);
+    const char* end = reinterpret_cast<const char*>(data_ + (id + 1) * cols_);
+    for (; p < end; p += 64) __builtin_prefetch(p, 0, 3);
   }
 
  private:

@@ -1,0 +1,368 @@
+// Inference-backend seam: the factory must resolve every documented spec and
+// reject unknown ones, the SIMD backend must be bitwise identical to the
+// reference backend on every kernel shape class at every thread count (the
+// probe guarantees this by construction — these tests pin the guarantee),
+// the q8 primitives must round-trip within the per-block half-step bound,
+// and an engine serving with --backend=simd must produce byte-identical
+// predictions to --backend=ref while --backend=simd_q8 keeps every argmax.
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "backend/simd_primitives.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/example.h"
+#include "data/generator.h"
+#include "data/world.h"
+#include "obs/metrics.h"
+#include "serve/inference_engine.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bootleg {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Factory -----------------------------------------------------------------
+
+TEST(BackendFactoryTest, ResolvesEveryDocumentedSpec) {
+  for (const auto& [spec, name] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"", "ref"},
+           {"ref", "ref"},
+           {"simd", "simd"},
+           {"simd_q8", "simd_q8"}}) {
+    auto be = backend::Backend::Create(spec);
+    ASSERT_TRUE(be.ok()) << spec;
+    EXPECT_EQ(be.value()->name(), name) << spec;
+  }
+}
+
+TEST(BackendFactoryTest, RejectsUnknownSpec) {
+  auto be = backend::Backend::Create("avx512");
+  ASSERT_FALSE(be.ok());
+  EXPECT_NE(be.status().message().find("unknown backend"), std::string::npos);
+}
+
+TEST(BackendFactoryTest, ReferenceInstanceIsSharedAndNamedRef) {
+  const backend::Backend* ref = backend::Backend::ReferenceInstance();
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref, backend::Backend::ReferenceInstance());
+  EXPECT_STREQ(ref->name(), "ref");
+  EXPECT_FALSE(ref->stats().simd_active);
+}
+
+// --- Kernel-level equivalence ------------------------------------------------
+
+bool BitEqual(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+// Shape triples covering every internal branch of the SIMD kernels: wide and
+// narrow column counts (16/8-wide blocks and scalar tails), row-block tails,
+// k tails, the k < 16 transposed-B delegation branch, and the n = 1 matvec
+// the scorer uses.
+const int64_t kShapes[][3] = {
+    {1, 16, 40}, {2, 5, 3},   {3, 33, 7},  {4, 64, 16},
+    {5, 67, 35}, {6, 130, 24}, {9, 64, 1},  {13, 128, 128},
+};
+
+TEST(SimdBackendTest, KernelsBitIdenticalToReferenceAcrossThreadCounts) {
+  auto simd = backend::Backend::Create("simd").value();
+  const backend::Backend* ref = backend::Backend::ReferenceInstance();
+  util::Rng rng(321);
+  for (const int threads : {1, 4}) {
+    util::ThreadPool::ResetGlobal(threads);
+    for (const auto& shape : kShapes) {
+      const int64_t m = shape[0], k = shape[1], n = shape[2];
+      const tensor::Tensor a = tensor::Tensor::Randn({m, k}, &rng, 1.0f);
+      const tensor::Tensor b = tensor::Tensor::Randn({k, n}, &rng, 1.0f);
+      const tensor::Tensor bias = tensor::Tensor::Randn({n}, &rng, 1.0f);
+      EXPECT_TRUE(BitEqual(simd->MatMul(a, b), ref->MatMul(a, b)))
+          << "MatMul " << m << "x" << k << "x" << n << " threads=" << threads;
+      EXPECT_TRUE(BitEqual(simd->LinearForward(a, b, bias),
+                           ref->LinearForward(a, b, bias)))
+          << "Linear " << m << "x" << k << "x" << n << " threads=" << threads;
+      const tensor::Tensor at = tensor::Tensor::Randn({k, m}, &rng, 1.0f);
+      EXPECT_TRUE(BitEqual(simd->MatMulTransposedA(at, b),
+                           ref->MatMulTransposedA(at, b)))
+          << "MatMulTA " << m << "x" << k << "x" << n
+          << " threads=" << threads;
+      const tensor::Tensor bt = tensor::Tensor::Randn({n, k}, &rng, 1.0f);
+      for (const float alpha : {1.0f, 0.25f}) {
+        EXPECT_TRUE(BitEqual(simd->ScaledMatMulTransposedB(a, bt, alpha),
+                             ref->ScaledMatMulTransposedB(a, bt, alpha)))
+            << "MatMulTB " << m << "x" << k << "x" << n << " alpha=" << alpha
+            << " threads=" << threads;
+      }
+      EXPECT_TRUE(BitEqual(simd->SoftmaxRows(a), ref->SoftmaxRows(a)))
+          << "Softmax " << m << "x" << k << " threads=" << threads;
+    }
+  }
+  util::ThreadPool::ResetGlobal(1);
+}
+
+TEST(SimdBackendTest, StatsReportProbeOutcome) {
+  auto simd = backend::Backend::Create("simd").value();
+  const backend::BackendStats st = simd->stats();
+  EXPECT_EQ(st.name, "simd");
+  EXPECT_EQ(st.quant_block, 0);
+  // simd_active must agree with the public availability probe — and when the
+  // SIMD kernels are active the ISA string must say which ones.
+  EXPECT_EQ(st.simd_active, backend::Backend::SimdAvailable());
+  if (st.simd_active) {
+    EXPECT_NE(st.isa.find("avx2+fma"), std::string::npos) << st.isa;
+  }
+}
+
+// --- q8 primitives -----------------------------------------------------------
+
+TEST(Q8PrimitivesTest, QuantizeRoundTripsWithinHalfStepPerBlock) {
+  util::Rng rng(17);
+  for (const int64_t n : {1, 31, 32, 33, 96, 250}) {
+    const int64_t blocks = backend::NumQ8Blocks(n);
+    std::vector<float> src(static_cast<size_t>(n));
+    for (float& v : src) v = static_cast<float>(rng.Normal(0.0, 2.0));
+    std::vector<int8_t> q(static_cast<size_t>(blocks * backend::kQ8Block));
+    std::vector<float> scales(static_cast<size_t>(blocks));
+    backend::QuantizeBlocksQ8(src.data(), n, q.data(), scales.data());
+    std::vector<float> back(static_cast<size_t>(blocks * backend::kQ8Block));
+    for (int64_t b = 0; b < blocks; ++b) {
+      backend::DequantRow(q.data() + b * backend::kQ8Block, backend::kQ8Block,
+                          scales[static_cast<size_t>(b)],
+                          back.data() + b * backend::kQ8Block);
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      const float step = scales[static_cast<size_t>(j / backend::kQ8Block)];
+      EXPECT_LE(std::fabs(back[static_cast<size_t>(j)] -
+                          src[static_cast<size_t>(j)]),
+                0.5f * step * (1.0f + 1e-5f))
+          << "n=" << n << " j=" << j;
+    }
+    // Padded tail bytes must be zero so they contribute nothing to dots.
+    for (int64_t j = n; j < blocks * backend::kQ8Block; ++j) {
+      EXPECT_EQ(q[static_cast<size_t>(j)], 0) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(Q8PrimitivesTest, DotMatchesFloatDotWithinQuantizationError) {
+  util::Rng rng(18);
+  const int64_t n = 200;
+  const int64_t blocks = backend::NumQ8Blocks(n);
+  std::vector<float> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (float& v : x) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (float& v : y) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  std::vector<int8_t> qx(static_cast<size_t>(blocks * backend::kQ8Block));
+  std::vector<int8_t> qy(static_cast<size_t>(blocks * backend::kQ8Block));
+  std::vector<float> sx(static_cast<size_t>(blocks)),
+      sy(static_cast<size_t>(blocks));
+  backend::QuantizeBlocksQ8(x.data(), n, qx.data(), sx.data());
+  backend::QuantizeBlocksQ8(y.data(), n, qy.data(), sy.data());
+  const float got = backend::DotQ8(qx.data(), sx.data(), qy.data(), sy.data(),
+                                   blocks);
+  double want = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    want += static_cast<double>(x[static_cast<size_t>(j)]) *
+            static_cast<double>(y[static_cast<size_t>(j)]);
+  }
+  // Each factor is within scale/2 of its float value, so the dot error is
+  // bounded by sum_j (|x_j| sy/2 + |y_j| sx/2 + sx sy/4); a loose 0.05 * n
+  // envelope covers it for unit-normal data by a wide margin.
+  EXPECT_NEAR(got, want, 0.05 * static_cast<double>(n));
+}
+
+TEST(Q8BackendTest, QuantizedLinearTracksFloatLinear) {
+  auto q8 = backend::Backend::Create("simd_q8").value();
+  util::Rng rng(19);
+  const int64_t in = 96, out = 40, m = 7;
+  const tensor::Tensor w = tensor::Tensor::Randn({in, out}, &rng, 0.2f);
+  const tensor::Tensor bias = tensor::Tensor::Randn({out}, &rng, 0.2f);
+  q8->LoadModel({{"probe_layer", &w, &bias}});
+
+  const backend::BackendStats st = q8->stats();
+  EXPECT_EQ(st.name, "simd_q8");
+  EXPECT_EQ(st.quant_block, backend::kQ8Block);
+  EXPECT_EQ(st.quantized_tensors, 1);
+  EXPECT_GT(st.quantized_bytes, 0);
+  EXPECT_GT(st.quant_max_abs_error, 0.0);
+  // Per-block symmetric int8: error is at most half a step, and for 0.2-σ
+  // normals a step is ~4σ/127 — pin an order-of-magnitude envelope.
+  EXPECT_LT(st.quant_max_abs_error, 0.01);
+  EXPECT_LE(st.quant_mean_abs_error, st.quant_max_abs_error);
+
+  const tensor::Tensor x = tensor::Tensor::Randn({m, in}, &rng, 1.0f);
+  const tensor::Tensor got = q8->LinearForward(x, w, bias);
+  const tensor::Tensor want =
+      backend::Backend::ReferenceInstance()->LinearForward(x, w, bias);
+  ASSERT_TRUE(got.shape() == want.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    EXPECT_NEAR(got.at(i), want.at(i), 0.5f) << "i=" << i;
+  }
+
+  // A weight that was never registered must fall back to the float path and
+  // match the reference bitwise.
+  const tensor::Tensor w2 = tensor::Tensor::Randn({in, out}, &rng, 0.2f);
+  EXPECT_TRUE(BitEqual(
+      q8->LinearForward(x, w2, bias),
+      backend::Backend::ReferenceInstance()->LinearForward(x, w2, bias)));
+}
+
+// --- Engine-level equivalence ------------------------------------------------
+
+std::string TestDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("bootleg_backend_test_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct BackendWorld {
+  std::string data_dir;
+  std::string model_path;
+  data::SynthWorld world;
+  data::Corpus corpus;
+};
+
+const BackendWorld& GetBackendWorld() {
+  static const BackendWorld* shared = [] {
+    auto* bw = new BackendWorld();
+    data::SynthConfig config = data::SynthConfig::MicroScale();
+    config.num_pages = 40;
+    bw->world = data::BuildWorld(config);
+    data::CorpusGenerator generator(&bw->world);
+    bw->corpus = generator.Generate();
+    bw->data_dir = TestDir("engine_world");
+    BOOTLEG_CHECK(bw->world.kb.Save(bw->data_dir + "/kb.bin").ok());
+    BOOTLEG_CHECK(
+        bw->world.candidates.Save(bw->data_dir + "/candidates.bin").ok());
+    BOOTLEG_CHECK(bw->world.vocab.Save(bw->data_dir + "/vocab.bin").ok());
+    core::BootlegConfig model_config;
+    model_config.encoder.max_len = 32;
+    core::BootlegModel model(&bw->world.kb, bw->world.vocab.size(),
+                             model_config, /*seed=*/123);
+    // Briefly train before saving: the q8 argmax-stability test needs real
+    // score margins, and an untrained model scores candidates as near-ties.
+    data::ExampleBuilder builder(&bw->world.candidates, &bw->world.vocab);
+    const std::vector<data::SentenceExample> train_examples =
+        builder.BuildAll(bw->corpus.train, data::ExampleOptions());
+    core::Trainable<core::BootlegModel> trainable(&model);
+    core::TrainOptions train_options;
+    train_options.epochs = 8;
+    train_options.num_threads = 1;
+    core::Train(&trainable, train_examples, train_options);
+    bw->model_path = bw->data_dir + "/model.bin";
+    BOOTLEG_CHECK(model.store().Save(bw->model_path).ok());
+    return bw;
+  }();
+  return *shared;
+}
+
+std::unique_ptr<serve::InferenceEngine> MakeEngine(
+    const std::string& backend_spec) {
+  const BackendWorld& bw = GetBackendWorld();
+  serve::EngineOptions options;
+  options.data_dir = bw.data_dir;
+  options.model_path = bw.model_path;
+  options.backend = backend_spec;
+  auto engine = serve::InferenceEngine::Create(options);
+  BOOTLEG_CHECK_MSG(engine.ok(), engine.status().ToString());
+  return std::move(engine.value());
+}
+
+std::vector<data::SentenceExample> DevExamples() {
+  const BackendWorld& bw = GetBackendWorld();
+  data::ExampleBuilder builder(&bw.world.candidates, &bw.world.vocab);
+  data::ExampleOptions options;
+  options.include_weak_labels = false;
+  return builder.BuildAll(bw.corpus.dev, options);
+}
+
+TEST(BackendEngineTest, UnknownBackendFailsEngineCreation) {
+  const BackendWorld& bw = GetBackendWorld();
+  serve::EngineOptions options;
+  options.data_dir = bw.data_dir;
+  options.model_path = bw.model_path;
+  options.backend = "gpu";
+  auto engine = serve::InferenceEngine::Create(options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_NE(engine.status().message().find("unknown backend"),
+            std::string::npos);
+}
+
+TEST(BackendEngineTest, SimdServingIsBitIdenticalToRef) {
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  ASSERT_GT(examples.size(), 8u);
+
+  auto ref_engine = MakeEngine("ref");
+  auto simd_engine = MakeEngine("simd");
+  EXPECT_EQ(ref_engine->model().inference_backend()->stats().name, "ref");
+  EXPECT_EQ(simd_engine->model().inference_backend()->stats().name, "simd");
+
+  core::BootlegModel::InferenceScratch ref_scratch, simd_scratch;
+  for (const int threads : {1, 4}) {
+    util::ThreadPool::ResetGlobal(threads);
+    for (const size_t batch_size :
+         {size_t{1}, size_t{3}, size_t{8}, examples.size()}) {
+      for (size_t begin = 0; begin < examples.size(); begin += batch_size) {
+        const size_t end = std::min(examples.size(), begin + batch_size);
+        std::vector<const data::SentenceExample*> batch;
+        for (size_t i = begin; i < end; ++i) batch.push_back(&examples[i]);
+        const auto want = ref_engine->PredictExamples(batch, &ref_scratch);
+        const auto got = simd_engine->PredictExamples(batch, &simd_scratch);
+        ASSERT_EQ(got, want) << "batch_size=" << batch_size
+                             << " threads=" << threads << " begin=" << begin;
+      }
+    }
+  }
+  util::ThreadPool::ResetGlobal(1);
+}
+
+TEST(BackendEngineTest, Q8ServingKeepsEveryArgmaxAndPublishesGauges) {
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  auto ref_engine = MakeEngine("ref");
+  auto q8_engine = MakeEngine("simd_q8");
+
+  const backend::BackendStats st =
+      q8_engine->model().inference_backend()->stats();
+  EXPECT_EQ(st.name, "simd_q8");
+  EXPECT_EQ(st.quant_block, backend::kQ8Block);
+  EXPECT_GT(st.quantized_tensors, 0);
+  EXPECT_GT(st.quantized_bytes, 0);
+  EXPECT_GT(st.quant_max_abs_error, 0.0);
+
+  // Engine construction published the backend.* gauges (the q8 engine was
+  // created last, so the registry holds its values).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetGauge("backend.quant_block")->value(),
+            static_cast<double>(backend::kQ8Block));
+  EXPECT_EQ(reg.GetGauge("backend.quantized_tensors")->value(),
+            static_cast<double>(st.quantized_tensors));
+  EXPECT_GT(reg.GetGauge("backend.quant_max_abs_error")->value(), 0.0);
+
+  core::BootlegModel::InferenceScratch ref_scratch, q8_scratch;
+  std::vector<const data::SentenceExample*> batch;
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  const auto want = ref_engine->PredictExamples(batch, &ref_scratch);
+  const auto got = q8_engine->PredictExamples(batch, &q8_scratch);
+  // Per-block quantization error is far below the synthetic world's score
+  // margins: the argmax must not move on any mention.
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace bootleg

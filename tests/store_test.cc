@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -201,6 +202,51 @@ TEST(EmbeddingStoreTest, Int8StoreRoundTripsWithinRecordedErrorBound) {
   }
   // The manifest's recorded maximum must match what the mapped rows deliver.
   EXPECT_NEAR(max_err, info->max_abs_error, 1e-7);
+}
+
+TEST(EmbeddingStoreTest, BatchGatherRowsIsBitIdenticalToPerRowGather) {
+  // GatherRows is the model's hot serving path; its contract is bitwise
+  // equality with n GatherRow calls for any id order, including repeats,
+  // shard boundaries, and batches shorter than its prefetch window.
+  const std::string dir = TestDir("batch_gather");
+  const int64_t rows = 101, cols = 37;  // uneven shards, odd row width
+  const std::vector<float> data = RandomTable(rows, cols, 33, 2.0f);
+
+  for (const store::Dtype dtype :
+       {store::Dtype::kFloat32, store::Dtype::kInt8}) {
+    store::WriteOptions options;
+    options.dtype = dtype;
+    options.shards = 4;
+    const std::string sub = dir + "/" + store::DtypeName(dtype);
+    ASSERT_TRUE(
+        store::WriteStore(sub, {{"static", data.data(), rows, cols}}, options)
+            .ok());
+    auto opened = store::EmbeddingStore::Open(sub);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto view = opened.value()->View("static");
+    ASSERT_TRUE(view.ok());
+
+    // Ids crossing every shard boundary, repeating, and out of order.
+    std::vector<int64_t> ids;
+    util::Rng rng(91);
+    for (int i = 0; i < 400; ++i) ids.push_back(rng.UniformInt(0, rows - 1));
+    ids.push_back(0);
+    ids.push_back(rows - 1);
+    for (const int64_t n :
+         {int64_t{1}, int64_t{3}, int64_t{40},
+          static_cast<int64_t>(ids.size())}) {
+      std::vector<float> batch(static_cast<size_t>(n * cols), -1.0f);
+      view.value()->GatherRows(ids.data(), n, batch.data());
+      std::vector<float> row(static_cast<size_t>(cols));
+      for (int64_t i = 0; i < n; ++i) {
+        view.value()->GatherRow(ids[static_cast<size_t>(i)], row.data());
+        ASSERT_EQ(std::memcmp(row.data(), batch.data() + i * cols,
+                              static_cast<size_t>(cols) * sizeof(float)),
+                  0)
+            << store::DtypeName(dtype) << " batch n=" << n << " row " << i;
+      }
+    }
+  }
 }
 
 // --- Corruption fuzzing ------------------------------------------------------

@@ -12,6 +12,9 @@
 //                 [--workers N]       batch worker threads          (default 1)
 //                 [--cache N]         candidate cache capacity      (default 4096)
 //                 [--ablation A]      config preset when no .meta sidecar
+//                 [--backend B]       inference backend: ref | simd | simd_q8
+//                                     (default ref; simd is bit-identical to
+//                                     ref, simd_q8 serves block-int8 weights)
 //                 [--no_trace]        disable per-stage trace spans
 //
 // Protocol: newline-delimited JSON; ops disambiguate / health / stats /
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
   engine_options.checkpoint_dir = flags.Get("checkpoint_dir");
   engine_options.store_dir = flags.Get("store_dir");
   engine_options.ablation = flags.Get("ablation", "full");
+  engine_options.backend = flags.Get("backend", "ref");
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 4096));
 

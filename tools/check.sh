@@ -3,8 +3,10 @@
 # suite):
 #
 #   1. Release build + complete ctest suite (tier-1 gate).
-#   2. ASan build: corruption fuzzing, checkpoint/resume, io, parallel, serve.
-#   3. TSan build: checkpointed data-parallel training + parallel + serve.
+#   2. ASan build: corruption fuzzing, checkpoint/resume, io, parallel,
+#      serve, backend equivalence.
+#   3. TSan build: checkpointed data-parallel training + parallel + serve +
+#      backend equivalence.
 #   4. CLI crash-recovery drill: train with checkpointing, kill the run
 #      mid-checkpoint-write via fault injection (leaving a torn temp file),
 #      corrupt the newest checkpoint, resume, and verify the final model is
@@ -21,6 +23,11 @@
 #      verify every shard checksum, serve from the store, then export a new
 #      int8 generation and SIGHUP-swap it in under concurrent load — no
 #      request may drop, and stats must report the new generation.
+#   8. Backend drill: serve the same requests under --backend ref, simd, and
+#      simd_q8. The ref and simd reply streams must be byte-identical (on
+#      hosts without AVX2 the simd backend's probe delegates to the reference
+#      kernels, so the check holds everywhere), simd_q8 must answer every
+#      request without error, and the stats op must name the active backend.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -31,37 +38,39 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/7] Release build + full test suite"
+echo "==> [1/8] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/7] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/8] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
-             parallel_test serve_test metrics_test store_test >/dev/null
+             parallel_test serve_test metrics_test store_test \
+             backend_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
-           parallel_test serve_test metrics_test store_test; do
+           parallel_test serve_test metrics_test store_test backend_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/7] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/8] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target checkpoint_test parallel_test serve_test metrics_test \
-             store_test >/dev/null
-  for t in checkpoint_test parallel_test serve_test metrics_test store_test; do
+             store_test backend_test >/dev/null
+  for t in checkpoint_test parallel_test serve_test metrics_test store_test \
+           backend_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/7],[3/7] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/8],[3/8] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/7] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/8] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -107,7 +116,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/7] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/8] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -190,7 +199,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/7] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/8] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -230,7 +239,7 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
 
-echo "==> [7/7] store drill: export -> verify -> serve -> SIGHUP generation swap"
+echo "==> [7/8] store drill: export -> verify -> serve -> SIGHUP generation swap"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$WORK/store/gen_000001" --quant float32 >/dev/null
 "$CLI" store --dir "$WORK/store" --verify >/dev/null \
@@ -286,5 +295,51 @@ echo "$STORE_STATS" | grep -q '"dtype": *"int8"' \
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
+
+echo "==> [8/8] backend drill: ref vs simd byte-identical, simd_q8 clean"
+BACKEND_REQS=$(printf '%s\n' \
+  "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+  '{"op": "disambiguate", "text": "entities appear on every page"}' \
+  '{"op": "disambiguate", "text": "the first page mentions a rare entity"}')
+
+backend_serve() {  # $1 = backend spec; replies on stdout
+  echo "$BACKEND_REQS" \
+    | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin \
+        --backend "$1" 2>/dev/null
+}
+
+REF_REPLIES=$(backend_serve ref)
+SIMD_REPLIES=$(backend_serve simd)
+[[ $(echo "$REF_REPLIES" | wc -l) == 3 ]] \
+  || { echo "FAIL: backend drill: ref backend dropped replies"; exit 1; }
+[[ "$REF_REPLIES" == "$SIMD_REPLIES" ]] \
+  || { echo "FAIL: backend drill: simd replies differ from ref"; exit 1; }
+
+# simd_q8 serves quantized weights: predictions may legitimately differ from
+# float only on near-ties, but every request must succeed, and stats must
+# report the backend block.
+Q8_OUT=$(printf '%s\n' "$BACKEND_REQS" '{"op": "stats"}' \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin \
+      --backend simd_q8 2>/dev/null)
+[[ $(echo "$Q8_OUT" | wc -l) == 4 ]] \
+  || { echo "FAIL: backend drill: simd_q8 dropped replies"; exit 1; }
+[[ $(echo "$Q8_OUT" | sed -n 1,3p | grep -c '"ok": *true') == 3 ]] \
+  || { echo "FAIL: backend drill: simd_q8 request errored"; exit 1; }
+Q8_STATS=$(echo "$Q8_OUT" | sed -n 4p)
+echo "$Q8_STATS" | grep -q '"errors": *0' \
+  || { echo "FAIL: backend drill: simd_q8 stats report errors: $Q8_STATS"; exit 1; }
+echo "$Q8_STATS" | grep -q '"backend"' \
+  || { echo "FAIL: backend drill: stats missing backend block: $Q8_STATS"; exit 1; }
+echo "$Q8_STATS" | grep -q '"name": *"simd_q8"' \
+  || { echo "FAIL: backend drill: stats missing backend name: $Q8_STATS"; exit 1; }
+echo "$Q8_STATS" | grep -q '"quant_block": *32' \
+  || { echo "FAIL: backend drill: stats missing quant block: $Q8_STATS"; exit 1; }
+
+# An unknown backend must be rejected at startup, not served silently.
+if echo '{"op": "health"}' \
+    | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin \
+        --backend warp 2>/dev/null >/dev/null; then
+  echo "FAIL: backend drill: unknown backend accepted"; exit 1
+fi
 
 echo "OK: all checks passed"

@@ -14,13 +14,41 @@
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks
 #   (BM_TrainEpoch / BM_ParallelEval sweep thread counts themselves).
 #   SERVE_BENCH_REQUESTS overrides per-client request count (default 500).
+#
+# The committed BENCH_*.json files are optimized-build numbers. A fresh build
+# dir is configured Release; an existing one is used as-is but its cached
+# build type must be Release or RelWithDebInfo — the script refuses to
+# overwrite the bench JSON from a debug (or sanitizer) build rather than
+# silently committing numbers an optimized build would contradict.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-"${REPO_ROOT}/build"}"
 shift || true
 
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+else
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt")"
+SANITIZE="$(sed -n 's/^BOOTLEG_SANITIZE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt")"
+case "${BUILD_TYPE}" in
+  # An empty cached type gets the top-level CMakeLists' Release default.
+  Release|RelWithDebInfo|"") ;;
+  *)
+    echo "refusing to run benchmarks: ${BUILD_DIR} is a '${BUILD_TYPE:-<unset>}'" \
+         "build (need Release or RelWithDebInfo); not overwriting BENCH_*.json" >&2
+    exit 1
+    ;;
+esac
+if [[ -n "${SANITIZE}" && "${SANITIZE}" != "OFF" ]]; then
+  echo "refusing to run benchmarks: ${BUILD_DIR} is sanitized" \
+       "(BOOTLEG_SANITIZE=${SANITIZE}); not overwriting BENCH_*.json" >&2
+  exit 1
+fi
+
 cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench store_bench -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_kernels.json"

@@ -1,0 +1,172 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace bootleg::net {
+
+namespace {
+constexpr int kMaxEventsPerWait = 128;
+constexpr int kIdleTimeoutMs = 500;  // wake to re-check stop flag when idle
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+util::Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return util::Status::Internal(std::string("epoll_create1: ") +
+                                  std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return util::Status::Internal(std::string("eventfd: ") +
+                                  std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wakeup fd in the dispatch loop
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return util::Status::Internal(std::string("epoll_ctl(wake): ") +
+                                  std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+int64_t EventLoop::NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+void EventLoop::Run() {
+  BOOTLEG_CHECK_MSG(epoll_fd_ >= 0, "EventLoop::Run before Init");
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  epoll_event events[kMaxEventsPerWait];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int timeout = NextTimeoutMs(NowMs());
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEventsPerWait, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BOOTLEG_CHECK_MSG(false,
+                        std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    dispatching_ = true;
+    for (int i = 0; i < n; ++i) {
+      auto* handler = static_cast<FdHandler*>(events[i].data.ptr);
+      if (handler == nullptr) {
+        DrainWakeups();
+        continue;
+      }
+      if (quarantined_.count(handler) != 0) continue;
+      handler->OnEvents(events[i].events);
+    }
+    dispatching_ = false;
+    quarantined_.clear();
+    RunPosted();
+    RunDueTimers(NowMs());
+  }
+  // One final drain so Stop() posted from another thread cannot strand
+  // closures (e.g. close-all-connections) that were queued before the flag.
+  RunPosted();
+  loop_thread_id_.store(std::thread::id(), std::memory_order_release);
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::RunAfter(int64_t delay_ms, std::function<void()> fn) {
+  Timer t;
+  t.due_ms = NowMs() + (delay_ms < 0 ? 0 : delay_ms);
+  t.seq = timer_seq_++;
+  t.fn = std::move(fn);
+  timers_.push(std::move(t));
+}
+
+util::Status EventLoop::AddFd(int fd, uint32_t events, FdHandler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return util::Status::Internal(std::string("epoll_ctl(add): ") +
+                                  std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+util::Status EventLoop::ModFd(int fd, uint32_t events, FdHandler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handler;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return util::Status::Internal(std::string("epoll_ctl(mod): ") +
+                                  std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+void EventLoop::DelFd(int fd, FdHandler* handler) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (dispatching_) quarantined_.insert(handler);
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter (impossible at 2^64) or EINTR both leave the loop
+  // already due for a wakeup; nothing to handle.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeups() {
+  uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) == sizeof(count)) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::RunDueTimers(int64_t now_ms) {
+  while (!timers_.empty() && timers_.top().due_ms <= now_ms) {
+    // Copy out before pop: the callback may arm new timers.
+    std::function<void()> fn = timers_.top().fn;
+    timers_.pop();
+    fn();
+  }
+}
+
+int EventLoop::NextTimeoutMs(int64_t now_ms) const {
+  if (timers_.empty()) return kIdleTimeoutMs;
+  const int64_t delta = timers_.top().due_ms - now_ms;
+  if (delta <= 0) return 0;
+  return delta > kIdleTimeoutMs ? kIdleTimeoutMs : static_cast<int>(delta);
+}
+
+}  // namespace bootleg::net

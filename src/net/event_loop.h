@@ -1,0 +1,116 @@
+#ifndef BOOTLEG_NET_EVENT_LOOP_H_
+#define BOOTLEG_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bootleg::net {
+
+/// Receives readiness events for one registered fd. Implementations live as
+/// long as the fd stays registered; EventLoop never owns them.
+class FdHandler {
+ public:
+  virtual ~FdHandler() = default;
+  /// Called on the loop thread with the epoll event mask for the fd.
+  virtual void OnEvents(uint32_t events) = 0;
+};
+
+/// One epoll-driven event loop pinned to one thread.
+///
+/// Everything that touches a registered fd (Add/Mod/DelFd, handler state)
+/// happens on the loop thread; the only thread-safe entry points are Post()
+/// (run a closure on the loop thread, waking it if asleep) and Stop().
+/// Timers (RunAfter) are loop-thread-only and fire between epoll waits —
+/// enough for accept backoff and test pacing, not a general-purpose clock.
+///
+/// Deleting an fd whose handler still has an undelivered event in the
+/// current epoll_wait batch is safe: DelFd quarantines the handler for the
+/// remainder of the dispatch round, so a connection can tear itself (or a
+/// sibling) down mid-batch without a use-after-free.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and wakeup eventfd. Must be called (and
+  /// succeed) before Run.
+  util::Status Init();
+
+  /// Processes events until Stop(). Call from exactly one thread; that
+  /// thread becomes the loop thread.
+  void Run();
+
+  /// Thread-safe: asks Run() to return once the current dispatch round
+  /// finishes. Idempotent.
+  void Stop();
+
+  /// Thread-safe: runs `fn` on the loop thread. If called from the loop
+  /// thread itself, still enqueues (runs later this round) — use direct
+  /// calls when already on-loop and ordering matters.
+  void Post(std::function<void()> fn);
+
+  /// Loop-thread-only: runs `fn` on the loop thread after `delay_ms`.
+  void RunAfter(int64_t delay_ms, std::function<void()> fn);
+
+  /// Loop-thread-only fd registration. `events` is an epoll mask
+  /// (EPOLLIN|EPOLLOUT|EPOLLET...). The handler must outlive registration.
+  util::Status AddFd(int fd, uint32_t events, FdHandler* handler);
+  util::Status ModFd(int fd, uint32_t events, FdHandler* handler);
+  /// Removes the fd from epoll and quarantines `handler` for the rest of the
+  /// current dispatch round. Does not close the fd.
+  void DelFd(int fd, FdHandler* handler);
+
+  /// True when called from the thread currently inside Run().
+  bool InLoopThread() const {
+    return loop_thread_id_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+ private:
+  struct Timer {
+    int64_t due_ms = 0;  // CLOCK_MONOTONIC milliseconds
+    uint64_t seq = 0;    // insertion order tiebreak (stable firing order)
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return due_ms != o.due_ms ? due_ms > o.due_ms : seq > o.seq;
+    }
+  };
+
+  void Wake();
+  void DrainWakeups();
+  void RunPosted();
+  void RunDueTimers(int64_t now_ms);
+  int NextTimeoutMs(int64_t now_ms) const;
+  static int64_t NowMs();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::thread::id> loop_thread_id_{};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t timer_seq_ = 0;
+
+  // Handlers DelFd'd during the current dispatch round; their remaining
+  // queued events are dropped instead of delivered to freed objects.
+  std::unordered_set<FdHandler*> quarantined_;
+  bool dispatching_ = false;
+};
+
+}  // namespace bootleg::net
+
+#endif  // BOOTLEG_NET_EVENT_LOOP_H_

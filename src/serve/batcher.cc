@@ -14,8 +14,11 @@ MicroBatcher::MicroBatcher(BatcherOptions options, BatchFn batch_fn,
       counters_(counters),
       queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
           "serve.queue_wait_us")),
+      deadline_slack_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          "serve.deadline_slack_us")),
       queue_depth_gauge_(
-          obs::MetricsRegistry::Global().GetGauge("serve.queue_depth")) {
+          obs::MetricsRegistry::Global().GetGauge("serve.queue_depth")),
+      shed_counter_(obs::MetricsRegistry::Global().GetCounter("serve.shed")) {
   const int n = options_.workers < 1 ? 1 : options_.workers;
   workers_.reserve(static_cast<size_t>(n));
   for (int w = 0; w < n; ++w) {
@@ -27,36 +30,65 @@ MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 std::future<util::StatusOr<SentenceResult>> MicroBatcher::Submit(
     std::string text) {
-  std::promise<util::StatusOr<SentenceResult>> promise;
-  std::future<util::StatusOr<SentenceResult>> future = promise.get_future();
+  auto promise =
+      std::make_shared<std::promise<util::StatusOr<SentenceResult>>>();
+  std::future<util::StatusOr<SentenceResult>> future = promise->get_future();
+  SubmitAsync(std::move(text), kNoDeadline,
+              [promise](util::StatusOr<SentenceResult> result) {
+                promise->set_value(std::move(result));
+              });
+  return future;
+}
+
+void MicroBatcher::SubmitAsync(std::string text,
+                               std::chrono::steady_clock::time_point deadline,
+                               Callback done) {
+  const auto now = std::chrono::steady_clock::now();
+  // Fast-path rejects are decided under the lock but completed outside it:
+  // the callback may re-enter arbitrary code (event-loop posts).
+  util::Status reject = util::Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      promise.set_value(
-          util::Status::FailedPrecondition("server is shutting down"));
-      return future;
-    }
-    if (queue_.size() >= options_.max_queue) {
+      reject = util::Status::FailedPrecondition("server is shutting down");
+    } else if (queue_.size() >= options_.max_queue) {
       if (counters_ != nullptr) {
         counters_->rejected.fetch_add(1, std::memory_order_relaxed);
       }
-      promise.set_value(util::Status::Unavailable(
+      reject = util::Status::Unavailable(
           "request queue full (" + std::to_string(options_.max_queue) +
-          " waiting); retry later"));
-      return future;
-    }
-    Request req;
-    req.text = std::move(text);
-    req.done = std::move(promise);
-    req.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(req));
-    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
-    if (counters_ != nullptr) {
-      counters_->requests.fetch_add(1, std::memory_order_relaxed);
+          " waiting); retry later");
+    } else if (deadline <= now) {
+      // Arrived already expired (client set an impossible budget): shed at
+      // the door rather than at dequeue.
+      if (counters_ != nullptr) {
+        counters_->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      shed_counter_->Add();
+      reject = util::Status::DeadlineExceeded("deadline expired before enqueue");
+    } else {
+      Request req;
+      req.text = std::move(text);
+      req.done = std::move(done);
+      req.enqueued = now;
+      req.deadline = deadline;
+      queue_.push_back(std::move(req));
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      if (counters_ != nullptr) {
+        counters_->requests.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
+  if (!reject.ok()) {
+    done(std::move(reject));
+    return;
+  }
   cv_.notify_one();
-  return future;
+}
+
+size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void MicroBatcher::RequestReload() {
@@ -131,19 +163,40 @@ void MicroBatcher::WorkerLoop(int worker) {
       if (queue_.empty()) continue;  // another worker drained it while we slept
     }
 
+    // Deadline-aware dequeue: expired requests are shed (completed with
+    // DeadlineExceeded, no batch slot) so overload compute goes only to
+    // replies a client is still waiting for.
+    const auto now = std::chrono::steady_clock::now();
     std::vector<Request> batch;
-    const size_t take = std::min<size_t>(queue_.size(),
-                                         static_cast<size_t>(options_.max_batch));
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    std::vector<Request> shed;
+    while (!queue_.empty() &&
+           static_cast<int>(batch.size()) < options_.max_batch) {
+      Request req = std::move(queue_.front());
       queue_.pop_front();
+      if (req.deadline <= now) {
+        shed.push_back(std::move(req));
+      } else {
+        batch.push_back(std::move(req));
+      }
     }
     if (static_cast<int64_t>(batch.size()) > max_batch_observed_) {
       max_batch_observed_ = static_cast<int64_t>(batch.size());
     }
     queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     lock.unlock();
+
+    if (!shed.empty()) {
+      if (counters_ != nullptr) {
+        counters_->shed.fetch_add(static_cast<int64_t>(shed.size()),
+                                  std::memory_order_relaxed);
+      }
+      shed_counter_->Add(static_cast<int64_t>(shed.size()));
+      for (Request& r : shed) {
+        r.done(util::Status::DeadlineExceeded(
+            "deadline expired while queued; request shed"));
+      }
+    }
+    if (batch.empty()) continue;
 
     {
       std::shared_lock<std::shared_mutex> shared(reload_mu_);
@@ -161,6 +214,14 @@ void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
         std::chrono::duration_cast<std::chrono::microseconds>(start -
                                                               r.enqueued)
             .count());
+    if (r.deadline != kNoDeadline) {
+      // Remaining budget at dispatch: how close shedding decisions are
+      // cutting it. Shrinking slack is the leading indicator of overload.
+      deadline_slack_hist_->Record(
+          std::chrono::duration_cast<std::chrono::microseconds>(r.deadline -
+                                                                start)
+              .count());
+    }
     texts.push_back(r.text);
   }
 
@@ -176,13 +237,13 @@ void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
   }
   if (results.size() != batch.size()) {
     for (Request& r : batch) {
-      r.done.set_value(
+      r.done(
           util::Status::Internal("batch handler returned wrong result count"));
     }
     return;
   }
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].done.set_value(std::move(results[i]));
+    batch[i].done(std::move(results[i]));
   }
 }
 

@@ -45,6 +45,13 @@ struct BatcherOptions {
 ///   - Backpressure: Submit returns an Unavailable future immediately when
 ///     max_queue requests are already waiting; the connection thread turns
 ///     that into a reject-with-status reply instead of queueing unboundedly.
+///   - Deadline shedding: a request carrying a deadline that expires while it
+///     waits in the queue is completed with DeadlineExceeded at dequeue time
+///     instead of burning a batch slot — under overload the server spends
+///     compute only on replies a client still wants. Shed requests count in
+///     ServerCounters::shed and the `serve.shed` registry counter; dispatched
+///     deadline-bearing requests record their remaining slack in the
+///     `serve.deadline_slack_us` histogram.
 ///   - Hot reload: RequestReload() marks a flag; the next worker to start a
 ///     batch performs the engine reload while holding the exclusive side of
 ///     a shared mutex, so weights never change under an in-flight batch.
@@ -62,6 +69,14 @@ class MicroBatcher {
       const std::vector<std::string>& texts, int worker)>;
   /// Performed under exclusive lock when a reload was requested.
   using ReloadFn = std::function<util::Status()>;
+  /// Completion for one request: the result, or the shed/reject status.
+  /// Invoked exactly once, from the submitting thread (fast-path rejects) or
+  /// a worker thread; must not block.
+  using Callback = std::function<void(util::StatusOr<SentenceResult>)>;
+
+  /// Sentinel for requests without a deadline (never shed).
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
 
   MicroBatcher(BatcherOptions options, BatchFn batch_fn, ReloadFn reload_fn,
                ServerCounters* counters);
@@ -75,6 +90,21 @@ class MicroBatcher {
   /// Shutdown) — in both cases the future is already resolved on return.
   std::future<util::StatusOr<SentenceResult>> Submit(std::string text);
 
+  /// Callback form used by the non-blocking front end. `done` may be invoked
+  /// synchronously (queue full, shutting down, deadline already past) or
+  /// later from a worker thread. A request whose `deadline` passes while it
+  /// waits in the queue is shed with DeadlineExceeded instead of batched.
+  void SubmitAsync(std::string text,
+                   std::chrono::steady_clock::time_point deadline,
+                   Callback done);
+
+  /// Current queued (not yet dispatched) request count; the server's
+  /// admission-control watermark reads this.
+  size_t queue_depth() const;
+
+  /// Configured queue bound (the default admission watermark).
+  size_t max_queue() const { return options_.max_queue; }
+
   /// Asks the next batch boundary to run the reload hook.
   void RequestReload();
 
@@ -87,8 +117,9 @@ class MicroBatcher {
  private:
   struct Request {
     std::string text;
-    std::promise<util::StatusOr<SentenceResult>> done;
+    Callback done;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline = kNoDeadline;
   };
 
   void WorkerLoop(int worker);
@@ -100,7 +131,9 @@ class MicroBatcher {
   ServerCounters* const counters_;
   // Registry-owned (never deallocated), so the raw pointers are always valid.
   LatencyHistogram* const queue_wait_hist_;
+  LatencyHistogram* const deadline_slack_hist_;
   obs::Gauge* const queue_depth_gauge_;
+  obs::Counter* const shed_counter_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,14 +1,8 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
+#include <future>
+#include <utility>
 
 #include "backend/backend.h"
 #include "obs/metrics.h"
@@ -20,105 +14,212 @@ namespace bootleg::serve {
 
 namespace {
 
-std::string ErrorReply(const std::string& what) {
+/// Every failure reply carries a machine-readable "code" so load-test
+/// harnesses and clients can classify rejections without parsing prose.
+std::string ErrorReply(const std::string& code, const std::string& what) {
   Json reply = Json::Object();
   reply.Set("ok", Json::Bool(false));
+  reply.Set("code", Json::Str(code));
   reply.Set("error", Json::Str(what));
+  return reply.Dump();
+}
+
+/// Maps a batcher status onto the wire code.
+std::string StatusCodeString(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kUnavailable:
+      return "overloaded";
+    case util::StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    default:
+      return "error";
+  }
+}
+
+std::string MentionsReply(const SentenceResult& result) {
+  Json mentions = Json::Array();
+  for (const ServedMention& m : result.mentions) {
+    Json jm = Json::Object();
+    jm.Set("alias", Json::Str(m.alias));
+    Json span = Json::Array();
+    span.Append(Json::Number(static_cast<double>(m.span_start)));
+    span.Append(Json::Number(static_cast<double>(m.span_end)));
+    jm.Set("span", std::move(span));
+    jm.Set("entity", Json::Number(static_cast<double>(m.entity)));
+    jm.Set("title", Json::Str(m.title));
+    jm.Set("prior", Json::Number(static_cast<double>(m.prior)));
+    jm.Set("candidates", Json::Number(static_cast<double>(m.num_candidates)));
+    mentions.Append(std::move(jm));
+  }
+  Json reply = Json::Object();
+  reply.Set("ok", Json::Bool(true));
+  reply.Set("mentions", std::move(mentions));
   return reply.Dump();
 }
 
 }  // namespace
 
 Server::Server(InferenceEngine* engine, MicroBatcher* batcher,
-               ServerCounters* counters, LatencyHistogram* latency)
+               ServerCounters* counters, LatencyHistogram* latency,
+               ServerOptions options)
     : engine_(engine),
       batcher_(batcher),
       counters_(counters),
-      latency_(latency) {}
+      latency_(latency),
+      options_(options) {}
 
 Server::~Server() { Stop(); }
 
 std::string Server::HandleLine(const std::string& line) {
+  // Blocking façade over the async path so stdio and tests share the exact
+  // protocol (admission control and deadline shedding included).
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  HandleLineAsync(line,
+                  [promise](std::string reply) { promise->set_value(std::move(reply)); });
+  return future.get();
+}
+
+void Server::HandleLineAsync(std::string line, Done done) {
   OBS_SPAN("serve.request");
   util::StatusOr<Json> parsed = Json::Parse(line);
   if (!parsed.ok()) {
     if (counters_ != nullptr) {
       counters_->errors.fetch_add(1, std::memory_order_relaxed);
     }
-    return ErrorReply("bad request: " + parsed.status().ToString());
+    done(ErrorReply("bad_request",
+                    "bad request: " + parsed.status().ToString()));
+    return;
   }
   const Json& request = parsed.value();
   if (!request.is_object()) {
     if (counters_ != nullptr) {
       counters_->errors.fetch_add(1, std::memory_order_relaxed);
     }
-    return ErrorReply("bad request: expected a JSON object");
+    done(ErrorReply("bad_request", "bad request: expected a JSON object"));
+    return;
   }
   const std::string op = request.GetString("op");
-
   if (op == "disambiguate") {
-    const Json* text = request.Find("text");
-    if (text == nullptr || !text->is_string()) {
+    HandleDisambiguate(request, std::move(done));
+    return;
+  }
+  done(HandleControl(request, op));
+}
+
+void Server::HandleDisambiguate(const Json& request, Done done) {
+  const Json* text = request.Find("text");
+  if (text == nullptr || !text->is_string()) {
+    if (counters_ != nullptr) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    done(ErrorReply("bad_request",
+                    "disambiguate requires a string \"text\" field"));
+    return;
+  }
+
+  // Optional client latency budget, milliseconds from now. The budget rides
+  // into the batcher queue; if it expires before dispatch the request is
+  // shed instead of batched.
+  auto deadline = MicroBatcher::kNoDeadline;
+  if (const Json* dl = request.Find("deadline_ms"); dl != nullptr) {
+    if (!dl->is_number() || dl->number_value() <= 0) {
       if (counters_ != nullptr) {
         counters_->errors.fetch_add(1, std::memory_order_relaxed);
       }
-      return ErrorReply("disambiguate requires a string \"text\" field");
+      done(ErrorReply("bad_request",
+                      "\"deadline_ms\" must be a positive number"));
+      return;
     }
-    const auto start = std::chrono::steady_clock::now();
-    std::future<util::StatusOr<SentenceResult>> future =
-        batcher_->Submit(text->string_value());
-    util::StatusOr<SentenceResult> result = future.get();
-    if (latency_ != nullptr) {
-      latency_->Record(std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count());
-    }
-    if (!result.ok()) return ErrorReply(result.status().ToString());
-
-    Json mentions = Json::Array();
-    for (const ServedMention& m : result.value().mentions) {
-      Json jm = Json::Object();
-      jm.Set("alias", Json::Str(m.alias));
-      Json span = Json::Array();
-      span.Append(Json::Number(static_cast<double>(m.span_start)));
-      span.Append(Json::Number(static_cast<double>(m.span_end)));
-      jm.Set("span", std::move(span));
-      jm.Set("entity", Json::Number(static_cast<double>(m.entity)));
-      jm.Set("title", Json::Str(m.title));
-      jm.Set("prior", Json::Number(static_cast<double>(m.prior)));
-      jm.Set("candidates", Json::Number(static_cast<double>(m.num_candidates)));
-      mentions.Append(std::move(jm));
-    }
-    Json reply = Json::Object();
-    reply.Set("ok", Json::Bool(true));
-    reply.Set("mentions", std::move(mentions));
-    return reply.Dump();
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<int64_t>(dl->number_value() * 1000.0));
   }
 
+  // Admission control: when the batcher queue is already at the watermark,
+  // refuse up front with a structured reply instead of queueing work the
+  // server cannot finish in time. Cheaper than a shed (no queue churn) and
+  // an unambiguous back-off signal for clients.
+  const size_t watermark = options_.admission_watermark != 0
+                               ? options_.admission_watermark
+                               : batcher_->max_queue();
+  if (batcher_->queue_depth() >= watermark) {
+    if (counters_ != nullptr) {
+      counters_->overloaded.fetch_add(1, std::memory_order_relaxed);
+    }
+    done(ErrorReply("overloaded",
+                    "admission control: queue depth at watermark (" +
+                        std::to_string(watermark) + "); retry later"));
+    return;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  LatencyHistogram* latency = latency_;
+  batcher_->SubmitAsync(
+      text->string_value(), deadline,
+      [latency, start, done = std::move(done)](
+          util::StatusOr<SentenceResult> result) {
+        if (latency != nullptr) {
+          latency->Record(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
+        if (!result.ok()) {
+          done(ErrorReply(StatusCodeString(result.status()),
+                          result.status().ToString()));
+          return;
+        }
+        done(MentionsReply(result.value()));
+      });
+}
+
+std::string Server::HandleControl(const Json& request, const std::string& op) {
+  (void)request;
   if (op == "health") {
     Json reply = Json::Object();
     reply.Set("ok", Json::Bool(true));
     reply.Set("status", Json::Str("serving"));
-    reply.Set("model", Json::Str(engine_->loaded_path()));
+    reply.Set("model",
+              Json::Str(engine_ != nullptr ? engine_->loaded_path() : ""));
     return reply.Dump();
   }
-
-  if (op == "stats") {
+  if (op == "stats") return StatsReply();
+  if (op == "reload") {
+    batcher_->RequestReload();
     Json reply = Json::Object();
     reply.Set("ok", Json::Bool(true));
-    if (counters_ != nullptr) {
-      reply.Set("requests", Json::Number(static_cast<double>(
-                                counters_->requests.load(std::memory_order_relaxed))));
-      reply.Set("rejected", Json::Number(static_cast<double>(
-                                counters_->rejected.load(std::memory_order_relaxed))));
-      reply.Set("errors", Json::Number(static_cast<double>(
-                              counters_->errors.load(std::memory_order_relaxed))));
-      reply.Set("batches", Json::Number(static_cast<double>(
-                               counters_->batches.load(std::memory_order_relaxed))));
-      reply.Set("mean_batch", Json::Number(counters_->MeanBatchSize()));
-      reply.Set("reloads", Json::Number(static_cast<double>(
-                               counters_->reloads.load(std::memory_order_relaxed))));
-    }
+    reply.Set("status", Json::Str("reload requested"));
+    return reply.Dump();
+  }
+  if (counters_ != nullptr) {
+    counters_->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ErrorReply("bad_request", "unknown op: \"" + op + "\"");
+}
+
+std::string Server::StatsReply() {
+  Json reply = Json::Object();
+  reply.Set("ok", Json::Bool(true));
+  if (counters_ != nullptr) {
+    reply.Set("requests", Json::Number(static_cast<double>(
+                              counters_->requests.load(std::memory_order_relaxed))));
+    reply.Set("rejected", Json::Number(static_cast<double>(
+                              counters_->rejected.load(std::memory_order_relaxed))));
+    reply.Set("overloaded",
+              Json::Number(static_cast<double>(
+                  counters_->overloaded.load(std::memory_order_relaxed))));
+    reply.Set("shed", Json::Number(static_cast<double>(
+                          counters_->shed.load(std::memory_order_relaxed))));
+    reply.Set("errors", Json::Number(static_cast<double>(
+                            counters_->errors.load(std::memory_order_relaxed))));
+    reply.Set("batches", Json::Number(static_cast<double>(
+                             counters_->batches.load(std::memory_order_relaxed))));
+    reply.Set("mean_batch", Json::Number(counters_->MeanBatchSize()));
+    reply.Set("reloads", Json::Number(static_cast<double>(
+                             counters_->reloads.load(std::memory_order_relaxed))));
+  }
+  if (engine_ != nullptr) {
     const CandidateCache& cache = engine_->cache();
     reply.Set("cache_hits", Json::Number(static_cast<double>(cache.hits())));
     reply.Set("cache_misses", Json::Number(static_cast<double>(cache.misses())));
@@ -127,61 +228,88 @@ std::string Server::HandleLine(const std::string& line) {
               Json::Number(lookups == 0.0 ? 0.0
                                           : static_cast<double>(cache.hits()) /
                                                 lookups));
-    if (latency_ != nullptr) {
-      Json lat = Json::Object();
-      lat.Set("count", Json::Number(static_cast<double>(latency_->count())));
-      lat.Set("mean_us", Json::Number(latency_->MeanUs()));
-      lat.Set("p50_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.50))));
-      lat.Set("p95_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.95))));
-      lat.Set("p99_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.99))));
-      reply.Set("latency", std::move(lat));
-    }
+  }
+  if (latency_ != nullptr) {
+    Json lat = Json::Object();
+    lat.Set("count", Json::Number(static_cast<double>(latency_->count())));
+    lat.Set("mean_us", Json::Number(latency_->MeanUs()));
+    lat.Set("p50_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.50))));
+    lat.Set("p95_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.95))));
+    lat.Set("p99_us", Json::Number(static_cast<double>(latency_->PercentileUs(0.99))));
+    reply.Set("latency", std::move(lat));
+  }
 
-    // Process-wide observability: the metrics registry federated with this
-    // server's own counters (which stay instance-local so multiple servers
-    // in one process — as in tests and benches — never share request counts).
-    const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-    Json jregistry = Json::Object();
-    Json jcounters = Json::Object();
-    for (const auto& [name, value] : registry.CounterValues()) {
-      jcounters.Set(name, Json::Number(static_cast<double>(value)));
-    }
-    jregistry.Set("counters", std::move(jcounters));
-    Json jgauges = Json::Object();
-    for (const auto& [name, value] : registry.GaugeValues()) {
-      jgauges.Set(name, Json::Number(value));
-    }
-    jregistry.Set("gauges", std::move(jgauges));
-    Json jhists = Json::Object();
-    for (const auto& [name, snap] : registry.HistogramValues()) {
-      Json jh = Json::Object();
-      jh.Set("count", Json::Number(static_cast<double>(snap.count)));
-      jh.Set("mean_us", Json::Number(snap.mean_us));
-      jh.Set("p50_us", Json::Number(static_cast<double>(snap.p50_us)));
-      jh.Set("p95_us", Json::Number(static_cast<double>(snap.p95_us)));
-      jh.Set("p99_us", Json::Number(static_cast<double>(snap.p99_us)));
-      jhists.Set(name, std::move(jh));
-    }
-    jregistry.Set("histograms", std::move(jhists));
-    reply.Set("registry", std::move(jregistry));
+  // Transport health: the front end's own counters, plus connection gauges
+  // mirrored into the global registry so `--trace_out` exports see them.
+  if (front_end_ != nullptr) {
+    const net::FrontEndStats fs = front_end_->stats();
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("serve.connections")
+        ->Set(static_cast<double>(fs.active_connections));
+    registry.GetGauge("serve.accepted_total")
+        ->Set(static_cast<double>(fs.accepted));
+    Json jnet = Json::Object();
+    jnet.Set("connections",
+             Json::Number(static_cast<double>(fs.active_connections)));
+    jnet.Set("accepted", Json::Number(static_cast<double>(fs.accepted)));
+    jnet.Set("rejected_connections",
+             Json::Number(static_cast<double>(fs.rejected_connections)));
+    jnet.Set("accept_errors",
+             Json::Number(static_cast<double>(fs.accept_errors)));
+    jnet.Set("overlong_line_disconnects",
+             Json::Number(static_cast<double>(fs.overlong_line_disconnects)));
+    jnet.Set("slow_client_disconnects",
+             Json::Number(static_cast<double>(fs.slow_client_disconnects)));
+    reply.Set("net", std::move(jnet));
+  }
 
-    Json jspans = Json::Array();
-    for (const obs::SpanSummary& s : obs::Trace::Summaries()) {
-      Json js = Json::Object();
-      js.Set("span", Json::Str(s.name));
-      js.Set("count", Json::Number(static_cast<double>(s.count)));
-      js.Set("total_us", Json::Number(static_cast<double>(s.total_us)));
-      js.Set("mean_us", Json::Number(s.mean_us));
-      js.Set("p50_us", Json::Number(static_cast<double>(s.p50_us)));
-      js.Set("p95_us", Json::Number(static_cast<double>(s.p95_us)));
-      js.Set("p99_us", Json::Number(static_cast<double>(s.p99_us)));
-      js.Set("max_us", Json::Number(static_cast<double>(s.max_us)));
-      jspans.Append(std::move(js));
-    }
-    reply.Set("spans", std::move(jspans));
+  // Process-wide observability: the metrics registry federated with this
+  // server's own counters (which stay instance-local so multiple servers
+  // in one process — as in tests and benches — never share request counts).
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  Json jregistry = Json::Object();
+  Json jcounters = Json::Object();
+  for (const auto& [name, value] : registry.CounterValues()) {
+    jcounters.Set(name, Json::Number(static_cast<double>(value)));
+  }
+  jregistry.Set("counters", std::move(jcounters));
+  Json jgauges = Json::Object();
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    jgauges.Set(name, Json::Number(value));
+  }
+  jregistry.Set("gauges", std::move(jgauges));
+  Json jhists = Json::Object();
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    Json jh = Json::Object();
+    jh.Set("count", Json::Number(static_cast<double>(snap.count)));
+    jh.Set("mean_us", Json::Number(snap.mean_us));
+    jh.Set("p50_us", Json::Number(static_cast<double>(snap.p50_us)));
+    jh.Set("p95_us", Json::Number(static_cast<double>(snap.p95_us)));
+    jh.Set("p99_us", Json::Number(static_cast<double>(snap.p99_us)));
+    jhists.Set(name, std::move(jh));
+  }
+  jregistry.Set("histograms", std::move(jhists));
+  reply.Set("registry", std::move(jregistry));
 
-    reply.Set("model", Json::Str(engine_->loaded_path()));
+  Json jspans = Json::Array();
+  for (const obs::SpanSummary& s : obs::Trace::Summaries()) {
+    Json js = Json::Object();
+    js.Set("span", Json::Str(s.name));
+    js.Set("count", Json::Number(static_cast<double>(s.count)));
+    js.Set("total_us", Json::Number(static_cast<double>(s.total_us)));
+    js.Set("mean_us", Json::Number(s.mean_us));
+    js.Set("p50_us", Json::Number(static_cast<double>(s.p50_us)));
+    js.Set("p95_us", Json::Number(static_cast<double>(s.p95_us)));
+    js.Set("p99_us", Json::Number(static_cast<double>(s.p99_us)));
+    js.Set("max_us", Json::Number(static_cast<double>(s.max_us)));
+    jspans.Append(std::move(js));
+  }
+  reply.Set("spans", std::move(jspans));
 
+  reply.Set("model",
+            Json::Str(engine_ != nullptr ? engine_->loaded_path() : ""));
+
+  if (engine_ != nullptr) {
     // Embedding-store deployments report the serving generation so reload
     // drills can confirm a SIGHUP swap landed without dropping requests.
     // The shared_ptr snapshot pins the mapped generation for the duration of
@@ -206,147 +334,74 @@ std::string Server::HandleLine(const std::string& line) {
     // Active inference backend, next to the store block it complements:
     // which kernels serve the frozen compute, and how lossy the quantized
     // weight copies are (zeros for non-quantizing backends).
-    {
-      const backend::BackendStats bs =
-          engine_->model().inference_backend()->stats();
-      Json jbackend = Json::Object();
-      jbackend.Set("name", Json::Str(bs.name));
-      jbackend.Set("isa", Json::Str(bs.isa));
-      jbackend.Set("simd_active", Json::Bool(bs.simd_active));
-      jbackend.Set("quant_block",
-                   Json::Number(static_cast<double>(bs.quant_block)));
-      jbackend.Set("quantized_tensors",
-                   Json::Number(static_cast<double>(bs.quantized_tensors)));
-      jbackend.Set("quantized_bytes",
-                   Json::Number(static_cast<double>(bs.quantized_bytes)));
-      jbackend.Set("quant_max_abs_error",
-                   Json::Number(bs.quant_max_abs_error));
-      jbackend.Set("quant_mean_abs_error",
-                   Json::Number(bs.quant_mean_abs_error));
-      reply.Set("backend", std::move(jbackend));
-    }
-    return reply.Dump();
+    const backend::BackendStats bs =
+        engine_->model().inference_backend()->stats();
+    Json jbackend = Json::Object();
+    jbackend.Set("name", Json::Str(bs.name));
+    jbackend.Set("isa", Json::Str(bs.isa));
+    jbackend.Set("simd_active", Json::Bool(bs.simd_active));
+    jbackend.Set("quant_block",
+                 Json::Number(static_cast<double>(bs.quant_block)));
+    jbackend.Set("quantized_tensors",
+                 Json::Number(static_cast<double>(bs.quantized_tensors)));
+    jbackend.Set("quantized_bytes",
+                 Json::Number(static_cast<double>(bs.quantized_bytes)));
+    jbackend.Set("quant_max_abs_error",
+                 Json::Number(bs.quant_max_abs_error));
+    jbackend.Set("quant_mean_abs_error",
+                 Json::Number(bs.quant_mean_abs_error));
+    reply.Set("backend", std::move(jbackend));
   }
+  return reply.Dump();
+}
 
-  if (op == "reload") {
-    batcher_->RequestReload();
-    Json reply = Json::Object();
-    reply.Set("ok", Json::Bool(true));
-    reply.Set("status", Json::Str("reload requested"));
-    return reply.Dump();
+std::string Server::TransportErrorReply(net::TransportError error) {
+  switch (error) {
+    case net::TransportError::kLineTooLong:
+      if (counters_ != nullptr) {
+        counters_->errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ErrorReply("line_too_long",
+                        "request line exceeds " +
+                            std::to_string(options_.max_line_bytes) +
+                            " bytes; closing connection");
+    case net::TransportError::kTooManyInflight:
+      if (counters_ != nullptr) {
+        counters_->overloaded.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ErrorReply("too_many_inflight",
+                        "per-connection pipeline cap (" +
+                            std::to_string(options_.max_inflight_per_conn) +
+                            " in flight) exceeded; request dropped");
+    case net::TransportError::kServerFull:
+      return ErrorReply("server_full",
+                        "connection limit (" +
+                            std::to_string(options_.max_conns) +
+                            ") reached; try again later");
   }
-
-  if (counters_ != nullptr) {
-    counters_->errors.fetch_add(1, std::memory_order_relaxed);
-  }
-  return ErrorReply("unknown op: \"" + op + "\"");
+  return ErrorReply("error", "transport error");
 }
 
 util::Status Server::Start(int port) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    return util::Status::Internal(std::string("socket: ") + std::strerror(errno));
+  net::FrontEndOptions fopts;
+  fopts.port = port;
+  fopts.io_threads = options_.io_threads;
+  fopts.max_conns = options_.max_conns;
+  fopts.max_line_bytes = options_.max_line_bytes;
+  fopts.write_buf_bytes = options_.write_buf_bytes;
+  fopts.max_inflight_per_conn = options_.max_inflight_per_conn;
+  front_end_ = std::make_unique<net::FrontEnd>(fopts, this);
+  const util::Status st = front_end_->Start();
+  if (!st.ok()) {
+    front_end_.reset();
+    return st;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd);
-    return util::Status::Internal("bind 127.0.0.1:" + std::to_string(port) +
-                                  ": " + err);
-  }
-  if (::listen(listen_fd, 64) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd);
-    return util::Status::Internal("listen: " + err);
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  }
-  listen_fd_.store(listen_fd, std::memory_order_release);
-  stopping_.store(false, std::memory_order_relaxed);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  port_ = front_end_->port();
   return util::Status::OK();
 }
 
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
-    if (listen_fd < 0) break;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) break;
-      // EINTR is the SIGHUP path: let the poll hook pick the flag up.
-      if (poll_hook_) poll_hook_();
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener closed or unrecoverable
-    }
-    if (poll_hook_) poll_hook_();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
-  }
-}
-
-void Server::ServeConnection(int fd) {
-  std::string pending;
-  char buf[4096];
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // EOF or error: client is gone
-    pending.append(buf, static_cast<size_t>(n));
-    size_t nl;
-    while ((nl = pending.find('\n')) != std::string::npos) {
-      std::string line = pending.substr(0, nl);
-      pending.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      const std::string reply = HandleLine(line) + "\n";
-      size_t sent = 0;
-      while (sent < reply.size()) {
-        const ssize_t w =
-            ::send(fd, reply.data() + sent, reply.size() - sent, MSG_NOSIGNAL);
-        if (w <= 0) break;
-        sent += static_cast<size_t>(w);
-      }
-      if (sent < reply.size()) break;
-    }
-  }
-  // Deregister before closing so Stop() can never shut down a recycled fd.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                    conn_fds_.end());
-  }
-  ::close(fd);
-}
-
 void Server::Stop() {
-  if (listen_fd_.load(std::memory_order_acquire) < 0 &&
-      !accept_thread_.joinable()) {
-    return;
-  }
-  stopping_.store(true, std::memory_order_relaxed);
-  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-  if (listen_fd >= 0) {
-    ::shutdown(listen_fd, SHUT_RDWR);
-    ::close(listen_fd);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    conn_fds_.clear();
-    to_join.swap(conn_threads_);
-  }
-  for (std::thread& t : to_join) t.join();
+  if (front_end_ != nullptr) front_end_->Stop();
 }
 
 void Server::RunStdio(std::istream& in, std::ostream& out) {

@@ -1,15 +1,13 @@
 #ifndef BOOTLEG_SERVE_SERVER_H_
 #define BOOTLEG_SERVE_SERVER_H_
 
-#include <atomic>
 #include <functional>
 #include <istream>
-#include <mutex>
+#include <memory>
 #include <ostream>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "net/front_end.h"
 #include "serve/batcher.h"
 #include "serve/inference_engine.h"
 #include "serve/metrics.h"
@@ -17,66 +15,95 @@
 
 namespace bootleg::serve {
 
-/// Newline-delimited-JSON front end over the micro-batcher. One request
+class Json;
+
+/// Transport and admission knobs for the TCP front end (Start). HandleLine /
+/// RunStdio ignore the transport fields but honor the admission watermark.
+struct ServerOptions {
+  int io_threads = 1;       // epoll event loops (loop 0 owns the listener)
+  int max_conns = 4096;     // connections beyond this are refused
+  size_t max_line_bytes = 1 << 20;   // request line cap; offenders disconnected
+  size_t write_buf_bytes = 4 << 20;  // unread-reply cap; offenders disconnected
+  int max_inflight_per_conn = 64;    // pipelined requests per connection
+  /// Queue-depth admission watermark: disambiguate requests arriving while
+  /// the batcher queue is at or beyond this depth get a structured
+  /// {"code":"overloaded"} reply without enqueueing. 0 = the batcher's
+  /// max_queue (admission collapses into queue-full backpressure).
+  size_t admission_watermark = 0;
+};
+
+/// Newline-delimited-JSON protocol layer over the micro-batcher. One request
 /// object per line, one reply object per line:
 ///
-///   {"op":"disambiguate","text":"..."}  → {"ok":true,"mentions":[...]}
-///   {"op":"health"}                     → {"ok":true,"status":"serving",...}
-///   {"op":"stats"}                      → {"ok":true,"requests":...,...}
-///   {"op":"reload"}                     → {"ok":true} (same path as SIGHUP)
+///   {"op":"disambiguate","text":"...","deadline_ms":50}
+///       → {"ok":true,"mentions":[...]}
+///   {"op":"health"}   → {"ok":true,"status":"serving",...}
+///   {"op":"stats"}    → {"ok":true,"requests":...,...}
+///   {"op":"reload"}   → {"ok":true} (same path as SIGHUP)
 ///
-/// Malformed input of any kind produces {"ok":false,"error":"..."} — the
-/// connection survives and the process never crashes on client bytes.
+/// Every failure is a structured reply carrying a machine-readable "code"
+/// ("bad_request", "overloaded", "deadline_exceeded", "line_too_long",
+/// "too_many_inflight", "server_full") next to the human-readable "error" —
+/// the connection survives and the process never crashes on client bytes.
 ///
-/// Two transports share HandleLine: a localhost TCP listener with one thread
-/// per connection (Start/Stop), and a stdin/stdout loop (RunStdio) used by
-/// tests and the check.sh smoke drill.
-class Server {
+/// Three transports share the protocol: the epoll net::FrontEnd (Start/Stop,
+/// non-blocking, thousands of connections on --io_threads event loops), a
+/// stdin/stdout loop (RunStdio), and direct HandleLine calls from tests.
+///
+/// `deadline_ms` is the client's latency budget, measured from request
+/// parse. It propagates into the batcher, which sheds the request with
+/// {"code":"deadline_exceeded"} if the budget expires while it is queued.
+class Server : public net::LineHandler {
  public:
   Server(InferenceEngine* engine, MicroBatcher* batcher,
-         ServerCounters* counters, LatencyHistogram* latency);
-  ~Server();
+         ServerCounters* counters, LatencyHistogram* latency,
+         ServerOptions options = {});
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Processes one request line into one reply line (no trailing newline).
-  /// This is the whole protocol; both transports and the tests call it.
+  /// Processes one request line into one reply line (no trailing newline),
+  /// blocking until the reply is ready. Tests and RunStdio call it.
   std::string HandleLine(const std::string& line);
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
+  /// net::LineHandler: non-blocking protocol entry for the epoll front end.
+  /// Control ops complete synchronously; disambiguate completes from a
+  /// batcher worker once its micro-batch (or shed decision) lands.
+  void HandleLineAsync(std::string line, Done done) override;
+  std::string TransportErrorReply(net::TransportError error) override;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the epoll front end.
   util::Status Start(int port);
   /// Actual bound port (after Start with port 0).
   int port() const { return port_; }
-  /// Stops accepting, closes every connection, joins all threads.
+  /// Stops accepting, closes every connection, joins the I/O threads.
   void Stop();
 
   /// Reads request lines from `in` until EOF, writing replies to `out`.
   void RunStdio(std::istream& in, std::ostream& out);
 
-  /// Invoked between requests and on interrupted accepts; the serve tool
-  /// uses it to translate the SIGHUP flag into a batcher reload request
-  /// (signal handlers themselves must stay async-signal-safe).
+  /// Invoked between stdio requests; the serve tool uses it to translate
+  /// the SIGHUP flag into a batcher reload request (signal handlers
+  /// themselves must stay async-signal-safe). TCP-mode signals are handled
+  /// on the tool's main thread — the I/O threads keep them blocked.
   void SetPollHook(std::function<void()> hook) { poll_hook_ = std::move(hook); }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  /// Admission + deadline parse + submit for one disambiguate request.
+  void HandleDisambiguate(const Json& request, Done done);
+  std::string HandleControl(const Json& request, const std::string& op);
+  std::string StatsReply();
 
   InferenceEngine* const engine_;
   MicroBatcher* const batcher_;
   ServerCounters* const counters_;
   LatencyHistogram* const latency_;
+  const ServerOptions options_;
   std::function<void()> poll_hook_;
 
-  std::atomic<bool> stopping_{false};
-  // Atomic: Stop() invalidates the fd while AcceptLoop is blocked on it.
-  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::unique_ptr<net::FrontEnd> front_end_;
 };
 
 }  // namespace bootleg::serve

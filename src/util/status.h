@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object in the RocksDB/Arrow style. Library functions
@@ -50,6 +51,11 @@ class Status {
   /// and retry rather than treat the request as failed.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The caller's deadline passed before the work could run (load shedding);
+  /// retrying with a larger budget may succeed, retrying as-is will not.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,15 @@
 //                 [--max_wait_us N]   coalescing wait               (default 500)
 //                 [--max_queue N]     bounded queue depth           (default 64)
 //                 [--workers N]       batch worker threads          (default 1)
+//                 [--io_threads N]    epoll event loops             (default 1)
+//                 [--max_conns N]     connection cap                (default 4096)
+//                 [--admission_watermark N]  queue depth beyond which new
+//                                     disambiguate requests get a structured
+//                                     "overloaded" reply (default: max_queue)
+//                 [--max_line_bytes N]   request line cap     (default 1 MiB)
+//                 [--write_buf_bytes N]  unread-reply cap per connection;
+//                                     slower readers are disconnected
+//                                     (default 4 MiB)
 //                 [--cache N]         candidate cache capacity      (default 4096)
 //                 [--ablation A]      config preset when no .meta sidecar
 //                 [--backend B]       inference backend: ref | simd | simd_q8
@@ -134,7 +143,17 @@ int main(int argc, char** argv) {
       },
       [&engine] { return engine.Reload(); }, &counters);
 
-  serve::Server server(&engine, &batcher, &counters, &latency);
+  serve::ServerOptions server_options;
+  server_options.io_threads = static_cast<int>(flags.GetInt("io_threads", 1));
+  server_options.max_conns = static_cast<int>(flags.GetInt("max_conns", 4096));
+  server_options.admission_watermark =
+      static_cast<size_t>(flags.GetInt("admission_watermark", 0));
+  server_options.max_line_bytes =
+      static_cast<size_t>(flags.GetInt("max_line_bytes", 1 << 20));
+  server_options.write_buf_bytes =
+      static_cast<size_t>(flags.GetInt("write_buf_bytes", 4 << 20));
+
+  serve::Server server(&engine, &batcher, &counters, &latency, server_options);
   server.SetPollHook([&batcher] {
     if (g_reload_requested) {
       g_reload_requested = 0;

@@ -28,6 +28,13 @@
 #      hosts without AVX2 the simd backend's probe delegates to the reference
 #      kernels, so the check holds everywhere), simd_q8 must answer every
 #      request without error, and the stats op must name the active backend.
+#   9. Overload drill: hammer the epoll front end with ~10x more pipelined
+#      clients than the admission watermark admits, plus slowloris, dead
+#      readers and an over-cap request line. Every overflow request must get
+#      a structured overloaded/deadline_exceeded/transport reply (no stalls,
+#      no crash), every hostile client must be disconnected, accepted-request
+#      p99 must stay bounded, RSS must not balloon, and stats must stay
+#      reachable afterwards and report the shedding counters.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -38,39 +45,40 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/8] Release build + full test suite"
+echo "==> [1/9] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/8] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/9] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
              parallel_test serve_test metrics_test store_test \
-             backend_test >/dev/null
+             backend_test net_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
-           parallel_test serve_test metrics_test store_test backend_test; do
+           parallel_test serve_test metrics_test store_test backend_test \
+           net_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/8] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/9] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target checkpoint_test parallel_test serve_test metrics_test \
-             store_test backend_test >/dev/null
+             store_test backend_test net_test >/dev/null
   for t in checkpoint_test parallel_test serve_test metrics_test store_test \
-           backend_test; do
+           backend_test net_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/8],[3/8] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/9],[3/9] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/8] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/9] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -116,7 +124,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/8] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/9] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -199,7 +207,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/8] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/9] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -239,7 +247,7 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
 
-echo "==> [7/8] store drill: export -> verify -> serve -> SIGHUP generation swap"
+echo "==> [7/9] store drill: export -> verify -> serve -> SIGHUP generation swap"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$WORK/store/gen_000001" --quant float32 >/dev/null
 "$CLI" store --dir "$WORK/store" --verify >/dev/null \
@@ -296,7 +304,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [8/8] backend drill: ref vs simd byte-identical, simd_q8 clean"
+echo "==> [8/9] backend drill: ref vs simd byte-identical, simd_q8 clean"
 BACKEND_REQS=$(printf '%s\n' \
   "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
   '{"op": "disambiguate", "text": "entities appear on every page"}' \
@@ -341,5 +349,59 @@ if echo '{"op": "health"}' \
         --backend warp 2>/dev/null >/dev/null; then
   echo "FAIL: backend drill: unknown backend accepted"; exit 1
 fi
+
+echo "==> [9/9] overload drill: admission control, deadline shedding, hostile clients"
+DRILL=./build/tools/overload_drill
+
+"$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --port 0 \
+  --max_batch 8 --max_wait_us 200 --max_queue 32 --workers 1 \
+  --io_threads 2 --max_conns 256 --admission_watermark 24 \
+  --max_line_bytes 65536 --write_buf_bytes 65536 \
+  2>"$WORK/serve_overload.log" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/serve_overload.log")
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: overload serve: no listening port"; exit 1; }
+RSS_BEFORE=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+
+# ~10x the watermark in outstanding requests (48 conns x 8 pipelined vs a
+# watermark of 24), with a hostile-client pool alongside. The drill itself
+# asserts: zero stalls, and every slowloris/dead-reader/big-blob client cut.
+DRILL_OUT=$("$DRILL" --port "$PORT" --conns 48 --pipeline 8 --requests 50 \
+  --deadline_ms 100 --slowloris 4 --deadreaders 3 --bigblobs 2) \
+  || { echo "FAIL: overload drill: $DRILL_OUT"; exit 1; }
+echo "  $DRILL_OUT"
+
+drill_field() { echo "$DRILL_OUT" | sed -n "s/.*$1=\([0-9-]*\).*/\1/p"; }
+OK_N=$(drill_field ok); OVER_N=$(drill_field overloaded)
+SHED_N=$(drill_field deadline_exceeded); P99_N=$(drill_field p99_ok_us)
+[[ "$OK_N" -gt 0 ]] \
+  || { echo "FAIL: overload drill: no request succeeded"; exit 1; }
+[[ $((OVER_N + SHED_N)) -gt 0 ]] \
+  || { echo "FAIL: overload drill: 10x load produced no structured sheds"; exit 1; }
+[[ "$P99_N" -lt 5000000 ]] \
+  || { echo "FAIL: overload drill: accepted p99 ${P99_N}us unbounded"; exit 1; }
+
+# The process survived with bounded memory (hostile buffers are capped).
+kill -0 "$SERVE_PID" || { echo "FAIL: overload drill: server died"; exit 1; }
+RSS_AFTER=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+[[ $((RSS_AFTER - RSS_BEFORE)) -lt 153600 ]] \
+  || { echo "FAIL: overload drill: RSS grew $((RSS_AFTER - RSS_BEFORE))kB"; exit 1; }
+
+# Stats stay reachable and report the shedding machinery.
+OVERLOAD_STATS=$(serve_rpc '{"op": "stats"}')
+for key in '"shed"' '"overloaded"' '"accept_errors"' '"net"' '"connections"'; do
+  echo "$OVERLOAD_STATS" | grep -q "$key" \
+    || { echo "FAIL: overload drill: stats missing $key"; exit 1; }
+done
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: overload drill: non-zero exit on SIGTERM"; exit 1; }
 
 echo "OK: all checks passed"

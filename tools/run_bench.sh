@@ -2,7 +2,10 @@
 # Builds (Release) and runs the benchmark suites:
 #   1. micro-kernel suite  -> BENCH_kernels.json (google-benchmark JSON)
 #   2. serving suite       -> BENCH_serve.json   (closed-loop clients at fixed
-#      concurrency against the micro-batching engine; throughput + p50/p95/p99)
+#      concurrency against the micro-batching engine, plus net_c16..net_c1024
+#      rows that drive real TCP connections through the epoll front end;
+#      throughput + p50/p95/p99. The net rows are the connection-scaling
+#      check: net_c256 throughput is expected to hold at or above net_c16.)
 #   3. observability suite -> BENCH_obs.json     (disabled/enabled span cost,
 #      disabled-span overhead on MatMul/128, and a traced train+serve
 #      workload's per-stage wall-time breakdown)

@@ -422,6 +422,64 @@ int64_t BootlegModel::FrozenStaticCols() const {
   return cols;
 }
 
+util::Status BootlegModel::SynthesizeFrozenRow(const kb::Entity& entity,
+                                               const float* entity_slot,
+                                               int64_t title_token_id,
+                                               float* dst) const {
+  if (dst == nullptr) {
+    return util::Status::InvalidArgument("SynthesizeFrozenRow: null dst");
+  }
+  if (config_.use_entity && entity_slot == nullptr) {
+    return util::Status::InvalidArgument(
+        "SynthesizeFrozenRow: use_entity requires an entity_slot");
+  }
+  std::vector<int64_t> ids;
+  if (config_.use_entity) {
+    for (int64_t j = 0; j < config_.entity_dim; ++j) dst[j] = entity_slot[j];
+    dst += config_.entity_dim;
+  }
+  if (config_.use_type) {
+    for (kb::TypeId t : entity.types) {
+      if (t < 0 || t >= kb_->num_types()) {
+        return util::Status::InvalidArgument(
+            "SynthesizeFrozenRow: type id out of range");
+      }
+      if (static_cast<int64_t>(ids.size()) >= config_.max_types_per_entity) break;
+      ids.push_back(t + 1);  // shift: row 0 = "no type"
+    }
+    if (ids.empty()) ids.push_back(0);
+    Tensor pooled = type_pool_->PoolValue(type_emb_->LookupValue(ids));
+    for (int64_t j = 0; j < config_.type_dim; ++j) dst[j] = pooled.at(0, j);
+    dst += config_.type_dim;
+  }
+  if (config_.use_kg) {
+    ids.clear();
+    for (kb::RelationId rel : entity.relations) {
+      if (rel < 0 || rel >= kb_->num_relations()) {
+        return util::Status::InvalidArgument(
+            "SynthesizeFrozenRow: relation id out of range");
+      }
+      if (static_cast<int64_t>(ids.size()) >= config_.max_relations_per_entity) break;
+      ids.push_back(rel + 1);  // shift: row 0 = "no relation"
+    }
+    if (ids.empty()) ids.push_back(0);
+    Tensor pooled = rel_pool_->PoolValue(rel_emb_->LookupValue(ids));
+    for (int64_t j = 0; j < config_.rel_dim; ++j) dst[j] = pooled.at(0, j);
+    dst += config_.rel_dim;
+  }
+  if (config_.use_title_feature) {
+    if (title_token_id < 0 ||
+        title_token_id >= encoder_->token_embedding()->rows()) {
+      return util::Status::InvalidArgument(
+          "SynthesizeFrozenRow: title token id out of range");
+    }
+    Tensor title = title_proj_->ForwardValue(
+        encoder_->token_embedding()->LookupValue({title_token_id}));
+    for (int64_t j = 0; j < title_dim_; ++j) dst[j] = title.at(0, j);
+  }
+  return util::Status::OK();
+}
+
 void BootlegModel::PrepareFrozenInference() {
   int64_t pre = 0;
   if (config_.use_entity) pre += config_.entity_dim;

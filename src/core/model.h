@@ -109,6 +109,21 @@ class BootlegModel : public eval::NedScorer {
   /// schema PredictBatch expects ([entity | type_pool | rel_pool | title]).
   int64_t FrozenStaticCols() const;
 
+  /// Online induction (the paper's inductive path, Sec. 3 / Sec. D.1):
+  /// synthesizes the frozen static-feature row of an entity that was never
+  /// trained, from its declared types and relations, using the frozen
+  /// type/relation embedding tables and pooling weights — the exact math
+  /// PrepareFrozenInference runs per trained entity. The entity-embedding
+  /// slot cannot come from the (untrained) entity table, so the caller
+  /// supplies it via `entity_slot` (entity_dim floats; pass a sibling
+  /// centroid gathered from the live store). `title_token_id` is the
+  /// vocabulary id of the entity's title token (ignored unless
+  /// use_title_feature). `dst` receives FrozenStaticCols() floats.
+  /// `entity.id` is not read — the entity need not be in the model's KB.
+  util::Status SynthesizeFrozenRow(const kb::Entity& entity,
+                                   const float* entity_slot,
+                                   int64_t title_token_id, float* dst) const;
+
   /// The in-heap frozen table (empty when serving from a store view).
   const tensor::Tensor& frozen_static() const { return frozen_static_; }
   int64_t frozen_pre_cols() const { return frozen_pre_cols_; }

@@ -42,6 +42,57 @@ void CandidateMap::Finalize(int max_candidates) {
   finalized_ = true;
 }
 
+util::Status CandidateMap::AddCandidateLive(const std::string& alias,
+                                            EntityId entity, float prior) {
+  BOOTLEG_CHECK_MSG(finalized_, "CandidateMap not finalized");
+  if (alias.empty()) {
+    return util::Status::InvalidArgument("empty alias");
+  }
+  if (!(prior > 0.0f && prior < 1.0f)) {
+    return util::Status::InvalidArgument("prior must be in (0, 1)");
+  }
+  auto it = map_.find(alias);
+  if (it == map_.end()) {
+    map_.emplace(alias, std::vector<Candidate>{{entity, 1.0f}});
+    return util::Status::OK();
+  }
+  std::vector<Candidate> next = it->second;
+  for (const Candidate& c : next) {
+    if (c.entity == entity) {
+      return util::Status::InvalidArgument(
+          "entity already a candidate for alias '" + alias + "'");
+    }
+  }
+  // Mirror Finalize: rescale-then-insert keeps the list a distribution,
+  // rank by prior (entity id tiebreak), truncate to the finalized K, and
+  // renormalize if truncation dropped mass.
+  for (Candidate& c : next) c.prior *= 1.0f - prior;
+  next.push_back({entity, prior});
+  std::stable_sort(next.begin(), next.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.prior != b.prior) return a.prior > b.prior;
+                     return a.entity < b.entity;
+                   });
+  if (static_cast<int>(next.size()) > max_candidates_) {
+    next.resize(static_cast<size_t>(max_candidates_));
+    bool survived = false;
+    for (const Candidate& c : next) survived |= c.entity == entity;
+    if (!survived) {
+      return util::Status::InvalidArgument(
+          "prior too small: entity would rank below the top-" +
+          std::to_string(max_candidates_) + " candidates of alias '" + alias +
+          "'");
+    }
+    float total = 0.0f;
+    for (const Candidate& c : next) total += c.prior;
+    if (total > 0.0f) {
+      for (Candidate& c : next) c.prior /= total;
+    }
+  }
+  it->second = std::move(next);
+  return util::Status::OK();
+}
+
 const std::vector<Candidate>* CandidateMap::Lookup(const std::string& alias) const {
   BOOTLEG_CHECK_MSG(finalized_, "CandidateMap not finalized");
   auto it = map_.find(alias);

@@ -37,6 +37,18 @@ class CandidateMap {
   /// Candidate list for an alias, or nullptr if the alias is unknown.
   const std::vector<Candidate>* Lookup(const std::string& alias) const;
 
+  /// Live mutation for online entity induction: inserts `entity` into the
+  /// (already finalized) candidate list of `alias` with prior `prior`,
+  /// scaling the existing candidates by (1 - prior) so the list stays
+  /// normalized. A previously unknown alias gets a fresh single-candidate
+  /// list with prior 1. The list is re-ranked and truncated to the
+  /// finalized max_candidates; if the new entity itself would be truncated
+  /// away (prior too small for a full list) the call fails with
+  /// kInvalidArgument and the list is left untouched. Untouched aliases are
+  /// never modified — their candidate lists stay bit-identical.
+  util::Status AddCandidateLive(const std::string& alias, EntityId entity,
+                                float prior);
+
   bool finalized() const { return finalized_; }
   int64_t num_aliases() const { return static_cast<int64_t>(map_.size()); }
   int max_candidates() const { return max_candidates_; }

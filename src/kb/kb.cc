@@ -25,6 +25,14 @@ const char* CoarseTypeName(CoarseType t) {
   return "?";
 }
 
+std::optional<CoarseType> CoarseTypeFromName(const std::string& name) {
+  for (int64_t i = 0; i < kNumCoarseTypes; ++i) {
+    const CoarseType t = static_cast<CoarseType>(i);
+    if (name == CoarseTypeName(t)) return t;
+  }
+  return std::nullopt;
+}
+
 TypeId KnowledgeBase::AddType(const std::string& name, CoarseType coarse) {
   const TypeId id = num_types();
   types_.push_back({id, name, coarse});
@@ -147,6 +155,20 @@ bool KnowledgeBase::SharesType(EntityId a, EntityId b) const {
 EntityId KnowledgeBase::FindByTitle(const std::string& title) const {
   auto it = title_index_.find(title);
   return it == title_index_.end() ? kInvalidId : it->second;
+}
+
+TypeId KnowledgeBase::FindTypeByName(const std::string& name) const {
+  for (const TypeInfo& t : types_) {
+    if (t.name == name) return t.id;
+  }
+  return kInvalidId;
+}
+
+RelationId KnowledgeBase::FindRelationByName(const std::string& name) const {
+  for (const RelationInfo& r : relations_) {
+    if (r.name == name) return r.id;
+  }
+  return kInvalidId;
 }
 
 namespace {

@@ -31,6 +31,9 @@ inline constexpr int64_t kNumCoarseTypes = 6;
 
 const char* CoarseTypeName(CoarseType t);
 
+/// Inverse of CoarseTypeName; nullopt for an unknown name.
+std::optional<CoarseType> CoarseTypeFromName(const std::string& name);
+
 /// A fine-grained type (Wikidata "instance of"/"occupation"-style).
 struct TypeInfo {
   TypeId id = kInvalidId;
@@ -112,6 +115,12 @@ class KnowledgeBase {
 
   /// Lookup of an entity by exact title; kInvalidId if absent.
   EntityId FindByTitle(const std::string& title) const;
+
+  /// Lookup of a type / relation by exact name; kInvalidId if absent.
+  /// Linear scans — these serve the rare live-add admin path, not the
+  /// per-request hot path.
+  TypeId FindTypeByName(const std::string& name) const;
+  RelationId FindRelationByName(const std::string& name) const;
 
   // -- serialization ----------------------------------------------------------
   /// v1 snapshot format (versioned header, per-section CRC32 checksums,

@@ -6,6 +6,8 @@
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -30,6 +32,17 @@ constexpr int kReadRoundsPerEvent = 16;
 
 /// Compact the write buffer once this many consumed bytes accumulate.
 constexpr size_t kWriteCompactBytes = 256 * 1024;
+
+/// Upper bound on iovec entries per coalesced writev (well under IOV_MAX;
+/// each reply costs two entries — text and newline — plus one for the
+/// buffered backlog).
+constexpr int kMaxIovPerFlush = 64;
+
+int64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
 
 }  // namespace
 
@@ -56,8 +69,12 @@ class Acceptor : public FdHandler {
 class Connection : public FdHandler,
                    public std::enable_shared_from_this<Connection> {
  public:
-  Connection(FrontEnd* fe, FrontEnd::Loop* loop, int fd)
-      : fe_(fe), loop_(loop), fd_(fd) {}
+  Connection(FrontEnd* fe, FrontEnd::Loop* loop, int fd, PeerInfo peer)
+      : fe_(fe),
+        loop_(loop),
+        fd_(fd),
+        peer_(std::move(peer)),
+        last_activity_ms_(MonotonicMs()) {}
 
   void OnEvents(uint32_t events) override {
     // Keep *this alive across teardown paths triggered below.
@@ -79,9 +96,10 @@ class Connection : public FdHandler,
     if (!dead_) ReadAll();
   }
 
-  /// Fills the reply slot for request `seq` and flushes whatever contiguous
-  /// prefix of replies is now complete. Loop-thread-only (Post from
-  /// elsewhere).
+  /// Fills the reply slot for request `seq` and schedules a coalesced flush.
+  /// Loop-thread-only (Post from elsewhere). Completions landing in the same
+  /// event-loop pass share one flush — and one writev — instead of issuing a
+  /// syscall apiece.
   void Complete(uint64_t seq, std::string reply) {
     if (dead_) return;
     const uint64_t idx = seq - base_seq_;
@@ -90,8 +108,16 @@ class Connection : public FdHandler,
     if (slot.ready) return;  // double completion — first one wins
     slot.ready = true;
     slot.text = std::move(reply);
+    ready_bytes_ += slot.text.size() + 1;
     --inflight_;
-    FlushReadySlots();
+    FlushOrSchedule();
+  }
+
+  /// True when the idle reaper should disconnect this connection: nothing in
+  /// flight (a slow batch is not the client's fault) and no socket activity
+  /// for `timeout_ms`.
+  bool ReapableAt(int64_t now_ms, int64_t timeout_ms) const {
+    return !dead_ && inflight_ == 0 && now_ms - last_activity_ms_ >= timeout_ms;
   }
 
   /// Immediate teardown: removes the fd from epoll, closes it, and drops
@@ -119,6 +145,7 @@ class Connection : public FdHandler,
     while (!dead_ && !closing_ && !read_closed_) {
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n > 0) {
+        last_activity_ms_ = MonotonicMs();
         rbuf_.append(buf, static_cast<size_t>(n));
         ProcessReadBuffer();
         if (dead_ || closing_) break;
@@ -187,7 +214,7 @@ class Connection : public FdHandler,
     scan_pos_ = 0;
     closing_ = true;      // stop framing; close once the reply drains
     read_closed_ = true;  // stop reading from the socket entirely
-    FlushReadySlots();
+    ScheduleFlush();
   }
 
   void Dispatch(std::string line) {
@@ -197,7 +224,7 @@ class Connection : public FdHandler,
       // order) with a structured reject; the connection survives.
       PushTransportReply(
           fe_->handler_->TransportErrorReply(TransportError::kTooManyInflight));
-      FlushReadySlots();
+      FlushOrSchedule();
       return;
     }
     const uint64_t seq = next_seq_++;
@@ -205,8 +232,8 @@ class Connection : public FdHandler,
     ++inflight_;
     std::weak_ptr<Connection> weak = weak_from_this();
     EventLoop* el = &loop_->el;
-    fe_->handler_->HandleLineAsync(
-        std::move(line), [weak, el, seq](std::string reply) {
+    fe_->handler_->HandleLineFrom(
+        std::move(line), peer_, [weak, el, seq](std::string reply) {
           if (el->InLoopThread()) {
             // Synchronous completion (cheap inline ops): skip the wakeup.
             if (auto c = weak.lock()) c->Complete(seq, std::move(reply));
@@ -227,17 +254,47 @@ class Connection : public FdHandler,
     Slot slot;
     slot.ready = true;
     slot.text = std::move(text);
+    ready_bytes_ += slot.text.size() + 1;
     slots_.push_back(std::move(slot));
   }
 
+  /// Schedules a coalesced flush — or flushes immediately once a full write
+  /// cap's worth of reply bytes is waiting in ready slots. Without the
+  /// inline path, a client that firehoses requests and never reads its
+  /// replies accumulates them in slots_ faster than the posted pass drains
+  /// them, and the write cap (which only sees wbuf_) never trips.
+  void FlushOrSchedule() {
+    if (ready_bytes_ > fe_->options_.write_buf_bytes) {
+      FlushReadySlots();
+      return;
+    }
+    ScheduleFlush();
+  }
+
+  /// Defers FlushReadySlots to a posted continuation so every reply that
+  /// becomes ready during the current event-loop pass rides the same writev.
+  /// Idempotent per pass: the first caller posts, the rest piggyback.
+  void ScheduleFlush() {
+    if (dead_ || flush_scheduled_) return;
+    flush_scheduled_ = true;
+    std::weak_ptr<Connection> weak = weak_from_this();
+    loop_->el.Post([weak] {
+      if (auto c = weak.lock()) c->FlushReadySlots();
+    });
+  }
+
   void FlushReadySlots() {
+    flush_scheduled_ = false;
+    if (dead_) return;
+    // Pop the contiguous ready prefix; replies stay in request order.
+    std::vector<std::string> ready;
     while (!slots_.empty() && slots_.front().ready) {
-      wbuf_ += slots_.front().text;
-      wbuf_ += '\n';
+      ready_bytes_ -= slots_.front().text.size() + 1;
+      ready.push_back(std::move(slots_.front().text));
       slots_.pop_front();
       ++base_seq_;
     }
-    TryWrite();
+    WriteCoalesced(ready);
     if (dead_) return;
     if (wbuf_.size() - woff_ > fe_->options_.write_buf_bytes) {
       // The client is not reading its replies; holding more than the cap
@@ -249,12 +306,94 @@ class Connection : public FdHandler,
     MaybeCloseAfterDrain();
   }
 
+  /// Sends the buffered backlog plus this pass's ready replies with a single
+  /// writev per kernel round trip — no per-reply send, and reply bytes are
+  /// copied only if the kernel leaves them unsent (they then join wbuf_ for
+  /// the EPOLLOUT-driven TryWrite path).
+  void WriteCoalesced(const std::vector<std::string>& ready) {
+    static const char kNewline = '\n';
+    // Cursor over the logical [backlog | reply, newline, reply, ...] stream:
+    // replies before `idx` are fully sent; `part` bytes of ready[idx] plus
+    // its newline are already sent. Each writev advances the cursor, so the
+    // whole flush is O(bytes) no matter how many replies are pending.
+    size_t idx = 0;
+    size_t part = 0;
+    while (woff_ < wbuf_.size() || idx < ready.size()) {
+      struct iovec iov[kMaxIovPerFlush];
+      int iovcnt = 0;
+      if (woff_ < wbuf_.size()) {
+        iov[iovcnt].iov_base = const_cast<char*>(wbuf_.data() + woff_);
+        iov[iovcnt].iov_len = wbuf_.size() - woff_;
+        ++iovcnt;
+      }
+      size_t j = idx;
+      size_t jpart = part;
+      while (j < ready.size() && iovcnt + 2 <= kMaxIovPerFlush) {
+        const std::string& t = ready[j];
+        if (jpart < t.size()) {
+          iov[iovcnt].iov_base = const_cast<char*>(t.data() + jpart);
+          iov[iovcnt].iov_len = t.size() - jpart;
+          ++iovcnt;
+        }
+        iov[iovcnt].iov_base = const_cast<char*>(&kNewline);
+        iov[iovcnt].iov_len = 1;
+        ++iovcnt;
+        ++j;
+        jpart = 0;
+      }
+      const ssize_t n = ::writev(fd_, iov, iovcnt);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n <= 0) {
+        // A dead peer: tear down now instead of reading and computing
+        // replies that can never be delivered.
+        Close();
+        return;
+      }
+      last_activity_ms_ = MonotonicMs();
+      size_t left = static_cast<size_t>(n);
+      const size_t backlog = wbuf_.size() - woff_;
+      const size_t from_backlog = left < backlog ? left : backlog;
+      woff_ += from_backlog;
+      left -= from_backlog;
+      while (left > 0) {
+        const size_t remain = ready[idx].size() + 1 - part;
+        if (left >= remain) {
+          left -= remain;
+          ++idx;
+          part = 0;
+        } else {
+          part += left;
+          left = 0;
+        }
+      }
+    }
+
+    // Whatever the kernel did not take is appended to wbuf_ byte-exactly.
+    for (size_t k = idx; k < ready.size(); ++k) {
+      const std::string& t = ready[k];
+      const size_t p = k == idx ? part : 0;
+      if (p <= t.size()) {
+        wbuf_.append(t, p, std::string::npos);
+        wbuf_ += '\n';
+      }
+    }
+    if (woff_ == wbuf_.size()) {
+      wbuf_.clear();
+      woff_ = 0;
+    } else if (woff_ > kWriteCompactBytes) {
+      wbuf_.erase(0, woff_);
+      woff_ = 0;
+    }
+  }
+
   void TryWrite() {
     while (woff_ < wbuf_.size()) {
       const ssize_t n = ::send(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_,
                                MSG_NOSIGNAL);
       if (n > 0) {
         woff_ += static_cast<size_t>(n);
+        last_activity_ms_ = MonotonicMs();
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -282,6 +421,10 @@ class Connection : public FdHandler,
   FrontEnd* const fe_;
   FrontEnd::Loop* const loop_;
   const int fd_;
+  const PeerInfo peer_;
+  int64_t last_activity_ms_;     // CLOCK_MONOTONIC ms of last socket I/O
+  bool flush_scheduled_ = false;  // a posted FlushReadySlots is pending
+  size_t ready_bytes_ = 0;        // reply bytes held in ready slots
 
   std::string rbuf_;
   size_t scan_pos_ = 0;  // rbuf_ prefix already scanned for '\n'
@@ -385,6 +528,15 @@ util::Status FrontEnd::Start() {
   }
   pthread_sigmask(SIG_SETMASK, &old, nullptr);
 
+  // Arm the idle reaper on each loop's own thread (RunAfter is
+  // loop-thread-only).
+  if (options_.idle_timeout_ms > 0) {
+    for (auto& loop : loops_) {
+      Loop* l = loop.get();
+      l->el.Post([this, l] { ScheduleIdleSweep(l); });
+    }
+  }
+
   started_ = true;
   return util::Status::OK();
 }
@@ -423,6 +575,7 @@ FrontEndStats FrontEnd::stats() const {
   s.overlong_line_disconnects =
       overlong_disconnects_.load(std::memory_order_relaxed);
   s.slow_client_disconnects = slow_disconnects_.load(std::memory_order_relaxed);
+  s.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -489,10 +642,48 @@ void FrontEnd::AcceptPause(int listen_fd) {
   });
 }
 
+void FrontEnd::ScheduleIdleSweep(Loop* loop) {
+  // Sweep granularity: a quarter of the timeout, floored so a tiny test
+  // timeout cannot spin the loop.
+  const int64_t interval =
+      std::max<int64_t>(1, static_cast<int64_t>(options_.idle_timeout_ms) / 4);
+  loop->el.RunAfter(interval, [this, loop] {
+    if (stopped_) return;
+    SweepIdle(loop);
+    ScheduleIdleSweep(loop);
+  });
+}
+
+void FrontEnd::SweepIdle(Loop* loop) {
+  const int64_t now = MonotonicMs();
+  const int64_t timeout = options_.idle_timeout_ms;
+  // Collect first: Close() mutates loop->conns under our feet.
+  std::vector<std::shared_ptr<Connection>> victims;
+  for (const auto& [fd, conn] : loop->conns) {
+    if (conn->ReapableAt(now, timeout)) victims.push_back(conn);
+  }
+  for (const auto& conn : victims) {
+    idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    conn->Close();
+  }
+}
+
 void FrontEnd::AdoptConnection(Loop* loop, int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  auto conn = std::make_shared<Connection>(this, loop, fd);
+  // Capture the peer once; the protocol layer authorizes admin ops on it.
+  PeerInfo peer;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0 &&
+      addr.sin_family == AF_INET) {
+    char text[INET_ADDRSTRLEN] = {0};
+    if (::inet_ntop(AF_INET, &addr.sin_addr, text, sizeof(text)) != nullptr) {
+      peer.address = text;
+    }
+    peer.loopback = (ntohl(addr.sin_addr.s_addr) >> 24) == 127;
+  }
+  auto conn = std::make_shared<Connection>(this, loop, fd, std::move(peer));
   loop->conns[fd] = conn;
   const util::Status st =
       loop->el.AddFd(fd, EPOLLIN | EPOLLOUT | EPOLLET, conn.get());

@@ -30,6 +30,19 @@ struct FrontEndOptions {
   int accept_backoff_initial_ms = 10;   // EMFILE/ENFILE pause, doubles...
   int accept_backoff_max_ms = 1000;     // ...up to this ceiling
   int listen_backlog = 1024;
+  /// Idle-connection reaper: a connection with no socket activity and no
+  /// request in flight for this long is disconnected and counted in
+  /// FrontEndStats::idle_disconnects. 0 disables the reaper.
+  int idle_timeout_ms = 0;
+};
+
+/// Transport-level identity of the remote end of a connection, captured once
+/// at accept time. The protocol layer uses it to gate admin operations
+/// (add_entity is loopback-only); stdio and in-process test transports count
+/// as loopback by construction.
+struct PeerInfo {
+  bool loopback = false;  // peer address is in 127.0.0.0/8
+  std::string address;    // dotted quad, for structured error replies / logs
 };
 
 /// Replies the transport issues on its own behalf, before the protocol
@@ -58,6 +71,16 @@ class LineHandler {
   /// Calling `done` synchronously is allowed (cheap inline ops).
   virtual void HandleLineAsync(std::string line, Done done) = 0;
 
+  /// Peer-aware variant the transport actually calls: carries where the
+  /// request came from so the protocol can authorize per-peer (admin ops).
+  /// Default forwards to HandleLineAsync, so peer-agnostic handlers need not
+  /// care.
+  virtual void HandleLineFrom(std::string line, const PeerInfo& peer,
+                              Done done) {
+    (void)peer;
+    HandleLineAsync(std::move(line), std::move(done));
+  }
+
   /// Renders a transport-originated error as one reply line.
   virtual std::string TransportErrorReply(TransportError error) = 0;
 };
@@ -71,6 +94,7 @@ struct FrontEndStats {
   int64_t accept_errors = 0;            // transient accept failures survived
   int64_t overlong_line_disconnects = 0;
   int64_t slow_client_disconnects = 0;  // write buffer cap exceeded
+  int64_t idle_disconnects = 0;         // reaped by the idle timeout
 };
 
 /// Epoll-based newline-framed TCP front end.
@@ -122,6 +146,10 @@ class FrontEnd {
   void HandleAccept();
   void AcceptPause(int listen_fd);
   void AdoptConnection(Loop* loop, int fd);
+  /// Loop-thread-only: arms the recurring idle sweep for one loop.
+  void ScheduleIdleSweep(Loop* loop);
+  /// Loop-thread-only: reaps this loop's connections idle past the timeout.
+  void SweepIdle(Loop* loop);
 
   const FrontEndOptions options_;
   LineHandler* const handler_;
@@ -143,6 +171,7 @@ class FrontEnd {
   std::atomic<int64_t> accept_errors_{0};
   std::atomic<int64_t> overlong_disconnects_{0};
   std::atomic<int64_t> slow_disconnects_{0};
+  std::atomic<int64_t> idle_disconnects_{0};
 };
 
 }  // namespace bootleg::net

@@ -99,6 +99,18 @@ void MicroBatcher::RequestReload() {
   cv_.notify_one();
 }
 
+void MicroBatcher::SubmitExclusive(ExclusiveFn fn, ExclusiveDone done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      exclusive_.emplace_back(std::move(fn), std::move(done));
+      cv_.notify_one();
+      return;
+    }
+  }
+  done(util::Status::FailedPrecondition("server is shutting down"));
+}
+
 void MicroBatcher::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -123,7 +135,8 @@ void MicroBatcher::WorkerLoop(int worker) {
   while (true) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] {
-      return stopping_ || reload_requested_ || !queue_.empty();
+      return stopping_ || reload_requested_ || !exclusive_.empty() ||
+             !queue_.empty();
     });
 
     // Reloads apply at batch boundaries — including idle ones, so a SIGHUP
@@ -143,6 +156,22 @@ void MicroBatcher::WorkerLoop(int worker) {
                                << " (serving previous weights)";
         }
       }
+      continue;
+    }
+
+    // Exclusive mutations (live index updates) run like reloads: one at a
+    // time, at a batch boundary, with every worker excluded. Tasks accepted
+    // before Shutdown drain even while stopping.
+    if (!exclusive_.empty()) {
+      auto task = std::move(exclusive_.front());
+      exclusive_.pop_front();
+      lock.unlock();
+      util::Status st;
+      {
+        std::unique_lock<std::shared_mutex> exclusive(reload_mu_);
+        st = task.first ? task.first() : util::Status::OK();
+      }
+      task.second(std::move(st));
       continue;
     }
 

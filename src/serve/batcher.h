@@ -108,6 +108,21 @@ class MicroBatcher {
   /// Asks the next batch boundary to run the reload hook.
   void RequestReload();
 
+  /// A mutation run under the exclusive side of the reload mutex.
+  using ExclusiveFn = std::function<util::Status()>;
+  /// Completion for an exclusive task; invoked exactly once, from a worker
+  /// thread (or the submitting thread when rejected); must not block.
+  using ExclusiveDone = std::function<void(util::Status)>;
+
+  /// Queues a mutation to run at the next batch boundary while every worker
+  /// is excluded — the serialization point for live index mutations
+  /// (add_entity): the engine's KB/candidate map/store view never change
+  /// under an in-flight batch. Tasks run in submission order, interleaved
+  /// with (and ordered against) reload requests. Rejected with
+  /// FailedPrecondition after Shutdown; tasks accepted before Shutdown are
+  /// drained, never dropped.
+  void SubmitExclusive(ExclusiveFn fn, ExclusiveDone done);
+
   /// Stops intake, drains every accepted request, joins workers. Idempotent.
   void Shutdown();
 
@@ -138,6 +153,7 @@ class MicroBatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  std::deque<std::pair<ExclusiveFn, ExclusiveDone>> exclusive_;
   bool stopping_ = false;
   bool reload_requested_ = false;
   int64_t max_batch_observed_ = 0;

@@ -50,6 +50,15 @@ bool CandidateCache::Lookup(const kb::CandidateMap& map,
   return true;
 }
 
+bool CandidateCache::Invalidate(const std::string& alias) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(alias);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
 void CandidateCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

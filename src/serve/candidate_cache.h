@@ -41,6 +41,11 @@ class CandidateCache {
   /// Removes every entry (hot reload of a new candidate map, tests).
   void Clear();
 
+  /// Removes one alias's entry if cached (live candidate-map mutation:
+  /// only the touched aliases are invalidated, the rest stay warm).
+  /// Returns true if an entry was dropped.
+  bool Invalidate(const std::string& alias);
+
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;

@@ -82,12 +82,11 @@ util::Status InferenceEngine::Initialize() {
   model_ = std::make_unique<core::BootlegModel>(&kb_, vocab_.size(), config,
                                                 /*seed=*/7);
   if (config.use_title_feature) {
-    std::vector<int64_t> ids;
-    ids.reserve(static_cast<size_t>(kb_.num_entities()));
+    title_token_ids_.reserve(static_cast<size_t>(kb_.num_entities()));
     for (kb::EntityId e = 0; e < kb_.num_entities(); ++e) {
-      ids.push_back(vocab_.Id(kb_.entity(e).title));
+      title_token_ids_.push_back(vocab_.Id(kb_.entity(e).title));
     }
-    model_->SetTitleTokenIds(std::move(ids));
+    model_->SetTitleTokenIds(title_token_ids_);
   }
 
   if (!options_.model_path.empty()) {
@@ -141,6 +140,36 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
   std::shared_ptr<store::EmbeddingStore> next(std::move(opened).value());
   auto view = next->View("static");
   if (!view.ok()) return view.status();
+
+  // Chained generations carry INDEX_DELTA aux files: KB/candidate mutations
+  // that must land before the model adopts the wider view (UseFrozenStore
+  // checks view rows == KB entities). They are replayed onto copies so a
+  // rejected chain leaves the serving state untouched — the old generation
+  // keeps serving and the KB/view row counts stay consistent.
+  index::ApplyStats delta_stats;
+  if (!next->aux_files().empty()) {
+    kb::KnowledgeBase kb_next = kb_;
+    kb::CandidateMap candidates_next = candidates_;
+    std::vector<int64_t> title_ids_next = title_token_ids_;
+    const bool use_title = model_->config().use_title_feature;
+    BOOTLEG_RETURN_IF_ERROR(index::ApplyDeltas(
+        *next, &kb_next, &candidates_next,
+        use_title ? &title_ids_next : nullptr, &delta_stats));
+    if (delta_stats.entities_applied > 0) {
+      // Commit the replayed copies. The model reads the KB through a stable
+      // pointer to kb_, so move-assignment swaps contents in place. Callers
+      // serialize adoption against in-flight inference (batcher exclusive
+      // lock), so no batch observes the intermediate state.
+      kb_ = std::move(kb_next);
+      candidates_ = std::move(candidates_next);
+      title_token_ids_ = std::move(title_ids_next);
+      if (use_title) model_->SetTitleTokenIds(title_token_ids_);
+      for (const std::string& alias : delta_stats.touched_aliases) {
+        cache_.Invalidate(alias);
+      }
+    }
+  }
+
   // UseFrozenStore validates shape before anything is swapped; on failure
   // the old generation (or heap table) keeps serving untouched.
   BOOTLEG_RETURN_IF_ERROR(model_->UseFrozenStore(view.value()));
@@ -151,10 +180,13 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
     std::lock_guard<std::mutex> lock(store_mu_);
     entity_store_ = next;
     store_generation_ = generation;
+    induced_entities_ += delta_stats.entities_applied;
   }
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetGauge("store.generation")->Set(static_cast<double>(generation));
+  reg.GetGauge("store.induced_entities")
+      ->Set(static_cast<double>(induced_entities()));
   reg.GetGauge("store.resident_shards")
       ->Set(static_cast<double>(next->num_shards()));
   reg.GetGauge("store.mapped_bytes")
@@ -168,6 +200,51 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
                     << " shards, " << next->mapped_bytes()
                     << " mapped bytes)";
   return util::Status::OK();
+}
+
+util::Status InferenceEngine::AddEntityLive(index::DeltaEntity entity) {
+  if (options_.store_dir.empty()) {
+    return util::Status::FailedPrecondition(
+        "live entity add requires a store deployment (--store_dir)");
+  }
+  std::shared_ptr<const store::EmbeddingStore> current;
+  int64_t generation = -1;
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    current = entity_store_;
+    generation = store_generation_;
+  }
+  if (current == nullptr) {
+    return util::Status::FailedPrecondition("no store generation is serving");
+  }
+
+  // Unknown titles fall back to the UNK token: the title feature degrades
+  // gracefully while types/relations — the signals the paper shows carry
+  // tail entities — drive the induced embedding.
+  entity.title_token_id = vocab_.Id(entity.title);
+  BOOTLEG_RETURN_IF_ERROR(index::ValidateDeltaEntity(
+      kb_, candidates_, kb_.num_entities(), entity));
+
+  auto view = current->View("static");
+  if (!view.ok()) return view.status();
+  std::vector<float> row;
+  BOOTLEG_RETURN_IF_ERROR(
+      index::InduceRow(*model_, kb_, *view.value(), entity, &row));
+
+  index::IndexDelta delta;
+  delta.base_entities = kb_.num_entities();
+  delta.entities.push_back(std::move(entity));
+  index::PublishResult published;
+  BOOTLEG_RETURN_IF_ERROR(index::PublishDelta(
+      options_.store_dir, *current, generation, delta, row.data(),
+      &published));
+  BOOTLEG_LOG(Info) << "published delta generation " << published.generation
+                    << " (" << delta.entities[0].title << ") at "
+                    << published.dir;
+
+  // Adopt the generation we just published: replays the delta onto the KB
+  // and candidate map, invalidates the touched aliases, swaps the view.
+  return AdoptNewestStoreGeneration();
 }
 
 util::Status InferenceEngine::Reload() {

@@ -10,6 +10,7 @@
 
 #include "core/model.h"
 #include "data/example.h"
+#include "index/live_index.h"
 #include "kb/candidate_map.h"
 #include "kb/kb.h"
 #include "serve/candidate_cache.h"
@@ -81,6 +82,16 @@ class InferenceEngine {
   /// FailedPrecondition for a fixed model_path deployment with no store.
   util::Status Reload();
 
+  /// Live index mutation (store deployments only): induces an embedding for
+  /// a never-trained entity from its types and relations, publishes it as an
+  /// incremental store generation chained onto the current one, and adopts
+  /// the new generation in-process — no SIGHUP, no retrain, no re-export.
+  /// The entity's `title_token_id` is resolved here from the vocabulary.
+  /// Must be externally serialized against in-flight inference and reloads
+  /// (the server runs it through MicroBatcher::SubmitExclusive). On error
+  /// nothing is adopted and the previous generation keeps serving.
+  util::Status AddEntityLive(index::DeltaEntity entity);
+
   /// Tokenizes each text, extracts alias mentions through the candidate
   /// cache, and disambiguates all texts in one batched forward pass.
   std::vector<SentenceResult> Disambiguate(
@@ -125,6 +136,13 @@ class InferenceEngine {
     return {entity_store_, store_generation_};
   }
 
+  /// Entities added to this process through the delta chain (live adds plus
+  /// deltas replayed from disk at adoption time).
+  int64_t induced_entities() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return induced_entities_;
+  }
+
  private:
   InferenceEngine(const EngineOptions& options, size_t cache_capacity);
 
@@ -142,11 +160,16 @@ class InferenceEngine {
   std::unique_ptr<core::BootlegModel> model_;
   CandidateCache cache_;
   std::string loaded_path_;
-  /// Guards entity_store_/store_generation_: written by the reload path
-  /// (batcher worker / Initialize), read by stats on connection threads.
+  /// Title token id per KB entity (use_title_feature configs); grows as
+  /// delta-chain entities are applied, mirrored into the model.
+  std::vector<int64_t> title_token_ids_;
+  /// Guards entity_store_/store_generation_/induced_entities_: written by
+  /// the reload path (batcher worker / Initialize), read by stats on
+  /// connection threads.
   mutable std::mutex store_mu_;
   std::shared_ptr<store::EmbeddingStore> entity_store_;
   int64_t store_generation_ = -1;
+  int64_t induced_entities_ = 0;
 };
 
 }  // namespace bootleg::serve

@@ -81,6 +81,15 @@ std::string Server::HandleLine(const std::string& line) {
 }
 
 void Server::HandleLineAsync(std::string line, Done done) {
+  // Peer-less transports (stdio, in-process tests) carry local privileges.
+  net::PeerInfo loopback;
+  loopback.loopback = true;
+  loopback.address = "stdio";
+  HandleLineFrom(std::move(line), loopback, std::move(done));
+}
+
+void Server::HandleLineFrom(std::string line, const net::PeerInfo& peer,
+                            Done done) {
   OBS_SPAN("serve.request");
   util::StatusOr<Json> parsed = Json::Parse(line);
   if (!parsed.ok()) {
@@ -102,6 +111,10 @@ void Server::HandleLineAsync(std::string line, Done done) {
   const std::string op = request.GetString("op");
   if (op == "disambiguate") {
     HandleDisambiguate(request, std::move(done));
+    return;
+  }
+  if (op == "add_entity") {
+    HandleAddEntity(request, peer, std::move(done));
     return;
   }
   done(HandleControl(request, op));
@@ -171,6 +184,160 @@ void Server::HandleDisambiguate(const Json& request, Done done) {
           return;
         }
         done(MentionsReply(result.value()));
+      });
+}
+
+void Server::HandleAddEntity(const Json& request, const net::PeerInfo& peer,
+                             Done done) {
+  // Authorization is transport-level: only a peer the kernel says is
+  // loopback (or an in-process/stdio caller) may mutate the index.
+  if (!peer.loopback) {
+    if (counters_ != nullptr) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    done(ErrorReply("forbidden",
+                    "add_entity is restricted to loopback peers (peer \"" +
+                        peer.address + "\")"));
+    return;
+  }
+  if (engine_ == nullptr) {
+    done(ErrorReply("error", "add_entity requires a serving engine"));
+    return;
+  }
+
+  // Parse the spec, resolving every name against the serving KB up front so
+  // the client gets a field-specific bad_request instead of a failed
+  // exclusive task.
+  std::string bad;
+  index::DeltaEntity spec;
+  spec.title = request.GetString("title");
+  if (spec.title.empty()) bad = "add_entity requires a string \"title\"";
+
+  const std::string coarse_name = request.GetString("coarse", "miscellaneous");
+  if (bad.empty()) {
+    const auto coarse = kb::CoarseTypeFromName(coarse_name);
+    if (!coarse.has_value()) {
+      bad = "unknown coarse type \"" + coarse_name + "\"";
+    } else {
+      spec.coarse = *coarse;
+    }
+  }
+
+  const std::string gender = request.GetString("gender", "n");
+  if (bad.empty()) {
+    if (gender != "m" && gender != "f" && gender != "n") {
+      bad = "\"gender\" must be \"m\", \"f\" or \"n\"";
+    } else {
+      spec.gender = gender[0];
+    }
+  }
+
+  const kb::KnowledgeBase& kb = engine_->kb();
+  if (const Json* types = request.Find("types");
+      bad.empty() && types != nullptr) {
+    if (!types->is_array()) bad = "\"types\" must be an array of type names";
+    for (const Json& t : types->array_items()) {
+      if (!bad.empty()) break;
+      if (!t.is_string()) {
+        bad = "\"types\" must be an array of type names";
+        break;
+      }
+      const kb::TypeId id = kb.FindTypeByName(t.string_value());
+      if (id == kb::kInvalidId) {
+        bad = "unknown type \"" + t.string_value() + "\"";
+        break;
+      }
+      spec.types.push_back(id);
+    }
+  }
+
+  if (const Json* rels = request.Find("relations");
+      bad.empty() && rels != nullptr) {
+    if (!rels->is_array()) {
+      bad = "\"relations\" must be an array of {relation, object} objects";
+    }
+    for (const Json& r : rels->array_items()) {
+      if (!bad.empty()) break;
+      if (!r.is_object()) {
+        bad = "\"relations\" entries must be {relation, object} objects";
+        break;
+      }
+      const std::string rel_name = r.GetString("relation");
+      const std::string obj_title = r.GetString("object");
+      const kb::RelationId rel = kb.FindRelationByName(rel_name);
+      if (rel == kb::kInvalidId) {
+        bad = "unknown relation \"" + rel_name + "\"";
+        break;
+      }
+      const kb::EntityId obj = kb.FindByTitle(obj_title);
+      if (obj == kb::kInvalidId) {
+        bad = "unknown object entity \"" + obj_title + "\"";
+        break;
+      }
+      spec.triples.push_back({rel, obj});
+    }
+  }
+
+  if (const Json* aliases = request.Find("aliases");
+      bad.empty() && aliases != nullptr) {
+    if (!aliases->is_array()) {
+      bad = "\"aliases\" must be an array of {alias, prior} objects";
+    }
+    for (const Json& a : aliases->array_items()) {
+      if (!bad.empty()) break;
+      if (!a.is_object() || a.GetString("alias").empty()) {
+        bad = "\"aliases\" entries must be {alias, prior} objects";
+        break;
+      }
+      index::DeltaAlias da;
+      da.alias = a.GetString("alias");
+      da.prior = static_cast<float>(a.GetNumber("prior", 0.5));
+      spec.aliases.push_back(std::move(da));
+    }
+  }
+  if (bad.empty() && spec.aliases.empty()) {
+    // Minimal usable spec: the title itself is the alias.
+    spec.aliases.push_back({spec.title, 0.5f});
+  }
+  if (!bad.empty()) {
+    if (counters_ != nullptr) {
+      counters_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    done(ErrorReply("bad_request", bad));
+    return;
+  }
+
+  // The mutation itself runs in the batcher's exclusive lane: no batch is in
+  // flight while the KB, candidate map and store view change, and concurrent
+  // requests simply order around it.
+  InferenceEngine* engine = engine_;
+  ServerCounters* counters = counters_;
+  batcher_->SubmitExclusive(
+      [engine, spec]() mutable {
+        return engine->AddEntityLive(std::move(spec));
+      },
+      [engine, counters, done = std::move(done)](util::Status st) {
+        if (!st.ok()) {
+          if (counters != nullptr) {
+            counters->errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          const util::StatusCode code = st.code();
+          const bool client_fault =
+              code == util::StatusCode::kInvalidArgument ||
+              code == util::StatusCode::kNotFound ||
+              code == util::StatusCode::kFailedPrecondition;
+          done(ErrorReply(client_fault ? "bad_request" : "error",
+                          st.ToString()));
+          return;
+        }
+        Json reply = Json::Object();
+        reply.Set("ok", Json::Bool(true));
+        reply.Set("status", Json::Str("entity added"));
+        reply.Set("generation",
+                  Json::Number(static_cast<double>(engine->store_generation())));
+        reply.Set("induced_entities",
+                  Json::Number(static_cast<double>(engine->induced_entities())));
+        done(reply.Dump());
       });
 }
 
@@ -260,6 +427,10 @@ std::string Server::StatsReply() {
              Json::Number(static_cast<double>(fs.overlong_line_disconnects)));
     jnet.Set("slow_client_disconnects",
              Json::Number(static_cast<double>(fs.slow_client_disconnects)));
+    jnet.Set("idle_disconnects",
+             Json::Number(static_cast<double>(fs.idle_disconnects)));
+    registry.GetGauge("net.idle_disconnects")
+        ->Set(static_cast<double>(fs.idle_disconnects));
     reply.Set("net", std::move(jnet));
   }
 
@@ -328,6 +499,8 @@ std::string Server::StatsReply() {
         jstore.Set("dtype", Json::Str(store::DtypeName(t->dtype)));
         jstore.Set("quant_max_abs_error", Json::Number(t->max_abs_error));
       }
+      jstore.Set("induced_entities",
+                 Json::Number(static_cast<double>(engine_->induced_entities())));
       reply.Set("store", std::move(jstore));
     }
 
@@ -390,6 +563,7 @@ util::Status Server::Start(int port) {
   fopts.max_line_bytes = options_.max_line_bytes;
   fopts.write_buf_bytes = options_.write_buf_bytes;
   fopts.max_inflight_per_conn = options_.max_inflight_per_conn;
+  fopts.idle_timeout_ms = options_.idle_timeout_ms;
   front_end_ = std::make_unique<net::FrontEnd>(fopts, this);
   const util::Status st = front_end_->Start();
   if (!st.ok()) {

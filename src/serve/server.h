@@ -30,6 +30,10 @@ struct ServerOptions {
   /// {"code":"overloaded"} reply without enqueueing. 0 = the batcher's
   /// max_queue (admission collapses into queue-full backpressure).
   size_t admission_watermark = 0;
+  /// Idle-connection reaper: connections with no activity and nothing in
+  /// flight for this long are disconnected (counted in net.idle_disconnects).
+  /// 0 disables the reaper.
+  int idle_timeout_ms = 0;
 };
 
 /// Newline-delimited-JSON protocol layer over the micro-batcher. One request
@@ -40,10 +44,17 @@ struct ServerOptions {
 ///   {"op":"health"}   → {"ok":true,"status":"serving",...}
 ///   {"op":"stats"}    → {"ok":true,"requests":...,...}
 ///   {"op":"reload"}   → {"ok":true} (same path as SIGHUP)
+///   {"op":"add_entity","title":"...","coarse":"person","types":[...],
+///    "relations":[{"relation":"...","object":"..."}],
+///    "aliases":[{"alias":"...","prior":0.5}]}
+///       → {"ok":true,"generation":N,...} (loopback peers only; induces an
+///         embedding for the new entity and publishes a chained store
+///         generation — see index/live_index.h)
 ///
 /// Every failure is a structured reply carrying a machine-readable "code"
 /// ("bad_request", "overloaded", "deadline_exceeded", "line_too_long",
-/// "too_many_inflight", "server_full") next to the human-readable "error" —
+/// "too_many_inflight", "server_full", "forbidden") next to the
+/// human-readable "error" —
 /// the connection survives and the process never crashes on client bytes.
 ///
 /// Three transports share the protocol: the epoll net::FrontEnd (Start/Stop,
@@ -69,8 +80,14 @@ class Server : public net::LineHandler {
 
   /// net::LineHandler: non-blocking protocol entry for the epoll front end.
   /// Control ops complete synchronously; disambiguate completes from a
-  /// batcher worker once its micro-batch (or shed decision) lands.
+  /// batcher worker once its micro-batch (or shed decision) lands. The
+  /// peer-less form treats the caller as loopback (stdio and in-process
+  /// tests run with local privileges by construction).
   void HandleLineAsync(std::string line, Done done) override;
+  /// Peer-aware entry the TCP transport uses; add_entity is authorized only
+  /// for loopback peers.
+  void HandleLineFrom(std::string line, const net::PeerInfo& peer,
+                      Done done) override;
   std::string TransportErrorReply(net::TransportError error) override;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the epoll front end.
@@ -92,6 +109,11 @@ class Server : public net::LineHandler {
  private:
   /// Admission + deadline parse + submit for one disambiguate request.
   void HandleDisambiguate(const Json& request, Done done);
+  /// Live index mutation: parses the entity spec (names resolved against the
+  /// serving KB), then runs InferenceEngine::AddEntityLive through the
+  /// batcher's exclusive lane. Loopback peers only.
+  void HandleAddEntity(const Json& request, const net::PeerInfo& peer,
+                       Done done);
   std::string HandleControl(const Json& request, const std::string& op);
   std::string StatsReply();
 

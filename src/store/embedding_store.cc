@@ -29,6 +29,32 @@ namespace fs = std::filesystem;
 constexpr uint32_t kManifestMagic = 0xB007E5D0;
 constexpr uint32_t kShardMagic = 0xB007E5D1;
 constexpr uint32_t kVersion = 1;
+/// Manifest version carrying chained-generation references: per-shard
+/// directory tags pointing at sibling generations plus an aux-file section.
+/// Shard files themselves are unversioned-by-chain (still kVersion).
+constexpr uint32_t kVersionChained = 2;
+
+/// Manifests may reference files in sibling generation directories, but only
+/// through a strict `gen_<digits>` component — never a path that could
+/// escape the store root.
+bool ValidDirRef(const std::string& d) {
+  if (d.empty()) return true;
+  if (d.rfind("gen_", 0) != 0 || d.size() <= 4) return false;
+  for (size_t i = 4; i < d.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(d[i]))) return false;
+  }
+  return true;
+}
+
+/// Resolves a (dir ref, file) pair against the directory holding the
+/// manifest: own-dir files live next to it, dir-tagged files in a sibling
+/// generation directory under the common store root.
+std::string ResolveChained(const std::string& manifest_dir,
+                           const std::string& dir_ref,
+                           const std::string& file) {
+  if (dir_ref.empty()) return manifest_dir + "/" + file;
+  return (fs::path(manifest_dir).parent_path() / dir_ref / file).string();
+}
 
 /// Shard payloads start on a 64-byte boundary so mapped float scales and
 /// rows are cache-line aligned regardless of the header's string lengths.
@@ -109,13 +135,16 @@ void DequantizeRow(const int8_t* src, int64_t cols, float scale, float* dst) {
 
 namespace {
 
-/// Writes one shard file atomically and fills `info` (including payload CRC).
-util::Status WriteShard(const std::string& dir, const std::string& table,
-                        int64_t shard_index, const TableSource& src,
-                        int64_t row_begin, int64_t row_count, Dtype dtype,
-                        ShardInfo* info, double* max_abs_error,
-                        double* sum_abs_error) {
-  info->file = ShardFileName(table, shard_index);
+/// Writes one shard file atomically and fills `info` (including payload
+/// CRC). `data` points at the first row to write; `row_begin` is only
+/// recorded in the header/manifest (delta shards write rows whose table
+/// offset is far from their buffer offset).
+util::Status WriteShardFile(const std::string& dir, const std::string& file,
+                            const std::string& table, const float* data,
+                            int64_t row_begin, int64_t row_count, int64_t cols,
+                            Dtype dtype, ShardInfo* info,
+                            double* max_abs_error, double* sum_abs_error) {
+  info->file = file;
   info->row_begin = row_begin;
   info->row_count = row_count;
 
@@ -128,8 +157,8 @@ util::Status WriteShard(const std::string& dir, const std::string& table,
   w.WriteU32(static_cast<uint32_t>(dtype));
   w.WriteI64(row_begin);
   w.WriteI64(row_count);
-  w.WriteI64(src.cols);
-  w.WriteU64(PayloadBytes(dtype, row_count, src.cols));
+  w.WriteI64(cols);
+  w.WriteU64(PayloadBytes(dtype, row_count, cols));
   w.EndSection();
 
   // Pad so the payload starts cache-line aligned (the reader recomputes the
@@ -138,8 +167,7 @@ util::Status WriteShard(const std::string& dir, const std::string& table,
   const char zeros[kPayloadAlign] = {};
   w.WriteRaw(zeros, pad);
 
-  const int64_t cols = src.cols;
-  const float* rows = src.data + row_begin * cols;
+  const float* rows = data;
   uint32_t crc = 0;
   if (dtype == Dtype::kFloat32) {
     const size_t n = static_cast<size_t>(row_count * cols) * 4;
@@ -178,9 +206,11 @@ util::Status WriteShard(const std::string& dir, const std::string& table,
   return atomic.Commit();
 }
 
-void SaveManifestTo(util::BinaryWriter* w, const std::vector<TableInfo>& tables) {
+void SaveManifestTo(util::BinaryWriter* w, uint32_t version,
+                    const std::vector<TableInfo>& tables,
+                    const std::vector<AuxFileInfo>& aux) {
   w->WriteU32(kManifestMagic);
-  w->WriteU32(kVersion);
+  w->WriteU32(version);
   w->BeginSection();
   w->WriteU64(tables.size());
   for (const TableInfo& t : tables) {
@@ -193,6 +223,7 @@ void SaveManifestTo(util::BinaryWriter* w, const std::vector<TableInfo>& tables)
     w->WriteU64(t.shards.size());
     for (const ShardInfo& s : t.shards) {
       w->WriteString(s.file);
+      if (version >= kVersionChained) w->WriteString(s.dir);
       w->WriteI64(s.row_begin);
       w->WriteI64(s.row_count);
       w->WriteU64(s.file_bytes);
@@ -200,22 +231,38 @@ void SaveManifestTo(util::BinaryWriter* w, const std::vector<TableInfo>& tables)
     }
   }
   w->EndSection();
+  if (version >= kVersionChained) {
+    w->BeginSection();
+    w->WriteU64(aux.size());
+    for (const AuxFileInfo& a : aux) {
+      w->WriteString(a.file);
+      w->WriteString(a.dir);
+      w->WriteU64(a.file_bytes);
+      w->WriteU32(a.crc);
+    }
+    w->EndSection();
+  }
   w->WriteFooter();
 }
 
 util::Status LoadManifest(const std::string& path,
-                          std::vector<TableInfo>* tables) {
+                          std::vector<TableInfo>* tables,
+                          std::vector<AuxFileInfo>* aux) {
   util::BinaryReader r(path);
   BOOTLEG_RETURN_IF_ERROR(r.status());
   auto corrupt = [&path](const std::string& what) {
     return util::Status::Corruption("store manifest: " + what + ": " + path);
   };
   if (r.ReadU32() != kManifestMagic) return corrupt("bad magic");
-  if (r.ReadU32() != kVersion) return corrupt("unsupported version");
+  const uint32_t version = r.ReadU32();
+  if (version != kVersion && version != kVersionChained) {
+    return corrupt("unsupported version");
+  }
   r.BeginSection();
   const uint64_t num_tables = r.ReadU64();
   if (!r.status().ok() || num_tables > 64) return corrupt("bad table count");
   tables->clear();
+  aux->clear();
   for (uint64_t i = 0; i < num_tables; ++i) {
     TableInfo t;
     t.name = r.ReadString();
@@ -234,6 +281,7 @@ util::Status LoadManifest(const std::string& path,
     for (uint64_t si = 0; si < num_shards; ++si) {
       ShardInfo s;
       s.file = r.ReadString();
+      if (version >= kVersionChained) s.dir = r.ReadString();
       s.row_begin = r.ReadI64();
       s.row_count = r.ReadI64();
       s.file_bytes = r.ReadU64();
@@ -241,7 +289,7 @@ util::Status LoadManifest(const std::string& path,
       if (!r.status().ok()) return corrupt("truncated shard entry");
       if (s.row_begin < 0 || s.row_count < 0 ||
           s.row_begin + s.row_count > t.rows ||
-          s.file.find('/') != std::string::npos) {
+          s.file.find('/') != std::string::npos || !ValidDirRef(s.dir)) {
         return corrupt("invalid shard entry");
       }
       t.shards.push_back(std::move(s));
@@ -249,6 +297,25 @@ util::Status LoadManifest(const std::string& path,
     tables->push_back(std::move(t));
   }
   r.EndSection();
+  if (version >= kVersionChained) {
+    r.BeginSection();
+    const uint64_t num_aux = r.ReadU64();
+    if (!r.status().ok() || num_aux > 4096) return corrupt("bad aux count");
+    for (uint64_t i = 0; i < num_aux; ++i) {
+      AuxFileInfo a;
+      a.file = r.ReadString();
+      a.dir = r.ReadString();
+      a.file_bytes = r.ReadU64();
+      a.crc = r.ReadU32();
+      if (!r.status().ok()) return corrupt("truncated aux entry");
+      if (a.file.empty() || a.file.find('/') != std::string::npos ||
+          !ValidDirRef(a.dir)) {
+        return corrupt("invalid aux entry");
+      }
+      aux->push_back(std::move(a));
+    }
+    r.EndSection();
+  }
   r.VerifyFooter();
   if (!r.status().ok()) {
     return corrupt(r.status().message());
@@ -297,9 +364,10 @@ util::Status WriteStore(const std::string& dir,
           for (int64_t si = lo; si < hi; ++si) {
             const int64_t begin = si * rows_per_shard;
             const int64_t count = std::min(rows_per_shard, src.rows - begin);
-            shard_status[static_cast<size_t>(si)] = WriteShard(
-                dir, src.name, si, src, begin, count, options.dtype,
-                &info.shards[static_cast<size_t>(si)],
+            shard_status[static_cast<size_t>(si)] = WriteShardFile(
+                dir, ShardFileName(src.name, si), src.name,
+                src.data + begin * src.cols, begin, count, src.cols,
+                options.dtype, &info.shards[static_cast<size_t>(si)],
                 &max_errs[static_cast<size_t>(si)],
                 &sum_errs[static_cast<size_t>(si)]);
           }
@@ -322,7 +390,56 @@ util::Status WriteStore(const std::string& dir,
   // MANIFEST last: its presence certifies every shard above was committed.
   util::AtomicFileWriter atomic(dir + "/" + kManifestName);
   util::BinaryWriter w(atomic.temp_path());
-  SaveManifestTo(&w, manifest);
+  SaveManifestTo(&w, kVersion, manifest, {});
+  BOOTLEG_RETURN_IF_ERROR(w.Finish());
+  return atomic.Commit();
+}
+
+util::Status WriteTableShard(const std::string& dir, const std::string& file,
+                             const std::string& table, const float* data,
+                             int64_t row_begin, int64_t row_count,
+                             int64_t cols, Dtype dtype, ShardInfo* info,
+                             double* max_abs_error, double* sum_abs_error) {
+  if (data == nullptr || row_count <= 0 || cols <= 0) {
+    return util::Status::InvalidArgument("delta shard for " + table +
+                                         " has no rows");
+  }
+  if (file.empty() || file.find('/') != std::string::npos) {
+    return util::Status::InvalidArgument("bad shard file name: " + file);
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IOError("cannot create store dir " + dir + ": " +
+                                 ec.message());
+  }
+  double max_err = 0.0, sum_err = 0.0;
+  BOOTLEG_RETURN_IF_ERROR(WriteShardFile(dir, file, table, data, row_begin,
+                                         row_count, cols, dtype, info,
+                                         &max_err, &sum_err));
+  if (max_abs_error != nullptr) *max_abs_error = max_err;
+  if (sum_abs_error != nullptr) *sum_abs_error = sum_err;
+  return util::Status::OK();
+}
+
+util::Status WriteChainedManifest(const std::string& dir,
+                                  const std::vector<TableInfo>& tables,
+                                  const std::vector<AuxFileInfo>& aux) {
+  for (const TableInfo& t : tables) {
+    for (const ShardInfo& s : t.shards) {
+      if (!ValidDirRef(s.dir)) {
+        return util::Status::InvalidArgument("bad shard dir ref: " + s.dir);
+      }
+    }
+  }
+  for (const AuxFileInfo& a : aux) {
+    if (!ValidDirRef(a.dir)) {
+      return util::Status::InvalidArgument("bad aux dir ref: " + a.dir);
+    }
+  }
+  util::AtomicFileWriter atomic(dir + "/" + kManifestName);
+  util::BinaryWriter w(atomic.temp_path());
+  SaveManifestTo(&w, kVersionChained, tables, aux);
   BOOTLEG_RETURN_IF_ERROR(w.Finish());
   return atomic.Commit();
 }
@@ -399,11 +516,9 @@ class MmapFloatView : public StoreView {
 
   const float* RowPtr(int64_t id) const override {
     GatherRowsCounter()->Add(1);
-    const int64_t si = id / table_->rows_per_shard;
-    const int64_t local = id - si * table_->rows_per_shard;
-    const EmbeddingStore::MappedShard& s =
-        table_->shards[static_cast<size_t>(si)];
-    return reinterpret_cast<const float*>(s.rows) + local * table_->info.cols;
+    int64_t local;
+    const EmbeddingStore::MappedShard* s = Locate(id, &local);
+    return reinterpret_cast<const float*>(s->rows) + local * table_->info.cols;
   }
 
   void GatherRow(int64_t id, float* dst) const override {
@@ -412,18 +527,33 @@ class MmapFloatView : public StoreView {
   }
 
   void PrefetchRow(int64_t id) const override {
-    const int64_t si = id / table_->rows_per_shard;
-    const int64_t local = id - si * table_->rows_per_shard;
-    const EmbeddingStore::MappedShard& s =
-        table_->shards[static_cast<size_t>(si)];
+    int64_t local;
+    const EmbeddingStore::MappedShard* s = Locate(id, &local);
     const int64_t cols = table_->info.cols;
     const char* p = reinterpret_cast<const char*>(
-        reinterpret_cast<const float*>(s.rows) + local * cols);
+        reinterpret_cast<const float*>(s->rows) + local * cols);
     const char* end = p + cols * static_cast<int64_t>(sizeof(float));
     for (; p < end; p += 64) __builtin_prefetch(p, 0, 3);
   }
 
  private:
+  /// O(1) divide on uniform tilings; binary search over the cumulative
+  /// shard boundaries on the ragged tilings a delta chain produces.
+  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local) const {
+    const int64_t rps = table_->rows_per_shard;
+    int64_t si;
+    if (rps > 0) {
+      si = id / rps;
+    } else {
+      const auto& b = table_->row_begins;
+      si = static_cast<int64_t>(std::upper_bound(b.begin(), b.end(), id) -
+                                b.begin()) -
+           1;
+    }
+    *local = id - table_->row_begins[static_cast<size_t>(si)];
+    return &table_->shards[static_cast<size_t>(si)];
+  }
+
   const EmbeddingStore::MappedTable* table_;  // borrowed from the store
 };
 
@@ -437,10 +567,8 @@ class MmapInt8View : public StoreView {
 
   void GatherRow(int64_t id, float* dst) const override {
     GatherRowsCounter()->Add(1);
-    const int64_t si = id / table_->rows_per_shard;
-    const int64_t local = id - si * table_->rows_per_shard;
-    const EmbeddingStore::MappedShard& s =
-        table_->shards[static_cast<size_t>(si)];
+    int64_t local;
+    const EmbeddingStore::MappedShard& s = *Locate(id, &local);
     const int64_t cols = table_->info.cols;
     const int8_t* q = reinterpret_cast<const int8_t*>(s.rows) + local * cols;
     // Fused gather+dequant: convert straight from the mapped int8 row into
@@ -458,17 +586,26 @@ class MmapInt8View : public StoreView {
     // One double multiply + boundary fixup instead of an int64 divide per
     // shard lookup; exact for every id the mantissa can hold (rows are far
     // below 2^52), and the fixup corrects any boundary rounding regardless.
-    const double inv = 1.0 / static_cast<double>(rps);
+    // Ragged (delta-chain) tilings take the binary-search path instead.
+    const double inv = rps > 0 ? 1.0 / static_cast<double>(rps) : 0.0;
     const auto locate = [&](int64_t id, const float** scale) {
-      int64_t si = static_cast<int64_t>(static_cast<double>(id) * inv);
-      if (id < si * rps) {
-        --si;
-      } else if (id >= (si + 1) * rps) {
-        ++si;
+      int64_t si;
+      if (rps > 0) {
+        si = static_cast<int64_t>(static_cast<double>(id) * inv);
+        if (id < si * rps) {
+          --si;
+        } else if (id >= (si + 1) * rps) {
+          ++si;
+        }
+      } else {
+        const auto& b = table_->row_begins;
+        si = static_cast<int64_t>(std::upper_bound(b.begin(), b.end(), id) -
+                                  b.begin()) -
+             1;
       }
       const EmbeddingStore::MappedShard& s =
           table_->shards[static_cast<size_t>(si)];
-      const int64_t local = id - si * rps;
+      const int64_t local = id - table_->row_begins[static_cast<size_t>(si)];
       *scale = s.scales + local;
       return reinterpret_cast<const int8_t*>(s.rows) + local * cols;
     };
@@ -495,10 +632,8 @@ class MmapInt8View : public StoreView {
   }
 
   void PrefetchRow(int64_t id) const override {
-    const int64_t si = id / table_->rows_per_shard;
-    const int64_t local = id - si * table_->rows_per_shard;
-    const EmbeddingStore::MappedShard& s =
-        table_->shards[static_cast<size_t>(si)];
+    int64_t local;
+    const EmbeddingStore::MappedShard& s = *Locate(id, &local);
     const int64_t cols = table_->info.cols;
     const char* p = reinterpret_cast<const char*>(
         reinterpret_cast<const int8_t*>(s.rows) + local * cols);
@@ -509,6 +644,21 @@ class MmapInt8View : public StoreView {
   }
 
  private:
+  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local) const {
+    const int64_t rps = table_->rows_per_shard;
+    int64_t si;
+    if (rps > 0) {
+      si = id / rps;
+    } else {
+      const auto& b = table_->row_begins;
+      si = static_cast<int64_t>(std::upper_bound(b.begin(), b.end(), id) -
+                                b.begin()) -
+           1;
+    }
+    *local = id - table_->row_begins[static_cast<size_t>(si)];
+    return &table_->shards[static_cast<size_t>(si)];
+  }
+
   const EmbeddingStore::MappedTable* table_;  // borrowed from the store
 };
 
@@ -526,7 +676,8 @@ util::StatusOr<std::unique_ptr<EmbeddingStore>> EmbeddingStore::Open(
 
 util::Status EmbeddingStore::Load(const std::string& dir) {
   dir_ = dir;
-  BOOTLEG_RETURN_IF_ERROR(LoadManifest(dir + "/" + kManifestName, &tables_));
+  BOOTLEG_RETURN_IF_ERROR(
+      LoadManifest(dir + "/" + kManifestName, &tables_, &aux_));
 
   for (const TableInfo& info : tables_) {
     MappedTable mt;
@@ -535,40 +686,38 @@ util::Status EmbeddingStore::Load(const std::string& dir) {
       return util::Status::Corruption("store table " + info.name +
                                       " has no shards: " + dir);
     }
-    // Shard ranges must tile [0, rows) uniformly so row lookup is O(1).
-    mt.rows_per_shard = info.shards[0].row_count;
-    if (mt.rows_per_shard <= 0) {
-      return util::Status::Corruption("store table " + info.name +
-                                      " has an empty shard: " + dir);
-    }
+    // Shard ranges must tile [0, rows) contiguously with no empty shards.
+    // A flat export tiles uniformly (O(1) divide lookup); a delta chain
+    // appends small ragged shards, for which lookups binary-search the
+    // cumulative boundaries instead.
     int64_t expect_begin = 0;
-    for (size_t si = 0; si < info.shards.size(); ++si) {
-      const ShardInfo& shard = info.shards[si];
+    mt.row_begins.reserve(info.shards.size() + 1);
+    for (const ShardInfo& shard : info.shards) {
       if (shard.row_begin != expect_begin) {
         return util::Status::Corruption("store table " + info.name +
                                         " shard ranges are not contiguous");
       }
-      const bool last = si + 1 == info.shards.size();
-      if (!last && shard.row_count != mt.rows_per_shard) {
+      if (shard.row_count <= 0) {
         return util::Status::Corruption("store table " + info.name +
-                                        " shard ranges are not uniform");
+                                        " has an empty shard: " + dir);
       }
-      // The writer emits a remainder shard of at most rows_per_shard rows;
-      // an oversized last shard would make the id/rows_per_shard lookup
-      // index past the shard vector at gather time, so reject it here.
-      if (last && shard.row_count > mt.rows_per_shard) {
-        return util::Status::Corruption("store table " + info.name +
-                                        " last shard exceeds the tile size");
-      }
+      mt.row_begins.push_back(shard.row_begin);
       expect_begin += shard.row_count;
     }
+    mt.row_begins.push_back(expect_begin);
     if (expect_begin != info.rows) {
       return util::Status::Corruption("store table " + info.name +
                                       " shards do not cover every row");
     }
+    const int64_t tile = info.shards[0].row_count;
+    bool uniform = info.shards.back().row_count <= tile;
+    for (size_t si = 0; si + 1 < info.shards.size() && uniform; ++si) {
+      uniform = info.shards[si].row_count == tile;
+    }
+    mt.rows_per_shard = uniform ? tile : 0;
 
     for (const ShardInfo& shard : info.shards) {
-      const std::string path = dir + "/" + shard.file;
+      const std::string path = ResolveChained(dir, shard.dir, shard.file);
       auto corrupt = [&path](const std::string& what) {
         return util::Status::Corruption("store shard: " + what + ": " + path);
       };
@@ -635,10 +784,31 @@ util::Status EmbeddingStore::Load(const std::string& dir) {
     }
     mapped_.push_back(std::move(mt));
   }
+
+  // Aux files: exact-size check at open (cheap truncation/garbage catch);
+  // their byte content is verified by Verify() like shard payloads.
+  for (const AuxFileInfo& a : aux_) {
+    const std::string path = AuxPath(a);
+    std::error_code ec;
+    const uint64_t size = fs::file_size(path, ec);
+    if (ec || size != a.file_bytes) {
+      return util::Status::Corruption("store aux file size mismatch: " + path);
+    }
+  }
   return util::Status::OK();
 }
 
 util::Status EmbeddingStore::Verify() const {
+  for (const AuxFileInfo& a : aux_) {
+    const std::string path = AuxPath(a);
+    auto contents = util::ReadTextFile(path);
+    if (!contents.ok() || contents.value().size() != a.file_bytes ||
+        util::Crc32(contents.value().data(), contents.value().size()) !=
+            a.crc) {
+      return util::Status::Corruption("store aux file checksum mismatch: " +
+                                      path);
+    }
+  }
   for (const MappedTable& mt : mapped_) {
     for (size_t si = 0; si < mt.shards.size(); ++si) {
       const MappedShard& ms = mt.shards[si];
@@ -654,6 +824,10 @@ util::Status EmbeddingStore::Verify() const {
     }
   }
   return util::Status::OK();
+}
+
+std::string EmbeddingStore::AuxPath(const AuxFileInfo& aux) const {
+  return ResolveChained(dir_, aux.dir, aux.file);
 }
 
 const TableInfo* EmbeddingStore::FindTable(const std::string& name) const {

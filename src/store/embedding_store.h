@@ -87,12 +87,31 @@ const char* DtypeName(Dtype dtype);
 
 /// Per-shard description, as recorded in the MANIFEST and re-validated
 /// against the shard file headers at open.
+///
+/// `dir` is the chained-generation hook (manifest v2): when non-empty it
+/// names a sibling generation directory (strictly `gen_<digits>`) holding
+/// the shard file, so an incremental generation can reference its parent's
+/// unchanged shards by content (exact byte size + payload CRC32) instead of
+/// rewriting them. v1 manifests carry no dir field (always own-dir).
 struct ShardInfo {
-  std::string file;        // filename relative to the store directory
+  std::string file;        // filename relative to the owning directory
+  std::string dir;         // "" = manifest's own dir; else sibling gen dir
   int64_t row_begin = 0;   // first entity row in this shard
   int64_t row_count = 0;
   uint64_t file_bytes = 0; // exact on-disk size (truncation check at open)
   uint32_t payload_crc = 0;  // CRC32 over the payload (scales + row data)
+};
+
+/// One auxiliary file carried by a v2 generation manifest — opaque to the
+/// store (the live-index layer keeps its KB/alias deltas here) but covered
+/// by the same integrity contract as shards: exact byte size checked at
+/// Open, whole-file CRC32 checked by Verify. Like shards, aux files of
+/// parent generations are referenced by `dir` rather than copied.
+struct AuxFileInfo {
+  std::string file;        // filename, no '/' allowed
+  std::string dir;         // "" = manifest's own dir; else sibling gen dir
+  uint64_t file_bytes = 0;
+  uint32_t crc = 0;        // CRC32 over the whole file
 };
 
 /// One named table inside the store (e.g. "static", "entity_emb").
@@ -134,6 +153,29 @@ struct TableSource {
 util::Status WriteStore(const std::string& dir,
                         const std::vector<TableSource>& tables,
                         const WriteOptions& options);
+
+/// Writes one standalone shard file into `dir` holding `row_count` rows that
+/// begin at table row `row_begin` — the delta-append path. `data` points at
+/// the first row to write (not at table row 0), and `file` is caller-chosen
+/// so delta shards from different generations never collide when a
+/// compaction gathers a chain's files into one directory. Fills `info`
+/// (including the payload CRC); for int8, `max_abs_error` / `sum_abs_error`
+/// receive the quantization error stats of the written rows.
+util::Status WriteTableShard(const std::string& dir, const std::string& file,
+                             const std::string& table, const float* data,
+                             int64_t row_begin, int64_t row_count,
+                             int64_t cols, Dtype dtype, ShardInfo* info,
+                             double* max_abs_error, double* sum_abs_error);
+
+/// Writes a v2 (chained-generation) MANIFEST into `dir`: tables whose shards
+/// may live in sibling generation directories (ShardInfo::dir) plus the
+/// generation's auxiliary files. Written atomically, last — its presence
+/// certifies the files it references were all committed. The open path
+/// re-validates every referenced file (header, exact size) so a manifest
+/// naming a missing or doctored parent shard fails with kCorruption.
+util::Status WriteChainedManifest(const std::string& dir,
+                                  const std::vector<TableInfo>& tables,
+                                  const std::vector<AuxFileInfo>& aux);
 
 /// A memory-mapped read-only file. Movable, closes (munmap) on destruction.
 class MappedFile {
@@ -178,12 +220,19 @@ class EmbeddingStore {
   static util::StatusOr<std::unique_ptr<EmbeddingStore>> Open(
       const std::string& dir);
 
-  /// Full payload CRC32 check of every shard of every table.
+  /// Full payload CRC32 check of every shard of every table, plus a
+  /// whole-file CRC32 check of every aux file the manifest references.
   util::Status Verify() const;
 
   const std::string& dir() const { return dir_; }
   const std::vector<TableInfo>& tables() const { return tables_; }
   const TableInfo* FindTable(const std::string& name) const;
+
+  /// Aux files referenced by the manifest (v2 only; empty for v1 stores),
+  /// ordered base generation → tip so deltas apply in publish order.
+  const std::vector<AuxFileInfo>& aux_files() const { return aux_; }
+  /// Resolves an aux file to its full on-disk path.
+  std::string AuxPath(const AuxFileInfo& aux) const;
 
   /// Total mapped bytes across all shards (the store's resident ceiling).
   uint64_t mapped_bytes() const;
@@ -207,13 +256,19 @@ class EmbeddingStore {
   struct MappedTable {
     TableInfo info;
     std::vector<MappedShard> shards;
-    int64_t rows_per_shard = 0;  // shard i covers [i*rps, min((i+1)*rps, rows))
+    /// Uniform tile size when every non-last shard holds the same row count
+    /// and the last holds no more (the flat-export layout; O(1) divide
+    /// lookup). 0 for the ragged tilings a delta chain produces — lookups
+    /// then binary-search `row_begins`.
+    int64_t rows_per_shard = 0;
+    std::vector<int64_t> row_begins;  // shards.size()+1 cumulative boundaries
   };
 
   util::Status Load(const std::string& dir);
 
   std::string dir_;
   std::vector<TableInfo> tables_;
+  std::vector<AuxFileInfo> aux_;
   std::vector<MappedTable> mapped_;
 
   friend class MmapFloatView;

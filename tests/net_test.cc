@@ -438,6 +438,97 @@ TEST(NetFrontEndTest, MaxConnsRefusesWithServerFull) {
   ::close(fd2);
 }
 
+// --- Idle reaper and reply coalescing ----------------------------------------
+
+TEST(NetFrontEndTest, IdleConnectionsAreReapedActiveOnesSurvive) {
+  net::FrontEndOptions options;
+  // Generous timeout relative to the 30ms heartbeat below: the busy
+  // connection must never look idle even when a sanitized build on a loaded
+  // host stalls the pinging thread for a few hundred milliseconds.
+  options.idle_timeout_ms = 400;
+  FrontEndFixture fx{options};
+
+  const int idle_fd = ConnectLoopback(fx.fe->port());
+  const int busy_fd = ConnectLoopback(fx.fe->port());
+  SetRecvTimeout(idle_fd, 5000);
+  SetRecvTimeout(busy_fd, 5000);
+
+  // The busy connection keeps talking well past the timeout; every request
+  // refreshes its activity clock, so only the silent one gets reaped.
+  const auto deadline = std::chrono::steady_clock::now() + 1200ms;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(SendAll(busy_fd, "ping\n"));
+    ASSERT_EQ(ReadReplyLine(busy_fd), "echo:ping");
+    std::this_thread::sleep_for(30ms);
+  }
+  EXPECT_TRUE(ReadUntilEof(idle_fd));  // reaper closed it
+  EXPECT_EQ(fx.fe->stats().idle_disconnects, 1);
+
+  // The survivor still works.
+  ASSERT_TRUE(SendAll(busy_fd, "still\n"));
+  EXPECT_EQ(ReadReplyLine(busy_fd), "echo:still");
+  ::close(busy_fd);
+  ::close(idle_fd);
+}
+
+TEST(NetFrontEndTest, RequestWithSlowHandlerIsNotReaped) {
+  net::FrontEndOptions options;
+  options.idle_timeout_ms = 100;
+  FrontEndFixture fx{options};
+  fx.handler.hold.store(true);
+
+  // The connection goes quiet for several timeout periods, but its request
+  // is still in flight — reaping it would drop a reply the client is owed.
+  const int fd = ConnectLoopback(fx.fe->port());
+  SetRecvTimeout(fd, 5000);
+  ASSERT_TRUE(SendAll(fd, "slow\n"));
+  fx.handler.WaitForHeld(1);
+  std::this_thread::sleep_for(400ms);
+  EXPECT_EQ(fx.fe->stats().idle_disconnects, 0);
+  fx.handler.ReleaseHeld(/*reverse=*/false);
+  EXPECT_EQ(ReadReplyLine(fd), "echo:slow");
+  ::close(fd);
+}
+
+TEST(NetFrontEndTest, CoalescedLargeRepliesSurvivePartialWrites) {
+  // Replies far larger than a socket buffer force the coalesced writev to
+  // stop mid-stream repeatedly; the unsent tail must land in the write
+  // buffer byte-exactly, in request order.
+  net::FrontEndOptions options;
+  options.write_buf_bytes = 64 << 20;
+  FrontEndFixture fx{options};
+  fx.handler.hold.store(true);
+
+  constexpr int kReplies = 6;
+  constexpr size_t kPayload = 196 * 1024;
+  const int fd = ConnectLoopback(fx.fe->port());
+  SetRecvTimeout(fd, 5000);
+  std::string burst;
+  for (int i = 0; i < kReplies; ++i) burst += "q" + std::to_string(i) + "\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+  fx.handler.WaitForHeld(kReplies);
+
+  // Complete all held requests with distinct large payloads; they become
+  // ready in the same event-loop pass and flush through one coalesced path.
+  {
+    std::vector<std::pair<std::string, net::LineHandler::Done>> batch;
+    {
+      std::lock_guard<std::mutex> lock(fx.handler.mu);
+      batch.swap(fx.handler.held);
+    }
+    for (auto& [line, done] : batch) {
+      done(line + ":" + std::string(kPayload, 'a' + (line.back() - '0')));
+    }
+  }
+  for (int i = 0; i < kReplies; ++i) {
+    const std::string reply = ReadReplyLine(fd);
+    ASSERT_EQ(reply.size(), 3 + kPayload) << "reply " << i;
+    EXPECT_EQ(reply.substr(0, 3), "q" + std::to_string(i) + ":");
+    EXPECT_EQ(reply.back(), static_cast<char>('a' + i));
+  }
+  ::close(fd);
+}
+
 // --- Serving layer: deadlines and admission control --------------------------
 
 /// A batch function whose first call blocks until released; everything the
@@ -611,6 +702,7 @@ TEST(ServerNetTest, TcpStatsExposeNetAndSheddingFields) {
   EXPECT_GE(jnet->GetNumber("accepted"), 1.0);
   EXPECT_EQ(jnet->GetNumber("accept_errors"), 0.0);
   EXPECT_EQ(jnet->GetNumber("slow_client_disconnects"), 0.0);
+  EXPECT_EQ(jnet->GetNumber("idle_disconnects"), 0.0);
   ::close(fd);
 
   server.Stop();

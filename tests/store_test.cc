@@ -423,26 +423,59 @@ void CraftStore(const std::string& dir, const std::vector<float>& data,
   CraftManifest(dir, "static", rows, cols, shards);
 }
 
-TEST(StoreFuzzTest, OversizedLastShardIsRejectedAtOpen) {
+TEST(StoreFuzzTest, NonUniformTilingsOpenAndGatherEveryRow) {
   const int64_t rows = 30, cols = 4;
   const std::vector<float> data = RandomTable(rows, cols, 17);
 
-  // Control: a crafted store with the writer's uniform-tile geometry must
-  // open — proving the crafted bytes are valid and the rejection below is
-  // about geometry, not formatting.
+  // Control: the writer's uniform-tile geometry must open — proving the
+  // crafted bytes are valid before exercising the ragged geometries.
   const std::string good = TestDir("crafted_uniform");
   CraftStore(good, data, rows, cols, {{0, 15}, {15, 30 - 15}});
   ASSERT_TRUE(OpenAndVerify(good).ok());
 
-  // Oversized last shard: [0,10) then [10,30). Contiguous, covers every row,
-  // every header agrees with the manifest — but row 29 would resolve to
-  // shard index 29/10 = 2, past the two mapped shards. Must be kCorruption
-  // at open, never an out-of-bounds gather later.
-  const std::string dir = TestDir("oversized_last_shard");
-  CraftStore(dir, data, rows, cols, {{0, 10}, {10, 20}});
-  const util::Status st = OpenAndVerify(dir);
-  ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), util::StatusCode::kCorruption) << st.ToString();
+  // Ragged tilings are what a delta chain produces: a big base shard plus
+  // small appended shards (or vice versa). Each must open, verify, and
+  // gather every row bit-exactly through the binary-search lookup path.
+  const std::vector<std::vector<std::pair<int64_t, int64_t>>> tilings = {
+      {{0, 10}, {10, 20}},                     // oversized last shard
+      {{0, 27}, {27, 2}, {29, 1}},             // delta chain: base + 2 adds
+      {{0, 1}, {1, 4}, {5, 20}, {25, 5}},      // fully irregular
+  };
+  int case_id = 0;
+  for (const auto& ranges : tilings) {
+    const std::string dir = TestDir("ragged_" + std::to_string(case_id++));
+    CraftStore(dir, data, rows, cols, ranges);
+    ASSERT_TRUE(OpenAndVerify(dir).ok());
+    auto opened = store::EmbeddingStore::Open(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto view = opened.value()->View("static");
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    std::vector<float> row(static_cast<size_t>(cols));
+    for (int64_t r = 0; r < rows; ++r) {
+      view.value()->GatherRow(r, row.data());
+      for (int64_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(row[c], data[r * cols + c]) << "row " << r << " col " << c;
+      }
+    }
+  }
+
+  // Still rejected: gaps, overlaps, and coverage shortfalls.
+  struct Bad {
+    const char* name;
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+  };
+  const std::vector<Bad> bad = {
+      {"gap", {{0, 10}, {12, 18}}},
+      {"overlap", {{0, 12}, {10, 20}}},
+      {"short", {{0, 10}, {10, 10}}},
+  };
+  for (const Bad& b : bad) {
+    const std::string dir = TestDir(std::string("bad_") + b.name);
+    CraftStore(dir, data, rows, cols, b.ranges);
+    const util::Status st = OpenAndVerify(dir);
+    ASSERT_FALSE(st.ok()) << b.name;
+    EXPECT_EQ(st.code(), util::StatusCode::kCorruption) << b.name;
+  }
 }
 
 // --- Generation scan ---------------------------------------------------------

@@ -12,11 +12,17 @@
 //   bootleg_cli export-store --data DIR --model PATH --out DIR
 //                       [--quant float32|int8] [--shards N]
 //   bootleg_cli store   --dir DIR [--verify]
+//   bootleg_cli induce  --data DIR --model PATH --store DIR --title TITLE
+//                       [--coarse NAME] [--gender m|f|n] [--types a,b]
+//                       [--relations rel=Title,...] [--aliases a[=p],...]
+//   bootleg_cli compact --dir DIR
 //
 // `gen` writes a self-contained dataset directory (kb.bin, candidates.bin,
 // vocab.bin, corpus.bin); `train`/`eval`/`predict` work purely from those
 // files — no regeneration needed.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -25,6 +31,7 @@
 #include "core/model.h"
 #include "core/model_loader.h"
 #include "core/trainer.h"
+#include "index/live_index.h"
 #include "data/corpus_io.h"
 #include "data/example.h"
 #include "data/generator.h"
@@ -428,10 +435,172 @@ int CmdStore(const Flags& flags) {
   return 0;
 }
 
+/// Offline live-index mutation: induces an embedding for a never-trained
+/// entity and publishes it as a chained delta generation — the same path the
+/// server's add_entity op runs, minus the in-process adoption.
+int CmdInduce(const Flags& flags) {
+  const auto t_start = std::chrono::steady_clock::now();
+  Dataset ds;
+  if (!LoadDataset(flags.Get("data"), &ds)) return 1;
+  auto model = LoadModel(ds, flags.Get("model"));
+  if (model == nullptr) return 1;
+  const std::string dir = flags.Get("store");
+  const std::string title = flags.Get("title");
+  if (dir.empty() || title.empty()) {
+    std::fprintf(stderr, "induce requires --store DIR and --title TITLE\n");
+    return 2;
+  }
+
+  int64_t generation = -1;
+  auto opened = store::OpenNewestGeneration(dir, &generation);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::EmbeddingStore& es = *opened.value();
+
+  // Bring the base KB up to the chain tip so names resolve against (and the
+  // new delta stacks onto) everything already added live.
+  index::ApplyStats applied;
+  util::Status status =
+      index::ApplyDeltas(es, &ds.kb, &ds.candidates, nullptr, &applied);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: replaying delta chain: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  index::DeltaEntity spec;
+  spec.title = title;
+  const std::string coarse = flags.Get("coarse", "misc");
+  const auto coarse_id = kb::CoarseTypeFromName(coarse);
+  if (!coarse_id.has_value()) {
+    std::fprintf(stderr, "unknown --coarse \"%s\"\n", coarse.c_str());
+    return 2;
+  }
+  spec.coarse = *coarse_id;
+  const std::string gender = flags.Get("gender", "n");
+  if (gender != "m" && gender != "f" && gender != "n") {
+    std::fprintf(stderr, "--gender must be m, f or n\n");
+    return 2;
+  }
+  spec.gender = gender[0];
+  for (const std::string& name : util::Split(flags.Get("types"), ",")) {
+    const kb::TypeId id = ds.kb.FindTypeByName(name);
+    if (id == kb::kInvalidId) {
+      std::fprintf(stderr, "unknown type \"%s\"\n", name.c_str());
+      return 2;
+    }
+    spec.types.push_back(id);
+  }
+  // --relations rel=ObjectTitle,rel2=OtherTitle
+  for (const std::string& pair : util::Split(flags.Get("relations"), ",")) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--relations entries are rel=ObjectTitle\n");
+      return 2;
+    }
+    const std::string rel_name = pair.substr(0, eq);
+    const std::string obj_title = pair.substr(eq + 1);
+    const kb::RelationId rel = ds.kb.FindRelationByName(rel_name);
+    if (rel == kb::kInvalidId) {
+      std::fprintf(stderr, "unknown relation \"%s\"\n", rel_name.c_str());
+      return 2;
+    }
+    const kb::EntityId obj = ds.kb.FindByTitle(obj_title);
+    if (obj == kb::kInvalidId) {
+      std::fprintf(stderr, "unknown object entity \"%s\"\n", obj_title.c_str());
+      return 2;
+    }
+    spec.triples.push_back({rel, obj});
+  }
+  // --aliases "alias=0.5,other alias=0.3" (prior optional, default 0.5)
+  for (const std::string& pair : util::Split(flags.Get("aliases"), ",")) {
+    index::DeltaAlias alias;
+    const size_t eq = pair.rfind('=');
+    if (eq == std::string::npos) {
+      alias.alias = pair;
+    } else {
+      alias.alias = pair.substr(0, eq);
+      alias.prior = static_cast<float>(std::atof(pair.c_str() + eq + 1));
+    }
+    spec.aliases.push_back(std::move(alias));
+  }
+  if (spec.aliases.empty()) spec.aliases.push_back({spec.title, 0.5f});
+  spec.title_token_id = ds.vocab.Id(spec.title);
+
+  status = index::ValidateDeltaEntity(ds.kb, ds.candidates,
+                                      ds.kb.num_entities(), spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto view = es.View("static");
+  if (!view.ok()) {
+    std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<float> row;
+  status = index::InduceRow(*model, ds.kb, *view.value(), spec, &row);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  index::IndexDelta delta;
+  delta.base_entities = ds.kb.num_entities();
+  delta.entities.push_back(std::move(spec));
+  index::PublishResult published;
+  status = index::PublishDelta(dir, es, generation, delta, row.data(),
+                               &published);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - t_start)
+          .count();
+  std::printf(
+      "induced \"%s\" -> generation %lld (%s) in %.1f ms; a serving "
+      "process picks it up on its next reload\n",
+      title.c_str(), static_cast<long long>(published.generation),
+      published.dir.c_str(), ms);
+  return 0;
+}
+
+/// Folds the newest delta chain into one flat generation.
+int CmdCompact(const Flags& flags) {
+  const std::string dir = flags.Get("dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "compact requires --dir DIR\n");
+    return 2;
+  }
+  index::CompactResult result;
+  const util::Status status = index::Compact(dir, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (result.already_flat) {
+    std::printf("generation %lld is already flat; nothing to do\n",
+                static_cast<long long>(result.source_generation));
+    return 0;
+  }
+  std::printf(
+      "compacted chain at generation %lld into flat generation %lld (%s, "
+      "%lld files)\n",
+      static_cast<long long>(result.source_generation),
+      static_cast<long long>(result.generation), result.dir.c_str(),
+      static_cast<long long>(result.files_copied));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: bootleg_cli <gen|inspect|train|eval|predict|export-store|store> "
+      "usage: bootleg_cli "
+      "<gen|inspect|train|eval|predict|export-store|store|induce|compact> "
       "[flags]\n"
       "  gen     --out DIR [--scale micro|main] [--seed N] [--pages N]\n"
       "  inspect --data DIR [--n N]\n"
@@ -444,7 +613,11 @@ int Usage() {
       "  predict --data DIR --model PATH --text \"...\"\n"
       "  export-store --data DIR --model PATH --out DIR\n"
       "          [--quant float32|int8] [--shards N]\n"
-      "  store   --dir DIR [--verify]\n");
+      "  store   --dir DIR [--verify]\n"
+      "  induce  --data DIR --model PATH --store DIR --title TITLE\n"
+      "          [--coarse NAME] [--gender m|f|n] [--types a,b,...]\n"
+      "          [--relations rel=Title,...] [--aliases alias[=prior],...]\n"
+      "  compact --dir DIR\n");
   return 2;
 }
 
@@ -461,5 +634,7 @@ int main(int argc, char** argv) {
   if (cmd == "predict") return CmdPredict(flags);
   if (cmd == "export-store") return CmdExportStore(flags);
   if (cmd == "store") return CmdStore(flags);
+  if (cmd == "induce") return CmdInduce(flags);
+  if (cmd == "compact") return CmdCompact(flags);
   return Usage();
 }

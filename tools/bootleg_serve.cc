@@ -19,6 +19,9 @@
 //                 [--write_buf_bytes N]  unread-reply cap per connection;
 //                                     slower readers are disconnected
 //                                     (default 4 MiB)
+//                 [--idle_timeout_ms N]  disconnect connections idle (no
+//                                     bytes, nothing in flight) this long;
+//                                     0 disables the reaper (default 0)
 //                 [--cache N]         candidate cache capacity      (default 4096)
 //                 [--ablation A]      config preset when no .meta sidecar
 //                 [--backend B]       inference backend: ref | simd | simd_q8
@@ -27,7 +30,10 @@
 //                 [--no_trace]        disable per-stage trace spans
 //
 // Protocol: newline-delimited JSON; ops disambiguate / health / stats /
-// reload. SIGHUP hot-reloads the newest valid checkpoint (checkpoint_dir
+// reload / add_entity (loopback-only live index mutation: induces an
+// embedding for a never-trained entity and publishes a chained store
+// generation, --store_dir deployments only).
+// SIGHUP hot-reloads the newest valid checkpoint (checkpoint_dir
 // deployments) or the newest store generation (--store_dir deployments);
 // corrupt candidates are skipped, and a failed reload keeps serving the
 // previous weights/generation.
@@ -152,6 +158,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max_line_bytes", 1 << 20));
   server_options.write_buf_bytes =
       static_cast<size_t>(flags.GetInt("write_buf_bytes", 4 << 20));
+  server_options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle_timeout_ms", 0));
 
   serve::Server server(&engine, &batcher, &counters, &latency, server_options);
   server.SetPollHook([&batcher] {

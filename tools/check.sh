@@ -35,6 +35,12 @@
 #      no crash), every hostile client must be disconnected, accepted-request
 #      p99 must stay bounded, RSS must not balloon, and stats must stay
 #      reachable afterwards and report the shedding counters.
+#  10. Live-add drill: serve from the store, add_entity a never-trained
+#      entity while concurrent clients keep disambiguating (the generation
+#      swap is in-process — no SIGHUP, no restart, zero dropped requests),
+#      query the new entity immediately, compact the delta chain with
+#      `bootleg_cli compact`, SIGHUP onto the flat generation, and verify
+#      the entity still serves and the store still checks out.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -45,40 +51,40 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/9] Release build + full test suite"
+echo "==> [1/10] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/9] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/10] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
              parallel_test serve_test metrics_test store_test \
-             backend_test net_test >/dev/null
+             backend_test net_test index_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
            parallel_test serve_test metrics_test store_test backend_test \
-           net_test; do
+           net_test index_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/9] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/10] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target checkpoint_test parallel_test serve_test metrics_test \
-             store_test backend_test net_test >/dev/null
+             store_test backend_test net_test index_test >/dev/null
   for t in checkpoint_test parallel_test serve_test metrics_test store_test \
-           backend_test net_test; do
+           backend_test net_test index_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/9],[3/9] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/10],[3/10] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/9] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/10] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -124,7 +130,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/9] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/10] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -207,7 +213,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/9] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/10] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -247,7 +253,7 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
 
-echo "==> [7/9] store drill: export -> verify -> serve -> SIGHUP generation swap"
+echo "==> [7/10] store drill: export -> verify -> serve -> SIGHUP generation swap"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$WORK/store/gen_000001" --quant float32 >/dev/null
 "$CLI" store --dir "$WORK/store" --verify >/dev/null \
@@ -304,7 +310,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [8/9] backend drill: ref vs simd byte-identical, simd_q8 clean"
+echo "==> [8/10] backend drill: ref vs simd byte-identical, simd_q8 clean"
 BACKEND_REQS=$(printf '%s\n' \
   "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
   '{"op": "disambiguate", "text": "entities appear on every page"}' \
@@ -350,7 +356,7 @@ if echo '{"op": "health"}' \
   echo "FAIL: backend drill: unknown backend accepted"; exit 1
 fi
 
-echo "==> [9/9] overload drill: admission control, deadline shedding, hostile clients"
+echo "==> [9/10] overload drill: admission control, deadline shedding, hostile clients"
 DRILL=./build/tools/overload_drill
 
 "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --port 0 \
@@ -403,5 +409,87 @@ done
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: overload drill: non-zero exit on SIGTERM"; exit 1; }
+
+echo "==> [10/10] live-add drill: add_entity under load -> in-process swap -> compact"
+# Serve from the stage-7 store (newest generation: the int8 gen_000002). The
+# idle reaper runs with a generous timeout so it cannot touch the drill's
+# request-bearing connections — it just has to not misfire.
+"$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" \
+  --store_dir "$WORK/store" --port 0 --idle_timeout_ms 30000 \
+  2>"$WORK/serve_live.log" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/serve_live.log")
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "FAIL: live-add: no listening port"; exit 1; }
+
+# Concurrent disambiguate load spanning the add_entity call and its
+# in-process generation swap: zero drops allowed.
+CLIENT_PIDS=()
+for c in 1 2 3; do
+  (
+    for _ in $(seq 1 12); do
+      serve_rpc "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
+        | grep -q '"ok": *true' || exit 1
+    done
+  ) &
+  CLIENT_PIDS+=($!)
+done
+
+# The entity exists in no corpus, no checkpoint, no export. One request makes
+# it servable: induce from the frozen tables, publish chained gen_000003,
+# adopt in-process — no SIGHUP, no restart.
+ADD_REPLY=$(serve_rpc '{"op": "add_entity", "title": "zzdrillentity"}')
+echo "$ADD_REPLY" | grep -q '"ok": *true' \
+  || { echo "FAIL: live-add: add_entity rejected: $ADD_REPLY"; exit 1; }
+echo "$ADD_REPLY" | grep -q '"generation": *3' \
+  || { echo "FAIL: live-add: no chained generation: $ADD_REPLY"; exit 1; }
+
+# Immediately servable, and the prediction is the new entity (its alias is
+# brand new, so it is the only candidate).
+serve_rpc '{"op": "disambiguate", "text": "zzdrillentity appears here"}' \
+  | grep -q '"title": *"zzdrillentity"' \
+  || { echo "FAIL: live-add: new entity not served"; exit 1; }
+
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" \
+    || { echo "FAIL: live-add: request dropped across live add"; exit 1; }
+done
+
+LIVE_STATS=$(serve_rpc '{"op": "stats"}')
+echo "$LIVE_STATS" | grep -q '"generation": *3' \
+  || { echo "FAIL: live-add: stats missing generation 3: $LIVE_STATS"; exit 1; }
+echo "$LIVE_STATS" | grep -q '"induced_entities": *1' \
+  || { echo "FAIL: live-add: stats missing induced entity: $LIVE_STATS"; exit 1; }
+echo "$LIVE_STATS" | grep -q '"idle_disconnects": *0' \
+  || { echo "FAIL: live-add: idle reaper misfired: $LIVE_STATS"; exit 1; }
+
+# A non-loopback spec parse cannot be driven from here (every /dev/tcp client
+# is loopback), but a malformed spec must come back structured, not crash.
+serve_rpc '{"op": "add_entity", "title": "zzdrillentity"}' \
+  | grep -q '"code": *"bad_request"' \
+  || { echo "FAIL: live-add: duplicate title not rejected"; exit 1; }
+
+# Compact the chain (the server keeps serving the chain meanwhile), SIGHUP
+# onto the flat generation, and re-verify: same entity, clean store.
+"$CLI" compact --dir "$WORK/store" | grep -q "into flat generation 4" \
+  || { echo "FAIL: live-add: compact did not produce generation 4"; exit 1; }
+"$CLI" store --dir "$WORK/store" --verify >/dev/null \
+  || { echo "FAIL: live-add: compacted store failed verify"; exit 1; }
+kill -HUP "$SERVE_PID"
+sleep 0.3
+serve_rpc '{"op": "disambiguate", "text": "zzdrillentity appears here"}' \
+  | grep -q '"title": *"zzdrillentity"' \
+  || { echo "FAIL: live-add: entity lost after compaction swap"; exit 1; }
+serve_rpc '{"op": "stats"}' | grep -q '"generation": *4' \
+  || { echo "FAIL: live-add: SIGHUP did not adopt the flat generation"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: live-add: non-zero exit on SIGTERM"; exit 1; }
 
 echo "OK: all checks passed"

@@ -10,8 +10,10 @@
 #      disabled-span overhead on MatMul/128, and a traced train+serve
 #      workload's per-stage wall-time breakdown)
 #   4. embedding store     -> BENCH_store.json   (gather ns/row for heap vs
-#      mmap-float vs mmap-int8, resident-memory reduction, and end-to-end
-#      serve-path overhead of store-backed engines)
+#      mmap-float vs mmap-int8, resident-memory reduction, end-to-end
+#      serve-path overhead of store-backed engines, and the store_delta
+#      scenario: AddEntityLive publish latency, time_to_first_correct_serve
+#      for a never-trained entity, delta-chain gather cost, and Compact)
 #
 # Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks

@@ -739,6 +739,13 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
           obs::MetricsRegistry::Global().GetHistogram("store.gather_us");
       const auto gather_start = std::chrono::steady_clock::now();
       constexpr int64_t kGatherLookahead = 8;
+      // Batch-ahead residency advisory: mapped views under a resident-set
+      // budget see the whole id list up front, so evicted shards this batch
+      // touches are WILLNEEDed before the row loop reaches them. (GatherRows
+      // repeats the hint internally for direct callers; no-op elsewhere.)
+      if (total_rows > 0) {
+        frozen_view_->WillGather(s.row_entities.data(), total_rows);
+      }
       const bool zero_copy =
           total_rows > 0 && frozen_view_->RowPtr(s.row_entities[0]) != nullptr;
       const float* gathered = nullptr;

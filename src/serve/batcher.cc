@@ -52,7 +52,10 @@ void MicroBatcher::SubmitAsync(std::string text,
     if (stopping_) {
       reject = util::Status::FailedPrecondition("server is shutting down");
     } else if (queue_.size() >= options_.max_queue) {
+      // Every arrival counts in `requests`, whatever its fate, so the stats
+      // accounting invariant requests ≥ rejected + shed + served holds.
       if (counters_ != nullptr) {
+        counters_->requests.fetch_add(1, std::memory_order_relaxed);
         counters_->rejected.fetch_add(1, std::memory_order_relaxed);
       }
       reject = util::Status::Unavailable(
@@ -62,6 +65,7 @@ void MicroBatcher::SubmitAsync(std::string text,
       // Arrived already expired (client set an impossible budget): shed at
       // the door rather than at dequeue.
       if (counters_ != nullptr) {
+        counters_->requests.fetch_add(1, std::memory_order_relaxed);
         counters_->shed.fetch_add(1, std::memory_order_relaxed);
       }
       shed_counter_->Add();
@@ -181,15 +185,24 @@ void MicroBatcher::WorkerLoop(int worker) {
     }
 
     // Coalescing wait: give stragglers until max_wait_us after the oldest
-    // request arrived, unless the batch is already full or we are draining.
+    // request arrived, unless the batch is already full, a reload or
+    // exclusive task is pending (they apply at batch boundaries and must not
+    // stall up to max_wait_us behind an open window under trickle traffic),
+    // or we are draining.
     if (!stopping_ && options_.max_wait_us > 0) {
       const auto deadline =
           queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
       cv_.wait_until(lock, deadline, [this] {
-        return stopping_ || queue_.empty() ||
+        return stopping_ || reload_requested_ || !exclusive_.empty() ||
+               queue_.empty() ||
                static_cast<int>(queue_.size()) >= options_.max_batch;
       });
       if (queue_.empty()) continue;  // another worker drained it while we slept
+      if (reload_requested_ || !exclusive_.empty()) {
+        // Cut the window short: loop back so the boundary work runs now; the
+        // queued requests keep their arrival times and batch right after.
+        continue;
+      }
     }
 
     // Deadline-aware dequeue: expired requests are shed (completed with

@@ -28,21 +28,24 @@ bool CandidateCache::Lookup(const kb::CandidateMap& map,
     fresh.entities.push_back(c.entity);
     fresh.priors.push_back(c.prior);
   }
-  *out = fresh;
 
   std::lock_guard<std::mutex> lock(mu_);
   // Another thread may have inserted the same alias while we were reading
   // the map; the entry is already in (and served from) the cache, so that
   // counts as a hit — a miss is recorded only on an actual insert below.
+  // Either way the caller's copy is made exactly once, from the canonical
+  // cached entry (`fresh` is moved in, never copied twice).
   auto it = index_.find(alias);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->second;
     hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   lru_.emplace_front(alias, std::move(fresh));
   index_[alias] = lru_.begin();
+  *out = lru_.front().second;
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();

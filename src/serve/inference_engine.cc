@@ -138,6 +138,23 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
     return util::Status::OK();  // already serving the newest generation
   }
   std::shared_ptr<store::EmbeddingStore> next(std::move(opened).value());
+  if (options_.resident_budget_bytes > 0) {
+    // Enable hot-set residency before any View() is taken so the views carry
+    // the policy hooks. Seeding from the displaced generation's manager
+    // carries shard popularity across the swap, so the background warm-up
+    // prefetches the shards that were hot before it. The manager lives and
+    // dies with `next`, so its advisories only ever touch this pinned
+    // snapshot's mappings.
+    std::shared_ptr<store::EmbeddingStore> prior;
+    {
+      std::lock_guard<std::mutex> lock(store_mu_);
+      prior = entity_store_;
+    }
+    store::ResidencyOptions ro;
+    ro.budget_bytes = options_.resident_budget_bytes;
+    ro.sweep_interval_ms = options_.resident_sweep_ms;
+    next->EnableResidency(ro, prior != nullptr ? prior->residency() : nullptr);
+  }
   auto view = next->View("static");
   if (!view.ok()) return view.status();
 
@@ -195,6 +212,8 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
     reg.GetGauge("store.quant_max_abs_error")->Set(t->max_abs_error);
     reg.GetGauge("store.quant_mean_abs_error")->Set(t->mean_abs_error);
   }
+  reg.GetGauge("store.resident_budget_bytes")
+      ->Set(static_cast<double>(options_.resident_budget_bytes));
   BOOTLEG_LOG(Info) << "serving embedding store generation " << generation
                     << " from " << next->dir() << " (" << next->num_shards()
                     << " shards, " << next->mapped_bytes()

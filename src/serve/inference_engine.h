@@ -43,6 +43,16 @@ struct EngineOptions {
   /// plus block-int8 quantized frozen weights — argmax-stable, not
   /// bit-identical). See backend/backend.h.
   std::string backend = "ref";
+  /// Hot-set residency budget for the mapped store, in bytes. When > 0 (and
+  /// store_dir is set), each adopted generation runs a popularity-clock
+  /// residency manager: batch-ahead MADV_WILLNEED of the shards a gather
+  /// touches, a background sweep that MADV_DONTNEEDs cold shards to keep the
+  /// advised resident set within budget (the Zipf head stays pinned), and a
+  /// post-swap warm-up of hot shards. 0 = unmanaged mmap (kernel decides).
+  /// Purely advisory: replies are bit-identical to the unmanaged path.
+  int64_t resident_budget_bytes = 0;
+  /// Residency clock-sweep cadence in milliseconds.
+  int64_t resident_sweep_ms = 1000;
 };
 
 /// One disambiguated mention in a served sentence.

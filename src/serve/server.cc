@@ -501,6 +501,25 @@ std::string Server::StatsReply() {
       }
       jstore.Set("induced_entities",
                  Json::Number(static_cast<double>(engine_->induced_entities())));
+      // Hot-set residency rows (present only under --resident_budget_mb):
+      // the advised resident set next to the mapped ceiling above, plus the
+      // advisory event counters.
+      if (es->residency() != nullptr) {
+        const store::ResidencyStats rs = es->residency_stats();
+        jstore.Set("resident_budget_bytes",
+                   Json::Number(static_cast<double>(rs.budget_bytes)));
+        jstore.Set("resident_bytes",
+                   Json::Number(static_cast<double>(rs.resident_bytes)));
+        jstore.Set("resident_set_shards",
+                   Json::Number(static_cast<double>(rs.resident_shards)));
+        jstore.Set("prefetch_issued",
+                   Json::Number(static_cast<double>(rs.prefetch_issued)));
+        jstore.Set("evictions",
+                   Json::Number(static_cast<double>(rs.evictions)));
+        jstore.Set("cold_faults",
+                   Json::Number(static_cast<double>(rs.cold_faults)));
+        jstore.Set("sweeps", Json::Number(static_cast<double>(rs.sweeps)));
+      }
       reply.Set("store", std::move(jstore));
     }
 

@@ -508,16 +508,18 @@ util::Status MappedFile::Map(const std::string& path) {
 
 class MmapFloatView : public StoreView {
  public:
-  explicit MmapFloatView(const EmbeddingStore::MappedTable* table)
-      : table_(table) {}
+  MmapFloatView(const EmbeddingStore::MappedTable* table,
+                ResidencyPolicy* residency)
+      : table_(table), residency_(residency) {}
 
   int64_t rows() const override { return table_->info.rows; }
   int64_t cols() const override { return table_->info.cols; }
 
   const float* RowPtr(int64_t id) const override {
     GatherRowsCounter()->Add(1);
-    int64_t local;
-    const EmbeddingStore::MappedShard* s = Locate(id, &local);
+    int64_t local, si;
+    const EmbeddingStore::MappedShard* s = Locate(id, &local, &si);
+    if (residency_ != nullptr) residency_->NoteRow(si);
     return reinterpret_cast<const float*>(s->rows) + local * table_->info.cols;
   }
 
@@ -526,9 +528,28 @@ class MmapFloatView : public StoreView {
     for (int64_t j = 0; j < table_->info.cols; ++j) dst[j] = src[j];
   }
 
+  void GatherRows(const int64_t* ids, int64_t n, float* dst) const override {
+    if (n <= 0) return;
+    GatherRowsCounter()->Add(n);  // one update for the whole batch
+    // Batch-ahead residency pass: bump shard popularity once per row and
+    // WILLNEED the touched row ranges of any evicted shard before the copy
+    // loop faults on them. The loop itself skips the per-row NoteRow — the
+    // batch pass already counted these rows.
+    if (residency_ != nullptr) residency_->WillGather(ids, n);
+    const int64_t cols = table_->info.cols;
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t local, si;
+      const EmbeddingStore::MappedShard* s = Locate(ids[i], &local, &si);
+      const float* src =
+          reinterpret_cast<const float*>(s->rows) + local * cols;
+      float* out = dst + i * cols;
+      for (int64_t j = 0; j < cols; ++j) out[j] = src[j];
+    }
+  }
+
   void PrefetchRow(int64_t id) const override {
-    int64_t local;
-    const EmbeddingStore::MappedShard* s = Locate(id, &local);
+    int64_t local, si;
+    const EmbeddingStore::MappedShard* s = Locate(id, &local, &si);
     const int64_t cols = table_->info.cols;
     const char* p = reinterpret_cast<const char*>(
         reinterpret_cast<const float*>(s->rows) + local * cols);
@@ -536,10 +557,17 @@ class MmapFloatView : public StoreView {
     for (; p < end; p += 64) __builtin_prefetch(p, 0, 3);
   }
 
+  void WillGather(const int64_t* ids, int64_t n) const override {
+    if (residency_ != nullptr) residency_->WillGather(ids, n);
+  }
+
+  ResidencyPolicy* residency_policy() const override { return residency_; }
+
  private:
   /// O(1) divide on uniform tilings; binary search over the cumulative
   /// shard boundaries on the ragged tilings a delta chain produces.
-  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local) const {
+  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local,
+                                            int64_t* shard) const {
     const int64_t rps = table_->rows_per_shard;
     int64_t si;
     if (rps > 0) {
@@ -551,24 +579,28 @@ class MmapFloatView : public StoreView {
            1;
     }
     *local = id - table_->row_begins[static_cast<size_t>(si)];
+    *shard = si;
     return &table_->shards[static_cast<size_t>(si)];
   }
 
   const EmbeddingStore::MappedTable* table_;  // borrowed from the store
+  ResidencyPolicy* residency_;                // nullable; owned by the store
 };
 
 class MmapInt8View : public StoreView {
  public:
-  explicit MmapInt8View(const EmbeddingStore::MappedTable* table)
-      : table_(table) {}
+  MmapInt8View(const EmbeddingStore::MappedTable* table,
+               ResidencyPolicy* residency)
+      : table_(table), residency_(residency) {}
 
   int64_t rows() const override { return table_->info.rows; }
   int64_t cols() const override { return table_->info.cols; }
 
   void GatherRow(int64_t id, float* dst) const override {
     GatherRowsCounter()->Add(1);
-    int64_t local;
-    const EmbeddingStore::MappedShard& s = *Locate(id, &local);
+    int64_t local, si;
+    const EmbeddingStore::MappedShard& s = *Locate(id, &local, &si);
+    if (residency_ != nullptr) residency_->NoteRow(si);
     const int64_t cols = table_->info.cols;
     const int8_t* q = reinterpret_cast<const int8_t*>(s.rows) + local * cols;
     // Fused gather+dequant: convert straight from the mapped int8 row into
@@ -581,6 +613,9 @@ class MmapInt8View : public StoreView {
   void GatherRows(const int64_t* ids, int64_t n, float* dst) const override {
     if (n <= 0) return;
     GatherRowsCounter()->Add(n);  // one update for the whole batch
+    // Batch-ahead residency pass: bump shard popularity and WILLNEED any
+    // evicted shard this batch touches before the gather loop reaches it.
+    if (residency_ != nullptr) residency_->WillGather(ids, n);
     const int64_t cols = table_->info.cols;
     const int64_t rps = table_->rows_per_shard;
     // One double multiply + boundary fixup instead of an int64 divide per
@@ -632,8 +667,8 @@ class MmapInt8View : public StoreView {
   }
 
   void PrefetchRow(int64_t id) const override {
-    int64_t local;
-    const EmbeddingStore::MappedShard& s = *Locate(id, &local);
+    int64_t local, si;
+    const EmbeddingStore::MappedShard& s = *Locate(id, &local, &si);
     const int64_t cols = table_->info.cols;
     const char* p = reinterpret_cast<const char*>(
         reinterpret_cast<const int8_t*>(s.rows) + local * cols);
@@ -643,8 +678,15 @@ class MmapInt8View : public StoreView {
     for (; p < end; p += 64) __builtin_prefetch(p, 0, 3);
   }
 
+  void WillGather(const int64_t* ids, int64_t n) const override {
+    if (residency_ != nullptr) residency_->WillGather(ids, n);
+  }
+
+  ResidencyPolicy* residency_policy() const override { return residency_; }
+
  private:
-  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local) const {
+  const EmbeddingStore::MappedShard* Locate(int64_t id, int64_t* local,
+                                            int64_t* shard) const {
     const int64_t rps = table_->rows_per_shard;
     int64_t si;
     if (rps > 0) {
@@ -656,10 +698,12 @@ class MmapInt8View : public StoreView {
            1;
     }
     *local = id - table_->row_begins[static_cast<size_t>(si)];
+    *shard = si;
     return &table_->shards[static_cast<size_t>(si)];
   }
 
   const EmbeddingStore::MappedTable* table_;  // borrowed from the store
+  ResidencyPolicy* residency_;                // nullable; owned by the store
 };
 
 // ---------------------------------------------------------------------------
@@ -857,12 +901,43 @@ util::StatusOr<std::shared_ptr<StoreView>> EmbeddingStore::View(
     const std::string& name) const {
   for (const MappedTable& mt : mapped_) {
     if (mt.info.name != name) continue;
+    ResidencyPolicy* hook =
+        residency_ != nullptr ? residency_->TableHook(name) : nullptr;
     if (mt.info.dtype == Dtype::kInt8) {
-      return std::shared_ptr<StoreView>(new MmapInt8View(&mt));
+      return std::shared_ptr<StoreView>(new MmapInt8View(&mt, hook));
     }
-    return std::shared_ptr<StoreView>(new MmapFloatView(&mt));
+    return std::shared_ptr<StoreView>(new MmapFloatView(&mt, hook));
   }
   return util::Status::NotFound("store has no table named " + name);
+}
+
+void EmbeddingStore::EnableResidency(const ResidencyOptions& options,
+                                     const ResidencyManager* previous) {
+  if (options.budget_bytes <= 0 || residency_ != nullptr) return;
+  std::vector<ResidencyTableSpec> specs;
+  specs.reserve(mapped_.size());
+  for (const MappedTable& mt : mapped_) {
+    ResidencyTableSpec spec;
+    spec.name = mt.info.name;
+    spec.rows_per_shard = mt.rows_per_shard;
+    spec.row_begins = mt.row_begins;
+    spec.shards.reserve(mt.shards.size());
+    for (const MappedShard& ms : mt.shards) {
+      // Advise the whole mapped file: the base is page-aligned (an mmap
+      // return value) as madvise/mincore require, and re-reading the header
+      // pages after an eviction is harmless.
+      spec.shards.push_back(ResidencyShardSpec{ms.file.data(),
+                                               static_cast<size_t>(ms.file.size())});
+    }
+    specs.push_back(std::move(spec));
+  }
+  residency_ = std::make_unique<ResidencyManager>(options, std::move(specs));
+  if (previous != nullptr) residency_->SeedFrom(*previous);
+  residency_->Start();
+}
+
+ResidencyStats EmbeddingStore::residency_stats() const {
+  return residency_ != nullptr ? residency_->stats() : ResidencyStats{};
 }
 
 util::StatusOr<std::unique_ptr<EmbeddingStore>> OpenNewestGeneration(

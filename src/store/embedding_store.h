@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "store/residency.h"
 #include "util/status.h"
 
 namespace bootleg::store {
@@ -47,6 +48,18 @@ class StoreView {
     const int64_t c = cols();
     for (int64_t i = 0; i < n; ++i) GatherRow(ids[i], dst + i * c);
   }
+
+  /// Advisory: rows ids[0..n) are about to be gathered (by GatherRows or a
+  /// zero-copy RowPtr loop). Mapped views under residency management forward
+  /// this to their ResidencyPolicy, which bumps shard popularity and issues
+  /// batch-ahead MADV_WILLNEED on any touched shard the clock evicted; a
+  /// no-op everywhere else (heap views, unmanaged stores). Never changes
+  /// gather results.
+  virtual void WillGather(const int64_t* /*ids*/, int64_t /*n*/) const {}
+
+  /// The residency policy consulted by this view, or nullptr when the view
+  /// is not under residency management (heap views, unmanaged stores).
+  virtual ResidencyPolicy* residency_policy() const { return nullptr; }
 };
 
 /// StoreView over caller-owned contiguous float rows (the in-memory frozen
@@ -245,6 +258,23 @@ class EmbeddingStore {
   /// when no such table exists.
   util::StatusOr<std::shared_ptr<StoreView>> View(const std::string& name) const;
 
+  /// Enables hot-set residency management over the mappings. Call before
+  /// View() so the views pick up the policy hooks — the serving layer
+  /// enables it on a freshly opened generation before publishing the
+  /// shared_ptr snapshot, which keeps every advisory confined to pinned
+  /// mappings. budget_bytes ≤ 0 leaves the store unmanaged (no manager, no
+  /// hooks, nothing changes). Starts the background clock sweeper unless the
+  /// options say otherwise; `previous` (nullable) seeds shard popularity
+  /// from the displaced generation so the warm-up prefetches the right head.
+  void EnableResidency(const ResidencyOptions& options,
+                       const ResidencyManager* previous = nullptr);
+
+  /// The residency manager, or nullptr when unmanaged.
+  ResidencyManager* residency() const { return residency_.get(); }
+
+  /// Residency counters; all zero (budget_bytes == 0) when unmanaged.
+  ResidencyStats residency_stats() const;
+
  private:
   struct MappedShard {
     MappedFile file;
@@ -270,6 +300,9 @@ class EmbeddingStore {
   std::vector<TableInfo> tables_;
   std::vector<AuxFileInfo> aux_;
   std::vector<MappedTable> mapped_;
+  /// Declared after mapped_ so destruction joins the sweeper before any
+  /// shard unmaps — advisories never chase a dead mapping.
+  std::unique_ptr<ResidencyManager> residency_;
 
   friend class MmapFloatView;
   friend class MmapInt8View;

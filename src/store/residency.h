@@ -1,0 +1,178 @@
+#ifndef BOOTLEG_STORE_RESIDENCY_H_
+#define BOOTLEG_STORE_RESIDENCY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bootleg::store {
+
+/// Knobs for hot-set residency management of a mapped store.
+struct ResidencyOptions {
+  /// Resident-set byte budget across every shard of every table. The clock
+  /// sweep keeps the most-accessed shards (the Zipf head) advised resident
+  /// and MADV_DONTNEEDs the rest. 0 disables management entirely (the
+  /// classic unmanaged mmap behavior: the kernel keeps whatever it likes).
+  int64_t budget_bytes = 0;
+  /// Clock-sweep cadence. Each sweep halves every shard's access counter
+  /// (so stale popularity ages out), re-ranks shards, and applies the
+  /// advisory deltas.
+  int64_t sweep_interval_ms = 1000;
+  /// When false the background sweeper thread is not started; callers (tests,
+  /// benches) drive SweepOnce() themselves for deterministic schedules.
+  bool start_sweeper = true;
+};
+
+/// Residency counters for observability. All values monotonically increase
+/// except resident_bytes/resident_shards, which snapshot the last sweep.
+struct ResidencyStats {
+  int64_t budget_bytes = 0;
+  int64_t resident_bytes = 0;    // pagemap-sampled estimate at last sweep
+  int64_t resident_shards = 0;   // shards currently advised resident
+  int64_t prefetch_issued = 0;   // MADV_WILLNEED advisories issued
+  int64_t evictions = 0;         // MADV_DONTNEED advisories issued
+  int64_t cold_faults = 0;       // gathers that hit an evicted shard
+  int64_t sweeps = 0;            // clock passes completed
+};
+
+/// The seam between a StoreView and the residency machinery: mapped views
+/// report the rows a gather is about to touch (batch-ahead) and individual
+/// shard accesses (zero-copy row-pointer path). Implementations are purely
+/// advisory — they may issue madvise() on the mapped ranges but never change
+/// a single gathered byte. Heap views have no policy and every hook is a
+/// no-op there.
+class ResidencyPolicy {
+ public:
+  virtual ~ResidencyPolicy() = default;
+
+  /// Rows ids[0..n) of this policy's table are about to be gathered. Bumps
+  /// the popularity of every touched shard and, for any touched shard the
+  /// clock previously evicted, issues MADV_WILLNEED over just the row range
+  /// the batch touches — the advisory cost scales with the batch, not the
+  /// shard, and the pages are in flight before the gather loop reaches them.
+  virtual void WillGather(const int64_t* ids, int64_t n) = 0;
+
+  /// One row of shard `shard` is being read (RowPtr / single GatherRow).
+  virtual void NoteRow(int64_t shard) = 0;
+};
+
+struct ResidencyShardState;  // per-shard clock state (internal)
+
+/// One shard's advisory range: the full mapped file (mmap bases are
+/// page-aligned, as madvise requires).
+struct ResidencyShardSpec {
+  const uint8_t* base = nullptr;
+  size_t bytes = 0;
+};
+
+/// One table's shard geometry, mirrored from the store's mapped layout so
+/// the per-row hooks can locate shards without reaching back into the store.
+struct ResidencyTableSpec {
+  std::string name;
+  int64_t rows_per_shard = 0;        // 0 = ragged tiling (binary search)
+  std::vector<int64_t> row_begins;   // shards+1 cumulative boundaries
+  std::vector<ResidencyShardSpec> shards;
+};
+
+/// Popularity-clock residency manager for one mapped store generation.
+///
+/// Ownership and generation-swap safety: an EmbeddingStore owns its manager
+/// and destroys it (joining the sweeper) before any shard unmaps, and the
+/// serving layer only enables residency on the shared_ptr store snapshot it
+/// is about to publish — so every madvise this class ever issues targets
+/// mappings that are still pinned. The manager never touches another
+/// generation's memory.
+///
+/// Concurrency: gather threads call the per-table ResidencyPolicy hooks
+/// (relaxed atomics plus a CAS-guarded demand re-admission); the sweeper
+/// (or a test calling SweepOnce) ranks and applies advisory deltas under an
+/// internal mutex. Advisories never change mapped bytes — the mappings are
+/// read-only and file-backed, so an evicted page reloads bit-identically.
+class ResidencyManager {
+ public:
+  ResidencyManager(const ResidencyOptions& options,
+                   std::vector<ResidencyTableSpec> tables);
+  ~ResidencyManager();
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  /// Carries shard popularity over from a displaced generation's manager
+  /// when the table/shard geometry matches (by name and shard count), so the
+  /// warm-up after a generation swap prefetches the shards that were hot
+  /// before the swap instead of guessing. Call before Start().
+  void SeedFrom(const ResidencyManager& previous);
+
+  /// Launches the background sweeper. Its first pass is the warm-up: it
+  /// ranks shards by (seeded) popularity, MADV_WILLNEEDs the head that fits
+  /// the budget and evicts the rest, so first requests after a swap do not
+  /// eat page-in latency on the hot set. No-op when budget_bytes == 0 or the
+  /// options disabled the sweeper.
+  void Start();
+
+  /// One clock pass: halve every access counter, rank shards by popularity,
+  /// keep the head within budget (the hottest shard is always kept, even if
+  /// it alone exceeds the budget), MADV_DONTNEED newly cold shards and
+  /// re-admit sweep-promoted ones. With warm_kept, every kept shard gets a
+  /// MADV_WILLNEED touch (the warm-up pass). Updates the resident-bytes
+  /// estimate via EstimateResidentBytes.
+  void SweepOnce(bool warm_kept = false);
+
+  /// The view-facing policy hook for `table`, or nullptr if unknown.
+  ResidencyPolicy* TableHook(const std::string& table);
+
+  ResidencyStats stats() const;
+
+  /// Resident byte count across all managed shards, walked from
+  /// /proc/self/pagemap (pages mapped into this address space — the quantity
+  /// VmRSS charges and MADV_DONTNEED reclaims), falling back to mincore and
+  /// then to the advised-state counters when sampling is unavailable.
+  int64_t EstimateResidentBytes() const;
+
+ private:
+  class Table;
+
+  /// Re-admits an evicted shard that traffic just touched: counts the cold
+  /// fault and issues MADV_WILLNEED over the whole shard so the rest of the
+  /// batch reads warm pages. CAS-guarded so racing gather threads admit
+  /// once. This is the un-batched (RowPtr / single GatherRow) fallback;
+  /// batched gathers go through AdmitRange with a tighter span.
+  void DemandAdmit(ResidencyShardState& s);
+
+  /// Batch-ahead re-admission: flips the shard resident (counting the cold
+  /// fault exactly once across racing threads) and MADV_WILLNEEDs only
+  /// `[addr, addr+len)` — the page span of the rows the imminent batch
+  /// touches — instead of the whole shard, keeping the in-band advisory
+  /// cost proportional to the batch.
+  void AdmitRange(ResidencyShardState& s, const uint8_t* addr, size_t len);
+
+  const ResidencyOptions options_;
+  std::vector<std::unique_ptr<Table>> tables_;
+
+  // Event counters shared by hooks and sweeps (mirrored into the global
+  // metrics registry at the increment sites).
+  std::atomic<int64_t> prefetch_issued_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> cold_faults_{0};
+  std::atomic<int64_t> sweeps_{0};
+  std::atomic<int64_t> resident_bytes_{0};
+  std::atomic<int64_t> resident_shards_{0};
+
+  mutable std::mutex sweep_mu_;  // serializes SweepOnce
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread sweeper_;
+
+  friend class ResidencyManagerTestPeer;
+};
+
+}  // namespace bootleg::store
+
+#endif  // BOOTLEG_STORE_RESIDENCY_H_

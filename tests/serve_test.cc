@@ -398,7 +398,9 @@ TEST(MicroBatcherTest, BackpressureRejectsWhenQueueFull) {
   EXPECT_TRUE(a.get().ok());  // accepted requests still complete
   EXPECT_TRUE(b.get().ok());
   batcher.Shutdown();
-  EXPECT_EQ(counters.requests.load(), 3);  // rejects are not "accepted"
+  // Every arrival counts, rejected or not, so requests covers rejected +
+  // shed + served.
+  EXPECT_EQ(counters.requests.load(), 4);
 }
 
 TEST(MicroBatcherTest, ShutdownDrainsAcceptedRequests) {
@@ -470,6 +472,133 @@ TEST(MicroBatcherTest, ReloadRunsAtBatchBoundaryAndFailureIsNonFatal) {
   batcher.Shutdown();
 }
 
+// Regression: the coalescing wait_until predicate used to ignore pending
+// exclusive tasks, so a live-add submitted mid-window under trickle traffic
+// stalled until max_wait_us elapsed. It must preempt the window instead.
+TEST(MicroBatcherTest, ExclusiveSubmittedMidWindowPreemptsCoalescingWait) {
+  serve::ServerCounters counters;
+  serve::BatcherOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 2000000;  // 2s window; the test must not wait it out
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options,
+      [](const std::vector<std::string>& texts, int) {
+        return EchoBatch(texts);
+      },
+      nullptr, &counters);
+
+  // One request far below max_batch opens a coalescing window.
+  auto trickle = batcher.Submit("trickle");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::promise<util::Status> done;
+  batcher.SubmitExclusive([] { return util::Status::OK(); },
+                          [&](util::Status st) { done.set_value(std::move(st)); });
+  auto done_future = done.get_future();
+  ASSERT_EQ(done_future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_TRUE(done_future.get().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(500))
+      << "exclusive task waited out the coalescing window";
+  batcher.Shutdown();  // flushes the open window and drains `trickle`
+  EXPECT_TRUE(trickle.get().ok());
+}
+
+// Regression (same predicate bug, reload flavor): a SIGHUP reload requested
+// while a coalescing window is open must apply at that boundary, not wait
+// for the window to expire.
+TEST(MicroBatcherTest, ReloadRequestedMidWindowPreemptsCoalescingWait) {
+  serve::ServerCounters counters;
+  serve::BatcherOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 2000000;
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options,
+      [](const std::vector<std::string>& texts, int) {
+        return EchoBatch(texts);
+      },
+      [] { return util::Status::OK(); }, &counters);
+
+  auto trickle = batcher.Submit("trickle");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  batcher.RequestReload();
+  while (counters.reloads.load() < 1 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(counters.reloads.load(), 1);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(500))
+      << "reload waited out the coalescing window";
+  batcher.Shutdown();
+  EXPECT_TRUE(trickle.get().ok());
+}
+
+// Regression: door-shed and queue-full arrivals used to be invisible in
+// `requests`, breaking the stats accounting. Every arrival must count, so
+// requests == rejected + shed + served holds across all outcomes.
+TEST(MicroBatcherTest, ArrivalAccountingInvariantHoldsAcrossOutcomes) {
+  serve::ServerCounters counters;
+  PluggableBackend backend;
+  serve::BatcherOptions options;
+  options.max_batch = 1;
+  options.max_wait_us = 0;
+  options.max_queue = 2;
+  options.workers = 1;
+  serve::MicroBatcher batcher(options, backend.Fn(), nullptr, &counters);
+
+  auto plug = batcher.Submit("plug");
+  backend.AwaitPlugTaken();  // worker busy; queue is empty
+
+  // Door shed: arrives with its deadline already expired.
+  util::Status door;
+  batcher.SubmitAsync(
+      "expired",
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+      [&](util::StatusOr<serve::SentenceResult> r) { door = r.status(); });
+  EXPECT_EQ(door.code(), util::StatusCode::kDeadlineExceeded);
+
+  // One request that will be served, one that will expire while queued.
+  auto a = batcher.Submit("a");
+  util::Status queued_shed;
+  batcher.SubmitAsync(
+      "soon-dead",
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50),
+      [&](util::StatusOr<serve::SentenceResult> r) {
+        queued_shed = r.status();
+      });
+
+  // Queue is now at capacity: the next arrival is rejected outright.
+  auto c = batcher.Submit("c");
+  const util::StatusOr<serve::SentenceResult> rejected = c.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kUnavailable);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // expire it
+  backend.Release();
+  EXPECT_TRUE(plug.get().ok());
+  EXPECT_TRUE(a.get().ok());
+  batcher.Shutdown();
+  EXPECT_EQ(queued_shed.code(), util::StatusCode::kDeadlineExceeded);
+
+  // plug + expired + a + soon-dead + c — every arrival, whatever its fate.
+  EXPECT_EQ(counters.requests.load(), 5);
+  EXPECT_EQ(counters.rejected.load(), 1);
+  EXPECT_EQ(counters.shed.load(), 2);  // one at the door, one at dequeue
+  const int64_t served = counters.batched_sentences.load();
+  EXPECT_EQ(served, 2);  // plug + a
+  EXPECT_EQ(counters.requests.load(),
+            counters.rejected.load() + counters.shed.load() + served);
+}
+
 // --- Candidate cache ---------------------------------------------------------
 
 TEST(CandidateCacheTest, LruEvictionAndHitMissAccounting) {
@@ -517,6 +646,41 @@ TEST(CandidateCacheTest, UnknownAliasesAreNeitherCachedNorCounted) {
   EXPECT_EQ(cache.misses(), 0);  // garbage cannot deflate the hit rate
   EXPECT_TRUE(cache.Lookup(map, "known", &out));
   EXPECT_EQ(cache.misses(), 1);
+}
+
+// The single-copy Lookup restructure (insert first, then copy out of the
+// canonical LRU entry) must not change what callers see: identical content
+// on the miss and the following hit, identical hit/miss accounting, and
+// eviction still drops the LRU tail, not the entry just inserted.
+TEST(CandidateCacheTest, MissServesCanonicalEntryAndCountersUnchanged) {
+  kb::CandidateMap map;
+  map.AddAlias("apple", 1, 1.0f);
+  map.AddAlias("apple", 2, 0.5f);
+  map.AddAlias("banana", 3);
+  map.Finalize(/*max_candidates=*/5);
+
+  serve::CandidateCache cache(/*capacity=*/1);
+  serve::CachedCandidates miss_out;
+  EXPECT_TRUE(cache.Lookup(map, "apple", &miss_out));  // miss, inserted
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+
+  serve::CachedCandidates hit_out;
+  EXPECT_TRUE(cache.Lookup(map, "apple", &hit_out));  // hit
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  ASSERT_EQ(miss_out.entities.size(), hit_out.entities.size());
+  EXPECT_EQ(miss_out.entities, hit_out.entities);
+  EXPECT_EQ(miss_out.priors, hit_out.priors);
+
+  // Capacity-1 eviction: the just-inserted entry survives, the old one goes.
+  EXPECT_TRUE(cache.Lookup(map, "banana", &miss_out));  // miss, evicts apple
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(miss_out.entities.size(), 1u);
+  EXPECT_EQ(miss_out.entities[0], 3);
+  EXPECT_TRUE(cache.Lookup(map, "banana", &hit_out));  // still cached
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 2);
 }
 
 // --- Latency histogram -------------------------------------------------------

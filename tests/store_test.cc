@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -603,12 +605,16 @@ const StoreWorld& GetStoreWorld() {
   return *shared;
 }
 
-std::unique_ptr<serve::InferenceEngine> MakeEngine(const std::string& store_dir) {
+std::unique_ptr<serve::InferenceEngine> MakeEngine(
+    const std::string& store_dir, int64_t resident_budget_bytes = 0,
+    int64_t resident_sweep_ms = 1000) {
   const StoreWorld& sw = GetStoreWorld();
   serve::EngineOptions options;
   options.data_dir = sw.data_dir;
   options.model_path = sw.model_path;
   options.store_dir = store_dir;
+  options.resident_budget_bytes = resident_budget_bytes;
+  options.resident_sweep_ms = resident_sweep_ms;
   auto engine = serve::InferenceEngine::Create(options);
   BOOTLEG_CHECK_MSG(engine.ok(), engine.status().ToString());
   return std::move(engine.value());
@@ -755,6 +761,217 @@ TEST(StoreEngineTest, StatsSnapshotSurvivesConcurrentGenerationSwap) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& th : readers) th.join();
+}
+
+// --- Hot-set residency -------------------------------------------------------
+
+TEST(ResidencyTest, AdvisoriesNeverChangeGatherResults) {
+  const int64_t rows = 256;
+  const int64_t cols = 16;
+  const std::vector<float> data = RandomTable(rows, cols, 77, 2.0f);
+  for (const store::Dtype dtype :
+       {store::Dtype::kFloat32, store::Dtype::kInt8}) {
+    const bool is_float = dtype == store::Dtype::kFloat32;
+    const std::string dir =
+        TestDir(is_float ? "residency_f32" : "residency_i8");
+    store::WriteOptions options;
+    options.shards = 8;
+    options.dtype = dtype;
+    ASSERT_TRUE(
+        store::WriteStore(dir, {{"static", data.data(), rows, cols}}, options)
+            .ok());
+
+    auto unmanaged = std::move(store::EmbeddingStore::Open(dir).value());
+    auto managed = std::move(store::EmbeddingStore::Open(dir).value());
+    store::ResidencyOptions ro;
+    // Budget well below table size so the clock must evict; manual sweeps
+    // keep the schedule deterministic.
+    ro.budget_bytes = static_cast<int64_t>(managed->mapped_bytes() / 4);
+    ro.start_sweeper = false;
+    managed->EnableResidency(ro);
+    ASSERT_NE(managed->residency(), nullptr);
+
+    auto uview = std::move(unmanaged->View("static").value());
+    auto mview = std::move(managed->View("static").value());
+    EXPECT_EQ(uview->residency_policy(), nullptr);  // unmanaged: no hooks
+    ASSERT_NE(mview->residency_policy(), nullptr);
+
+    // Zipf-flavored id stream: every row once, plus a hot head revisited.
+    std::vector<int64_t> ids;
+    for (int64_t id = 0; id < rows; ++id) ids.push_back(id);
+    for (int rep = 0; rep < 4; ++rep) {
+      for (int64_t id = 0; id < rows / 8; ++id) ids.push_back(id);
+    }
+    const int64_t n = static_cast<int64_t>(ids.size());
+    std::vector<float> want(static_cast<size_t>(n * cols));
+    std::vector<float> got(static_cast<size_t>(n * cols));
+    std::vector<float> wrow(static_cast<size_t>(cols));
+    std::vector<float> grow(static_cast<size_t>(cols));
+    for (int pass = 0; pass < 4; ++pass) {
+      uview->GatherRows(ids.data(), n, want.data());
+      mview->WillGather(ids.data(), n);  // batch-ahead advisory
+      mview->GatherRows(ids.data(), n, got.data());
+      ASSERT_EQ(std::memcmp(want.data(), got.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "pass=" << pass << " dtype=" << store::DtypeName(dtype);
+      for (int64_t id = 0; id < rows; ++id) {
+        uview->GatherRow(id, wrow.data());
+        mview->GatherRow(id, grow.data());
+        ASSERT_EQ(
+            std::memcmp(wrow.data(), grow.data(), wrow.size() * sizeof(float)),
+            0)
+            << "pass=" << pass << " id=" << id;
+        if (is_float) {
+          // Float rows must also stay bit-identical to the exported source,
+          // advisories or not.
+          ASSERT_EQ(std::memcmp(grow.data(), data.data() + id * cols,
+                                wrow.size() * sizeof(float)),
+                    0)
+              << "pass=" << pass << " id=" << id;
+        }
+      }
+      managed->residency()->SweepOnce(/*warm_kept=*/pass == 0);
+    }
+
+    // The tight budget forced real clock activity: evictions happened and
+    // later gathers re-faulted evicted shards back in — with zero effect on
+    // the gathered bytes above.
+    const store::ResidencyStats rs = managed->residency_stats();
+    EXPECT_EQ(rs.budget_bytes, ro.budget_bytes);
+    EXPECT_EQ(rs.sweeps, 4);
+    EXPECT_GT(rs.evictions, 0);
+    EXPECT_GT(rs.cold_faults, 0);
+    EXPECT_GT(rs.prefetch_issued, 0);
+    EXPECT_GT(rs.resident_shards, 0);  // the head stays pinned
+  }
+}
+
+TEST(ResidencyTest, BudgetEdgeCases) {
+  const int64_t rows = 64;
+  const int64_t cols = 8;
+  const std::vector<float> data = RandomTable(rows, cols, 91);
+  const std::string dir = TestDir("residency_edges");
+  store::WriteOptions options;
+  options.shards = 4;
+  ASSERT_TRUE(
+      store::WriteStore(dir, {{"static", data.data(), rows, cols}}, options)
+          .ok());
+
+  // budget = 0: management stays off entirely — no manager, zeroed stats,
+  // views carry no hooks.
+  {
+    auto store = std::move(store::EmbeddingStore::Open(dir).value());
+    store::ResidencyOptions ro;
+    ro.budget_bytes = 0;
+    store->EnableResidency(ro);
+    EXPECT_EQ(store->residency(), nullptr);
+    EXPECT_EQ(store->residency_stats().budget_bytes, 0);
+    auto view = std::move(store->View("static").value());
+    EXPECT_EQ(view->residency_policy(), nullptr);
+    std::vector<float> row(static_cast<size_t>(cols));
+    view->GatherRow(0, row.data());
+    EXPECT_EQ(std::memcmp(row.data(), data.data(), row.size() * sizeof(float)),
+              0);
+  }
+
+  // budget ≥ table size: everything stays resident, nothing is ever evicted
+  // and no access ever cold-faults.
+  {
+    auto store = std::move(store::EmbeddingStore::Open(dir).value());
+    store::ResidencyOptions ro;
+    ro.budget_bytes = static_cast<int64_t>(store->mapped_bytes()) * 2;
+    ro.start_sweeper = false;
+    store->EnableResidency(ro);
+    ASSERT_NE(store->residency(), nullptr);
+    auto view = std::move(store->View("static").value());
+    std::vector<int64_t> ids;
+    for (int64_t id = 0; id < rows; ++id) ids.push_back(id);
+    std::vector<float> buf(static_cast<size_t>(rows * cols));
+    for (int pass = 0; pass < 3; ++pass) {
+      view->GatherRows(ids.data(), rows, buf.data());
+      store->residency()->SweepOnce(/*warm_kept=*/pass == 0);
+    }
+    ASSERT_EQ(std::memcmp(buf.data(), data.data(), buf.size() * sizeof(float)),
+              0);
+    const store::ResidencyStats rs = store->residency_stats();
+    EXPECT_EQ(rs.evictions, 0);
+    EXPECT_EQ(rs.cold_faults, 0);
+    EXPECT_EQ(rs.resident_shards, store->num_shards());
+    EXPECT_GT(rs.resident_bytes, 0);  // mincore sees the gathered pages
+  }
+}
+
+TEST(ResidencyTest, EvictionAndPrefetchRaceGenerationSwapsSafely) {
+  const StoreWorld& sw = GetStoreWorld();
+  const std::string root = TestDir("residency_race");
+  const auto copy_gen = [&](const std::string& name, const std::string& from) {
+    fs::create_directories(root + "/" + name);
+    fs::copy(from, root + "/" + name,
+             fs::copy_options::overwrite_existing | fs::copy_options::recursive);
+  };
+  copy_gen("gen_000001", sw.store_root + "/gen_000001");
+  // Tiny budget + aggressive sweep cadence: the background clock evicts and
+  // re-admits shards continuously while traffic gathers through them and the
+  // main thread swaps (and unmaps) generations. The sanitizer gates turn an
+  // advisory chasing a dead mapping or a racy counter into a hard failure.
+  auto engine = MakeEngine(root, /*resident_budget_bytes=*/16 << 10,
+                           /*resident_sweep_ms=*/2);
+  auto heap_engine = MakeEngine("");
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  // A small batch keeps each traffic iteration short, so reloads (which
+  // exclude traffic) interleave tightly with gathers instead of queueing
+  // behind long predictions.
+  std::vector<const data::SentenceExample*> batch;
+  for (size_t i = 0; i < std::min<size_t>(examples.size(), 4); ++i) {
+    batch.push_back(&examples[i]);
+  }
+  core::BootlegModel::InferenceScratch heap_scratch;
+  const auto want = heap_engine->PredictExamples(batch, &heap_scratch);
+
+  // Mirror the server's reload discipline: traffic holds the shared side,
+  // generation swaps the exclusive side (the batcher's reload_mu_).
+  std::shared_mutex reload_mu;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&] {
+      core::BootlegModel::InferenceScratch scratch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        {
+          std::shared_lock<std::shared_mutex> lock(reload_mu);
+          // Both the float and the int8 generation must keep matching the
+          // heap reference mid-race (bit-identical / argmax-identical).
+          EXPECT_EQ(engine->PredictExamples(batch, &scratch), want);
+        }
+        // Breathe between iterations so swaps (unique lock) don't starve
+        // behind back-to-back shared holds.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (int gen = 2; gen <= 8; ++gen) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "gen_%06d", gen);
+    copy_gen(name, sw.store_root +
+                       (gen % 2 == 0 ? "/gen_000002" : "/gen_000001"));
+    {
+      std::unique_lock<std::shared_mutex> lock(reload_mu);
+      ASSERT_TRUE(engine->Reload().ok());
+    }
+    EXPECT_EQ(engine->store_generation(), gen);
+    // Let the new generation's sweeper run a few 2ms passes against live
+    // traffic before the next swap displaces it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : traffic) th.join();
+
+  ASSERT_NE(engine->entity_store(), nullptr);
+  const store::ResidencyStats rs = engine->entity_store()->residency_stats();
+  EXPECT_EQ(rs.budget_bytes, 16 << 10);
+  // The final generation's sweeper has had time to run at the 2ms cadence.
+  EXPECT_GT(rs.sweeps + rs.prefetch_issued, 0);
 }
 
 TEST(StoreEngineTest, MismatchedStoreSchemaIsRejectedAtCreate) {

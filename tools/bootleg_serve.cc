@@ -23,6 +23,15 @@
 //                                     bytes, nothing in flight) this long;
 //                                     0 disables the reaper (default 0)
 //                 [--cache N]         candidate cache capacity      (default 4096)
+//                 [--resident_budget_mb M]  hot-set residency budget for the
+//                                     mapped store, in MiB (fractional ok).
+//                                     The popularity clock keeps the hottest
+//                                     shards advised resident and
+//                                     MADV_DONTNEEDs the cold tail; replies
+//                                     stay bit-identical. 0 = unmanaged
+//                                     mmap (default 0)
+//                 [--resident_sweep_ms N]  residency clock-sweep cadence
+//                                     (default 1000)
 //                 [--ablation A]      config preset when no .meta sidecar
 //                 [--backend B]       inference backend: ref | simd | simd_q8
 //                                     (default ref; simd is bit-identical to
@@ -89,6 +98,10 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
  private:
@@ -119,6 +132,10 @@ int main(int argc, char** argv) {
   engine_options.backend = flags.Get("backend", "ref");
   engine_options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 4096));
+  // Fractional MiB so budgets below 1 MiB (tiny drill/test stores) work.
+  engine_options.resident_budget_bytes = static_cast<int64_t>(
+      flags.GetDouble("resident_budget_mb", 0.0) * 1024.0 * 1024.0);
+  engine_options.resident_sweep_ms = flags.GetInt("resident_sweep_ms", 1000);
 
   auto engine_or = serve::InferenceEngine::Create(engine_options);
   if (!engine_or.ok()) {

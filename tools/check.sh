@@ -41,6 +41,14 @@
 #      query the new entity immediately, compact the delta chain with
 #      `bootleg_cli compact`, SIGHUP onto the flat generation, and verify
 #      the entity still serves and the store still checks out.
+#  11. Residency drill: serve the same request set from an unmanaged store
+#      and from one budgeted to 50% of its mapped bytes
+#      (--resident_budget_mb). The reply streams must be byte-identical
+#      (advisories never change gathered bytes), stats must report the
+#      store residency block (budget, resident bytes, cold faults,
+#      evictions, prefetches), the sweep-sampled resident bytes must honor
+#      the budget, and the budgeted server's VmRSS must stay bounded by the
+#      unmanaged server's.
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -51,13 +59,13 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/10] Release build + full test suite"
+echo "==> [1/11] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/10] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/11] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
@@ -70,7 +78,7 @@ if [[ "$SKIP_SAN" == "0" ]]; then
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/10] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/11] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target checkpoint_test parallel_test serve_test metrics_test \
@@ -81,10 +89,10 @@ if [[ "$SKIP_SAN" == "0" ]]; then
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/10],[3/10] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/11],[3/11] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/10] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/11] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -130,7 +138,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/10] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/11] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -213,7 +221,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/10] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/11] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -253,7 +261,7 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
 
-echo "==> [7/10] store drill: export -> verify -> serve -> SIGHUP generation swap"
+echo "==> [7/11] store drill: export -> verify -> serve -> SIGHUP generation swap"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$WORK/store/gen_000001" --quant float32 >/dev/null
 "$CLI" store --dir "$WORK/store" --verify >/dev/null \
@@ -310,7 +318,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [8/10] backend drill: ref vs simd byte-identical, simd_q8 clean"
+echo "==> [8/11] backend drill: ref vs simd byte-identical, simd_q8 clean"
 BACKEND_REQS=$(printf '%s\n' \
   "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
   '{"op": "disambiguate", "text": "entities appear on every page"}' \
@@ -356,7 +364,7 @@ if echo '{"op": "health"}' \
   echo "FAIL: backend drill: unknown backend accepted"; exit 1
 fi
 
-echo "==> [9/10] overload drill: admission control, deadline shedding, hostile clients"
+echo "==> [9/11] overload drill: admission control, deadline shedding, hostile clients"
 DRILL=./build/tools/overload_drill
 
 "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --port 0 \
@@ -410,7 +418,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: overload drill: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [10/10] live-add drill: add_entity under load -> in-process swap -> compact"
+echo "==> [10/11] live-add drill: add_entity under load -> in-process swap -> compact"
 # Serve from the stage-7 store (newest generation: the int8 gen_000002). The
 # idle reaper runs with a generous timeout so it cannot touch the drill's
 # request-bearing connections — it just has to not misfire.
@@ -491,5 +499,100 @@ serve_rpc '{"op": "stats"}' | grep -q '"generation": *4' \
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: live-add: non-zero exit on SIGTERM"; exit 1; }
+
+echo "==> [11/11] residency drill: budget-constrained serve, identical replies, bounded RSS"
+RES_STORE="$WORK/res_store"
+"$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
+  --out "$RES_STORE/gen_000001" --quant float32 >/dev/null
+
+# The fixed request set both servers answer; replies must match byte for byte.
+RES_TEXTS=("the $ALIAS appears here" \
+           "entities appear on every page" \
+           "the first page mentions a rare entity" \
+           "one more $ALIAS mention" \
+           "rare entities in the tail")
+
+res_serve_start() {  # $1 = extra flags, $2 = log file; sets SERVE_PID + PORT
+  # shellcheck disable=SC2086
+  "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" \
+    --store_dir "$RES_STORE" --port 0 $1 2>"$2" &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$2")
+    [[ -n "$PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || { echo "FAIL: residency: no listening port"; exit 1; }
+}
+
+res_replay() {  # $1 = output file: 4 rounds over the request set, in order
+  : >"$1"
+  for _ in 1 2 3 4; do
+    for text in "${RES_TEXTS[@]}"; do
+      serve_rpc "{\"op\": \"disambiguate\", \"text\": \"$text\"}" >>"$1"
+    done
+  done
+}
+
+# Reference pass: unmanaged mmap. Record replies, mapped bytes, and VmRSS.
+res_serve_start "" "$WORK/serve_res_unmanaged.log"
+res_replay "$WORK/res_replies_unmanaged.txt"
+RES_STATS=$(serve_rpc '{"op": "stats"}')
+MAPPED_BYTES=$(echo "$RES_STATS" | sed -n 's/.*"mapped_bytes": *\([0-9]*\).*/\1/p')
+[[ -n "$MAPPED_BYTES" && "$MAPPED_BYTES" -gt 0 ]] \
+  || { echo "FAIL: residency: no mapped_bytes in stats: $RES_STATS"; exit 1; }
+echo "$RES_STATS" | grep -q '"resident_budget_bytes"' \
+  && { echo "FAIL: residency: unmanaged server reports a budget"; exit 1; }
+RSS_UNMANAGED=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: residency: unmanaged non-zero exit on SIGTERM"; exit 1; }
+
+# Budgeted pass: 50% of the mapped bytes, fast sweeps so the clock runs
+# several times inside the drill. Same requests, byte-identical replies.
+BUDGET_MB=$(awk -v b="$MAPPED_BYTES" 'BEGIN{printf "%.6f", b / 2 / 1048576}')
+BUDGET_BYTES=$((MAPPED_BYTES / 2))
+res_serve_start "--resident_budget_mb $BUDGET_MB --resident_sweep_ms 50" \
+  "$WORK/serve_res_budgeted.log"
+res_replay "$WORK/res_replies_budgeted.txt"
+grep -q '"ok": *true' "$WORK/res_replies_budgeted.txt" \
+  || { echo "FAIL: residency: budgeted serve answered nothing"; exit 1; }
+cmp "$WORK/res_replies_unmanaged.txt" "$WORK/res_replies_budgeted.txt" \
+  || { echo "FAIL: residency: budgeted replies differ from unmanaged"; exit 1; }
+
+sleep 0.3  # let the clock sweep after the load so the estimate is fresh
+RES_STATS=$(serve_rpc '{"op": "stats"}')
+for key in '"resident_budget_bytes"' '"resident_bytes"' '"cold_faults"' \
+           '"evictions"' '"prefetch_issued"' '"resident_set_shards"'; do
+  echo "$RES_STATS" | grep -q "$key" \
+    || { echo "FAIL: residency: stats missing $key: $RES_STATS"; exit 1; }
+done
+# The fractional-MiB flag round-trips through a double, so allow a page of
+# truncation slop on the reported budget.
+REPORTED_BUDGET=$(echo "$RES_STATS" \
+  | sed -n 's/.*"resident_budget_bytes": *\([0-9]*\).*/\1/p')
+[[ -n "$REPORTED_BUDGET" ]] \
+  || { echo "FAIL: residency: no budget in stats: $RES_STATS"; exit 1; }
+BUDGET_DIFF=$((REPORTED_BUDGET - BUDGET_BYTES))
+[[ "${BUDGET_DIFF#-}" -le 4096 ]] \
+  || { echo "FAIL: residency: budget $REPORTED_BUDGET far from ${BUDGET_BYTES}: $RES_STATS"; exit 1; }
+RESIDENT_BYTES=$(echo "$RES_STATS" \
+  | sed -n 's/.*"resident_bytes": *\([0-9]*\).*/\1/p')
+# The sweep-sampled resident set must honor the budget (slack: one shard's
+# worth of pages for the always-pinned hottest shard plus page rounding).
+SLACK=$((MAPPED_BYTES / 4 + 65536))
+[[ "$RESIDENT_BYTES" -le $((BUDGET_BYTES + SLACK)) ]] \
+  || { echo "FAIL: residency: resident ${RESIDENT_BYTES}B exceeds budget ${BUDGET_BYTES}B + slack"; exit 1; }
+
+# Same work, bounded memory: the budgeted server must not out-grow the
+# unmanaged one (generous slack absorbs allocator noise between runs).
+RSS_BUDGETED=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+[[ "$RSS_BUDGETED" -le $((RSS_UNMANAGED + 16384)) ]] \
+  || { echo "FAIL: residency: budgeted VmRSS ${RSS_BUDGETED}kB vs unmanaged ${RSS_UNMANAGED}kB"; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" \
+  || { echo "FAIL: residency: budgeted non-zero exit on SIGTERM"; exit 1; }
 
 echo "OK: all checks passed"

@@ -11,7 +11,9 @@
 #      workload's per-stage wall-time breakdown)
 #   4. embedding store     -> BENCH_store.json   (gather ns/row for heap vs
 #      mmap-float vs mmap-int8, resident-memory reduction, end-to-end
-#      serve-path overhead of store-backed engines, and the store_delta
+#      serve-path overhead of store-backed engines, the residency scenario:
+#      chunk-gather p50/p99 + resident bytes for a budgeted popularity-clock
+#      store vs unmanaged mmap under Zipf traffic, and the store_delta
 #      scenario: AddEntityLive publish latency, time_to_first_correct_serve
 #      for a never-trained entity, delta-chain gather cost, and Compact)
 #

@@ -167,8 +167,8 @@ ScenarioResult RunEngineScenario(serve::InferenceEngine* engine,
   core::BootlegModel::InferenceScratch scratch;
   serve::MicroBatcher batcher(
       options,
-      [&](const std::vector<std::string>& batch, int) {
-        return engine->Disambiguate(batch, &scratch);
+      [&](const std::vector<serve::BatchItem>& batch, int) {
+        return engine->DisambiguateBatch(batch, &scratch);
       },
       nullptr, &counters);
   // Warm the candidate cache and code paths outside the timed window.
@@ -393,8 +393,8 @@ ScenarioResult RunNetScenario(serve::InferenceEngine* engine,
   core::BootlegModel::InferenceScratch scratch;
   serve::MicroBatcher batcher(
       options,
-      [&](const std::vector<std::string>& batch, int) {
-        return engine->Disambiguate(batch, &scratch);
+      [&](const std::vector<serve::BatchItem>& batch, int) {
+        return engine->DisambiguateBatch(batch, &scratch);
       },
       nullptr, &counters);
   serve::ServerOptions server_options;

@@ -655,12 +655,18 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   const int64_t total_mentions = static_cast<int64_t>(s.mention_row_offset.size());
   const int64_t hidden = config_.hidden;
 
+  // Cooperative cancellation between stages: an abandoned batch returns an
+  // empty vector (never a partial result), which the serving layer turns
+  // into per-request DeadlineExceeded.
+  const auto cancelled = [&s] { return s.cancel_check && s.cancel_check(); };
+
   // --- Contextual word embeddings, batched with per-sentence attention. ------
   Tensor w_all;
   {
     OBS_SPAN("infer.encode");
     w_all = encoder_->EncodeBatchValue(s.sequences, &s.word_ranges, be);
   }
+  if (cancelled()) return {};
 
   auto clamp_span = [](int64_t v, int64_t n_tokens) {
     return std::max<int64_t>(0, std::min<int64_t>(v, n_tokens - 1));
@@ -808,6 +814,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
       e_all = tensor::Add(e_all, position_proj_->ForwardValue(pos, be));
     }
   }
+  if (cancelled()) return {};
 
   // --- Per-sentence KG adjacencies (sentence-local, built once). -------------
   std::vector<std::vector<Tensor>> adjacencies(s.sentences.size());
@@ -854,6 +861,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
   {
     OBS_SPAN("infer.attention");
     for (size_t li = 0; li < layers_.size(); ++li) {
+      if (cancelled()) return {};
       const Layer& layer = layers_[li];
       const bool last_layer = li + 1 == layers_.size();
       Tensor p_all = layer.phrase2ent->ForwardSegmentsValue(
@@ -892,6 +900,7 @@ std::vector<std::vector<int64_t>> BootlegModel::PredictBatch(
       e_all = std::move(e_next);
     }
   }
+  if (cancelled()) return {};
 
   // --- Ensemble scoring S = max(E_k vᵀ, E' vᵀ). ------------------------------
   OBS_SPAN("infer.score");

@@ -1,6 +1,7 @@
 #ifndef BOOTLEG_CORE_MODEL_H_
 #define BOOTLEG_CORE_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,13 @@ class BootlegModel : public eval::NedScorer {
     std::vector<nn::AttentionSegment> p2e_segments;
     std::vector<nn::AttentionSegment> self_segments;
     std::vector<float> row_buf;  // batch-gather staging for non-float views
+    /// Optional cooperative cancellation, polled between PredictBatch model
+    /// stages. When it returns true the batch is abandoned and PredictBatch
+    /// returns an empty vector (no per-example entries) — the serving layer
+    /// uses this to reclaim compute from batches whose members' deadlines
+    /// all expired mid-flight. Leave empty to run to completion; callers
+    /// reusing a scratch across batches must reset it per batch.
+    std::function<bool()> cancel_check;
   };
 
   /// Precomputes every sentence-independent per-entity input feature (entity

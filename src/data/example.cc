@@ -15,7 +15,9 @@ SentenceExample ExampleBuilder::Build(const Sentence& sentence,
     offset = 2;
   }
   for (const std::string& tok : sentence.tokens) {
-    ex.token_ids.push_back(vocab_->Id(tok));
+    ex.token_ids.push_back(options.char_fallback
+                               ? vocab_->IdWithTypoFallback(tok)
+                               : vocab_->Id(tok));
   }
   for (size_t mi = 0; mi < sentence.mentions.size(); ++mi) {
     const Mention& m = sentence.mentions[mi];

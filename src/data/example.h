@@ -43,6 +43,11 @@ struct ExampleOptions {
   /// Prepend "<doc title> [SEP]" to the tokens — the paper's document
   /// encoding for AIDA.
   bool prepend_title = false;
+  /// Route unknown tokens through Vocabulary::IdWithTypoFallback so a
+  /// single-character typo recovers the clean embedding instead of [UNK].
+  /// In-vocabulary tokens encode identically either way, so clean text is
+  /// bit-identical with the flag on or off.
+  bool char_fallback = false;
 };
 
 /// Converts corpus sentences into model-ready examples by tokenizing against

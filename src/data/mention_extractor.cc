@@ -1,18 +1,60 @@
 #include "data/mention_extractor.h"
 
+#include <algorithm>
+
 namespace bootleg::data {
+
+MentionExtractor::MentionExtractor(const kb::CandidateMap* candidates)
+    : candidates_(candidates) {
+  if (candidates_ != nullptr && candidates_->finalized()) {
+    for (const auto& [alias, cands] : candidates_->map()) {
+      (void)cands;
+      int64_t words = 1;
+      for (const char c : alias) words += (c == ' ');
+      max_alias_tokens_ = std::max(max_alias_tokens_, words);
+    }
+  }
+}
 
 std::vector<Mention> MentionExtractor::Extract(
     const std::vector<std::string>& tokens) const {
+  return Extract(tokens, [this](const std::string& alias) {
+    const auto* cands = candidates_->Lookup(alias);
+    return cands != nullptr && !cands->empty();
+  });
+}
+
+std::vector<Mention> MentionExtractor::Extract(
+    const std::vector<std::string>& tokens, const AliasFn& known_alias) const {
   std::vector<Mention> mentions;
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    const auto* cands = candidates_->Lookup(tokens[i]);
-    if (cands == nullptr || cands->empty()) continue;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    const size_t max_n = std::min(static_cast<size_t>(max_alias_tokens_),
+                                  tokens.size() - i);
+    size_t matched = 0;
+    std::string alias;
+    for (size_t n = max_n; n >= 1; --n) {
+      std::string surface = tokens[i];
+      for (size_t k = 1; k < n; ++k) {
+        surface += ' ';
+        surface += tokens[i + k];
+      }
+      if (known_alias(surface)) {
+        matched = n;
+        alias = std::move(surface);
+        break;
+      }
+    }
+    if (matched == 0) {
+      ++i;
+      continue;
+    }
     Mention m;
     m.span_start = static_cast<int64_t>(i);
-    m.span_end = m.span_start;
-    m.alias = tokens[i];
+    m.span_end = static_cast<int64_t>(i + matched - 1);
+    m.alias = std::move(alias);
     mentions.push_back(std::move(m));
+    i += matched;
   }
   return mentions;
 }
@@ -23,10 +65,11 @@ SentenceExample MentionExtractor::BuildExample(const text::Vocabulary& vocab,
   SentenceExample ex;
   ex.token_ids = text::Encode(vocab, tokens);
   for (const Mention& m : Extract(tokens)) {
+    const auto* cands = candidates_->Lookup(m.alias);
+    if (cands == nullptr || cands->empty()) continue;
     MentionExample me;
     me.span_start = m.span_start;
     me.span_end = m.span_end;
-    const auto* cands = candidates_->Lookup(m.alias);
     for (size_t k = 0; k < cands->size(); ++k) {
       me.candidates.push_back((*cands)[k].entity);
       me.priors.push_back((*cands)[k].prior);

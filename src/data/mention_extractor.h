@@ -1,6 +1,7 @@
 #ifndef BOOTLEG_DATA_MENTION_EXTRACTOR_H_
 #define BOOTLEG_DATA_MENTION_EXTRACTOR_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,18 +12,37 @@
 
 namespace bootleg::data {
 
-/// Mention extraction for raw text: every token whose surface form is a
-/// known alias in Γ becomes a mention. The paper's Bootleg is a pure
+/// Mention extraction for raw text: a greedy leftmost-longest scan over the
+/// token stream against the aliases of Γ. The paper's Bootleg is a pure
 /// disambiguation system (mention boundaries given); this extractor supplies
 /// the boundaries for end-to-end use (the TACRED pipeline of Appendix C does
-/// the same n-gram-over-candidate-maps scan).
+/// the same n-gram-over-candidate-maps scan). With `disambiguate_text` this
+/// is the server's untrusted input surface, so it must tolerate anything:
+/// empty input, overlong tokens, punctuation-only text, and overlapping
+/// alias matches (leftmost-longest wins, deterministically).
 class MentionExtractor {
  public:
-  explicit MentionExtractor(const kb::CandidateMap* candidates)
-      : candidates_(candidates) {}
+  /// Alias-existence predicate used during the scan. The default consults
+  /// Γ directly; the serving engine supplies a CandidateCache-backed one so
+  /// extraction warms the same cache example assembly then reads.
+  using AliasFn = std::function<bool(const std::string&)>;
 
-  /// Marks every alias-matching token as an unlabeled mention.
+  /// `candidates` must be finalized; the constructor scans it once for the
+  /// longest alias (in tokens) to bound the n-gram window.
+  explicit MentionExtractor(const kb::CandidateMap* candidates);
+
+  /// Greedy leftmost-longest scan: at each position the longest n-gram
+  /// (n <= max_alias_tokens()) matching a known alias becomes an unlabeled
+  /// mention and the scan resumes after its last token. Overlapping matches
+  /// resolve deterministically — earlier start wins, then longer span.
   std::vector<Mention> Extract(const std::vector<std::string>& tokens) const;
+
+  /// Same scan through a caller-supplied existence predicate.
+  std::vector<Mention> Extract(const std::vector<std::string>& tokens,
+                               const AliasFn& known_alias) const;
+
+  /// Longest alias in Γ, in whitespace-delimited tokens (>= 1).
+  int64_t max_alias_tokens() const { return max_alias_tokens_; }
 
   /// Tokenizes raw text, extracts mentions, and assembles a model-ready
   /// example (golds unknown: gold_index = -1, usable with Predict only).
@@ -31,6 +51,7 @@ class MentionExtractor {
 
  private:
   const kb::CandidateMap* candidates_;
+  int64_t max_alias_tokens_ = 1;
 };
 
 }  // namespace bootleg::data

@@ -65,12 +65,22 @@ void EvaluateSentence(NedScorer* model, const data::Sentence& sentence,
     rec.mention_idx = static_cast<size_t>(me.sentence_mention_index);
     rec.gold = me.gold;
     rec.alias = sentence.mentions[rec.mention_idx].alias;
+    rec.candidate_alias = sentence.mentions[rec.mention_idx].candidate_alias;
     rec.gold_in_candidates = me.GoldInCandidates();
     rec.num_candidates = static_cast<int64_t>(me.candidates.size());
     rec.bucket = counts.BucketOf(me.gold);
     if (preds[k] >= 0 &&
         preds[k] < static_cast<int64_t>(me.candidates.size())) {
       rec.predicted = me.candidates[static_cast<size_t>(preds[k])];
+      // Prior-vs-context diagnostic: did the model just follow the prior?
+      // Ties go to the first (highest-ranked) candidate, matching the
+      // finalized candidate-list order.
+      size_t argmax = 0;
+      for (size_t c = 1; c < me.priors.size(); ++c) {
+        if (me.priors[c] > me.priors[argmax]) argmax = c;
+      }
+      rec.prior_argmax_predicted =
+          !me.priors.empty() && static_cast<size_t>(preds[k]) == argmax;
     }
     out->push_back(std::move(rec));
   }

@@ -48,9 +48,18 @@ struct PredictionRecord {
   kb::EntityId gold = kb::kInvalidId;
   kb::EntityId predicted = kb::kInvalidId;
   std::string alias;
+  /// The alias candidate generation actually used: differs from `alias` when
+  /// the surface was corrupted (noise injection pins the clean alias here).
+  /// Empty when identical to `alias`.
+  std::string candidate_alias;
   bool gold_in_candidates = false;
   int64_t num_candidates = 0;
   data::PopularityBucket bucket = data::PopularityBucket::kUnseen;
+  /// True when the model's choice coincides with the candidate-prior argmax
+  /// — the prior-vs-context diagnostic for the robustness slices.
+  bool prior_argmax_predicted = false;
+  /// Tagged by robust::TagOvershadowed: skewed alias, gold not dominant.
+  bool overshadowed = false;
 
   bool HasPrediction() const { return predicted != kb::kInvalidId; }
   bool Correct() const { return HasPrediction() && predicted == gold; }
@@ -65,6 +74,9 @@ class ResultSet {
   void Add(PredictionRecord record) { records_.push_back(std::move(record)); }
 
   const std::vector<PredictionRecord>& records() const { return records_; }
+
+  /// Mutable access for slice taggers (robust::TagOvershadowed).
+  std::vector<PredictionRecord>* mutable_records() { return &records_; }
 
   /// F1 over records passing the paper's filter and the caller's predicate.
   Prf Filtered(const std::function<bool(const PredictionRecord&)>& keep) const;

@@ -1,0 +1,158 @@
+#include "robust/noise.h"
+
+#include <cctype>
+
+namespace bootleg::robust {
+
+namespace {
+
+/// splitmix64 — mixes (seed, index) into an uncorrelated per-sentence seed so
+/// neighboring sentences never share a random stream.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::string ToUpperAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+NoiseOptions NoiseOptions::FromRate(double rate, uint64_t seed) {
+  NoiseOptions options;
+  options.char_edit_rate = rate;
+  options.case_fold_rate = rate / 2.0;
+  options.context_dropout_rate = rate / 2.0;
+  options.seed = seed;
+  return options;
+}
+
+std::string NoiseModel::ApplyCharEdit(const std::string& token,
+                                      util::Rng* rng) {
+  std::string out = token;
+  const int64_t n = static_cast<int64_t>(out.size());
+  switch (rng->UniformInt(0, 2)) {
+    case 0: {  // swap adjacent characters
+      if (n < 2) break;
+      const int64_t i = rng->UniformInt(0, n - 2);
+      std::swap(out[static_cast<size_t>(i)], out[static_cast<size_t>(i + 1)]);
+      break;
+    }
+    case 1: {  // drop one character (never down to the empty token)
+      if (n < 2) break;
+      const int64_t i = rng->UniformInt(0, n - 1);
+      out.erase(static_cast<size_t>(i), 1);
+      break;
+    }
+    default: {  // insert a random lower-case letter
+      const int64_t i = rng->UniformInt(0, n);
+      out.insert(static_cast<size_t>(i), 1,
+                 static_cast<char>('a' + rng->UniformInt(0, 25)));
+      break;
+    }
+  }
+  return out;
+}
+
+data::Sentence NoiseModel::PerturbSentence(const data::Sentence& sentence,
+                                           uint64_t sentence_index) const {
+  if (!Active()) return sentence;  // rate 0.0 is the identity, bit for bit
+  data::Sentence out = sentence;
+  util::Rng rng(MixSeed(options_.seed, sentence_index));
+
+  // Which tokens sit inside a mention span (spans are inclusive).
+  std::vector<bool> in_mention(out.tokens.size(), false);
+  for (const data::Mention& m : out.mentions) {
+    for (int64_t t = m.span_start;
+         t <= m.span_end && t < static_cast<int64_t>(out.tokens.size()); ++t) {
+      if (t >= 0) in_mention[static_cast<size_t>(t)] = true;
+    }
+  }
+
+  // Pass 1 — token corruption, in token order (one RNG stream, so the draw
+  // sequence is a pure function of the token list).
+  std::vector<bool> changed(out.tokens.size(), false);
+  for (size_t t = 0; t < out.tokens.size(); ++t) {
+    std::string& tok = out.tokens[t];
+    const std::string before = tok;
+    if (options_.char_edit_rate > 0.0 &&
+        rng.Bernoulli(options_.char_edit_rate)) {
+      tok = ApplyCharEdit(tok, &rng);
+    }
+    if (options_.case_fold_rate > 0.0 &&
+        rng.Bernoulli(options_.case_fold_rate)) {
+      tok = ToUpperAscii(tok);
+    }
+    changed[t] = tok != before;
+  }
+
+  // Rewire corrupted mentions: candidate generation keeps the clean alias,
+  // the surface (and the encoder's view of it) becomes the corrupted one.
+  for (data::Mention& m : out.mentions) {
+    bool touched = false;
+    for (int64_t t = m.span_start;
+         t <= m.span_end && t < static_cast<int64_t>(out.tokens.size()); ++t) {
+      if (t >= 0 && changed[static_cast<size_t>(t)]) touched = true;
+    }
+    if (!touched) continue;
+    if (m.candidate_alias.empty()) m.candidate_alias = m.alias;
+    std::string surface;
+    for (int64_t t = m.span_start;
+         t <= m.span_end && t < static_cast<int64_t>(out.tokens.size()); ++t) {
+      if (t < 0) continue;
+      if (!surface.empty()) surface += ' ';
+      surface += out.tokens[static_cast<size_t>(t)];
+    }
+    m.alias = surface;
+  }
+
+  // Pass 2 — context dropout over non-mention tokens, then span remapping.
+  if (options_.context_dropout_rate > 0.0) {
+    std::vector<bool> keep(out.tokens.size(), true);
+    for (size_t t = 0; t < out.tokens.size(); ++t) {
+      if (!in_mention[t] && rng.Bernoulli(options_.context_dropout_rate)) {
+        keep[t] = false;
+      }
+    }
+    std::vector<int64_t> new_index(out.tokens.size(), -1);
+    std::vector<std::string> kept;
+    kept.reserve(out.tokens.size());
+    for (size_t t = 0; t < out.tokens.size(); ++t) {
+      if (!keep[t]) continue;
+      new_index[t] = static_cast<int64_t>(kept.size());
+      kept.push_back(std::move(out.tokens[t]));
+    }
+    for (data::Mention& m : out.mentions) {
+      if (m.span_start >= 0 &&
+          m.span_start < static_cast<int64_t>(new_index.size())) {
+        m.span_start = new_index[static_cast<size_t>(m.span_start)];
+      }
+      if (m.span_end >= 0 &&
+          m.span_end < static_cast<int64_t>(new_index.size())) {
+        m.span_end = new_index[static_cast<size_t>(m.span_end)];
+      }
+    }
+    out.tokens = std::move(kept);
+  }
+  return out;
+}
+
+std::vector<data::Sentence> NoiseModel::PerturbAll(
+    const std::vector<data::Sentence>& sentences) const {
+  if (!Active()) return sentences;
+  std::vector<data::Sentence> out;
+  out.reserve(sentences.size());
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    out.push_back(PerturbSentence(sentences[i], static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace bootleg::robust

@@ -1,0 +1,82 @@
+#ifndef BOOTLEG_ROBUST_NOISE_H_
+#define BOOTLEG_ROBUST_NOISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/rng.h"
+
+namespace bootleg::robust {
+
+/// Calibrated corruption rates for the noise-injection transform (the
+/// failure modes of Eshel et al., "NED for Noisy Text": typos, casing loss,
+/// truncated context). All rates are per-token Bernoulli probabilities;
+/// everything at 0.0 makes the transform the identity, bit for bit.
+struct NoiseOptions {
+  /// Probability a token receives one character edit (adjacent swap, drop,
+  /// or insert, chosen uniformly).
+  double char_edit_rate = 0.0;
+  /// Probability a token is upper-cased. Corpus tokens are stored
+  /// lower-cased, so a folded token misses the vocabulary exactly the way a
+  /// casing-corrupted crawl does.
+  double case_fold_rate = 0.0;
+  /// Probability a non-mention context token is dropped outright (truncated
+  /// or garbled context). Mention tokens are never dropped — the mention
+  /// still exists, the model just sees less evidence around it.
+  double context_dropout_rate = 0.0;
+  /// Base seed. Each sentence derives its own generator from (seed, sentence
+  /// index), so the transform is deterministic per sentence regardless of
+  /// evaluation order or thread count.
+  uint64_t seed = 1234;
+
+  /// The single-dial calibration used by the `noisy@{rate}` eval slices:
+  /// char edits at `rate`, case folding and context dropout at `rate / 2`.
+  static NoiseOptions FromRate(double rate, uint64_t seed = 1234);
+};
+
+/// Deterministic, seedable sentence perturber. The transform runs over
+/// already-tokenized corpus sentences (the representation every eval
+/// consumes), so any existing benchmark can be re-run clean vs. noisy.
+///
+/// Mention handling is the load-bearing design point: when a mention's
+/// surface token is corrupted, the mention's `candidate_alias` is pinned to
+/// the original surface before `alias` is rewritten. Candidate generation
+/// (and therefore eval eligibility) still resolves through Γ with the clean
+/// alias, while the encoder sees the corrupted — typically OOV — token. The
+/// noisy slices thereby measure exactly the encoder/context degradation, not
+/// a candidate-generation artifact.
+class NoiseModel {
+ public:
+  explicit NoiseModel(const NoiseOptions& options) : options_(options) {}
+
+  const NoiseOptions& options() const { return options_; }
+
+  /// True when any rate is non-zero; false means Perturb* are the identity.
+  bool Active() const {
+    return options_.char_edit_rate > 0.0 || options_.case_fold_rate > 0.0 ||
+           options_.context_dropout_rate > 0.0;
+  }
+
+  /// Perturbs one sentence. `sentence_index` keys the per-sentence RNG
+  /// stream: the same (seed, index, sentence) triple always produces the
+  /// same output, independent of every other sentence.
+  data::Sentence PerturbSentence(const data::Sentence& sentence,
+                                 uint64_t sentence_index) const;
+
+  /// Perturbs a whole split, indexing sentences by position.
+  std::vector<data::Sentence> PerturbAll(
+      const std::vector<data::Sentence>& sentences) const;
+
+  /// One uniformly chosen character edit (swap / drop / insert) applied to
+  /// `token`. Exposed for tests and for the serve-drill traffic generator.
+  static std::string ApplyCharEdit(const std::string& token, util::Rng* rng);
+
+ private:
+  NoiseOptions options_;
+};
+
+}  // namespace bootleg::robust
+
+#endif  // BOOTLEG_ROBUST_NOISE_H_

@@ -1,0 +1,30 @@
+#include "robust/overshadow.h"
+
+namespace bootleg::robust {
+
+OvershadowedIndex OvershadowedIndex::Build(const kb::CandidateMap& candidates,
+                                           const OvershadowOptions& options) {
+  OvershadowedIndex index;
+  index.options_ = options;
+  for (const auto& [alias, cands] : candidates.map()) {
+    if (static_cast<int64_t>(cands.size()) < options.min_candidates) continue;
+    // Candidate lists are finalized sorted by prior, descending.
+    if (cands.front().prior >= options.dominance) {
+      index.dominant_.emplace(alias, cands.front().entity);
+    }
+  }
+  return index;
+}
+
+kb::EntityId OvershadowedIndex::Dominant(const std::string& alias) const {
+  auto it = dominant_.find(alias);
+  return it == dominant_.end() ? kb::kInvalidId : it->second;
+}
+
+bool OvershadowedIndex::Overshadowed(const std::string& alias,
+                                     kb::EntityId gold) const {
+  auto it = dominant_.find(alias);
+  return it != dominant_.end() && it->second != gold;
+}
+
+}  // namespace bootleg::robust

@@ -1,0 +1,56 @@
+#ifndef BOOTLEG_ROBUST_OVERSHADOW_H_
+#define BOOTLEG_ROBUST_OVERSHADOW_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "kb/candidate_map.h"
+
+namespace bootleg::robust {
+
+/// Mining thresholds for overshadowed aliases (NICE, "Focusing on Context is
+/// NICE": a rare entity sharing an alias with a dominant head entity).
+struct OvershadowOptions {
+  /// An alias is "skewed" when its top candidate's prior is at least this.
+  float dominance = 0.8f;
+  /// Skew is only meaningful for genuinely ambiguous aliases.
+  int64_t min_candidates = 2;
+};
+
+/// Index of aliases whose candidate prior distribution is extremely skewed.
+/// A mention is *overshadowed* when its alias is skewed and its gold entity
+/// is not the dominant candidate — the prior actively argues against the
+/// right answer, so only context can save the model.
+class OvershadowedIndex {
+ public:
+  OvershadowedIndex() = default;
+
+  /// Scans the finalized candidate map for skewed aliases. Deterministic:
+  /// the result depends only on the map contents and the thresholds.
+  static OvershadowedIndex Build(const kb::CandidateMap& candidates,
+                                 const OvershadowOptions& options = {});
+
+  const OvershadowOptions& options() const { return options_; }
+  int64_t num_skewed_aliases() const {
+    return static_cast<int64_t>(dominant_.size());
+  }
+
+  /// True when `alias` is skewed (top prior >= dominance over >= 2 cands).
+  bool Skewed(const std::string& alias) const {
+    return dominant_.count(alias) > 0;
+  }
+
+  /// The dominant entity of a skewed alias, or kInvalidId.
+  kb::EntityId Dominant(const std::string& alias) const;
+
+  /// The overshadowed predicate: skewed alias, gold is not the head.
+  bool Overshadowed(const std::string& alias, kb::EntityId gold) const;
+
+ private:
+  OvershadowOptions options_;
+  std::unordered_map<std::string, kb::EntityId> dominant_;
+};
+
+}  // namespace bootleg::robust
+
+#endif  // BOOTLEG_ROBUST_OVERSHADOW_H_

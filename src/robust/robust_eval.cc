@@ -1,0 +1,69 @@
+#include "robust/robust_eval.h"
+
+#include "obs/trace.h"
+
+namespace bootleg::robust {
+
+void TagOvershadowed(const OvershadowedIndex& index,
+                     eval::ResultSet* results) {
+  for (eval::PredictionRecord& rec : *results->mutable_records()) {
+    const std::string& lookup =
+        rec.candidate_alias.empty() ? rec.alias : rec.candidate_alias;
+    rec.overshadowed =
+        rec.gold_in_candidates && index.Overshadowed(lookup, rec.gold);
+  }
+}
+
+eval::Prf OvershadowedPrf(const eval::ResultSet& results) {
+  return results.Filtered(
+      [](const eval::PredictionRecord& r) { return r.overshadowed; });
+}
+
+double PriorFollowRate(
+    const eval::ResultSet& results,
+    const std::function<bool(const eval::PredictionRecord&)>& keep) {
+  int64_t predicted = 0, followed = 0;
+  for (const eval::PredictionRecord& r : results.records()) {
+    if (!r.Eligible() || !r.HasPrediction() || !keep(r)) continue;
+    ++predicted;
+    if (r.prior_argmax_predicted) ++followed;
+  }
+  return predicted == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(followed) / predicted;
+}
+
+double PriorFollowRate(const eval::ResultSet& results) {
+  return PriorFollowRate(results,
+                         [](const eval::PredictionRecord&) { return true; });
+}
+
+RobustReport RunRobustEvaluation(eval::NedScorer* model,
+                                 const std::vector<data::Sentence>& sentences,
+                                 const data::ExampleBuilder& builder,
+                                 const data::ExampleOptions& options,
+                                 const data::EntityCounts& counts,
+                                 const OvershadowedIndex& index,
+                                 const std::vector<double>& rates,
+                                 uint64_t seed, int num_threads) {
+  OBS_SPAN("robust.eval");
+  RobustReport report;
+  report.clean = eval::RunEvaluation(model, sentences, builder, options,
+                                     counts, num_threads);
+  TagOvershadowed(index, &report.clean);
+  for (const double rate : rates) {
+    NoisySlice slice;
+    slice.rate = rate;
+    const NoiseModel noise(NoiseOptions::FromRate(rate, seed));
+    // PerturbAll is the identity at rate 0 — the slice then re-evaluates
+    // sentences equal to the originals and is bit-identical to `clean`.
+    slice.sentences = noise.PerturbAll(sentences);
+    slice.results = eval::RunEvaluation(model, slice.sentences, builder,
+                                        options, counts, num_threads);
+    TagOvershadowed(index, &slice.results);
+    report.noisy.push_back(std::move(slice));
+  }
+  return report;
+}
+
+}  // namespace bootleg::robust

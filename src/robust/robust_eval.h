@@ -1,0 +1,65 @@
+#ifndef BOOTLEG_ROBUST_ROBUST_EVAL_H_
+#define BOOTLEG_ROBUST_ROBUST_EVAL_H_
+
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "robust/noise.h"
+#include "robust/overshadow.h"
+
+namespace bootleg::robust {
+
+/// One noisy eval slice: the same sentences perturbed at `rate` via
+/// NoiseOptions::FromRate, then evaluated with the same model and builder.
+struct NoisySlice {
+  double rate = 0.0;
+  /// The perturbed sentences, owned here because every PredictionRecord in
+  /// `results` points back into them.
+  std::vector<data::Sentence> sentences;
+  eval::ResultSet results;
+};
+
+/// The full robustness report: the clean run plus one slice per noise rate.
+/// Every ResultSet (clean included) is already overshadow-tagged.
+struct RobustReport {
+  eval::ResultSet clean;
+  std::vector<NoisySlice> noisy;
+};
+
+/// Tags every record's `overshadowed` bit using the alias candidate
+/// generation actually resolved through (`candidate_alias` when the surface
+/// was noised, `alias` otherwise). Only candidate-generatable mentions can
+/// be overshadowed — the slice measures prior-vs-context, not Γ misses.
+void TagOvershadowed(const OvershadowedIndex& index, eval::ResultSet* results);
+
+/// F1 over eligible overshadowed mentions.
+eval::Prf OvershadowedPrf(const eval::ResultSet& results);
+
+/// Fraction (percent) of eligible mentions with a prediction where the model
+/// chose the candidate-prior argmax. Restricted by `keep` (pass an
+/// always-true predicate for the overall rate). Returns 0 over an empty set.
+double PriorFollowRate(
+    const eval::ResultSet& results,
+    const std::function<bool(const eval::PredictionRecord&)>& keep);
+
+/// Overall prior-follow rate over all eligible predicted mentions.
+double PriorFollowRate(const eval::ResultSet& results);
+
+/// Runs the clean evaluation plus one noisy evaluation per rate in `rates`
+/// (each seeded from `seed` via NoiseOptions::FromRate), overshadow-tags
+/// every result set, and returns the report. Deterministic for a fixed seed
+/// at any `num_threads`; an empty `rates` list yields just the tagged clean
+/// run. Rate 0.0 slices evaluate the identical sentence objects, so their
+/// results are bit-identical to `clean`.
+RobustReport RunRobustEvaluation(eval::NedScorer* model,
+                                 const std::vector<data::Sentence>& sentences,
+                                 const data::ExampleBuilder& builder,
+                                 const data::ExampleOptions& options,
+                                 const data::EntityCounts& counts,
+                                 const OvershadowedIndex& index,
+                                 const std::vector<double>& rates,
+                                 uint64_t seed = 1234, int num_threads = 0);
+
+}  // namespace bootleg::robust
+
+#endif  // BOOTLEG_ROBUST_ROBUST_EVAL_H_

@@ -43,6 +43,12 @@ std::future<util::StatusOr<SentenceResult>> MicroBatcher::Submit(
 void MicroBatcher::SubmitAsync(std::string text,
                                std::chrono::steady_clock::time_point deadline,
                                Callback done) {
+  SubmitAsync(std::move(text), /*raw_text=*/false, deadline, std::move(done));
+}
+
+void MicroBatcher::SubmitAsync(std::string text, bool raw_text,
+                               std::chrono::steady_clock::time_point deadline,
+                               Callback done) {
   const auto now = std::chrono::steady_clock::now();
   // Fast-path rejects are decided under the lock but completed outside it:
   // the callback may re-enter arbitrary code (event-loop posts).
@@ -73,6 +79,7 @@ void MicroBatcher::SubmitAsync(std::string text,
     } else {
       Request req;
       req.text = std::move(text);
+      req.raw_text = raw_text;
       req.done = std::move(done);
       req.enqueued = now;
       req.deadline = deadline;
@@ -249,8 +256,9 @@ void MicroBatcher::WorkerLoop(int worker) {
 
 void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::string> texts;
-  texts.reserve(batch.size());
+  std::vector<BatchItem> items;
+  items.reserve(batch.size());
+  bool all_deadlines = true;
   for (const Request& r : batch) {
     queue_wait_hist_->Record(
         std::chrono::duration_cast<std::chrono::microseconds>(start -
@@ -263,19 +271,42 @@ void MicroBatcher::RunBatch(std::vector<Request> batch, int worker) {
           std::chrono::duration_cast<std::chrono::microseconds>(r.deadline -
                                                                 start)
               .count());
+    } else {
+      all_deadlines = false;
     }
-    texts.push_back(r.text);
+    BatchItem item;
+    item.text = r.text;
+    item.raw_text = r.raw_text;
+    item.deadline = r.deadline;
+    items.push_back(std::move(item));
   }
 
   std::vector<SentenceResult> results;
   {
     OBS_SPAN("serve.batch");
-    results = batch_fn_(texts, worker);
+    results = batch_fn_(items, worker);
   }
   if (counters_ != nullptr) {
     counters_->batches.fetch_add(1, std::memory_order_relaxed);
     counters_->batched_sentences.fetch_add(
         static_cast<int64_t>(batch.size()), std::memory_order_relaxed);
+  }
+  if (results.empty() && all_deadlines) {
+    // The engine abandoned the batch between model stages: every member's
+    // deadline expired mid-compute. These are sheds like the dequeue-time
+    // ones, counted separately as reclaims (compute was started and
+    // reclaimed, not avoided).
+    const int64_t n = static_cast<int64_t>(batch.size());
+    if (counters_ != nullptr) {
+      counters_->shed.fetch_add(n, std::memory_order_relaxed);
+      counters_->reclaimed.fetch_add(n, std::memory_order_relaxed);
+    }
+    shed_counter_->Add(n);
+    for (Request& r : batch) {
+      r.done(util::Status::DeadlineExceeded(
+          "deadline expired mid-batch; compute reclaimed"));
+    }
+    return;
   }
   if (results.size() != batch.size()) {
     for (Request& r : batch) {

@@ -64,9 +64,14 @@ struct BatcherOptions {
 /// InferenceEngine::Disambiguate.
 class MicroBatcher {
  public:
-  /// Processes a batch of texts; must return one result per text.
+  /// Processes a batch of items (pre-segmented sentences and raw documents
+  /// mixed); must return one result per item — or an empty vector to signal
+  /// the batch was abandoned because every member's deadline expired
+  /// mid-compute (only meaningful when every item carries a deadline; the
+  /// batcher completes such members with DeadlineExceeded and counts them as
+  /// reclaimed sheds).
   using BatchFn = std::function<std::vector<SentenceResult>(
-      const std::vector<std::string>& texts, int worker)>;
+      const std::vector<BatchItem>& items, int worker)>;
   /// Performed under exclusive lock when a reload was requested.
   using ReloadFn = std::function<util::Status()>;
   /// Completion for one request: the result, or the shed/reject status.
@@ -94,7 +99,13 @@ class MicroBatcher {
   /// synchronously (queue full, shutting down, deadline already past) or
   /// later from a worker thread. A request whose `deadline` passes while it
   /// waits in the queue is shed with DeadlineExceeded instead of batched.
+  /// `raw_text` marks a raw document (`disambiguate_text`): it is sentence-
+  /// split and mention-extracted inside the engine rather than treated as
+  /// one pre-segmented sentence.
   void SubmitAsync(std::string text,
+                   std::chrono::steady_clock::time_point deadline,
+                   Callback done);
+  void SubmitAsync(std::string text, bool raw_text,
                    std::chrono::steady_clock::time_point deadline,
                    Callback done);
 
@@ -132,6 +143,7 @@ class MicroBatcher {
  private:
   struct Request {
     std::string text;
+    bool raw_text = false;
     Callback done;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline = kNoDeadline;

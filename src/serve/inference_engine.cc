@@ -1,5 +1,7 @@
 #include "serve/inference_engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "backend/backend.h"
@@ -57,6 +59,8 @@ util::Status InferenceEngine::Initialize() {
   BOOTLEG_RETURN_IF_ERROR(
       candidates_.Load(options_.data_dir + "/candidates.bin"));
   BOOTLEG_RETURN_IF_ERROR(vocab_.Load(options_.data_dir + "/vocab.bin"));
+  if (options_.char_fallback) vocab_.BuildTypoIndex();
+  extractor_ = std::make_unique<data::MentionExtractor>(&candidates_);
 
   // Model-path deployments record their config preset in a .meta sidecar
   // (written by `bootleg_cli train`); it overrides the option when present.
@@ -184,6 +188,9 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
       for (const std::string& alias : delta_stats.touched_aliases) {
         cache_.Invalidate(alias);
       }
+      // A delta can introduce an alias longer (in tokens) than any the
+      // extractor's n-gram window was sized for — rebuild the scanner.
+      extractor_ = std::make_unique<data::MentionExtractor>(&candidates_);
     }
   }
 
@@ -218,6 +225,37 @@ util::Status InferenceEngine::AdoptNewestStoreGeneration() {
                     << " from " << next->dir() << " (" << next->num_shards()
                     << " shards, " << next->mapped_bytes()
                     << " mapped bytes)";
+
+  // Automatic compaction: a delta chain carries one INDEX_DELTA aux file per
+  // published delta, so aux_files().size() bounds the chain depth from
+  // above (compaction renumbers the aux files into the flat directory, so
+  // the count survives it — past the watermark, each further delta is
+  // folded flat right after adoption). The already_flat result guards the
+  // recursion: adopting the compacted generation re-checks the watermark,
+  // finds the newest generation flat, and stops. Failures are non-fatal:
+  // the chain keeps serving and the next adoption retries.
+  if (options_.compact_chain_depth > 0 &&
+      static_cast<int64_t>(next->aux_files().size()) >=
+          options_.compact_chain_depth) {
+    index::CompactResult cres;
+    const util::Status cst = index::Compact(options_.store_dir, &cres);
+    if (!cst.ok()) {
+      BOOTLEG_LOG(Warning) << "automatic compaction failed: " << cst.ToString()
+                           << " (delta chain keeps serving)";
+    } else if (!cres.already_flat) {
+      {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        ++auto_compactions_;
+      }
+      reg.GetGauge("store.auto_compactions")
+          ->Set(static_cast<double>(auto_compactions()));
+      BOOTLEG_LOG(Info) << "auto-compacted delta chain at depth "
+                        << next->aux_files().size() << " -> generation "
+                        << cres.generation << " (" << cres.files_copied
+                        << " files)";
+      return AdoptNewestStoreGeneration();
+    }
+  }
   return util::Status::OK();
 }
 
@@ -293,32 +331,101 @@ util::Status InferenceEngine::Reload() {
 std::vector<SentenceResult> InferenceEngine::Disambiguate(
     const std::vector<std::string>& texts,
     core::BootlegModel::InferenceScratch* scratch) {
-  // Build one example per text, resolving alias candidates through the LRU
-  // cache (mirrors data::MentionExtractor::BuildExample, minus the repeated
-  // Γ hash lookups).
-  std::vector<data::SentenceExample> examples(texts.size());
-  std::vector<SentenceResult> results(texts.size());
+  std::vector<BatchItem> items(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) items[i].text = texts[i];
+  return DisambiguateBatch(items, scratch);
+}
+
+std::vector<SentenceResult> InferenceEngine::DisambiguateBatch(
+    const std::vector<BatchItem>& items,
+    core::BootlegModel::InferenceScratch* scratch) {
+  // Scratches are reused across batches; the cancellation hook must never
+  // leak from one batch into the next.
+  scratch->cancel_check = nullptr;
+  constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+  bool all_deadlines = !items.empty();
+  auto latest = std::chrono::steady_clock::time_point::min();
+  for (const BatchItem& item : items) {
+    if (item.deadline == kNoDeadline) {
+      all_deadlines = false;
+      break;
+    }
+    latest = std::max(latest, item.deadline);
+  }
+  if (all_deadlines) {
+    // Past the latest member deadline no reply is wanted by anyone — let the
+    // model abandon the batch between stages and reclaim the compute.
+    scratch->cancel_check = [latest] {
+      return std::chrono::steady_clock::now() > latest;
+    };
+  }
+
+  // Assembly: one SentenceExample per sentence, flat across items. Raw
+  // documents split after terminal punctuation tokens (Tokenize peels them
+  // into their own tokens, so per-sentence tokenization concatenates to the
+  // whole-document tokenization and spans translate by the range offset).
+  // Candidates resolve through the LRU cache both during the extractor's
+  // greedy scan and at example fill (the scan warms the entry).
+  std::vector<data::SentenceExample> examples;
+  struct ExampleOrigin {
+    size_t item = 0;
+    int64_t token_offset = 0;
+  };
+  std::vector<ExampleOrigin> origins;
+  std::vector<SentenceResult> results(items.size());
   {
     OBS_SPAN("serve.assemble");
     CachedCandidates cached;
-    for (size_t i = 0; i < texts.size(); ++i) {
-      const std::vector<std::string> tokens = text::Tokenize(texts[i]);
-      examples[i].token_ids = text::Encode(vocab_, tokens);
-      for (size_t t = 0; t < tokens.size(); ++t) {
-        if (!cache_.Lookup(candidates_, tokens[t], &cached)) continue;
-        data::MentionExample m;
-        m.span_start = static_cast<int64_t>(t);
-        m.span_end = m.span_start;
-        m.candidates = cached.entities;
-        m.priors = cached.priors;
-        examples[i].mentions.push_back(std::move(m));
+    const data::MentionExtractor::AliasFn known_alias =
+        [this, &cached](const std::string& alias) {
+          return cache_.Lookup(candidates_, alias, &cached);
+        };
+    for (size_t i = 0; i < items.size(); ++i) {
+      const std::vector<std::string> tokens = text::Tokenize(items[i].text);
+      std::vector<std::pair<size_t, size_t>> ranges;  // [begin, end)
+      if (items[i].raw_text) {
+        size_t begin = 0;
+        for (size_t t = 0; t < tokens.size(); ++t) {
+          const std::string& tok = tokens[t];
+          if (tok == "." || tok == "?" || tok == "!") {
+            ranges.emplace_back(begin, t + 1);
+            begin = t + 1;
+          }
+        }
+        if (begin < tokens.size()) ranges.emplace_back(begin, tokens.size());
+      } else if (!tokens.empty()) {
+        ranges.emplace_back(0, tokens.size());
+      }
+      for (size_t si = 0; si < ranges.size(); ++si) {
+        const auto [lo, hi] = ranges[si];
+        const std::vector<std::string> sent(tokens.begin() + lo,
+                                            tokens.begin() + hi);
+        data::SentenceExample ex;
+        ex.token_ids.reserve(sent.size());
+        for (const std::string& tok : sent) {
+          ex.token_ids.push_back(options_.char_fallback
+                                     ? vocab_.IdWithTypoFallback(tok)
+                                     : vocab_.Id(tok));
+        }
+        for (const data::Mention& m : extractor_->Extract(sent, known_alias)) {
+          if (!cache_.Lookup(candidates_, m.alias, &cached)) continue;
+          data::MentionExample me;
+          me.span_start = m.span_start;
+          me.span_end = m.span_end;
+          me.candidates = cached.entities;
+          me.priors = cached.priors;
+          ex.mentions.push_back(std::move(me));
 
-        ServedMention served;
-        served.alias = tokens[t];
-        served.span_start = static_cast<int64_t>(t);
-        served.span_end = served.span_start;
-        served.num_candidates = static_cast<int64_t>(cached.entities.size());
-        results[i].mentions.push_back(std::move(served));
+          ServedMention served;
+          served.alias = m.alias;
+          served.span_start = m.span_start + static_cast<int64_t>(lo);
+          served.span_end = m.span_end + static_cast<int64_t>(lo);
+          served.num_candidates = static_cast<int64_t>(cached.entities.size());
+          served.sentence_index = static_cast<int64_t>(si);
+          results[i].mentions.push_back(std::move(served));
+        }
+        examples.push_back(std::move(ex));
+        origins.push_back({i, static_cast<int64_t>(lo)});
       }
     }
   }
@@ -329,13 +436,21 @@ std::vector<SentenceResult> InferenceEngine::Disambiguate(
   for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
   const std::vector<std::vector<int64_t>> preds =
       model_->PredictBatch(batch, scratch);
+  scratch->cancel_check = nullptr;
+  if (preds.empty() && !batch.empty()) {
+    return {};  // abandoned mid-compute: every member deadline expired
+  }
 
-  for (size_t i = 0; i < texts.size(); ++i) {
-    for (size_t mi = 0; mi < results[i].mentions.size(); ++mi) {
-      const int64_t k = preds[i][mi];
+  // Fill predictions back: results[i].mentions were appended in the same
+  // order the flat examples' mentions were, so a per-item cursor suffices.
+  std::vector<size_t> cursor(items.size(), 0);
+  for (size_t e = 0; e < examples.size(); ++e) {
+    const size_t i = origins[e].item;
+    for (size_t mi = 0; mi < examples[e].mentions.size(); ++mi) {
+      ServedMention& served = results[i].mentions[cursor[i]++];
+      const int64_t k = preds[e][mi];
       if (k < 0) continue;
-      ServedMention& served = results[i].mentions[mi];
-      const data::MentionExample& m = examples[i].mentions[mi];
+      const data::MentionExample& m = examples[e].mentions[mi];
       served.entity = m.candidates[static_cast<size_t>(k)];
       served.prior = m.priors[static_cast<size_t>(k)];
       served.title = kb_.entity(served.entity).title;

@@ -1,6 +1,7 @@
 #ifndef BOOTLEG_SERVE_INFERENCE_ENGINE_H_
 #define BOOTLEG_SERVE_INFERENCE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "core/model.h"
 #include "data/example.h"
+#include "data/mention_extractor.h"
 #include "index/live_index.h"
 #include "kb/candidate_map.h"
 #include "kb/kb.h"
@@ -53,17 +55,45 @@ struct EngineOptions {
   int64_t resident_budget_bytes = 0;
   /// Residency clock-sweep cadence in milliseconds.
   int64_t resident_sweep_ms = 1000;
+  /// Automatic compaction watermark (store deployments): when adopting a
+  /// generation whose delta chain is at least this many deltas deep, run
+  /// index::Compact in-process and adopt the flat result. Runs on the reload
+  /// path, which the batcher already serializes through its exclusive lane,
+  /// so compaction never overlaps an in-flight batch. 0 disables (operator-
+  /// triggered compaction only).
+  int64_t compact_chain_depth = 0;
+  /// Route unknown tokens through the vocabulary's single-edit typo fallback
+  /// (Vocabulary::IdWithTypoFallback) when encoding served text, so a typo'd
+  /// token recovers the clean word embedding instead of [UNK]. Clean text
+  /// encodes bit-identically with the flag on or off.
+  bool char_fallback = false;
+};
+
+/// One unit of batched serving work. A pre-segmented item (`raw_text`
+/// false — the classic `disambiguate` op) is treated as a single sentence.
+/// A raw item (`disambiguate_text`) is sentence-split and mention-extracted
+/// inside the engine; its mentions carry document-level token spans and a
+/// sentence index. `deadline` rides along so the engine can abandon a batch
+/// whose members all expired mid-compute.
+struct BatchItem {
+  std::string text;
+  bool raw_text = false;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// One disambiguated mention in a served sentence.
 struct ServedMention {
   std::string alias;
-  int64_t span_start = 0;
+  int64_t span_start = 0;  // document-level token span (inclusive)
   int64_t span_end = 0;
   kb::EntityId entity = kb::kInvalidId;
   std::string title;        // KB title of the predicted entity
   float prior = 0.0f;       // Γ prior of the predicted candidate
   int64_t num_candidates = 0;
+  /// Which sentence of the request the mention fell in (always 0 for
+  /// pre-segmented `disambiguate` requests).
+  int64_t sentence_index = 0;
 };
 
 struct SentenceResult {
@@ -104,8 +134,27 @@ class InferenceEngine {
 
   /// Tokenizes each text, extracts alias mentions through the candidate
   /// cache, and disambiguates all texts in one batched forward pass.
+  /// Convenience wrapper over DisambiguateBatch with pre-segmented items.
   std::vector<SentenceResult> Disambiguate(
       const std::vector<std::string>& texts,
+      core::BootlegModel::InferenceScratch* scratch);
+
+  /// The full batched serving surface: pre-segmented sentences and raw
+  /// documents mixed in one batch, one PredictBatch forward pass for every
+  /// extracted mention of every item. Raw items are sentence-split on
+  /// terminal punctuation tokens (`.` `?` `!`) and mention-extracted per
+  /// sentence via the greedy leftmost-longest scan of data::MentionExtractor
+  /// through the candidate cache; their mentions report document-level spans
+  /// plus the sentence index. A single-sentence raw item yields results
+  /// byte-identical to the same text submitted pre-segmented.
+  ///
+  /// Deadline reclaim: when every item carries a real deadline, the model
+  /// polls the latest of them between forward stages; a batch whose members
+  /// all expired mid-compute is abandoned and an EMPTY vector returned —
+  /// the batcher completes each member with DeadlineExceeded and counts the
+  /// reclaim. A non-empty return always has one result per item.
+  std::vector<SentenceResult> DisambiguateBatch(
+      const std::vector<BatchItem>& items,
       core::BootlegModel::InferenceScratch* scratch);
 
   /// Raw batched prediction over prebuilt examples (the equivalence-test
@@ -153,6 +202,12 @@ class InferenceEngine {
     return induced_entities_;
   }
 
+  /// Chain compactions fired by the --compact_chain_depth watermark.
+  int64_t auto_compactions() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return auto_compactions_;
+  }
+
  private:
   InferenceEngine(const EngineOptions& options, size_t cache_capacity);
 
@@ -169,6 +224,9 @@ class InferenceEngine {
   text::Vocabulary vocab_;
   std::unique_ptr<core::BootlegModel> model_;
   CandidateCache cache_;
+  /// Greedy leftmost-longest scanner over candidates_; rebuilt whenever a
+  /// delta commit can grow the longest alias (its n-gram window bound).
+  std::unique_ptr<data::MentionExtractor> extractor_;
   std::string loaded_path_;
   /// Title token id per KB entity (use_title_feature configs); grows as
   /// delta-chain entities are applied, mirrored into the model.
@@ -180,6 +238,7 @@ class InferenceEngine {
   std::shared_ptr<store::EmbeddingStore> entity_store_;
   int64_t store_generation_ = -1;
   int64_t induced_entities_ = 0;
+  int64_t auto_compactions_ = 0;
 };
 
 }  // namespace bootleg::serve

@@ -24,6 +24,8 @@ struct ServerCounters {
   std::atomic<int64_t> rejected{0};        // backpressure rejections
   std::atomic<int64_t> overloaded{0};      // admission-control rejections
   std::atomic<int64_t> shed{0};            // dequeued past their deadline
+  std::atomic<int64_t> reclaimed{0};       // batches abandoned mid-compute
+                                           // (subset of shed)
   std::atomic<int64_t> errors{0};          // malformed / failed requests
   std::atomic<int64_t> batches{0};         // micro-batches dispatched
   std::atomic<int64_t> batched_sentences{0};  // sentences across all batches

@@ -49,6 +49,7 @@ std::string MentionsReply(const SentenceResult& result) {
     jm.Set("title", Json::Str(m.title));
     jm.Set("prior", Json::Number(static_cast<double>(m.prior)));
     jm.Set("candidates", Json::Number(static_cast<double>(m.num_candidates)));
+    jm.Set("sentence", Json::Number(static_cast<double>(m.sentence_index)));
     mentions.Append(std::move(jm));
   }
   Json reply = Json::Object();
@@ -110,7 +111,11 @@ void Server::HandleLineFrom(std::string line, const net::PeerInfo& peer,
   }
   const std::string op = request.GetString("op");
   if (op == "disambiguate") {
-    HandleDisambiguate(request, std::move(done));
+    HandleDisambiguate(request, /*raw_text=*/false, std::move(done));
+    return;
+  }
+  if (op == "disambiguate_text") {
+    HandleDisambiguate(request, /*raw_text=*/true, std::move(done));
     return;
   }
   if (op == "add_entity") {
@@ -120,7 +125,8 @@ void Server::HandleLineFrom(std::string line, const net::PeerInfo& peer,
   done(HandleControl(request, op));
 }
 
-void Server::HandleDisambiguate(const Json& request, Done done) {
+void Server::HandleDisambiguate(const Json& request, bool raw_text,
+                                Done done) {
   const Json* text = request.Find("text");
   if (text == nullptr || !text->is_string()) {
     if (counters_ != nullptr) {
@@ -169,7 +175,7 @@ void Server::HandleDisambiguate(const Json& request, Done done) {
   const auto start = std::chrono::steady_clock::now();
   LatencyHistogram* latency = latency_;
   batcher_->SubmitAsync(
-      text->string_value(), deadline,
+      text->string_value(), raw_text, deadline,
       [latency, start, done = std::move(done)](
           util::StatusOr<SentenceResult> result) {
         if (latency != nullptr) {
@@ -378,6 +384,9 @@ std::string Server::StatsReply() {
                   counters_->overloaded.load(std::memory_order_relaxed))));
     reply.Set("shed", Json::Number(static_cast<double>(
                           counters_->shed.load(std::memory_order_relaxed))));
+    reply.Set("reclaimed",
+              Json::Number(static_cast<double>(
+                  counters_->reclaimed.load(std::memory_order_relaxed))));
     reply.Set("errors", Json::Number(static_cast<double>(
                             counters_->errors.load(std::memory_order_relaxed))));
     reply.Set("batches", Json::Number(static_cast<double>(
@@ -501,6 +510,8 @@ std::string Server::StatsReply() {
       }
       jstore.Set("induced_entities",
                  Json::Number(static_cast<double>(engine_->induced_entities())));
+      jstore.Set("auto_compactions",
+                 Json::Number(static_cast<double>(engine_->auto_compactions())));
       // Hot-set residency rows (present only under --resident_budget_mb):
       // the advised resident set next to the mapped ceiling above, plus the
       // advisory event counters.

@@ -41,6 +41,10 @@ struct ServerOptions {
 ///
 ///   {"op":"disambiguate","text":"...","deadline_ms":50}
 ///       → {"ok":true,"mentions":[...]}
+///   {"op":"disambiguate_text","text":"...","deadline_ms":50}
+///       → {"ok":true,"mentions":[...]} (raw text: sentence-split and
+///         mention-extracted server-side; mentions carry document-level
+///         token spans and a "sentence" index)
 ///   {"op":"health"}   → {"ok":true,"status":"serving",...}
 ///   {"op":"stats"}    → {"ok":true,"requests":...,...}
 ///   {"op":"reload"}   → {"ok":true} (same path as SIGHUP)
@@ -108,7 +112,10 @@ class Server : public net::LineHandler {
 
  private:
   /// Admission + deadline parse + submit for one disambiguate request.
-  void HandleDisambiguate(const Json& request, Done done);
+  /// `raw_text` marks the disambiguate_text op: the text is sentence-split
+  /// and mention-extracted inside the engine instead of being treated as one
+  /// pre-segmented sentence.
+  void HandleDisambiguate(const Json& request, bool raw_text, Done done);
   /// Live index mutation: parses the entity spec (names resolved against the
   /// serving KB), then runs InferenceEngine::AddEntityLive through the
   /// batcher's exclusive lane. Loopback peers only.

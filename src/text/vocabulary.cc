@@ -38,6 +38,84 @@ const std::string& Vocabulary::Token(int64_t id) const {
   return tokens_[static_cast<size_t>(id)];
 }
 
+void Vocabulary::BuildTypoIndex() {
+  deletion_index_.clear();
+  // Skip the four reserved specials — "[UNK]" must never be a typo target.
+  for (int64_t id = 4; id < size(); ++id) {
+    const std::string& tok = tokens_[static_cast<size_t>(id)];
+    if (tok.size() < 3) continue;
+    for (size_t i = 0; i < tok.size(); ++i) {
+      std::string del = tok;
+      del.erase(i, 1);
+      auto it = deletion_index_.find(del);
+      if (it == deletion_index_.end()) {
+        deletion_index_.emplace(std::move(del), id);
+      } else if (id < it->second) {
+        it->second = id;  // smallest id wins: deterministic across rebuilds
+      }
+    }
+  }
+  typo_index_built_ = true;
+}
+
+int64_t Vocabulary::IdWithTypoFallback(const std::string& token) const {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+
+  // Casing noise: the corpus is stored lower-cased.
+  const std::string lower = util::ToLower(token);
+  if (lower != token) {
+    it = index_.find(lower);
+    if (it != index_.end()) return it->second;
+  }
+
+  // Adjacent transpositions (swap edits).
+  if (lower.size() >= 2) {
+    std::string t = lower;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      std::swap(t[i], t[i + 1]);
+      it = index_.find(t);
+      if (it != index_.end()) return it->second;
+      std::swap(t[i], t[i + 1]);
+    }
+  }
+
+  // Insertion edits: deleting one char of the corrupted token recovers the
+  // original. Pick the smallest matching id for determinism.
+  if (lower.size() >= 3) {
+    int64_t best = -1;
+    for (size_t i = 0; i < lower.size(); ++i) {
+      std::string del = lower;
+      del.erase(i, 1);
+      it = index_.find(del);
+      if (it != index_.end() && it->second >= 4 &&
+          (best < 0 || it->second < best)) {
+        best = it->second;
+      }
+    }
+    if (best >= 0) return best;
+  }
+
+  // Deletion (and, via shared deletions, substitution) edits through the
+  // precomputed neighborhood.
+  if (typo_index_built_ && lower.size() >= 2) {
+    auto del_it = deletion_index_.find(lower);
+    if (del_it != deletion_index_.end()) return del_it->second;
+    int64_t best = -1;
+    for (size_t i = 0; i < lower.size(); ++i) {
+      std::string del = lower;
+      del.erase(i, 1);
+      del_it = deletion_index_.find(del);
+      if (del_it != deletion_index_.end() &&
+          (best < 0 || del_it->second < best)) {
+        best = del_it->second;
+      }
+    }
+    if (best >= 0) return best;
+  }
+  return kUnkId;
+}
+
 util::Status Vocabulary::Save(const std::string& path) const {
   util::AtomicFileWriter atomic(path);
   util::BinaryWriter w(atomic.temp_path());

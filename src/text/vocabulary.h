@@ -36,12 +36,33 @@ class Vocabulary {
 
   int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
 
+  /// Builds the SymSpell-style deletion-neighborhood index used by
+  /// IdWithTypoFallback: for every vocabulary token of length >= 3, each
+  /// single-character deletion maps back to the token (smallest id wins on
+  /// collision, so the mapping is deterministic). Idempotent; call after the
+  /// vocabulary is fully populated (rebuild after live additions).
+  void BuildTypoIndex();
+
+  bool HasTypoIndex() const { return typo_index_built_; }
+
+  /// Id of `token` with single-edit typo recovery for unknown tokens:
+  /// exact match, then lower-cased, then adjacent transpositions, then
+  /// single deletions of `token`, then the deletion-neighborhood index
+  /// (recovers insertions and substitutions). Falls back to kUnkId. Exactly
+  /// Id(token) for in-vocabulary tokens, so clean text encodes identically.
+  /// Requires BuildTypoIndex() for the last stage (earlier stages work
+  /// without it).
+  int64_t IdWithTypoFallback(const std::string& token) const;
+
   util::Status Save(const std::string& path) const;
   util::Status Load(const std::string& path);
 
  private:
   std::vector<std::string> tokens_;
   std::unordered_map<std::string, int64_t> index_;
+  bool typo_index_built_ = false;
+  /// deletion string -> smallest id of a vocab token one insertion away.
+  std::unordered_map<std::string, int64_t> deletion_index_;
 };
 
 /// Lower-cases and splits `sentence` into word tokens, separating trailing

@@ -592,6 +592,71 @@ TEST(LiveIndexTest, CompactFoldsChainIntoFlatBitIdenticalGeneration) {
   EXPECT_EQ(again.generation, 4);
 }
 
+// The --compact_chain_depth watermark folds the delta chain flat in-process:
+// once the adopted generation carries that many aux files, the engine runs
+// index::Compact and adopts the flat result before returning from the
+// mutation. Serving never pauses and predictions never move.
+TEST(LiveIndexTest, AutoCompactionFiresAtWatermarkAndKeepsServing) {
+  const std::string root = FreshRoot("autocompact");
+  const IndexWorld& iw = GetIndexWorld();
+  serve::EngineOptions options;
+  options.data_dir = iw.data_dir;
+  options.model_path = iw.model_path;
+  options.store_dir = root;
+  options.compact_chain_depth = 2;
+  auto created = serve::InferenceEngine::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created.value());
+  EXPECT_EQ(engine->auto_compactions(), 0);
+
+  const std::vector<data::SentenceExample> examples = DevExamples();
+  std::vector<const data::SentenceExample*> batch;
+  for (const data::SentenceExample& ex : examples) batch.push_back(&ex);
+  core::BootlegModel::InferenceScratch scratch;
+  const auto before = engine->PredictExamples(batch, &scratch);
+
+  // Depth 1 stays below the watermark: plain chained generation.
+  ASSERT_TRUE(engine->AddEntityLive(MakeSpec(engine->kb(), "zyqautoa")).ok());
+  EXPECT_EQ(engine->auto_compactions(), 0);
+  EXPECT_EQ(engine->store_generation(), 2);
+
+  // Depth 2 hits the watermark: the mutation returns with the chain already
+  // folded into a new flat generation (3 -> compacted 4).
+  ASSERT_TRUE(engine->AddEntityLive(MakeSpec(engine->kb(), "zyqautob")).ok());
+  EXPECT_EQ(engine->auto_compactions(), 1);
+  EXPECT_EQ(engine->store_generation(), 4);
+
+  // The adopted tip is flat: a manual compaction finds nothing to fold.
+  index::CompactResult manual;
+  ASSERT_TRUE(index::Compact(root, &manual).ok());
+  EXPECT_TRUE(manual.already_flat);
+
+  // Both induced entities serve and pre-existing replies are bit-identical.
+  EXPECT_EQ(engine->induced_entities(), 2);
+  std::vector<serve::SentenceResult> served =
+      engine->Disambiguate({"zyqautoa met zyqautob"}, &scratch);
+  int resolved = 0;
+  for (const serve::ServedMention& m : served[0].mentions) {
+    if (m.alias == "zyqautoa" || m.alias == "zyqautob") {
+      EXPECT_EQ(m.title, m.alias);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, 2);
+  EXPECT_EQ(engine->PredictExamples(batch, &scratch), before);
+
+  // Past the watermark every further delta folds right after adoption (the
+  // aux-file count survives compaction, so each new delta re-crosses it).
+  ASSERT_TRUE(engine->AddEntityLive(MakeSpec(engine->kb(), "zyqautoc")).ok());
+  EXPECT_EQ(engine->auto_compactions(), 2);
+  EXPECT_EQ(engine->induced_entities(), 3);
+
+  // A cold engine on the compacted root replays to the same state.
+  auto cold = MakeEngine(root);
+  EXPECT_EQ(cold->induced_entities(), 3);
+  EXPECT_EQ(cold->kb().num_entities(), engine->kb().num_entities());
+}
+
 // --- The add_entity protocol op -----------------------------------------------
 
 struct IndexServerUnderTest {
@@ -606,8 +671,8 @@ struct IndexServerUnderTest {
     engine = MakeEngine(store_dir);
     batcher = std::make_unique<serve::MicroBatcher>(
         serve::BatcherOptions{},
-        [this](const std::vector<std::string>& texts, int) {
-          return engine->Disambiguate(texts, &scratch);
+        [this](const std::vector<serve::BatchItem>& items, int) {
+          return engine->DisambiguateBatch(items, &scratch);
         },
         [this] { return engine->Reload(); }, &counters);
     server = std::make_unique<serve::Server>(engine.get(), batcher.get(),

@@ -540,14 +540,14 @@ struct GatedBatch {
   bool released = false;
 
   serve::MicroBatcher::BatchFn Fn() {
-    return [this](const std::vector<std::string>& texts, int) {
+    return [this](const std::vector<serve::BatchItem>& items, int) {
       {
         std::unique_lock<std::mutex> lock(mu);
         entered = true;
         cv.notify_all();
         cv.wait(lock, [this] { return released; });
       }
-      return std::vector<serve::SentenceResult>(texts.size());
+      return std::vector<serve::SentenceResult>(items.size());
     };
   }
   void WaitEntered() {
@@ -616,8 +616,8 @@ TEST(ServerDeadlineTest, InvalidDeadlineIsBadRequest) {
   serve::ServerCounters counters;
   serve::MicroBatcher batcher(
       options,
-      [](const std::vector<std::string>& texts, int) {
-        return std::vector<serve::SentenceResult>(texts.size());
+      [](const std::vector<serve::BatchItem>& items, int) {
+        return std::vector<serve::SentenceResult>(items.size());
       },
       nullptr, &counters);
   serve::Server server(nullptr, &batcher, &counters, nullptr);
@@ -674,8 +674,8 @@ TEST(ServerNetTest, TcpStatsExposeNetAndSheddingFields) {
   serve::ServerCounters counters;
   serve::MicroBatcher batcher(
       options,
-      [](const std::vector<std::string>& texts, int) {
-        return std::vector<serve::SentenceResult>(texts.size());
+      [](const std::vector<serve::BatchItem>& items, int) {
+        return std::vector<serve::SentenceResult>(items.size());
       },
       nullptr, &counters);
   serve::ServerOptions sopts;
@@ -716,8 +716,8 @@ TEST(ServerNetTest, ManyConnectionsAcrossLoopsAllServed) {
   serve::ServerCounters counters;
   serve::MicroBatcher batcher(
       options,
-      [](const std::vector<std::string>& texts, int) {
-        return std::vector<serve::SentenceResult>(texts.size());
+      [](const std::vector<serve::BatchItem>& items, int) {
+        return std::vector<serve::SentenceResult>(items.size());
       },
       nullptr, &counters);
   serve::ServerOptions sopts;

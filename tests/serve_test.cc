@@ -40,6 +40,7 @@
 #include "serve/json.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
+#include "text/vocabulary.h"
 #include "util/io.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -248,6 +249,100 @@ TEST(ServeEquivalenceTest, DisambiguateMatchesMentionExtractorPath) {
   }
 }
 
+// A raw-text item carrying a single sentence must be indistinguishable from
+// the pre-segmented path: same mentions, same spans, same predictions. This is
+// the serving contract that lets clients move to `disambiguate_text` without
+// re-validating outputs.
+TEST(ServeEquivalenceTest, RawTextSingleSentenceMatchesPreSegmented) {
+  auto engine = MakeSnapshotEngine();
+  core::BootlegModel::InferenceScratch scratch;
+  std::vector<std::string> texts;
+  for (const data::Sentence& s : GetServeWorld().corpus.dev) {
+    if (!s.mentions.empty()) texts.push_back(JoinTokens(s.tokens));
+    if (texts.size() == 8) break;
+  }
+  ASSERT_FALSE(texts.empty());
+
+  std::vector<serve::BatchItem> pre(texts.size());
+  std::vector<serve::BatchItem> raw(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    pre[i].text = texts[i];
+    raw[i].text = texts[i];
+    raw[i].raw_text = true;
+  }
+  const std::vector<serve::SentenceResult> want =
+      engine->DisambiguateBatch(pre, &scratch);
+  const std::vector<serve::SentenceResult> got =
+      engine->DisambiguateBatch(raw, &scratch);
+  ASSERT_EQ(got.size(), want.size());
+  size_t total_mentions = 0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].mentions.size(), want[i].mentions.size()) << "text=" << i;
+    for (size_t m = 0; m < want[i].mentions.size(); ++m) {
+      const serve::ServedMention& w = want[i].mentions[m];
+      const serve::ServedMention& g = got[i].mentions[m];
+      EXPECT_EQ(g.alias, w.alias);
+      EXPECT_EQ(g.span_start, w.span_start);
+      EXPECT_EQ(g.span_end, w.span_end);
+      EXPECT_EQ(g.entity, w.entity);
+      EXPECT_EQ(g.title, w.title);
+      EXPECT_DOUBLE_EQ(g.prior, w.prior);
+      EXPECT_EQ(g.num_candidates, w.num_candidates);
+      EXPECT_EQ(g.sentence_index, 0);
+      ++total_mentions;
+    }
+  }
+  EXPECT_GT(total_mentions, 0u);
+}
+
+// A raw document splits after terminal punctuation; mentions in later
+// sentences carry document-level spans (offset by the range start) and their
+// sentence index. Predictions match the same sentences sent pre-segmented.
+TEST(ServeEquivalenceTest, RawDocumentSplitsSentencesAndOffsetsSpans) {
+  auto engine = MakeSnapshotEngine();
+  core::BootlegModel::InferenceScratch scratch;
+  std::vector<std::string> sents;
+  for (const data::Sentence& s : GetServeWorld().corpus.dev) {
+    if (!s.mentions.empty()) sents.push_back(JoinTokens(s.tokens));
+    if (sents.size() == 2) break;
+  }
+  ASSERT_EQ(sents.size(), 2u);
+
+  // Generated sentences carry their own terminal "." token, so joining with a
+  // space forms a two-sentence document.
+  serve::BatchItem doc;
+  doc.text = sents[0] + " " + sents[1];
+  doc.raw_text = true;
+  const std::vector<serve::SentenceResult> got =
+      engine->DisambiguateBatch({doc}, &scratch);
+  ASSERT_EQ(got.size(), 1u);
+
+  // Reference: the same split sent pre-segmented. The raw splitter keeps the
+  // terminal "." inside each range, matching the sentences as generated.
+  std::vector<serve::BatchItem> pre(2);
+  pre[0].text = sents[0];
+  pre[1].text = sents[1];
+  const std::vector<serve::SentenceResult> want =
+      engine->DisambiguateBatch(pre, &scratch);
+  const int64_t offset =
+      static_cast<int64_t>(text::Tokenize(pre[0].text).size());
+
+  size_t cursor = 0;
+  for (int64_t si = 0; si < 2; ++si) {
+    for (const serve::ServedMention& w : want[static_cast<size_t>(si)].mentions) {
+      ASSERT_LT(cursor, got[0].mentions.size());
+      const serve::ServedMention& g = got[0].mentions[cursor++];
+      EXPECT_EQ(g.alias, w.alias);
+      EXPECT_EQ(g.entity, w.entity);
+      EXPECT_EQ(g.sentence_index, si);
+      EXPECT_EQ(g.span_start, w.span_start + (si == 1 ? offset : 0));
+      EXPECT_EQ(g.span_end, w.span_end + (si == 1 ? offset : 0));
+    }
+  }
+  EXPECT_EQ(cursor, got[0].mentions.size());
+  EXPECT_GT(cursor, 0u);
+}
+
 // --- Micro-batcher -----------------------------------------------------------
 
 // Built additively (not operator+) to sidestep a GCC 12 -Wrestrict false
@@ -267,10 +362,10 @@ serve::SentenceResult EchoResult(const std::string& text) {
 }
 
 std::vector<serve::SentenceResult> EchoBatch(
-    const std::vector<std::string>& texts) {
+    const std::vector<serve::BatchItem>& items) {
   std::vector<serve::SentenceResult> out;
-  out.reserve(texts.size());
-  for (const std::string& t : texts) out.push_back(EchoResult(t));
+  out.reserve(items.size());
+  for (const serve::BatchItem& item : items) out.push_back(EchoResult(item.text));
   return out;
 }
 
@@ -284,17 +379,17 @@ struct PluggableBackend {
   std::vector<size_t> batch_sizes;
 
   serve::MicroBatcher::BatchFn Fn() {
-    return [this](const std::vector<std::string>& texts, int) {
+    return [this](const std::vector<serve::BatchItem>& items, int) {
       {
         std::unique_lock<std::mutex> lock(mu);
-        batch_sizes.push_back(texts.size());
-        if (texts.size() == 1 && texts[0] == "plug") {
+        batch_sizes.push_back(items.size());
+        if (items.size() == 1 && items[0].text == "plug") {
           plug_seen = true;
           cv.notify_all();
           cv.wait(lock, [this] { return released; });
         }
       }
-      return EchoBatch(texts);
+      return EchoBatch(items);
     };
   }
   void AwaitPlugTaken() {
@@ -355,10 +450,10 @@ TEST(MicroBatcherTest, MaxWaitFlushesPartialBatch) {
   options.workers = 1;
   serve::MicroBatcher batcher(
       options,
-      [&](const std::vector<std::string>& texts, int) {
+      [&](const std::vector<serve::BatchItem>& items, int) {
         std::lock_guard<std::mutex> lock(mu);
-        batch_sizes.push_back(texts.size());
-        return EchoBatch(texts);
+        batch_sizes.push_back(items.size());
+        return EchoBatch(items);
       },
       nullptr, &counters);
 
@@ -412,10 +507,10 @@ TEST(MicroBatcherTest, ShutdownDrainsAcceptedRequests) {
   options.workers = 1;
   serve::MicroBatcher batcher(
       options,
-      [&](const std::vector<std::string>& texts, int) {
+      [&](const std::vector<serve::BatchItem>& items, int) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
-        processed.fetch_add(static_cast<int64_t>(texts.size()));
-        return EchoBatch(texts);
+        processed.fetch_add(static_cast<int64_t>(items.size()));
+        return EchoBatch(items);
       },
       nullptr, &counters);
 
@@ -444,8 +539,8 @@ TEST(MicroBatcherTest, ReloadRunsAtBatchBoundaryAndFailureIsNonFatal) {
   serve::BatcherOptions options;
   options.workers = 1;
   serve::MicroBatcher batcher(
-      options, [](const std::vector<std::string>& texts, int) {
-        return EchoBatch(texts);
+      options, [](const std::vector<serve::BatchItem>& items, int) {
+        return EchoBatch(items);
       },
       [&] {
         attempts.fetch_add(1);
@@ -483,8 +578,8 @@ TEST(MicroBatcherTest, ExclusiveSubmittedMidWindowPreemptsCoalescingWait) {
   options.workers = 1;
   serve::MicroBatcher batcher(
       options,
-      [](const std::vector<std::string>& texts, int) {
-        return EchoBatch(texts);
+      [](const std::vector<serve::BatchItem>& items, int) {
+        return EchoBatch(items);
       },
       nullptr, &counters);
 
@@ -519,8 +614,8 @@ TEST(MicroBatcherTest, ReloadRequestedMidWindowPreemptsCoalescingWait) {
   options.workers = 1;
   serve::MicroBatcher batcher(
       options,
-      [](const std::vector<std::string>& texts, int) {
-        return EchoBatch(texts);
+      [](const std::vector<serve::BatchItem>& items, int) {
+        return EchoBatch(items);
       },
       [] { return util::Status::OK(); }, &counters);
 
@@ -597,6 +692,55 @@ TEST(MicroBatcherTest, ArrivalAccountingInvariantHoldsAcrossOutcomes) {
   EXPECT_EQ(served, 2);  // plug + a
   EXPECT_EQ(counters.requests.load(),
             counters.rejected.load() + counters.shed.load() + served);
+}
+
+// An all-deadline batch whose members expire mid-compute comes back empty
+// from the engine; the batcher fails each member with DeadlineExceeded and
+// counts them as both shed and reclaimed. Without a deadline on every member
+// the same empty return is a backend bug, reported as Internal.
+TEST(MicroBatcherTest, MidComputeAbandonmentShedsAndCountsReclaims) {
+  serve::ServerCounters counters;
+  serve::BatcherOptions options;
+  options.max_batch = 4;
+  options.max_wait_us = 0;
+  options.workers = 1;
+  serve::MicroBatcher batcher(
+      options,
+      [](const std::vector<serve::BatchItem>&, int) {
+        return std::vector<serve::SentenceResult>();  // abandoned mid-compute
+      },
+      nullptr, &counters);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<util::Status> statuses;
+  for (int i = 0; i < 3; ++i) {
+    batcher.SubmitAsync(RequestName(i), /*raw_text=*/false, deadline,
+                        [&](util::StatusOr<serve::SentenceResult> r) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          statuses.push_back(r.status());
+                          cv.notify_all();
+                        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return statuses.size() == 3; });
+  }
+  for (const util::Status& s : statuses) {
+    EXPECT_EQ(s.code(), util::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(counters.shed.load(), 3);
+  EXPECT_EQ(counters.reclaimed.load(), 3);
+
+  // A member without a deadline makes the empty return a contract violation.
+  auto no_deadline = batcher.Submit("plain");
+  const util::StatusOr<serve::SentenceResult> r = no_deadline.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInternal);
+  EXPECT_EQ(counters.reclaimed.load(), 3);  // unchanged
+  batcher.Shutdown();
 }
 
 // --- Candidate cache ---------------------------------------------------------
@@ -798,8 +942,8 @@ struct ServerUnderTest {
     engine = MakeSnapshotEngine();
     batcher = std::make_unique<serve::MicroBatcher>(
         options,
-        [this](const std::vector<std::string>& texts, int) {
-          return engine->Disambiguate(texts, &scratch);
+        [this](const std::vector<serve::BatchItem>& items, int) {
+          return engine->DisambiguateBatch(items, &scratch);
         },
         [this] { return engine->Reload(); }, &counters);
     server = std::make_unique<serve::Server>(engine.get(), batcher.get(),
@@ -886,6 +1030,8 @@ TEST(ServeServerTest, StdioLoopServesHealthDisambiguateAndStats) {
   const serve::Json& s = stats.value();
   EXPECT_EQ(s.GetNumber("requests"), 5.0);
   EXPECT_GE(s.GetNumber("batches"), 1.0);
+  ASSERT_NE(s.Find("reclaimed"), nullptr);
+  EXPECT_EQ(s.GetNumber("reclaimed"), 0.0);
   // The same sentence 5 times: every alias after the first pass is a hit.
   EXPECT_GT(s.GetNumber("cache_hit_rate"), 0.5);
   const serve::Json* latency = s.Find("latency");
@@ -894,6 +1040,68 @@ TEST(ServeServerTest, StdioLoopServesHealthDisambiguateAndStats) {
   EXPECT_GT(latency->GetNumber("p50_us"), 0.0);
   EXPECT_LE(latency->GetNumber("p50_us"), latency->GetNumber("p95_us"));
   EXPECT_LE(latency->GetNumber("p95_us"), latency->GetNumber("p99_us"));
+}
+
+// The acceptance contract for raw-text serving: a `disambiguate_text` request
+// carrying a single sentence produces a byte-identical reply to the
+// pre-segmented `disambiguate` op, and a multi-sentence document reports
+// document-level spans plus each mention's sentence index in the JSON reply.
+TEST(ServeServerTest, DisambiguateTextMatchesDisambiguateAndIndexesSentences) {
+  ServerUnderTest sut;
+  const std::string text = SampleServableText();
+
+  serve::Json pre = serve::Json::Object();
+  pre.Set("op", serve::Json::Str("disambiguate"));
+  pre.Set("text", serve::Json::Str(text));
+  serve::Json raw = serve::Json::Object();
+  raw.Set("op", serve::Json::Str("disambiguate_text"));
+  raw.Set("text", serve::Json::Str(text));
+
+  const std::string want = sut.server->HandleLine(pre.Dump());
+  const std::string got = sut.server->HandleLine(raw.Dump());
+  EXPECT_EQ(got, want);
+  util::StatusOr<serve::Json> parsed = serve::Json::Parse(got);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().Find("ok")->bool_value());
+  const serve::Json* mentions = parsed.value().Find("mentions");
+  ASSERT_NE(mentions, nullptr);
+  ASSERT_FALSE(mentions->array_items().empty());
+  for (const serve::Json& m : mentions->array_items()) {
+    ASSERT_NE(m.Find("sentence"), nullptr);
+    EXPECT_EQ(m.GetNumber("sentence"), 0.0);
+  }
+
+  // Two copies of the sentence joined into one raw document (the sentence
+  // carries its own terminal "."): the second copy's mentions report
+  // sentence index 1 and offset spans.
+  const std::string doc = text + " " + text;
+  serve::Json raw_doc = serve::Json::Object();
+  raw_doc.Set("op", serve::Json::Str("disambiguate_text"));
+  raw_doc.Set("text", serve::Json::Str(doc));
+  util::StatusOr<serve::Json> doc_reply =
+      serve::Json::Parse(sut.server->HandleLine(raw_doc.Dump()));
+  ASSERT_TRUE(doc_reply.ok());
+  ASSERT_TRUE(doc_reply.value().Find("ok")->bool_value());
+  const serve::Json* doc_mentions = doc_reply.value().Find("mentions");
+  ASSERT_NE(doc_mentions, nullptr);
+  const auto& items = doc_mentions->array_items();
+  ASSERT_EQ(items.size(), 2 * mentions->array_items().size());
+  const int64_t offset = static_cast<int64_t>(text::Tokenize(text).size());
+  const size_t half = items.size() / 2;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const serve::Json& m = items[i];
+    const serve::Json& base = mentions->array_items()[i % half];
+    const bool second = i >= half;
+    EXPECT_EQ(m.GetNumber("sentence"), second ? 1.0 : 0.0) << "mention " << i;
+    const serve::Json* span = m.Find("span");
+    const serve::Json* base_span = base.Find("span");
+    ASSERT_NE(span, nullptr);
+    ASSERT_NE(base_span, nullptr);
+    EXPECT_EQ(span->array_items()[0].number_value(),
+              base_span->array_items()[0].number_value() +
+                  (second ? static_cast<double>(offset) : 0.0));
+    EXPECT_EQ(m.GetNumber("entity"), base.GetNumber("entity"));
+  }
 }
 
 int ConnectLoopback(int port) {
@@ -1103,8 +1311,9 @@ TEST(ServeStressTest, ConcurrentClientsWithHotReloadStayConsistent) {
   std::vector<core::BootlegModel::InferenceScratch> scratch(2);
   serve::MicroBatcher batcher(
       options,
-      [&](const std::vector<std::string>& batch, int worker) {
-        return engine.Disambiguate(batch, &scratch[static_cast<size_t>(worker)]);
+      [&](const std::vector<serve::BatchItem>& batch, int worker) {
+        return engine.DisambiguateBatch(batch,
+                                        &scratch[static_cast<size_t>(worker)]);
       },
       [&] { return engine.Reload(); }, &counters);
 

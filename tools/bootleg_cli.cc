@@ -8,6 +8,8 @@
 //                        [--retain K] [--resume] [--max_steps N]
 //                        [--fault_fail_after BYTES]] [--trace_out FILE]
 //   bootleg_cli eval    --data DIR --model PATH [--split dev|test]
+//                       [--noise_rates 0.05,0.1] [--noise_seed N]
+//                       [--overshadow_prior P] [--char_fallback]
 //   bootleg_cli predict --data DIR --model PATH --text "..."
 //   bootleg_cli export-store --data DIR --model PATH --out DIR
 //                       [--quant float32|int8] [--shards N]
@@ -40,6 +42,7 @@
 #include "data/world.h"
 #include "eval/evaluator.h"
 #include "obs/trace.h"
+#include "robust/robust_eval.h"
 #include "store/embedding_store.h"
 #include "util/io.h"
 #include "util/string_util.h"
@@ -278,21 +281,58 @@ int CmdEval(const Flags& flags) {
 
   const auto& split =
       flags.Get("split", "dev") == "test" ? ds.corpus.test : ds.corpus.dev;
+  if (flags.Has("char_fallback")) ds.vocab.BuildTypoIndex();
   data::ExampleBuilder builder(&ds.candidates, &ds.vocab);
-  const eval::ResultSet results =
-      eval::RunEvaluation(model.get(), split, builder, {}, counts,
-                          static_cast<int>(flags.GetInt("threads", 0)));
-  std::printf("%-10s %8s %8s\n", "bucket", "F1", "n");
-  const eval::Prf overall = results.Overall();
-  std::printf("%-10s %8.1f %8lld\n", "all", overall.f1(),
+  data::ExampleOptions ex_options;
+  ex_options.char_fallback = flags.Has("char_fallback");
+
+  // Robustness slices: --noise_rates 0.05,0.1 adds one perturbed evaluation
+  // per rate; the overshadowed slice and prior-follow diagnostic are always
+  // reported (they reuse the clean run's records).
+  std::vector<double> rates;
+  for (const std::string& r : util::Split(flags.Get("noise_rates"), ",")) {
+    if (!r.empty()) rates.push_back(std::atof(r.c_str()));
+  }
+  robust::OvershadowOptions ov_options;
+  ov_options.dominance =
+      static_cast<float>(std::atof(
+          flags.Get("overshadow_prior", "0.8").c_str()));
+  const robust::OvershadowedIndex overshadowed =
+      robust::OvershadowedIndex::Build(ds.candidates, ov_options);
+  const robust::RobustReport report = robust::RunRobustEvaluation(
+      model.get(), split, builder, ex_options, counts, overshadowed, rates,
+      static_cast<uint64_t>(flags.GetInt("noise_seed", 1234)),
+      static_cast<int>(flags.GetInt("threads", 0)));
+
+  std::printf("%-12s %8s %8s\n", "bucket", "F1", "n");
+  const eval::Prf overall = report.clean.Overall();
+  std::printf("%-12s %8.1f %8lld\n", "all", overall.f1(),
               static_cast<long long>(overall.total));
   for (data::PopularityBucket b :
        {data::PopularityBucket::kHead, data::PopularityBucket::kTorso,
         data::PopularityBucket::kTail, data::PopularityBucket::kUnseen}) {
-    const eval::Prf prf = results.ByBucket(b);
-    std::printf("%-10s %8.1f %8lld\n", data::PopularityBucketName(b), prf.f1(),
+    const eval::Prf prf = report.clean.ByBucket(b);
+    std::printf("%-12s %8.1f %8lld\n", data::PopularityBucketName(b), prf.f1(),
                 static_cast<long long>(prf.total));
   }
+  const eval::Prf ov = robust::OvershadowedPrf(report.clean);
+  std::printf("%-12s %8.1f %8lld\n", "overshadowed", ov.f1(),
+              static_cast<long long>(ov.total));
+  for (const robust::NoisySlice& slice : report.noisy) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "noisy@%.2f", slice.rate);
+    const eval::Prf prf = slice.results.Overall();
+    std::printf("%-12s %8.1f %8lld\n", label, prf.f1(),
+                static_cast<long long>(prf.total));
+  }
+  // Prior-vs-context diagnostic: how often the model just follows the Γ
+  // prior argmax — overall vs. on the overshadowed slice, where following
+  // the prior is by construction the wrong strategy.
+  std::printf("prior-follow: all %.1f%%  overshadowed %.1f%%\n",
+              robust::PriorFollowRate(report.clean),
+              robust::PriorFollowRate(
+                  report.clean,
+                  [](const eval::PredictionRecord& r) { return r.overshadowed; }));
   return 0;
 }
 

@@ -32,13 +32,25 @@
 //                                     mmap (default 0)
 //                 [--resident_sweep_ms N]  residency clock-sweep cadence
 //                                     (default 1000)
+//                 [--compact_chain_depth N]  auto-compact the store's delta
+//                                     chain whenever an adopted generation
+//                                     is at least N deltas deep (store
+//                                     deployments; 0 = operator-triggered
+//                                     compaction only, default 0)
+//                 [--char_fallback]   route unknown tokens through the
+//                                     vocabulary's single-edit typo fallback
+//                                     so typo'd words recover the clean
+//                                     embedding instead of [UNK]; clean text
+//                                     encodes bit-identically either way
 //                 [--ablation A]      config preset when no .meta sidecar
 //                 [--backend B]       inference backend: ref | simd | simd_q8
 //                                     (default ref; simd is bit-identical to
 //                                     ref, simd_q8 serves block-int8 weights)
 //                 [--no_trace]        disable per-stage trace spans
 //
-// Protocol: newline-delimited JSON; ops disambiguate / health / stats /
+// Protocol: newline-delimited JSON; ops disambiguate / disambiguate_text
+// (raw text: sentence-split and mention-extracted server-side, mentions
+// carry document-level spans plus a sentence index) / health / stats /
 // reload / add_entity (loopback-only live index mutation: induces an
 // embedding for a never-trained entity and publishes a chained store
 // generation, --store_dir deployments only).
@@ -136,6 +148,8 @@ int main(int argc, char** argv) {
   engine_options.resident_budget_bytes = static_cast<int64_t>(
       flags.GetDouble("resident_budget_mb", 0.0) * 1024.0 * 1024.0);
   engine_options.resident_sweep_ms = flags.GetInt("resident_sweep_ms", 1000);
+  engine_options.compact_chain_depth = flags.GetInt("compact_chain_depth", 0);
+  engine_options.char_fallback = flags.Has("char_fallback");
 
   auto engine_or = serve::InferenceEngine::Create(engine_options);
   if (!engine_or.ok()) {
@@ -161,8 +175,10 @@ int main(int argc, char** argv) {
                                                       : batcher_options.workers));
   serve::MicroBatcher batcher(
       batcher_options,
-      [&engine, &scratch](const std::vector<std::string>& texts, int worker) {
-        return engine.Disambiguate(texts, &scratch[static_cast<size_t>(worker)]);
+      [&engine, &scratch](const std::vector<serve::BatchItem>& items,
+                          int worker) {
+        return engine.DisambiguateBatch(items,
+                                        &scratch[static_cast<size_t>(worker)]);
       },
       [&engine] { return engine.Reload(); }, &counters);
 

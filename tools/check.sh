@@ -49,6 +49,15 @@
 #      evictions, prefetches), the sweep-sampled resident bytes must honor
 #      the budget, and the budgeted server's VmRSS must stay bounded by the
 #      unmanaged server's.
+#  12. Robustness drill: raw-text serving end to end. A `disambiguate_text`
+#      request carrying one sentence must reply byte-identically to the
+#      pre-segmented `disambiguate` op; a multi-sentence document must
+#      report per-mention sentence indices and document-level spans and be
+#      deterministic across repeats; hostile inputs (overlong tokens,
+#      punctuation-only, empty, noisy typos, with and without
+#      --char_fallback) must always get structured replies; and
+#      `bootleg_cli eval --noise_rates` output must be byte-identical
+#      across runs (the noisy slices are seeded, not sampled).
 #
 # Usage: tools/check.sh [--skip-san]
 set -euo pipefail
@@ -59,40 +68,40 @@ SKIP_SAN=0
 
 JOBS="$(nproc)"
 
-echo "==> [1/11] Release build + full test suite"
+echo "==> [1/12] Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" >/dev/null
 (cd build && ctest --output-on-failure)
 
 if [[ "$SKIP_SAN" == "0" ]]; then
-  echo "==> [2/11] ASan: fuzz + checkpoint + io + parallel + serve"
+  echo "==> [2/12] ASan: fuzz + checkpoint + io + parallel + serve"
   cmake -B build-asan -S . -DBOOTLEG_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$JOBS" \
     --target io_fuzz_test checkpoint_test util_test robustness_test \
              parallel_test serve_test metrics_test store_test \
-             backend_test net_test index_test >/dev/null
+             backend_test net_test index_test robust_test >/dev/null
   for t in io_fuzz_test checkpoint_test util_test robustness_test \
            parallel_test serve_test metrics_test store_test backend_test \
-           net_test index_test; do
+           net_test index_test robust_test; do
     echo "  asan: $t"
     ./build-asan/tests/"$t" >/dev/null
   done
 
-  echo "==> [3/11] TSan: checkpointed parallel training + serving under load"
+  echo "==> [3/12] TSan: checkpointed parallel training + serving under load"
   cmake -B build-tsan -S . -DBOOTLEG_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$JOBS" \
     --target checkpoint_test parallel_test serve_test metrics_test \
-             store_test backend_test net_test index_test >/dev/null
+             store_test backend_test net_test index_test robust_test >/dev/null
   for t in checkpoint_test parallel_test serve_test metrics_test store_test \
-           backend_test net_test index_test; do
+           backend_test net_test index_test robust_test; do
     echo "  tsan: $t"
     ./build-tsan/tests/"$t" >/dev/null
   done
 else
-  echo "==> [2/11],[3/11] sanitizer stages skipped (--skip-san)"
+  echo "==> [2/12],[3/12] sanitizer stages skipped (--skip-san)"
 fi
 
-echo "==> [4/11] CLI kill-at-step-K -> resume -> bit-identical verify"
+echo "==> [4/12] CLI kill-at-step-K -> resume -> bit-identical verify"
 CLI=./build/tools/bootleg_cli
 WORK="$(mktemp -d /tmp/bootleg_check.XXXXXX)"
 trap 'rm -rf "$WORK"' EXIT
@@ -138,7 +147,7 @@ fi
 cmp "$WORK/ref.bin" "$WORK/resumed.bin" \
   || { echo "FAIL: resumed model differs from uninterrupted run"; exit 1; }
 
-echo "==> [5/11] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
+echo "==> [5/12] serve smoke drill: stdin + TCP, concurrency, SIGHUP, shutdown"
 SERVE=./build/tools/bootleg_serve
 
 # --- stdin transport: health, disambiguate, malformed line, stats. ----------
@@ -221,7 +230,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [6/11] observability: registry + spans in stats, train --trace_out"
+echo "==> [6/12] observability: registry + spans in stats, train --trace_out"
 ./build/tests/metrics_test >/dev/null \
   || { echo "FAIL: metrics_test failed"; exit 1; }
 
@@ -261,7 +270,7 @@ for stage in train.epoch train.forward_backward train.step nn.adam.step; do
     || { echo "FAIL: trace_out missing stage $stage"; exit 1; }
 done
 
-echo "==> [7/11] store drill: export -> verify -> serve -> SIGHUP generation swap"
+echo "==> [7/12] store drill: export -> verify -> serve -> SIGHUP generation swap"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$WORK/store/gen_000001" --quant float32 >/dev/null
 "$CLI" store --dir "$WORK/store" --verify >/dev/null \
@@ -318,7 +327,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: store serve: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [8/11] backend drill: ref vs simd byte-identical, simd_q8 clean"
+echo "==> [8/12] backend drill: ref vs simd byte-identical, simd_q8 clean"
 BACKEND_REQS=$(printf '%s\n' \
   "{\"op\": \"disambiguate\", \"text\": \"the $ALIAS appears here\"}" \
   '{"op": "disambiguate", "text": "entities appear on every page"}' \
@@ -364,7 +373,7 @@ if echo '{"op": "health"}' \
   echo "FAIL: backend drill: unknown backend accepted"; exit 1
 fi
 
-echo "==> [9/11] overload drill: admission control, deadline shedding, hostile clients"
+echo "==> [9/12] overload drill: admission control, deadline shedding, hostile clients"
 DRILL=./build/tools/overload_drill
 
 "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --port 0 \
@@ -418,7 +427,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: overload drill: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [10/11] live-add drill: add_entity under load -> in-process swap -> compact"
+echo "==> [10/12] live-add drill: add_entity under load -> in-process swap -> compact"
 # Serve from the stage-7 store (newest generation: the int8 gen_000002). The
 # idle reaper runs with a generous timeout so it cannot touch the drill's
 # request-bearing connections — it just has to not misfire.
@@ -500,7 +509,7 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: live-add: non-zero exit on SIGTERM"; exit 1; }
 
-echo "==> [11/11] residency drill: budget-constrained serve, identical replies, bounded RSS"
+echo "==> [11/12] residency drill: budget-constrained serve, identical replies, bounded RSS"
 RES_STORE="$WORK/res_store"
 "$CLI" export-store --data "$WORK/data" --model "$WORK/ref.bin" \
   --out "$RES_STORE/gen_000001" --quant float32 >/dev/null
@@ -594,5 +603,72 @@ RSS_BUDGETED=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" \
   || { echo "FAIL: residency: budgeted non-zero exit on SIGTERM"; exit 1; }
+
+echo "==> [12/12] robustness drill: raw-text serving, hostile inputs, deterministic noisy eval"
+
+# --- Raw-text serving: one stdin session answers the pre-segmented op, the
+# raw-text op on the same sentence, and a two-sentence document twice.
+RT_TEXT="the $ALIAS appears here"
+RT_DOC="$RT_TEXT . again the $ALIAS returns"
+RT_OUT=$(printf '%s\n' \
+  "{\"op\": \"disambiguate\", \"text\": \"$RT_TEXT\"}" \
+  "{\"op\": \"disambiguate_text\", \"text\": \"$RT_TEXT\"}" \
+  "{\"op\": \"disambiguate_text\", \"text\": \"$RT_DOC\"}" \
+  "{\"op\": \"disambiguate_text\", \"text\": \"$RT_DOC\"}" \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin 2>/dev/null)
+[[ $(echo "$RT_OUT" | wc -l) == 4 ]] \
+  || { echo "FAIL: raw-text drill: expected 4 replies"; exit 1; }
+echo "$RT_OUT" | sed -n 1p | grep -q '"ok": *true' \
+  || { echo "FAIL: raw-text drill: pre-segmented request failed"; exit 1; }
+# Acceptance bar: single-sentence raw text is byte-identical to pre-segmented.
+[[ "$(echo "$RT_OUT" | sed -n 1p)" == "$(echo "$RT_OUT" | sed -n 2p)" ]] \
+  || { echo "FAIL: raw-text drill: disambiguate_text differs from disambiguate"; exit 1; }
+# The document reply carries a second sentence with document-level spans.
+echo "$RT_OUT" | sed -n 3p | grep -q '"sentence": *1' \
+  || { echo "FAIL: raw-text drill: no sentence index 1 in document reply"; exit 1; }
+echo "$RT_OUT" | sed -n 3p | grep -q "\"alias\": *\"$ALIAS\"" \
+  || { echo "FAIL: raw-text drill: alias not extracted from raw document"; exit 1; }
+# Same document, same reply: extraction and splitting are deterministic.
+[[ "$(echo "$RT_OUT" | sed -n 3p)" == "$(echo "$RT_OUT" | sed -n 4p)" ]] \
+  || { echo "FAIL: raw-text drill: repeated document replies differ"; exit 1; }
+
+# --- Hostile raw text must always get a structured reply, never a crash:
+# overlong token, punctuation-only, empty, lone terminators, typo noise.
+LONG_TOKEN=$(printf 'x%.0s' $(seq 1 5000))
+NOISY=$(echo "$RT_TEXT" | sed 's/the/teh/; s/appears/appaers/')
+HOSTILE_OUT=$(printf '%s\n' \
+  "{\"op\": \"disambiguate_text\", \"text\": \"$LONG_TOKEN\"}" \
+  '{"op": "disambiguate_text", "text": ". . . ! ? ."}' \
+  '{"op": "disambiguate_text", "text": ""}' \
+  '{"op": "disambiguate_text", "text": "."}' \
+  "{\"op\": \"disambiguate_text\", \"text\": \"$NOISY\"}" \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin 2>/dev/null)
+[[ $(echo "$HOSTILE_OUT" | wc -l) == 5 ]] \
+  || { echo "FAIL: raw-text drill: hostile input dropped a reply"; exit 1; }
+[[ $(echo "$HOSTILE_OUT" | grep -c '"ok":') == 5 ]] \
+  || { echo "FAIL: raw-text drill: hostile reply not structured"; exit 1; }
+echo "$HOSTILE_OUT" | sed -n 5p | grep -q '"ok": *true' \
+  || { echo "FAIL: raw-text drill: noisy text rejected"; exit 1; }
+
+# --char_fallback serves the same noisy traffic (typo-tolerant encoding).
+printf '%s\n' "{\"op\": \"disambiguate_text\", \"text\": \"$NOISY\"}" \
+  | "$SERVE" --data "$WORK/data" --model "$WORK/ref.bin" --stdin \
+      --char_fallback 2>/dev/null \
+  | grep -q '"ok": *true' \
+  || { echo "FAIL: raw-text drill: --char_fallback serve failed"; exit 1; }
+
+# --- Noisy eval slices are seeded, not sampled: two runs, identical bytes.
+"$CLI" eval --data "$WORK/data" --model "$WORK/ref.bin" \
+  --noise_rates 0.1,0.3 --noise_seed 7 >"$WORK/eval_a.txt"
+"$CLI" eval --data "$WORK/data" --model "$WORK/ref.bin" \
+  --noise_rates 0.1,0.3 --noise_seed 7 >"$WORK/eval_b.txt"
+cmp "$WORK/eval_a.txt" "$WORK/eval_b.txt" \
+  || { echo "FAIL: raw-text drill: noisy eval not deterministic"; exit 1; }
+grep -q 'noisy@' "$WORK/eval_a.txt" \
+  || { echo "FAIL: raw-text drill: eval missing noisy slices"; exit 1; }
+grep -q 'overshadowed' "$WORK/eval_a.txt" \
+  || { echo "FAIL: raw-text drill: eval missing overshadowed slice"; exit 1; }
+grep -q 'prior-follow' "$WORK/eval_a.txt" \
+  || { echo "FAIL: raw-text drill: eval missing prior-follow diagnostic"; exit 1; }
 
 echo "OK: all checks passed"

@@ -16,6 +16,9 @@
 #      store vs unmanaged mmap under Zipf traffic, and the store_delta
 #      scenario: AddEntityLive publish latency, time_to_first_correct_serve
 #      for a never-trained entity, delta-chain gather cost, and Compact)
+#   5. robustness suite    -> BENCH_robust.json  (F1 cliff vs. deterministic
+#      noise rate on the dev split, overshadowed-slice F1, prior-follow
+#      diagnostic, and the char-fallback encoder-hardening delta)
 #
 # Usage: tools/run_bench.sh [build_dir] [extra benchmark args...]
 #   BOOTLEG_THREADS controls pool size for the kernel benchmarks
@@ -56,7 +59,7 @@ if [[ -n "${SANITIZE}" && "${SANITIZE}" != "OFF" ]]; then
   exit 1
 fi
 
-cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench store_bench -j >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_kernels serve_bench obs_bench store_bench robust_bench -j >/dev/null
 
 OUT="${REPO_ROOT}/BENCH_kernels.json"
 "${BUILD_DIR}/bench/micro_kernels" \
@@ -78,3 +81,7 @@ echo "wrote ${OBS_OUT}"
 STORE_OUT="${REPO_ROOT}/BENCH_store.json"
 "${BUILD_DIR}/bench/store_bench" --out "${STORE_OUT}"
 echo "wrote ${STORE_OUT}"
+
+ROBUST_OUT="${REPO_ROOT}/BENCH_robust.json"
+"${BUILD_DIR}/bench/robust_bench" --out "${ROBUST_OUT}"
+echo "wrote ${ROBUST_OUT}"
